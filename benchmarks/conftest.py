@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+tiny "bench" scale and prints the corresponding report, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the full set of reproduced tables.  A session-scoped
+ExtractorCache shares phase-1 training across benchmarks; the benchmark
+timings therefore measure the *experiment-specific* work (resampling,
+fine-tuning, analysis), which is what the paper's efficiency claims are
+about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExtractorCache, bench_config
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return ExtractorCache()
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Ablation benchmark: EOS interpolation direction and enemy weighting.
+
+DESIGN.md notes the paper's Algorithm-2 pseudo-code writes
+``B + R*(B - N)`` while the prose describes convex combinations toward
+the nearest enemy.  This ablation compares:
+
+* ``toward`` (default): b + r (n - b) — expands ranges toward enemies;
+* ``away``: the literal pseudo-code sign — reflects away from enemies;
+* distance-weighted vs uniform enemy sampling probabilities.
+
+Expected shape: ``toward`` expands minority ranges and closes the gap;
+``away`` cannot reduce the boundary-side gap the same way.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.gap import generalization_gap
+from repro.experiments import build_sampler, evaluate_sampler
+from repro.utils import format_float, format_table
+
+
+def test_ablation_eos_direction(benchmark, config, cache):
+    artifacts = cache.get(config, "ce")
+
+    def run():
+        rows = {}
+        for name, kwargs in (
+            ("toward/uniform", {}),
+            ("away/uniform", {"direction": "away"}),
+            ("toward/distance", {"weighting": "distance"}),
+        ):
+            sampler = build_sampler(
+                "eos",
+                k_neighbors=config.k_neighbors,
+                random_state=config.seed,
+                **kwargs,
+            )
+            emb, labels = sampler.fit_resample(
+                artifacts.train_embeddings, artifacts.train.labels
+            )
+            gap = generalization_gap(
+                emb,
+                labels,
+                artifacts.test_embeddings,
+                artifacts.test.labels,
+                artifacts.info["num_classes"],
+            )["mean"]
+            metrics = evaluate_sampler(
+                artifacts, "eos", sampler_kwargs=kwargs
+            )
+            rows[name] = (metrics, gap)
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = format_table(
+        ["variant", "BAC", "GM", "FM", "mean gap"],
+        [
+            [name, format_float(m["bac"]), format_float(m["gm"]),
+             format_float(m["fm"]), format_float(g, 3)]
+            for name, (m, g) in rows.items()
+        ],
+        title="Ablation: EOS direction & enemy weighting",
+    )
+    print("\n" + table)
+    # The convex-combination direction must close the gap at least as
+    # well as the reflected one.
+    assert rows["toward/uniform"][1] <= rows["away/uniform"][1] + 1e-9

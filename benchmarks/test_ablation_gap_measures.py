@@ -1,0 +1,82 @@
+"""Ablation benchmark: the generalization gap vs complementary measures.
+
+The paper's future work calls for measures complementary to the
+range-based gap.  This ablation computes, on one trained extractor, the
+paper's gap (Algorithm 1), the Ye et al. feature-mean deviation, the
+outlier-robust quantile gap, and the coverage gap — and checks they all
+agree on the core phenomenon: minority classes generalize worse, and
+EOS improves them.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import EOS, coverage_gap, feature_deviation, quantile_gap
+from repro.core.gap import generalization_gap
+from repro.utils import format_float, format_table
+
+
+def test_ablation_gap_measures(benchmark, config, cache):
+    artifacts = cache.get(config, "ce")
+    num_classes = artifacts.info["num_classes"]
+    train_emb = artifacts.train_embeddings
+    train_y = artifacts.train.labels
+    test_emb = artifacts.test_embeddings
+    test_y = artifacts.test.labels
+
+    measures = {
+        "range gap (Alg.1)": lambda e, y: generalization_gap(
+            e, y, test_emb, test_y, num_classes
+        )["per_class"],
+        "feature deviation": lambda e, y: feature_deviation(
+            e, y, test_emb, test_y, num_classes
+        )["per_class"],
+        "quantile gap q=.05": lambda e, y: quantile_gap(
+            e, y, test_emb, test_y, num_classes
+        )["per_class"],
+        # min_violations scales with the embedding dim: in D dims almost
+        # every point violates *some* dimension, so requiring ~D/4
+        # violations keeps the measure informative.
+        "coverage gap": lambda e, y: coverage_gap(
+            e, y, test_emb, test_y, num_classes,
+            min_violations=max(1, train_emb.shape[1] // 4),
+        )["per_class"],
+    }
+
+    def run():
+        eos = EOS(k_neighbors=config.k_neighbors, random_state=config.seed)
+        eos_emb, eos_y = eos.fit_resample(train_emb, train_y)
+        out = {}
+        for name, fn in measures.items():
+            out[name] = (fn(train_emb, train_y), fn(eos_emb, eos_y))
+        return out
+
+    out = run_once(benchmark, run)
+    rows = []
+    half = num_classes // 2
+    for name, (base, eos) in out.items():
+        rows.append(
+            [
+                name,
+                format_float(np.nanmean(base[:half]), 3),
+                format_float(np.nanmean(base[half:]), 3),
+                format_float(np.nanmean(eos[half:]), 3),
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["measure", "majority half", "minority half", "minority+EOS"],
+            rows,
+            title="Ablation: gap measures agree on the imbalance phenomenon",
+        )
+    )
+    for name, (base, eos) in out.items():
+        maj = np.nanmean(base[:half])
+        mino = np.nanmean(base[half:])
+        assert mino > maj, "%s: minority must look worse" % name
+        # EOS moves the minority-half measure toward the majority level
+        # for the range-based measures (deviation measures class means,
+        # which EOS's expansion can shift either way).
+        if "deviation" not in name:
+            assert np.nanmean(eos[half:]) < mino, name

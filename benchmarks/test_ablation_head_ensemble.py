@@ -1,0 +1,73 @@
+"""Ablation benchmark: single EOS-tuned head vs balanced head ensembles.
+
+An extension beyond the paper: phase 3 can train an *ensemble* of heads
+on balanced embedding views (under-bagging, or EOS-resampled views)
+instead of one head.  Expected shape: ensembles match or beat the
+single head, and the EOS-view ensemble at least matches under-bagging
+(it adds information instead of discarding majority data).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import EOS
+from repro.ensemble import BalancedHeadEnsemble
+from repro.experiments import evaluate_sampler
+from repro.metrics import evaluate_predictions
+from repro.nn import Linear
+from repro.utils import format_float, format_table
+
+
+def test_ablation_head_ensemble(benchmark, config, cache):
+    artifacts = cache.get(config, "ce")
+    feature_dim = artifacts.train_embeddings.shape[1]
+    num_classes = artifacts.info["num_classes"]
+
+    def head_factory():
+        return Linear(feature_dim, num_classes, rng=np.random.default_rng(0))
+
+    def score(ensemble):
+        preds = ensemble.predict(artifacts.test_embeddings)
+        return evaluate_predictions(artifacts.test.labels, preds, num_classes)
+
+    def run():
+        rows = {}
+        rows["single head + EOS"] = evaluate_sampler(artifacts, "eos")
+
+        under = BalancedHeadEnsemble(
+            head_factory, n_heads=5, mode="undersample",
+            epochs=config.finetune_epochs, random_state=config.seed,
+        ).fit(artifacts.train_embeddings, artifacts.train.labels)
+        rows["under-bagging x5"] = score(under)
+
+        eos_views = BalancedHeadEnsemble(
+            head_factory,
+            n_heads=5,
+            mode="oversample",
+            sampler_factory=lambda seed: EOS(
+                k_neighbors=config.k_neighbors, random_state=seed
+            ),
+            epochs=config.finetune_epochs,
+            random_state=config.seed,
+        ).fit(artifacts.train_embeddings, artifacts.train.labels)
+        rows["EOS-view ensemble x5"] = score(eos_views)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(
+        "\n"
+        + format_table(
+            ["method", "BAC", "GM", "FM"],
+            [
+                [name, format_float(m["bac"]), format_float(m["gm"]),
+                 format_float(m["fm"])]
+                for name, m in rows.items()
+            ],
+            title="Ablation: phase-3 head ensembles",
+        )
+    )
+    base = rows["single head + EOS"]["bac"]
+    assert rows["EOS-view ensemble x5"]["bac"] >= base - 0.05
+    assert rows["EOS-view ensemble x5"]["bac"] >= (
+        rows["under-bagging x5"]["bac"] - 0.05
+    )

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the substrate's hot paths.
+
+Not tied to a paper table — these measure the computational kernels the
+experiments stand on (conv forward+backward, k-NN queries, EOS
+resampling, head fine-tuning) so performance regressions are visible.
+Each runs under pytest-benchmark's normal multi-round timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EOS, finetune_classifier
+from repro.neighbors import KNeighbors
+from repro.nn import SmallConvNet
+from repro.tensor import Tensor, conv2d
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_conv2d_forward_backward(benchmark, rng):
+    x = Tensor(rng.normal(size=(16, 8, 12, 12)), requires_grad=True)
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)) * 0.1, requires_grad=True)
+
+    def step():
+        x.zero_grad()
+        w.zero_grad()
+        out = conv2d(x, w, stride=1, padding=1)
+        (out * out).sum().backward()
+        return out.shape
+
+    assert benchmark(step) == (16, 16, 12, 12)
+
+
+def test_knn_query(benchmark, rng):
+    data = rng.normal(size=(2000, 24))
+    index = KNeighbors(k=10).fit(data)
+    queries = rng.normal(size=(200, 24))
+
+    def step():
+        dists, idx = index.query(queries)
+        return idx.shape
+
+    assert benchmark(step) == (200, 10)
+
+
+def test_eos_resample(benchmark, rng):
+    counts = [400, 150, 60, 25, 10, 4]
+    x = np.concatenate(
+        [rng.normal(c, 1.0, size=(n, 24)) for c, n in enumerate(counts)]
+    )
+    y = np.concatenate([np.full(n, c) for c, n in enumerate(counts)])
+    sampler = EOS(k_neighbors=10, random_state=0)
+
+    def step():
+        xr, yr = sampler.fit_resample(x, y)
+        return len(xr)
+
+    assert benchmark(step) == 400 * len(counts)
+
+
+def test_head_finetune_epoch(benchmark, rng):
+    model = SmallConvNet(num_classes=10, width=6, rng=rng)
+    emb = rng.normal(size=(1000, model.feature_dim))
+    labels = rng.integers(0, 10, 1000)
+
+    def step():
+        history = finetune_classifier(
+            model, emb, labels, epochs=1, rng=np.random.default_rng(0)
+        )
+        return len(history)
+
+    assert benchmark(step) == 1

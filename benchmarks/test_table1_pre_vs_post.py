@@ -1,0 +1,19 @@
+"""Benchmark for Table I: pixel-space pre-processing vs embedding-space
+over-sampling under cross-entropy loss.
+
+Paper shape: the Post- (embedding-space) variant beats the Pre- variant
+in most dataset x sampler cells (7/9 in the paper).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1_pre_vs_post(benchmark, config, cache):
+    out = run_once(
+        benchmark, lambda: run_table1(config, datasets=("cifar10_like",), cache=cache)
+    )
+    print("\n" + out["report"])
+    # Embedding-space over-sampling should win at least half the cells.
+    assert out["post_wins"] * 2 >= out["cells"]

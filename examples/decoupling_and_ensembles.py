@@ -1,0 +1,105 @@
+"""Head-retraining strategies compared: EOS vs the decoupling family.
+
+The paper frames EOS against the "decouple representation and
+classifier" line of work (Kang et al.).  This example trains one
+extractor, then compares every head strategy the library offers on the
+same embeddings:
+
+* raw phase-1 head (baseline)
+* cRT — re-init + class-balanced resampled re-training
+* tau-normalization — rescale class weight norms, no training
+* NCM — nearest class mean, no head at all
+* EOS fine-tuning — the paper's phase 3
+* EOS-view head ensemble — phase 3 extended to 5 averaged heads
+
+Run:  python examples/decoupling_and_ensembles.py
+"""
+
+import numpy as np
+
+from repro.core import EOS, NearestClassMean, crt_retrain, tau_normalize
+from repro.core.training import predict_logits
+from repro.ensemble import BalancedHeadEnsemble
+from repro.experiments import bench_config, evaluate_sampler
+from repro.experiments.pipeline import train_phase1
+from repro.metrics import evaluate_predictions
+from repro.nn import Linear
+from repro.utils import format_float, format_table
+
+
+def main():
+    config = bench_config(scale="small")
+    print("training the extractor (CE loss, %s)..." % config.dataset)
+    artifacts = train_phase1(config, "ce")
+    num_classes = artifacts.info["num_classes"]
+    feature_dim = artifacts.train_embeddings.shape[1]
+
+    def score_model():
+        preds = predict_logits(
+            artifacts.model, artifacts.test.images
+        ).argmax(axis=1)
+        return evaluate_predictions(artifacts.test.labels, preds, num_classes)
+
+    rows = {}
+    rows["baseline (phase-1 head)"] = evaluate_sampler(artifacts, "none")
+
+    artifacts.restore_head()
+    crt_retrain(
+        artifacts.model,
+        artifacts.train_embeddings,
+        artifacts.train.labels,
+        epochs=10,
+        rng=np.random.default_rng(0),
+    )
+    rows["cRT"] = score_model()
+
+    artifacts.restore_head()
+    tau_normalize(artifacts.model.classifier, tau=1.0)
+    rows["tau-normalization"] = score_model()
+
+    ncm = NearestClassMean().fit(
+        artifacts.train_embeddings, artifacts.train.labels
+    )
+    rows["NCM"] = evaluate_predictions(
+        artifacts.test.labels,
+        ncm.predict(artifacts.test_embeddings),
+        num_classes,
+    )
+
+    rows["EOS fine-tune"] = evaluate_sampler(artifacts, "eos")
+
+    ensemble = BalancedHeadEnsemble(
+        lambda: Linear(feature_dim, num_classes, rng=np.random.default_rng(1)),
+        n_heads=5,
+        mode="oversample",
+        sampler_factory=lambda seed: EOS(k_neighbors=10, random_state=seed),
+        epochs=10,
+        random_state=0,
+    ).fit(artifacts.train_embeddings, artifacts.train.labels)
+    rows["EOS-view ensemble (x5)"] = evaluate_predictions(
+        artifacts.test.labels,
+        ensemble.predict(artifacts.test_embeddings),
+        num_classes,
+    )
+
+    print()
+    print(
+        format_table(
+            ["strategy", "BAC", "GM", "FM"],
+            [
+                [name, format_float(m["bac"]), format_float(m["gm"]),
+                 format_float(m["fm"])]
+                for name, m in rows.items()
+            ],
+            title="Head strategies on identical embeddings",
+        )
+    )
+    print(
+        "\nReading: reweighting strategies (cRT / tau-norm / NCM) recover"
+        "\nmuch of the minority performance; EOS adds synthetic boundary"
+        "\ninformation on top, and averaging EOS views stabilizes it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Generalization-gap study (paper Section V-A, Figures 3 & 4).
+
+Trains extractors with each of the four losses the paper evaluates,
+measures the per-class embedding-range gap between train and test, and
+shows (a) the gap rising with class imbalance, (b) the TP-vs-FP gap,
+(c) how EOS flattens the curve while SMOTE leaves it untouched.
+
+Run:  python examples/generalization_gap_study.py [--scale small]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import EOS
+from repro.core.gap import generalization_gap, tp_fp_gap
+from repro.core.training import predict_logits
+from repro.experiments import bench_config
+from repro.experiments.pipeline import train_phase1
+from repro.sampling import SMOTE
+from repro.utils import format_float, format_table
+
+
+def gap_curve(artifacts, sampler=None):
+    """Per-class gap after optionally resampling the train embeddings."""
+    emb, labels = artifacts.train_embeddings, artifacts.train.labels
+    if sampler is not None:
+        emb, labels = sampler.fit_resample(emb, labels)
+    return generalization_gap(
+        emb,
+        labels,
+        artifacts.test_embeddings,
+        artifacts.test.labels,
+        artifacts.info["num_classes"],
+    )["per_class"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+    parser.add_argument("--dataset", default="cifar10_like")
+    args = parser.parse_args()
+
+    config = bench_config(dataset=args.dataset, scale=args.scale)
+    rows = []
+    tp_fp_rows = []
+    for loss in ("ce", "asl", "focal", "ldam"):
+        artifacts = train_phase1(config, loss)
+        base = gap_curve(artifacts)
+        smote = gap_curve(artifacts, SMOTE(k_neighbors=5, random_state=0))
+        eos = gap_curve(artifacts, EOS(k_neighbors=10, random_state=0))
+        for name, curve in (("baseline", base), ("smote", smote), ("eos", eos)):
+            rows.append(
+                [loss, name] + [format_float(v, 3) for v in curve]
+            )
+
+        preds = predict_logits(artifacts.model, artifacts.test.images).argmax(axis=1)
+        gaps = tp_fp_gap(
+            artifacts.train_embeddings,
+            artifacts.train.labels,
+            artifacts.test_embeddings,
+            artifacts.test.labels,
+            preds,
+            artifacts.info["num_classes"],
+        )
+        tp_fp_rows.append(
+            [loss, format_float(gaps["tp"], 3), format_float(gaps["fp"], 3),
+             format_float(gaps["ratio"], 2)]
+        )
+
+    num_classes = config and len(rows[0]) - 2
+    headers = ["loss", "variant"] + ["c%d" % c for c in range(num_classes)]
+    print(format_table(headers, rows,
+                       title="Per-class generalization gap (class 0 = majority)"))
+    print()
+    print(format_table(
+        ["loss", "TP gap", "FP gap", "FP/TP"],
+        tp_fp_rows,
+        title="Gap for correctly (TP) vs incorrectly (FP) classified test points",
+    ))
+    print(
+        "\nReading: the baseline/smote rows rise toward the minority tail and"
+        "\noverlap each other; the eos rows stay flat — EOS expands minority"
+        "\nranges toward nearest adversaries, closing the train/test gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

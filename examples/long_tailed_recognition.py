@@ -1,0 +1,108 @@
+"""Long-tailed recognition: EOS vs per-class GANs as classes multiply.
+
+The paper's scalability argument (Section V-D / Lessons Learned): CGAN
+needs one generative model per class, so its cost grows linearly with
+the number of classes, while EOS's nearest-enemy generation is a single
+KNN pass.  This example sweeps the number of classes on the
+CIFAR-100-like profile and reports accuracy and resampling cost for
+both, plus the minority-tail recall EOS recovers.
+
+Run:  python examples/long_tailed_recognition.py [--classes 20 50 100]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import EOS, finetune_classifier
+from repro.core.training import predict_logits
+from repro.data import apply_imbalance, exponential_profile
+from repro.data.synthetic import DATASET_PROFILES, SyntheticImageFamily
+from repro.experiments import build_sampler
+from repro.losses import CrossEntropyLoss
+from repro.metrics import evaluate_predictions, per_class_recall, confusion_matrix
+from repro.nn import build_model
+from repro.optim import SGD
+from repro.core import ThreePhaseTrainer
+from repro.utils import format_float, format_table
+
+
+def run_subset(num_classes, seed=0, n_max=40, epochs=15):
+    """Train on the first `num_classes` classes of the cifar100-like family."""
+    import dataclasses
+
+    base = DATASET_PROFILES["cifar100_like"]["config"]
+    config = dataclasses.replace(base, num_classes=num_classes)
+    family = SyntheticImageFamily(config)
+    rng = np.random.default_rng(seed)
+    counts = exponential_profile(n_max, num_classes, 10)
+    train = apply_imbalance(family.sample(n_max, rng), counts, rng)
+    test = family.sample(10, rng)
+
+    model = build_model(
+        "smallconvnet", num_classes=num_classes, width=6,
+        rng=np.random.default_rng(seed + 1),
+    )
+    trainer = ThreePhaseTrainer(
+        model,
+        CrossEntropyLoss(),
+        SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4),
+    )
+    trainer.train_phase1(train, epochs=epochs, batch_size=32,
+                         rng=np.random.default_rng(seed + 2))
+    emb = trainer.extract_embeddings(train)
+    head_state = model.classifier.state_dict()
+
+    results = {}
+    for name in ("eos", "cgan"):
+        model.classifier.load_state_dict(head_state)
+        sampler = build_sampler(name, k_neighbors=10, random_state=seed)
+        import time
+
+        start = time.perf_counter()
+        balanced, labels = sampler.fit_resample(emb, train.labels)
+        resample_seconds = time.perf_counter() - start
+        finetune_classifier(model, balanced, labels, epochs=10,
+                            rng=np.random.default_rng(seed + 3))
+        preds = predict_logits(model, test.images).argmax(axis=1)
+        metrics = evaluate_predictions(test.labels, preds, num_classes)
+        cm = confusion_matrix(test.labels, preds, num_classes)
+        tail = per_class_recall(cm)[num_classes // 2:].mean()
+        results[name] = (metrics, resample_seconds, tail)
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--classes", type=int, nargs="+", default=[10, 25, 50])
+    args = parser.parse_args()
+
+    rows = []
+    for k in args.classes:
+        results = run_subset(k)
+        for name, (metrics, seconds, tail) in results.items():
+            rows.append(
+                [
+                    str(k),
+                    name,
+                    format_float(metrics["bac"]),
+                    format_float(tail),
+                    "%.2f" % seconds,
+                ]
+            )
+    print(
+        format_table(
+            ["classes", "sampler", "BAC", "tail recall", "resample (s)"],
+            rows,
+            title="Long-tailed scaling: EOS vs per-class CGAN",
+        )
+    )
+    print(
+        "\nReading: CGAN's resampling cost grows with the class count (one"
+        "\ngenerative model per deficient class) while EOS stays a single"
+        "\nKNN pass; accuracy stays comparable."
+    )
+
+
+if __name__ == "__main__":
+    main()

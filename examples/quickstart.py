@@ -1,0 +1,58 @@
+"""Quickstart: the full EOS three-phase pipeline in ~40 lines.
+
+Trains a small CNN on an exponentially imbalanced synthetic dataset
+(100:1), then balances the learned feature embeddings with EOS and
+fine-tunes the classifier head — the paper's framework end-to-end.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import EOS, ThreePhaseTrainer
+from repro.data import make_dataset
+from repro.losses import CrossEntropyLoss
+from repro.metrics import classification_report
+from repro.nn import build_model
+from repro.optim import SGD
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # An imbalanced train set (100:1 exponential profile) + balanced test.
+    train, test, info = make_dataset("cifar10_like", scale="small", seed=0)
+    print("train counts per class:", info["train_counts"])
+
+    model = build_model(
+        "smallconvnet", num_classes=info["num_classes"], width=6, rng=rng
+    )
+    trainer = ThreePhaseTrainer(
+        model,
+        CrossEntropyLoss(),
+        SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4),
+        sampler=EOS(k_neighbors=10, random_state=0),
+    )
+
+    # Phase 1: end-to-end training on the imbalanced data.
+    trainer.train_phase1(train, epochs=20, batch_size=32, rng=rng)
+    print("\nafter phase 1 (imbalanced training):")
+    print("  %s" % trainer.phase1.evaluate(test))
+
+    # Phase 2: extract embeddings, balance them with EOS.
+    trainer.extract_embeddings(train)
+    emb, labels = trainer.resample_embeddings()
+    print("\nbalanced embedding set: %d samples (was %d)" % (len(labels), len(train)))
+
+    # Phase 3: fine-tune only the classifier head (10 epochs, as in the paper).
+    trainer.finetune(epochs=10, rng=rng)
+    print("\nafter phase 3 (EOS + head fine-tuning):")
+    print("  %s" % trainer.evaluate(test))
+
+    print("\nper-class report:")
+    print(classification_report(test.labels, trainer.predict(test.images)))
+    print("\nphase timings (s):", {k: round(v, 2) for k, v in trainer.timings.items()})
+
+
+if __name__ == "__main__":
+    main()

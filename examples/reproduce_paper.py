@@ -1,0 +1,102 @@
+"""Full reproduction driver: regenerate every table and figure.
+
+Runs all of the paper's experiments (Tables I-V, Figures 3-7, the
+runtime comparison and the pixel-vs-embedding ablation) at a chosen
+scale and prints each reproduced table.  At the default "small" scale on
+one CPU core expect roughly 10-20 minutes for the full set; use
+``--experiments`` to run a subset and ``--datasets`` to widen coverage.
+
+Run:
+    python examples/reproduce_paper.py                       # everything
+    python examples/reproduce_paper.py --experiments t2 f3   # a subset
+    python examples/reproduce_paper.py --datasets cifar10_like svhn_like
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    ExtractorCache,
+    bench_config,
+    run_eos_pixel_vs_embedding,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_runtime_comparison,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["cifar10_like"],
+        help="dataset profiles for the multi-dataset tables",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        default=None,
+        help="subset to run: t1-t5, f3-f7, rt, px",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = bench_config(scale=args.scale, seed=args.seed)
+    cache = ExtractorCache()
+    datasets = tuple(args.datasets)
+
+    experiments = {
+        "t1": ("Table I (pre vs post over-sampling)",
+               lambda: run_table1(config, datasets=datasets, cache=cache)),
+        "t2": ("Table II (losses x samplers)",
+               lambda: run_table2(config, datasets=datasets, cache=cache)),
+        "t3": ("Table III (GAN comparison)",
+               lambda: run_table3(config, datasets=datasets, cache=cache)),
+        "t4": ("Table IV (EOS K sweep)",
+               lambda: run_table4(config, datasets=datasets, cache=cache)),
+        "t5": ("Table V (architectures)",
+               lambda: run_table5(config, cache=cache)),
+        "f3": ("Figure 3 (gap curves)",
+               lambda: run_figure3(config, cache=cache)),
+        "f4": ("Figure 4 (TP vs FP gap)",
+               lambda: run_figure4(config, datasets=datasets, cache=cache)),
+        "f5": ("Figure 5 (weight norms)",
+               lambda: run_figure5(config, cache=cache)),
+        "f6": ("Figure 6 (t-SNE boundary)",
+               lambda: run_figure6(config, cache=cache)),
+        "f7": ("Figure 7 (fine-tune epochs)",
+               lambda: run_figure7(config, cache=cache)),
+        "rt": ("Runtime comparison (Section V-E2)",
+               lambda: run_runtime_comparison(config)),
+        "px": ("EOS pixel vs embedding (Section V-E3)",
+               lambda: run_eos_pixel_vs_embedding(config, cache=cache)),
+    }
+
+    selected = args.experiments or list(experiments)
+    unknown = [key for key in selected if key not in experiments]
+    if unknown:
+        parser.error("unknown experiments: %s" % ", ".join(unknown))
+
+    for key in selected:
+        title, runner = experiments[key]
+        print("=" * 72)
+        print("%s  [%s]" % (title, key))
+        print("=" * 72)
+        start = time.perf_counter()
+        out = runner()
+        print(out["report"])
+        print("(%.1fs)\n" % (time.perf_counter() - start))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Sampler shoot-out: every over-sampler in the library on one dataset.
+
+Compares classic interpolative methods (ROS, SMOTE, Borderline-SMOTE,
+Balanced-SVM, ADASYN), GAN-based methods (CGAN, BAGAN, GAMO), and EOS —
+all applied in the learned embedding space of the same trained extractor,
+with identical classifier fine-tuning.  Reports the paper's metric
+triple plus wall-clock resampling+tuning cost (the paper's efficiency
+argument against GANs).
+
+Run:  python examples/sampler_shootout.py [--dataset svhn_like]
+"""
+
+import argparse
+
+from repro.experiments import bench_config, evaluate_sampler
+from repro.experiments.pipeline import train_phase1
+from repro.utils import format_float, format_table
+
+SAMPLERS = (
+    "none",
+    "ros",
+    "smote",
+    "bsmote",
+    "balsvm",
+    "adasyn",
+    "gamo",
+    "bagan",
+    "cgan",
+    "eos",
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cifar10_like")
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+    parser.add_argument("--loss", default="ce", choices=("ce", "asl", "focal", "ldam"))
+    args = parser.parse_args()
+
+    config = bench_config(dataset=args.dataset, scale=args.scale)
+    print("training the %s extractor on %s (%s scale)..."
+          % (args.loss, args.dataset, args.scale))
+    artifacts = train_phase1(config, args.loss)
+
+    rows = []
+    for name in SAMPLERS:
+        details = evaluate_sampler(artifacts, name, return_details=True)
+        metrics = details["metrics"]
+        rows.append(
+            [
+                name,
+                format_float(metrics["bac"]),
+                format_float(metrics["gm"]),
+                format_float(metrics["fm"]),
+                "%.2f" % details["seconds"],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["sampler", "BAC", "GM", "FM", "resample+tune (s)"],
+            rows,
+            title="Over-samplers in embedding space (%s, %s loss)"
+            % (args.dataset, args.loss),
+        )
+    )
+    print(
+        "\nReading: all balancing methods lift BAC well above the 'none'"
+        "\nbaseline; EOS is at the top of the band at a fraction of the"
+        "\nGAN methods' cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

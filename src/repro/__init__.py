@@ -1,0 +1,52 @@
+"""repro — reproduction of "Efficient Augmentation for Imbalanced Deep Learning".
+
+A from-scratch, numpy-only implementation of EOS (Expansive
+Over-Sampling), the embedding-space generalization gap, the three-phase
+CNN training framework, and every baseline the ICDE 2023 paper compares
+against — including the deep-learning substrate they run on (autograd
+engine, ResNet/WideResNet/DenseNet, imbalanced losses, data pipeline).
+
+Quick start::
+
+    import numpy as np
+    from repro import EOS, ThreePhaseTrainer
+    from repro.data import make_dataset
+    from repro.nn import resnet8
+    from repro.losses import CrossEntropyLoss
+    from repro.optim import SGD
+
+    train, test, info = make_dataset("cifar10_like", scale="tiny")
+    model = resnet8(num_classes=info["num_classes"], width_multiplier=0.5)
+    trainer = ThreePhaseTrainer(
+        model, CrossEntropyLoss(),
+        SGD(model.parameters(), lr=0.05, momentum=0.9),
+        sampler=EOS(k_neighbors=10),
+    )
+    trainer.run(train, phase1_epochs=10)
+    print(trainer.evaluate(test))
+"""
+
+from .core import (
+    EOS,
+    ThreePhaseTrainer,
+    Trainer,
+    classifier_weight_norms,
+    extract_features,
+    finetune_classifier,
+    generalization_gap,
+    tp_fp_gap,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EOS",
+    "ThreePhaseTrainer",
+    "Trainer",
+    "finetune_classifier",
+    "extract_features",
+    "generalization_gap",
+    "tp_fp_gap",
+    "classifier_weight_norms",
+    "__version__",
+]

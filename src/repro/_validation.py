@@ -1,0 +1,23 @@
+"""Shared input validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["validate_xy"]
+
+
+def validate_xy(x, y):
+    """Validate and canonicalize a (features, labels) pair.
+
+    Returns float64 features (n, d) and int64 labels (n,).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    if x.ndim != 2:
+        raise ValueError("X must be 2D (n_samples, n_features), got %s" % (x.shape,))
+    if y.ndim != 1 or y.shape[0] != x.shape[0]:
+        raise ValueError("y must be 1D and aligned with X")
+    if x.shape[0] == 0:
+        raise ValueError("cannot resample an empty dataset")
+    return x, y

@@ -1,0 +1,39 @@
+"""Core contribution: EOS, the generalization gap, and the 3-phase framework."""
+
+from .bbn import DualBranchHead, reverse_sampling_probabilities
+from .decoupling import NearestClassMean, crt_retrain, tau_normalize
+from .eos import EOS
+from .framework import ThreePhaseTrainer, finetune_classifier
+from .gap import (
+    class_feature_ranges,
+    feature_deviation,
+    generalization_gap,
+    range_excess,
+    tp_fp_gap,
+)
+from .gap_extensions import coverage_gap, quantile_gap
+from .norms import classifier_weight_norms, norm_imbalance
+from .training import Trainer, extract_features, predict_logits
+
+__all__ = [
+    "EOS",
+    "ThreePhaseTrainer",
+    "finetune_classifier",
+    "Trainer",
+    "extract_features",
+    "predict_logits",
+    "class_feature_ranges",
+    "range_excess",
+    "generalization_gap",
+    "tp_fp_gap",
+    "feature_deviation",
+    "quantile_gap",
+    "coverage_gap",
+    "classifier_weight_norms",
+    "norm_imbalance",
+    "crt_retrain",
+    "tau_normalize",
+    "NearestClassMean",
+    "DualBranchHead",
+    "reverse_sampling_probabilities",
+]

@@ -1,0 +1,123 @@
+"""BBN-style dual-branch head training (Zhou et al. 2020, paper ref [25]).
+
+The Bilateral-Branch Network trains a *uniform* branch (conventional
+sampling, learns the majority-dominated representation) and a
+*re-balancing* branch (reversed sampling, favors the minority), blending
+their losses with a cumulative coefficient ``alpha`` that shifts from
+the uniform branch to the re-balancing branch as training progresses.
+
+The original BBN shares convolutional blocks between full branches;
+in this library's decoupled setting the extractor is already trained
+(phase 1), so the bilateral idea is applied where it still bites: two
+classifier heads over the shared embeddings, one fed uniformly-sampled
+batches and one fed reverse-frequency batches, blended by the cumulative
+schedule.  Inference averages both heads equally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import validate_xy
+from ..losses import CrossEntropyLoss
+from ..optim import SGD
+from ..tensor import Tensor, no_grad
+
+__all__ = ["DualBranchHead", "reverse_sampling_probabilities"]
+
+
+def reverse_sampling_probabilities(labels, num_classes=None):
+    """Per-sample probabilities proportional to inverse class frequency.
+
+    This is BBN's "reversed sampler": class c is drawn with weight
+    ``(max_count / n_c)`` normalized over samples, so the rarest class
+    is seen as often as the most frequent one under uniform sampling.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    k = num_classes if num_classes is not None else int(labels.max()) + 1
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    max_count = counts[counts > 0].max()
+    counts[counts == 0] = np.inf  # absent classes get zero probability
+    weights = (max_count / counts)[labels]
+    return weights / weights.sum()
+
+
+class DualBranchHead:
+    """Cumulative dual-branch classifier head over embeddings.
+
+    Parameters
+    ----------
+    head_factory:
+        Zero-argument callable returning a fresh Linear head; called
+        twice (uniform branch, re-balancing branch).
+    epochs, lr, batch_size:
+        Training schedule; ``alpha`` decays as ``1 - (t / T)^2`` per the
+        BBN cumulative-learning schedule.
+    random_state:
+        RNG seed.
+    """
+
+    def __init__(self, head_factory, epochs=10, lr=0.05, batch_size=64,
+                 random_state=0):
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.uniform_head = head_factory()
+        self.rebalance_head = head_factory()
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self.alpha_history = []
+
+    def fit(self, embeddings, labels):
+        """Train both branches with the cumulative schedule."""
+        embeddings, labels = validate_xy(embeddings, labels)
+        rng = np.random.default_rng(self.random_state)
+        loss = CrossEntropyLoss()
+        params = list(self.uniform_head.parameters()) + list(
+            self.rebalance_head.parameters()
+        )
+        optimizer = SGD(params, lr=self.lr, momentum=0.9)
+        n = embeddings.shape[0]
+        reverse_p = reverse_sampling_probabilities(labels)
+        steps_per_epoch = max(1, n // self.batch_size)
+        self.alpha_history = []
+
+        for epoch in range(self.epochs):
+            alpha = 1.0 - (epoch / self.epochs) ** 2
+            self.alpha_history.append(alpha)
+            for _ in range(steps_per_epoch):
+                uniform_idx = rng.integers(0, n, size=self.batch_size)
+                reverse_idx = rng.choice(
+                    n, size=self.batch_size, replace=True, p=reverse_p
+                )
+                optimizer.zero_grad()
+                loss_u = loss(
+                    self.uniform_head(Tensor(embeddings[uniform_idx])),
+                    labels[uniform_idx],
+                )
+                loss_r = loss(
+                    self.rebalance_head(Tensor(embeddings[reverse_idx])),
+                    labels[reverse_idx],
+                )
+                total = alpha * loss_u + (1.0 - alpha) * loss_r
+                total.backward()
+                optimizer.step()
+        return self
+
+    def predict_logits(self, embeddings):
+        """Equal-weight blend of the two branches (BBN inference)."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        with no_grad():
+            logits_u = self.uniform_head(Tensor(embeddings)).data
+            logits_r = self.rebalance_head(Tensor(embeddings)).data
+        return 0.5 * (logits_u + logits_r)
+
+    def predict(self, embeddings):
+        return self.predict_logits(embeddings).argmax(axis=1)
+
+    def score(self, embeddings, labels):
+        """Balanced accuracy."""
+        from ..metrics import balanced_accuracy
+
+        return balanced_accuracy(labels, self.predict(embeddings))

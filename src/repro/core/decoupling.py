@@ -1,0 +1,116 @@
+"""Decoupled-classifier baselines (Kang et al. 2020), cited by the paper.
+
+The paper's related work (Section II-A) positions EOS against the
+"decouple representation and classifier" family.  This module provides
+the three classic head-retraining strategies from that line so they can
+be compared against EOS inside the same three-phase framework:
+
+* :func:`crt_retrain` — classifier re-training (cRT): re-initialize the
+  head and retrain it on **class-balanced resampled** embeddings.
+* :func:`tau_normalize` — tau-normalization: rescale each class's weight
+  vector by ``||w_c||^tau`` (no retraining at all).
+* :class:`NearestClassMean` — NCM: classify by distance to per-class
+  mean embeddings.
+
+All operate purely on the head/embeddings, like EOS's phase 3, so they
+share its efficiency profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import validate_xy
+from ..sampling import RandomOverSampler
+from .framework import finetune_classifier
+
+__all__ = ["crt_retrain", "tau_normalize", "NearestClassMean"]
+
+
+def crt_retrain(model, embeddings, labels, epochs=10, lr=0.05, rng=None):
+    """Classifier Re-Training (cRT).
+
+    Re-initializes the classifier head, balances the embedding set by
+    random over-sampling (class-balanced sampling in the original), and
+    retrains the head only.  Returns the fine-tune history.
+    """
+    embeddings, labels = validate_xy(embeddings, labels)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    sampler = RandomOverSampler(random_state=int(rng.integers(0, 2 ** 31)))
+    balanced, balanced_labels = sampler.fit_resample(embeddings, labels)
+    return finetune_classifier(
+        model,
+        balanced,
+        balanced_labels,
+        epochs=epochs,
+        lr=lr,
+        reinitialize=True,
+        rng=rng,
+    )
+
+
+def tau_normalize(classifier, tau=1.0, eps=1e-12):
+    """Tau-normalization of classifier weights (in place).
+
+    Each class row is divided by ``||w_c||^tau``: tau=1 equalizes all
+    class norms (removing the majority bias entirely), tau=0 is a no-op,
+    intermediate values interpolate.  Returns the per-class norms prior
+    to normalization.
+    """
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError("tau must be in [0, 1]")
+    weight = classifier.weight
+    norms = np.sqrt((weight.data ** 2).sum(axis=1))
+    scale = np.power(np.maximum(norms, eps), tau)
+    weight.data[...] = weight.data / scale[:, None]
+    if classifier.bias is not None:
+        classifier.bias.data[...] = classifier.bias.data / scale
+    return norms
+
+
+class NearestClassMean:
+    """Nearest-class-mean classifier over feature embeddings.
+
+    Computes each class's mean embedding on (optionally normalized)
+    features and predicts by smallest euclidean distance — the NCM
+    variant from the Decoupling paper.
+    """
+
+    def __init__(self, normalize=True):
+        self.normalize = normalize
+        self.means = None
+        self.classes = None
+
+    @staticmethod
+    def _unit(rows, eps=1e-12):
+        norms = np.linalg.norm(rows, axis=1, keepdims=True)
+        return rows / np.maximum(norms, eps)
+
+    def fit(self, embeddings, labels):
+        """Compute per-class mean embeddings."""
+        embeddings, labels = validate_xy(embeddings, labels)
+        if self.normalize:
+            embeddings = self._unit(embeddings)
+        self.classes = np.unique(labels)
+        self.means = np.stack(
+            [embeddings[labels == c].mean(axis=0) for c in self.classes]
+        )
+        return self
+
+    def predict(self, embeddings):
+        """Predict the class whose mean is nearest."""
+        if self.means is None:
+            raise RuntimeError("call fit() before predict()")
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if self.normalize:
+            embeddings = self._unit(embeddings)
+        d = (
+            (embeddings ** 2).sum(axis=1)[:, None]
+            - 2.0 * embeddings @ self.means.T
+            + (self.means ** 2).sum(axis=1)[None, :]
+        )
+        return self.classes[d.argmin(axis=1)]
+
+    def score(self, embeddings, labels):
+        """Plain accuracy."""
+        return float((self.predict(embeddings) == np.asarray(labels)).mean())

@@ -1,0 +1,178 @@
+"""Generalization-gap measurement in embedding space (Algorithm 1).
+
+The paper quantifies generalization not by accuracy differences but by
+how far the *test* feature-embedding ranges fall outside the *train*
+ranges, per class: if the model's internal representation of the test
+data extends beyond what it saw at train time, the classifier head is
+extrapolating.  The distance is Manhattan (per-feature absolute
+differences of range endpoints) with a **zero floor**: endpoints that
+fall *inside* the training range contribute nothing — the gap only ever
+measures range excess, never range shrinkage.
+
+Functions
+---------
+``class_feature_ranges``
+    (num_classes, d, 2) min/max per class per embedding dimension.
+``generalization_gap``
+    Per-class gap vector + scalar mean over classes (Algorithm 1).
+``tp_fp_gap``
+    The Figure-4 variant: gap computed separately over the test
+    instances a model predicts correctly (TP) and incorrectly (FP).
+``feature_deviation``
+    The class-mean-based deviation of Ye et al. (2020), provided for
+    comparison/ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import validate_xy
+
+__all__ = [
+    "class_feature_ranges",
+    "range_excess",
+    "generalization_gap",
+    "tp_fp_gap",
+    "feature_deviation",
+]
+
+
+def class_feature_ranges(features, labels, num_classes=None):
+    """Per-class feature ranges.
+
+    Returns an array of shape (num_classes, d, 2) where ``[..., 0]`` is
+    the per-feature minimum and ``[..., 1]`` the maximum.  Classes with
+    no samples get NaN ranges.
+    """
+    features, labels = validate_xy(features, labels)
+    k = num_classes if num_classes is not None else int(labels.max()) + 1
+    d = features.shape[1]
+    out = np.full((k, d, 2), np.nan)
+    for c in range(k):
+        rows = features[labels == c]
+        if rows.shape[0] == 0:
+            continue
+        out[c, :, 0] = rows.min(axis=0)
+        out[c, :, 1] = rows.max(axis=0)
+    return out
+
+
+def range_excess(train_ranges, test_ranges):
+    """Manhattan range gap with zero floor, per class.
+
+    For each class and feature, the contribution is how far the test
+    minimum undershoots the train minimum plus how far the test maximum
+    overshoots the train maximum (each floored at zero).  Returns a
+    vector of per-class means over features; classes missing from either
+    split yield NaN.
+    """
+    if train_ranges.shape != test_ranges.shape:
+        raise ValueError("range arrays must have identical shapes")
+    low_excess = np.maximum(train_ranges[:, :, 0] - test_ranges[:, :, 0], 0.0)
+    high_excess = np.maximum(test_ranges[:, :, 1] - train_ranges[:, :, 1], 0.0)
+    per_feature = low_excess + high_excess
+    return per_feature.mean(axis=1)
+
+
+def generalization_gap(
+    train_features, train_labels, test_features, test_labels, num_classes=None
+):
+    """Algorithm 1: embedding-space generalization gap.
+
+    Returns a dict:
+
+    * ``per_class`` — gap per class (mean feature-range excess),
+    * ``mean`` — the net generalization gap (mean over classes present
+      in both splits),
+    * ``train_ranges`` / ``test_ranges`` — the (C, d, 2) range arrays.
+    """
+    if num_classes is None:
+        num_classes = int(max(np.max(train_labels), np.max(test_labels))) + 1
+    train_ranges = class_feature_ranges(train_features, train_labels, num_classes)
+    test_ranges = class_feature_ranges(test_features, test_labels, num_classes)
+    per_class = range_excess(train_ranges, test_ranges)
+    valid = ~np.isnan(per_class)
+    mean = float(per_class[valid].mean()) if valid.any() else float("nan")
+    return {
+        "per_class": per_class,
+        "mean": mean,
+        "train_ranges": train_ranges,
+        "test_ranges": test_ranges,
+    }
+
+
+def tp_fp_gap(
+    train_features,
+    train_labels,
+    test_features,
+    test_labels,
+    test_predictions,
+    num_classes=None,
+    group_fp_by="true",
+):
+    """Figure-4 analysis: gap over true-positive vs false-positive test points.
+
+    TPs are test instances whose prediction matches the label; FPs are
+    mispredicted instances.  Both groups are compared against the
+    training ranges of the instance's *true* class by default: an FP is
+    an instance whose embedding the model failed to place inside its
+    class's learned footprint, so its range excess is large.  Pass
+    ``group_fp_by="predicted"`` to instead measure FPs against the class
+    they were mistaken for.  Returns ``{"tp", "fp", "ratio"}``.
+    """
+    if group_fp_by not in ("true", "predicted"):
+        raise ValueError("group_fp_by must be 'true' or 'predicted'")
+    test_labels = np.asarray(test_labels)
+    test_predictions = np.asarray(test_predictions)
+    if num_classes is None:
+        num_classes = int(max(np.max(train_labels), np.max(test_labels))) + 1
+
+    correct = test_predictions == test_labels
+    tp_gap = generalization_gap(
+        train_features,
+        train_labels,
+        test_features[correct],
+        test_labels[correct],
+        num_classes,
+    )["mean"]
+    if (~correct).any():
+        fp_groups = (
+            test_labels if group_fp_by == "true" else test_predictions
+        )
+        fp_gap = generalization_gap(
+            train_features,
+            train_labels,
+            test_features[~correct],
+            fp_groups[~correct],
+            num_classes,
+        )["mean"]
+    else:
+        fp_gap = float("nan")
+    ratio = fp_gap / tp_gap if tp_gap and not np.isnan(fp_gap) else float("nan")
+    return {"tp": tp_gap, "fp": fp_gap, "ratio": ratio}
+
+
+def feature_deviation(
+    train_features, train_labels, test_features, test_labels, num_classes=None
+):
+    """Class-mean feature deviation (Ye et al. 2020), for comparison.
+
+    Squared euclidean distance between per-class train and test feature
+    means; returns (per_class, mean) like :func:`generalization_gap`.
+    """
+    train_features, train_labels = validate_xy(train_features, train_labels)
+    test_features, test_labels = validate_xy(test_features, test_labels)
+    if num_classes is None:
+        num_classes = int(max(train_labels.max(), test_labels.max())) + 1
+    per_class = np.full(num_classes, np.nan)
+    for c in range(num_classes):
+        a = train_features[train_labels == c]
+        b = test_features[test_labels == c]
+        if a.shape[0] == 0 or b.shape[0] == 0:
+            continue
+        diff = a.mean(axis=0) - b.mean(axis=0)
+        per_class[c] = float((diff * diff).sum())
+    valid = ~np.isnan(per_class)
+    mean = float(per_class[valid].mean()) if valid.any() else float("nan")
+    return {"per_class": per_class, "mean": mean}

@@ -1,0 +1,108 @@
+"""Complementary generalization measures (the paper's stated future work).
+
+The conclusion of the paper proposes "designing new measures
+complementary to the proposed generalization gap".  This module provides
+two such measures with the same per-class interface as
+:func:`repro.core.gap.generalization_gap`:
+
+* :func:`quantile_gap` — the range gap computed on per-feature quantiles
+  instead of hard min/max, making it robust to single-sample outliers
+  (useful for very small minority classes where one draw defines the
+  entire range).
+* :func:`coverage_gap` — the fraction of test points that fall outside
+  the train bounding box of their class in at least ``min_violations``
+  feature dimensions: a direct estimate of "how often does the head have
+  to extrapolate?".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import validate_xy
+
+__all__ = ["quantile_gap", "coverage_gap"]
+
+
+def _per_class_quantiles(features, labels, num_classes, q_low, q_high):
+    d = features.shape[1]
+    out = np.full((num_classes, d, 2), np.nan)
+    for c in range(num_classes):
+        rows = features[labels == c]
+        if rows.shape[0] == 0:
+            continue
+        out[c, :, 0] = np.quantile(rows, q_low, axis=0)
+        out[c, :, 1] = np.quantile(rows, q_high, axis=0)
+    return out
+
+
+def quantile_gap(
+    train_features,
+    train_labels,
+    test_features,
+    test_labels,
+    num_classes=None,
+    q=0.05,
+):
+    """Range gap on the (q, 1-q) quantiles instead of min/max.
+
+    Identical floor semantics to Algorithm 1: only test quantile
+    intervals *extending beyond* the train interval contribute.  Returns
+    ``{"per_class", "mean"}``.
+    """
+    if not 0.0 <= q < 0.5:
+        raise ValueError("q must be in [0, 0.5)")
+    train_features, train_labels = validate_xy(train_features, train_labels)
+    test_features, test_labels = validate_xy(test_features, test_labels)
+    if num_classes is None:
+        num_classes = int(max(train_labels.max(), test_labels.max())) + 1
+    train_q = _per_class_quantiles(
+        train_features, train_labels, num_classes, q, 1.0 - q
+    )
+    test_q = _per_class_quantiles(
+        test_features, test_labels, num_classes, q, 1.0 - q
+    )
+    low_excess = np.maximum(train_q[:, :, 0] - test_q[:, :, 0], 0.0)
+    high_excess = np.maximum(test_q[:, :, 1] - train_q[:, :, 1], 0.0)
+    per_class = (low_excess + high_excess).mean(axis=1)
+    valid = ~np.isnan(per_class)
+    mean = float(per_class[valid].mean()) if valid.any() else float("nan")
+    return {"per_class": per_class, "mean": mean}
+
+
+def coverage_gap(
+    train_features,
+    train_labels,
+    test_features,
+    test_labels,
+    num_classes=None,
+    min_violations=1,
+):
+    """Fraction of test points outside their class's train bounding box.
+
+    A test point "violates" a feature dimension when its value falls
+    outside the [min, max] the training set established for its class in
+    that dimension; a point counts as uncovered when it violates at
+    least ``min_violations`` dimensions.  Returns ``{"per_class",
+    "mean"}`` with values in [0, 1].
+    """
+    if min_violations < 1:
+        raise ValueError("min_violations must be >= 1")
+    train_features, train_labels = validate_xy(train_features, train_labels)
+    test_features, test_labels = validate_xy(test_features, test_labels)
+    if num_classes is None:
+        num_classes = int(max(train_labels.max(), test_labels.max())) + 1
+
+    per_class = np.full(num_classes, np.nan)
+    for c in range(num_classes):
+        train_rows = train_features[train_labels == c]
+        test_rows = test_features[test_labels == c]
+        if train_rows.shape[0] == 0 or test_rows.shape[0] == 0:
+            continue
+        lo = train_rows.min(axis=0)
+        hi = train_rows.max(axis=0)
+        violations = ((test_rows < lo) | (test_rows > hi)).sum(axis=1)
+        per_class[c] = float((violations >= min_violations).mean())
+    valid = ~np.isnan(per_class)
+    mean = float(per_class[valid].mean()) if valid.any() else float("nan")
+    return {"per_class": per_class, "mean": mean}

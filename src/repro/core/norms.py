@@ -1,0 +1,48 @@
+"""Classifier weight-norm analysis (paper Figure 5).
+
+In an imbalanced softmax classifier the per-class weight-vector norms
+track the class frequencies: majority classes grow larger norms, which
+biases logits toward them.  The paper inspects how each over-sampler
+changes this norm profile after classifier re-training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["classifier_weight_norms", "norm_imbalance"]
+
+
+def classifier_weight_norms(classifier):
+    """Per-class L2 norms of a Linear classifier's weight rows.
+
+    Accepts a :class:`repro.nn.Linear` (weight shape (C, d)) or a raw
+    numpy weight matrix.
+    """
+    weight = classifier if isinstance(classifier, np.ndarray) else getattr(
+        classifier, "weight", classifier
+    )
+    if isinstance(weight, np.ndarray):
+        data = weight
+    else:
+        data = np.asarray(weight.data)  # Tensor/Parameter
+    if data.ndim != 2:
+        raise ValueError("classifier weight must be 2D (classes, features)")
+    return np.sqrt((data * data).sum(axis=1))
+
+
+def norm_imbalance(norms):
+    """Summary statistics of a norm profile.
+
+    Returns a dict with the max/min ratio and the coefficient of
+    variation — both shrink toward 1 / 0 as the classifier becomes
+    class-balanced.
+    """
+    norms = np.asarray(norms, dtype=np.float64)
+    if norms.size == 0 or np.any(norms < 0):
+        raise ValueError("norms must be a non-empty non-negative vector")
+    low = norms.min()
+    ratio = float(norms.max() / low) if low > 0 else float("inf")
+    mean = norms.mean()
+    cv = float(norms.std() / mean) if mean > 0 else float("inf")
+    return {"ratio": ratio, "cv": cv}

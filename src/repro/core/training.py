@@ -1,0 +1,138 @@
+"""Generic supervised training loop for image classifiers (phase 1).
+
+``Trainer`` wraps a model + loss + optimizer and provides epoch-based
+fitting with optional pixel-space augmentation, evaluation with the
+paper's metric triple, prediction, and feature-embedding extraction —
+the building blocks the three-phase framework composes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data import DataLoader
+from ..metrics import evaluate_predictions
+from ..tensor import Tensor, no_grad
+
+__all__ = ["Trainer", "predict_logits", "extract_features"]
+
+
+def predict_logits(model, images, batch_size=128):
+    """Run the model over images (numpy NCHW) in eval mode; returns logits."""
+    was_training = model.training
+    model.eval()
+    outs = []
+    with no_grad():
+        for start in range(0, images.shape[0], batch_size):
+            batch = Tensor(images[start : start + batch_size])
+            outs.append(model(batch).data)
+    if was_training:
+        model.train()
+    return np.concatenate(outs) if outs else np.empty((0,))
+
+
+def extract_features(model, images, batch_size=128):
+    """Extract feature embeddings (penultimate-layer output) for images."""
+    was_training = model.training
+    model.eval()
+    outs = []
+    with no_grad():
+        for start in range(0, images.shape[0], batch_size):
+            batch = Tensor(images[start : start + batch_size])
+            outs.append(model.forward_features(batch).data)
+    if was_training:
+        model.train()
+    return np.concatenate(outs) if outs else np.empty((0,))
+
+
+class Trainer:
+    """End-to-end trainer for an :class:`repro.nn.ImageClassifier`.
+
+    Parameters
+    ----------
+    model:
+        The classifier (must expose ``forward``/``forward_features``).
+    loss:
+        A :class:`repro.losses.Loss` (its ``set_epoch`` hook is called
+        each epoch, which drives LDAM's deferred re-weighting).
+    optimizer:
+        A :class:`repro.optim.Optimizer` over the model's parameters.
+    scheduler:
+        Optional LR scheduler stepped once per epoch.
+    """
+
+    def __init__(self, model, loss, optimizer, scheduler=None):
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.history = []
+
+    def fit(
+        self,
+        dataset,
+        epochs,
+        batch_size=32,
+        transform=None,
+        rng=None,
+        eval_dataset=None,
+        verbose=False,
+    ):
+        """Train for ``epochs`` passes; records per-epoch loss (and BAC).
+
+        Returns the history list of per-epoch dicts.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        loader = DataLoader(
+            dataset, batch_size=batch_size, shuffle=True, transform=transform, rng=rng
+        )
+        for epoch in range(epochs):
+            self.loss.set_epoch(epoch)
+            self.model.train()
+            epoch_loss = 0.0
+            n_batches = 0
+            start_time = time.perf_counter()
+            for images, labels in loader:
+                self.optimizer.zero_grad()
+                logits = self.model(Tensor(images))
+                loss_value = self.loss(logits, labels)
+                loss_value.backward()
+                self.optimizer.step()
+                epoch_loss += float(loss_value.data)
+                n_batches += 1
+            if self.scheduler is not None:
+                self.scheduler.step()
+            record = {
+                "epoch": epoch,
+                "loss": epoch_loss / max(n_batches, 1),
+                "seconds": time.perf_counter() - start_time,
+            }
+            if eval_dataset is not None:
+                record.update(self.evaluate(eval_dataset))
+            self.history.append(record)
+            if verbose:
+                print(
+                    "epoch %3d  loss %.4f%s"
+                    % (
+                        epoch,
+                        record["loss"],
+                        "  bac %.4f" % record["bac"] if "bac" in record else "",
+                    )
+                )
+        return self.history
+
+    def predict(self, images, batch_size=128):
+        """Predicted integer labels for numpy NCHW images."""
+        logits = predict_logits(self.model, images, batch_size)
+        return logits.argmax(axis=1)
+
+    def evaluate(self, dataset, batch_size=128):
+        """BAC/GM/FM metric triple on a dataset."""
+        preds = self.predict(dataset.images, batch_size)
+        return evaluate_predictions(dataset.labels, preds, dataset.num_classes)
+
+    def extract_features(self, dataset, batch_size=128):
+        """Feature embeddings for every image in the dataset."""
+        return extract_features(self.model, dataset.images, batch_size)

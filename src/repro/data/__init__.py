@@ -1,0 +1,49 @@
+"""Data substrate: datasets, loaders, imbalance profiles, synthetic families."""
+
+from .cifar_io import load_cifar10_binary, load_cifar100_binary
+from .dataset import ArrayDataset, DataLoader
+from .imbalance import (
+    apply_imbalance,
+    exponential_profile,
+    imbalance_ratio,
+    step_profile,
+)
+from .synthetic import (
+    DATASET_PROFILES,
+    SCALE_PRESETS,
+    SyntheticConfig,
+    SyntheticImageFamily,
+    list_datasets,
+    make_dataset,
+)
+from .transforms import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    standard_augmentation,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "load_cifar10_binary",
+    "load_cifar100_binary",
+    "DataLoader",
+    "exponential_profile",
+    "step_profile",
+    "apply_imbalance",
+    "imbalance_ratio",
+    "SyntheticConfig",
+    "SyntheticImageFamily",
+    "DATASET_PROFILES",
+    "SCALE_PRESETS",
+    "make_dataset",
+    "list_datasets",
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "GaussianNoise",
+    "Normalize",
+    "standard_augmentation",
+]

@@ -1,0 +1,86 @@
+"""Loaders for the real CIFAR binary formats (offline use).
+
+The reproduction environment has no network access, so the experiments
+run on synthetic families — but a user with the actual ``cifar-10-
+binary`` / ``cifar-100-binary`` distributions on disk can load them here
+and run the identical pipeline on real data.
+
+Formats (https://www.cs.toronto.edu/~kriz/cifar.html):
+
+* CIFAR-10 binary: records of 1 label byte + 3072 pixel bytes
+  (3 channels x 32 x 32, row-major).
+* CIFAR-100 binary: records of 1 coarse-label byte + 1 fine-label byte
+  + 3072 pixel bytes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+__all__ = ["load_cifar10_binary", "load_cifar100_binary"]
+
+_IMAGE_BYTES = 3 * 32 * 32
+
+
+def _parse_records(raw, label_bytes):
+    record = label_bytes + _IMAGE_BYTES
+    if len(raw) % record != 0:
+        raise ValueError(
+            "file size %d is not a multiple of the record size %d"
+            % (len(raw), record)
+        )
+    data = np.frombuffer(raw, dtype=np.uint8).reshape(-1, record)
+    labels = data[:, label_bytes - 1].astype(np.int64)
+    images = data[:, label_bytes:].reshape(-1, 3, 32, 32).astype(np.float64)
+    return images / 255.0, labels
+
+
+def load_cifar10_binary(paths):
+    """Load one or more CIFAR-10 ``data_batch_*.bin`` files.
+
+    Parameters
+    ----------
+    paths:
+        A path or list of paths to ``.bin`` files.
+
+    Returns an :class:`ArrayDataset` with images in [0, 1].
+    """
+    if isinstance(paths, (str, os.PathLike)):
+        paths = [paths]
+    if not paths:
+        raise ValueError("no paths given")
+    images, labels = [], []
+    for path in paths:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        imgs, labs = _parse_records(raw, label_bytes=1)
+        images.append(imgs)
+        labels.append(labs)
+    return ArrayDataset(np.concatenate(images), np.concatenate(labels))
+
+
+def load_cifar100_binary(path, label_kind="fine"):
+    """Load a CIFAR-100 ``train.bin`` / ``test.bin`` file.
+
+    ``label_kind`` selects the fine (100-class) or coarse (20-class)
+    labels.
+    """
+    if label_kind not in ("fine", "coarse"):
+        raise ValueError("label_kind must be 'fine' or 'coarse'")
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    record = 2 + _IMAGE_BYTES
+    if len(raw) % record != 0:
+        raise ValueError(
+            "file size %d is not a multiple of the record size %d"
+            % (len(raw), record)
+        )
+    data = np.frombuffer(raw, dtype=np.uint8).reshape(-1, record)
+    column = 1 if label_kind == "fine" else 0
+    labels = data[:, column].astype(np.int64)
+    images = data[:, 2:].reshape(-1, 3, 32, 32).astype(np.float64) / 255.0
+    return ArrayDataset(images, labels)

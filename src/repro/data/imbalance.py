@@ -1,0 +1,79 @@
+"""Class-imbalance profiles and their application to datasets.
+
+The paper studies *exponential* (long-tailed) imbalance following Cui et
+al. (2019): class ``c`` keeps ``n_max * mu^c`` samples where ``mu`` is
+chosen so the last class has ``n_max / ratio`` samples.  A *step* profile
+is also provided (half the classes at ``n_max``, half at ``n_max/ratio``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "exponential_profile",
+    "step_profile",
+    "apply_imbalance",
+    "imbalance_ratio",
+]
+
+
+def exponential_profile(n_max, num_classes, ratio):
+    """Long-tailed per-class counts: n_c = n_max * ratio^(-c / (C-1)).
+
+    Class 0 keeps ``n_max`` samples; the last class keeps ``n_max/ratio``.
+    Counts are floored at 1 sample.
+    """
+    if n_max <= 0 or num_classes <= 0:
+        raise ValueError("n_max and num_classes must be positive")
+    if ratio < 1:
+        raise ValueError("imbalance ratio must be >= 1")
+    if num_classes == 1:
+        return np.array([n_max], dtype=np.int64)
+    exponents = np.arange(num_classes) / (num_classes - 1)
+    counts = n_max * np.power(1.0 / ratio, exponents)
+    return np.maximum(counts.astype(np.int64), 1)
+
+
+def step_profile(n_max, num_classes, ratio, minority_fraction=0.5):
+    """Step imbalance: a block of majority classes and a block of minority.
+
+    The last ``minority_fraction`` of classes keep ``n_max/ratio`` samples.
+    """
+    if not 0 < minority_fraction < 1:
+        raise ValueError("minority_fraction must be in (0, 1)")
+    counts = np.full(num_classes, n_max, dtype=np.int64)
+    n_minority = int(round(num_classes * minority_fraction))
+    if n_minority:
+        counts[-n_minority:] = max(1, int(n_max / ratio))
+    return counts
+
+
+def apply_imbalance(dataset, counts, rng):
+    """Subsample ``dataset`` so class ``c`` keeps ``counts[c]`` samples.
+
+    Sampling within each class is uniform without replacement.  Raises if
+    a class does not have enough samples.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    keep = []
+    for c, want in enumerate(counts):
+        idx = dataset.class_indices(c)
+        if len(idx) < want:
+            raise ValueError(
+                "class %d has %d samples but the profile wants %d"
+                % (c, len(idx), want)
+            )
+        chosen = rng.choice(idx, size=want, replace=False)
+        keep.append(chosen)
+    keep = np.concatenate(keep)
+    return dataset.subset(np.sort(keep))
+
+
+def imbalance_ratio(labels, num_classes=None):
+    """Max/min class-count ratio of a label array."""
+    labels = np.asarray(labels)
+    k = num_classes if num_classes is not None else int(labels.max()) + 1
+    counts = np.bincount(labels, minlength=k)
+    counts = counts[counts > 0]
+    return counts.max() / counts.min()

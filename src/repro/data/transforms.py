@@ -1,0 +1,105 @@
+"""Pixel-space augmentation transforms, applied per batch.
+
+Each transform is a callable ``(images, rng) -> images`` over an
+(N, C, H, W) float array; :class:`Compose` chains them.  These mirror the
+standard CIFAR training augmentations (random crop with padding, random
+horizontal flip) used by the paper's training regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "GaussianNoise",
+    "Normalize",
+    "standard_augmentation",
+]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms):
+        self.transforms = list(transforms)
+
+    def __call__(self, images, rng):
+        for t in self.transforms:
+            images = t(images, rng)
+        return images
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p=0.5):
+        if not 0 <= p <= 1:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+
+    def __call__(self, images, rng):
+        flip = rng.random(images.shape[0]) < self.p
+        out = images.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back at a random offset."""
+
+    def __init__(self, padding=2):
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = padding
+
+    def __call__(self, images, rng):
+        if self.padding == 0:
+            return images
+        p = self.padding
+        n, c, h, w = images.shape
+        padded = np.pad(images, ((0, 0), (0, 0), (p, p), (p, p)))
+        out = np.empty_like(images)
+        offsets_y = rng.integers(0, 2 * p + 1, size=n)
+        offsets_x = rng.integers(0, 2 * p + 1, size=n)
+        for i in range(n):
+            oy, ox = offsets_y[i], offsets_x[i]
+            out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+        return out
+
+
+class GaussianNoise:
+    """Add i.i.d. gaussian pixel noise with std ``sigma``."""
+
+    def __init__(self, sigma=0.02):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+
+    def __call__(self, images, rng):
+        if self.sigma == 0:
+            return images
+        return images + rng.normal(0.0, self.sigma, size=images.shape)
+
+
+class Normalize:
+    """Standardize with per-channel mean/std (channel-first layout)."""
+
+    def __init__(self, mean, std):
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(1, -1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std values must be positive")
+
+    def __call__(self, images, rng=None):
+        return (images - self.mean) / self.std
+
+
+def standard_augmentation(padding=1, flip_p=0.5, noise_sigma=0.0):
+    """The default train-time augmentation pipeline (crop + flip)."""
+    transforms = [RandomCrop(padding), RandomHorizontalFlip(flip_p)]
+    if noise_sigma > 0:
+        transforms.append(GaussianNoise(noise_sigma))
+    return Compose(transforms)

@@ -1,0 +1,5 @@
+"""Ensembles of classifier heads for imbalanced embeddings."""
+
+from .heads import BalancedHeadEnsemble
+
+__all__ = ["BalancedHeadEnsemble"]

@@ -1,0 +1,141 @@
+"""Ensemble classifier heads over feature embeddings.
+
+The imbalanced-ensemble family the paper cites (e.g. under-bagging,
+multicriteria ensembles) adapts naturally to the three-phase framework:
+instead of one fine-tuned head, train **E** heads, each on its own
+balanced view of the embedding set, and average their logits at
+inference.  Two balancing modes are provided:
+
+* ``mode="undersample"`` — classic under-bagging: every head sees a
+  random balanced subset (all minority + an equal-size majority draw).
+* ``mode="oversample"`` — every head sees an independently-seeded
+  resampling from any ``fit_resample`` sampler (EOS, SMOTE, ...), so the
+  ensemble averages over the sampler's randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import validate_xy
+from ..losses import CrossEntropyLoss
+from ..optim import SGD
+from ..tensor import Tensor, no_grad
+
+__all__ = ["BalancedHeadEnsemble"]
+
+
+class BalancedHeadEnsemble:
+    """An ensemble of Linear heads trained on balanced embedding views.
+
+    Parameters
+    ----------
+    head_factory:
+        Zero-argument callable returning a fresh head module (e.g.
+        ``lambda: Linear(64, 10)``); each ensemble member gets its own.
+    n_heads:
+        Ensemble size.
+    mode:
+        "undersample" (balanced bootstrap without synthesis) or
+        "oversample" (balance each view with ``sampler_factory``).
+    sampler_factory:
+        Callable ``(seed) -> sampler`` used when mode="oversample".
+    epochs, lr, batch_size:
+        Per-head training settings (defaults match the paper's phase 3).
+    random_state:
+        Base seed; member i uses ``random_state + i``.
+    """
+
+    def __init__(
+        self,
+        head_factory,
+        n_heads=5,
+        mode="undersample",
+        sampler_factory=None,
+        epochs=10,
+        lr=0.05,
+        batch_size=64,
+        random_state=0,
+    ):
+        if n_heads <= 0:
+            raise ValueError("n_heads must be positive")
+        if mode not in ("undersample", "oversample"):
+            raise ValueError("mode must be 'undersample' or 'oversample'")
+        if mode == "oversample" and sampler_factory is None:
+            raise ValueError("oversample mode requires a sampler_factory")
+        self.head_factory = head_factory
+        self.n_heads = n_heads
+        self.mode = mode
+        self.sampler_factory = sampler_factory
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self.heads = []
+
+    # ------------------------------------------------------------------
+    def _balanced_view(self, x, y, seed):
+        rng = np.random.default_rng(seed)
+        if self.mode == "oversample":
+            sampler = self.sampler_factory(seed)
+            return sampler.fit_resample(x, y)
+        counts = np.bincount(y)
+        present = np.nonzero(counts)[0]
+        n_keep = counts[present].min()
+        keep = []
+        for c in present:
+            idx = np.nonzero(y == c)[0]
+            keep.append(rng.choice(idx, size=n_keep, replace=False))
+        keep = np.concatenate(keep)
+        return x[keep], y[keep]
+
+    def _train_head(self, head, x, y, seed):
+        rng = np.random.default_rng(seed)
+        loss = CrossEntropyLoss()
+        optimizer = SGD(head.parameters(), lr=self.lr, momentum=0.9)
+        n = x.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                logits = head(Tensor(x[idx]))
+                value = loss(logits, y[idx])
+                value.backward()
+                optimizer.step()
+        return head
+
+    # ------------------------------------------------------------------
+    def fit(self, embeddings, labels):
+        """Train all heads on independent balanced views."""
+        embeddings, labels = validate_xy(embeddings, labels)
+        self.heads = []
+        for i in range(self.n_heads):
+            seed = self.random_state + i
+            x_view, y_view = self._balanced_view(embeddings, labels, seed)
+            head = self.head_factory()
+            self._train_head(head, x_view, y_view, seed)
+            self.heads.append(head)
+        return self
+
+    def predict_logits(self, embeddings):
+        """Average member logits over the ensemble."""
+        if not self.heads:
+            raise RuntimeError("call fit() before predict()")
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        total = None
+        with no_grad():
+            for head in self.heads:
+                out = head(Tensor(embeddings)).data
+                total = out if total is None else total + out
+        return total / len(self.heads)
+
+    def predict(self, embeddings):
+        """Majority (soft-vote) prediction."""
+        return self.predict_logits(embeddings).argmax(axis=1)
+
+    def score(self, embeddings, labels):
+        """Balanced accuracy of the ensemble."""
+        from ..metrics import balanced_accuracy
+
+        return balanced_accuracy(labels, self.predict(embeddings))

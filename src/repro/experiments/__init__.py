@@ -1,0 +1,62 @@
+"""Experiment harness: configs, pipelines and per-table/figure runners."""
+
+from .config import (
+    LOSS_NAMES,
+    SAMPLER_NAMES,
+    ExperimentConfig,
+    bench_config,
+    build_sampler,
+    full_config,
+)
+from .pipeline import (
+    ExtractorCache,
+    Phase1Artifacts,
+    evaluate_sampler,
+    train_preprocessed,
+)
+from .stats import aggregate_metrics, repeated_sampler_comparison, run_seeds
+from .sweeps import grid_sweep, sweep_report
+from .runners import (
+    run_eos_pixel_vs_embedding,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_runtime_comparison,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "bench_config",
+    "full_config",
+    "build_sampler",
+    "SAMPLER_NAMES",
+    "LOSS_NAMES",
+    "ExtractorCache",
+    "Phase1Artifacts",
+    "evaluate_sampler",
+    "train_preprocessed",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_runtime_comparison",
+    "run_eos_pixel_vs_embedding",
+    "aggregate_metrics",
+    "run_seeds",
+    "repeated_sampler_comparison",
+    "grid_sweep",
+    "sweep_report",
+]

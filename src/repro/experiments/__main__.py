@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro.experiments <keys...>``.
+
+Runs the selected paper experiments (or all of them) and prints each
+reproduced table.  Keys: t1-t5 (Tables I-V), f3-f7 (Figures 3-7),
+rt (runtime comparison), px (pixel-vs-embedding EOS).
+
+Examples::
+
+    python -m repro.experiments t2 f3
+    python -m repro.experiments --scale tiny --datasets cifar10_like
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ExtractorCache,
+    bench_config,
+    run_eos_pixel_vs_embedding,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_runtime_comparison,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def build_registry(config, datasets, cache):
+    """Map experiment keys to (title, runner-thunk)."""
+    return {
+        "t1": ("Table I (pre vs post over-sampling)",
+               lambda: run_table1(config, datasets=datasets, cache=cache)),
+        "t2": ("Table II (losses x samplers)",
+               lambda: run_table2(config, datasets=datasets, cache=cache)),
+        "t3": ("Table III (GAN comparison)",
+               lambda: run_table3(config, datasets=datasets, cache=cache)),
+        "t4": ("Table IV (EOS K sweep)",
+               lambda: run_table4(config, datasets=datasets, cache=cache)),
+        "t5": ("Table V (architectures)",
+               lambda: run_table5(config, cache=cache)),
+        "f3": ("Figure 3 (gap curves)", lambda: run_figure3(config, cache=cache)),
+        "f4": ("Figure 4 (TP vs FP gap)",
+               lambda: run_figure4(config, datasets=datasets, cache=cache)),
+        "f5": ("Figure 5 (weight norms)", lambda: run_figure5(config, cache=cache)),
+        "f6": ("Figure 6 (t-SNE boundary)", lambda: run_figure6(config, cache=cache)),
+        "f7": ("Figure 7 (fine-tune epochs)",
+               lambda: run_figure7(config, cache=cache)),
+        "rt": ("Runtime comparison (V-E2)",
+               lambda: run_runtime_comparison(config)),
+        "px": ("EOS pixel vs embedding (V-E3)",
+               lambda: run_eos_pixel_vs_embedding(config, cache=cache)),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("keys", nargs="*", help="experiment keys (default: all)")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"))
+    parser.add_argument("--datasets", nargs="+", default=["cifar10_like"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    config = bench_config(scale=args.scale, seed=args.seed)
+    cache = ExtractorCache()
+    registry = build_registry(config, tuple(args.datasets), cache)
+
+    keys = args.keys or list(registry)
+    unknown = [key for key in keys if key not in registry]
+    if unknown:
+        parser.error(
+            "unknown keys: %s (valid: %s)"
+            % (", ".join(unknown), ", ".join(registry))
+        )
+
+    for key in keys:
+        title, runner = registry[key]
+        print("=" * 72)
+        print("%s  [%s]" % (title, key))
+        print("=" * 72)
+        start = time.perf_counter()
+        out = runner()
+        print(out["report"])
+        print("(%.1fs)\n" % (time.perf_counter() - start))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

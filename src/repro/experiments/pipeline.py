@@ -1,0 +1,283 @@
+"""Shared experiment machinery: extractor training, sampler evaluation.
+
+The expensive step of every experiment is phase-1 CNN training; many
+experiments then compare several samplers on the *same* trained
+extractor.  :class:`ExtractorCache` trains each (dataset, loss, model,
+seed) combination once and snapshots the model state so each sampler
+evaluation starts from identical weights.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import ThreePhaseTrainer, extract_features, finetune_classifier
+from ..core.gap import generalization_gap
+from ..data import make_dataset, standard_augmentation
+from ..losses import build_loss
+from ..metrics import evaluate_predictions
+from ..nn import build_model
+from ..optim import SGD
+from .config import build_sampler
+
+__all__ = ["Phase1Artifacts", "ExtractorCache", "evaluate_sampler", "train_preprocessed"]
+
+
+class Phase1Artifacts:
+    """Everything produced by one phase-1 training run."""
+
+    def __init__(
+        self,
+        config,
+        loss_name,
+        model,
+        train,
+        test,
+        info,
+        train_embeddings,
+        test_embeddings,
+        baseline_metrics,
+        head_state,
+        train_seconds,
+    ):
+        self.config = config
+        self.loss_name = loss_name
+        self.model = model
+        self.train = train
+        self.test = test
+        self.info = info
+        self.train_embeddings = train_embeddings
+        self.test_embeddings = test_embeddings
+        self.baseline_metrics = baseline_metrics
+        self.head_state = head_state
+        self.train_seconds = train_seconds
+
+    def restore_head(self):
+        """Reset the classifier head to its phase-1 weights."""
+        self.model.classifier.load_state_dict(self.head_state)
+
+    def baseline_gap(self):
+        """Generalization gap of the phase-1 model (no resampling)."""
+        return generalization_gap(
+            self.train_embeddings,
+            self.train.labels,
+            self.test_embeddings,
+            self.test.labels,
+            self.info["num_classes"],
+        )
+
+
+def _make_model_and_data(config, rng_offset=0):
+    train, test, info = make_dataset(
+        config.dataset, scale=config.scale, seed=config.seed
+    )
+    model = build_model(
+        config.model,
+        num_classes=info["num_classes"],
+        rng=np.random.default_rng(config.seed + 1 + rng_offset),
+        **config.model_kwargs,
+    )
+    return model, train, test, info
+
+
+def _loss_kwargs(config, loss_name):
+    """Loss hyper-parameters that depend on the training schedule."""
+    if loss_name == "ldam":
+        # Deferred re-weighting kicks in halfway through training.
+        return {"drw_epoch": max(1, config.phase1_epochs // 2)}
+    return {}
+
+
+def train_phase1(config, loss_name):
+    """Train one extractor end-to-end; returns :class:`Phase1Artifacts`."""
+    model, train, test, info = _make_model_and_data(config)
+    loss = build_loss(
+        loss_name,
+        class_counts=info["train_counts"],
+        **_loss_kwargs(config, loss_name),
+    )
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    trainer = ThreePhaseTrainer(model, loss, optimizer, sampler=None)
+    transform = standard_augmentation() if config.augment else None
+    start = time.perf_counter()
+    trainer.train_phase1(
+        train,
+        epochs=config.phase1_epochs,
+        batch_size=config.batch_size,
+        transform=transform,
+        rng=np.random.default_rng(config.seed + 2),
+    )
+    train_seconds = time.perf_counter() - start
+    train_emb = trainer.extract_embeddings(train)
+    test_emb = extract_features(model, test.images)
+    baseline = trainer.phase1.evaluate(test)
+    head_state = model.classifier.state_dict()
+    return Phase1Artifacts(
+        config,
+        loss_name,
+        model,
+        train,
+        test,
+        info,
+        train_emb,
+        test_emb,
+        baseline,
+        head_state,
+        train_seconds,
+    )
+
+
+class ExtractorCache:
+    """Memoizes phase-1 training by (dataset, scale, model, loss, seed)."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def get(self, config, loss_name):
+        key = (
+            config.dataset,
+            config.scale,
+            config.model,
+            tuple(sorted(config.model_kwargs.items())),
+            config.phase1_epochs,
+            config.batch_size,
+            config.lr,
+            config.augment,
+            loss_name,
+            config.seed,
+        )
+        if key not in self._cache:
+            self._cache[key] = train_phase1(config, loss_name)
+        return self._cache[key]
+
+    def clear(self):
+        self._cache.clear()
+
+
+def evaluate_sampler(
+    artifacts,
+    sampler_name,
+    finetune_epochs=None,
+    k_neighbors=None,
+    finetune_lr=None,
+    sampler_kwargs=None,
+    return_details=False,
+):
+    """Fine-tune the cached extractor's head with one sampler; score it.
+
+    The classifier head is restored to its phase-1 state first, so calls
+    are independent and order-insensitive.  ``sampler_name="none"``
+    scores the phase-1 baseline without fine-tuning.
+    """
+    config = artifacts.config
+    finetune_epochs = (
+        finetune_epochs if finetune_epochs is not None else config.finetune_epochs
+    )
+    k = k_neighbors if k_neighbors is not None else config.k_neighbors
+    lr = finetune_lr if finetune_lr is not None else config.finetune_lr
+    artifacts.restore_head()
+
+    if sampler_name == "none":
+        metrics = dict(artifacts.baseline_metrics)
+        resampled = (artifacts.train_embeddings, artifacts.train.labels)
+        seconds = 0.0
+    else:
+        sampler = build_sampler(
+            sampler_name,
+            k_neighbors=k,
+            random_state=config.seed,
+            **(sampler_kwargs or {}),
+        )
+        start = time.perf_counter()
+        emb, labels = sampler.fit_resample(
+            artifacts.train_embeddings, artifacts.train.labels
+        )
+        finetune_classifier(
+            artifacts.model,
+            emb,
+            labels,
+            epochs=finetune_epochs,
+            lr=lr,
+            rng=np.random.default_rng(config.seed + 3),
+        )
+        seconds = time.perf_counter() - start
+        preds = _predict(artifacts)
+        metrics = evaluate_predictions(
+            artifacts.test.labels, preds, artifacts.info["num_classes"]
+        )
+        resampled = (emb, labels)
+
+    if not return_details:
+        return metrics
+    return {
+        "metrics": metrics,
+        "resampled": resampled,
+        "seconds": seconds,
+        "head_weight": artifacts.model.classifier.weight.data.copy(),
+    }
+
+
+def _predict(artifacts, batch_size=256):
+    from ..core.training import predict_logits
+
+    logits = predict_logits(artifacts.model, artifacts.test.images, batch_size)
+    return logits.argmax(axis=1)
+
+
+def train_preprocessed(config, loss_name, sampler_name, sampler_kwargs=None):
+    """Pixel-space pre-processing baseline: resample images, train end-to-end.
+
+    Images are flattened for the sampler and reshaped back, matching how
+    SMOTE-family methods are applied to image data as a pre-processing
+    step.  Returns (metrics, wall_seconds).
+    """
+    from ..data import ArrayDataset
+
+    model, train, test, info = _make_model_and_data(config, rng_offset=7)
+    start = time.perf_counter()
+
+    if sampler_name == "none":
+        resampled_train = train
+    else:
+        sampler = build_sampler(
+            sampler_name,
+            k_neighbors=config.k_neighbors,
+            random_state=config.seed,
+            **(sampler_kwargs or {}),
+        )
+        flat = train.images.reshape(len(train), -1)
+        flat_res, labels_res = sampler.fit_resample(flat, train.labels)
+        images_res = np.clip(flat_res, 0.0, 1.0).reshape(
+            (-1,) + train.image_shape
+        )
+        resampled_train = ArrayDataset(images_res, labels_res)
+
+    # The resampled (balanced) set has ~ratio x more batches per epoch:
+    # the cost the paper's efficiency analysis highlights.
+    loss = build_loss(loss_name, class_counts=np.bincount(
+        resampled_train.labels, minlength=info["num_classes"]))
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    trainer = ThreePhaseTrainer(model, loss, optimizer, sampler=None)
+    transform = standard_augmentation() if config.augment else None
+    trainer.train_phase1(
+        resampled_train,
+        epochs=config.phase1_epochs,
+        batch_size=config.batch_size,
+        transform=transform,
+        rng=np.random.default_rng(config.seed + 4),
+    )
+    seconds = time.perf_counter() - start
+    metrics = trainer.phase1.evaluate(test)
+    return metrics, seconds

@@ -1,0 +1,72 @@
+"""Grid sweeps over experiment configuration fields.
+
+Generic hyper-parameter exploration for the reproduction: cross every
+combination of the given config-field values, evaluate each with a
+user-supplied function, and report a ranked table.  Used for the
+K-neighborhood and fine-tune-length analyses beyond the fixed grids the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..utils import format_float, format_table
+
+__all__ = ["grid_sweep", "sweep_report"]
+
+
+def grid_sweep(config, param_grid, evaluate):
+    """Evaluate ``evaluate(config_variant)`` over a parameter grid.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`repro.experiments.ExperimentConfig`.
+    param_grid:
+        Dict mapping config field name -> list of values.  Keys that are
+        not config fields raise immediately (typo guard).
+    evaluate:
+        Callable ``(config) -> dict`` returning at least one numeric
+        metric (e.g. the BAC/GM/FM triple).
+
+    Returns a list of ``{"params": {...}, "metrics": {...}}`` records in
+    grid order.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must not be empty")
+    for key in param_grid:
+        if not hasattr(config, key):
+            raise KeyError("unknown config field %r" % key)
+    names = list(param_grid)
+    results = []
+    for values in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, values))
+        variant = config.with_overrides(**params)
+        metrics = evaluate(variant)
+        results.append({"params": params, "metrics": dict(metrics)})
+    return results
+
+
+def sweep_report(results, sort_by="bac", descending=True, title=None):
+    """Render sweep results as a ranked text table."""
+    if not results:
+        raise ValueError("no sweep results to report")
+    param_names = list(results[0]["params"])
+    metric_names = list(results[0]["metrics"])
+    if sort_by not in metric_names:
+        raise KeyError("unknown metric %r" % sort_by)
+    ordered = sorted(
+        results, key=lambda r: r["metrics"][sort_by], reverse=descending
+    )
+    rows = []
+    for record in ordered:
+        rows.append(
+            [str(record["params"][name]) for name in param_names]
+            + [format_float(record["metrics"][m]) for m in metric_names]
+        )
+    return format_table(
+        param_names + metric_names,
+        rows,
+        title=title or ("Sweep ranked by %s" % sort_by),
+    )

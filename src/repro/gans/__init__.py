@@ -1,0 +1,19 @@
+"""GAN-based over-sampling baselines (CGAN, BAGAN, GAMO)."""
+
+from .bagan import BAGAN
+from .base import FeatureScaler, GanCore, MLP, bce_loss, fit_feature_scaler
+from .cgan import CGAN
+from .deepsmote import DeepSMOTE
+from .gamo import GAMO
+
+__all__ = [
+    "CGAN",
+    "DeepSMOTE",
+    "BAGAN",
+    "GAMO",
+    "GanCore",
+    "MLP",
+    "bce_loss",
+    "FeatureScaler",
+    "fit_feature_scaler",
+]

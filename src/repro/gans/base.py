@@ -1,0 +1,155 @@
+"""Shared building blocks for the GAN-based over-sampling baselines.
+
+The paper's GAN baselines (CGAN, BAGAN, GAMO) are generative models that
+synthesize minority samples.  Here they are implemented as compact MLP
+generator/discriminator pairs over feature vectors — either flattened
+pixels (the paper applies them as pixel-space pre-processing) or CNN
+embeddings — trained with the non-saturating GAN loss.  The point the
+reproduction must preserve is *relative*: GANs must be far more
+expensive than EOS (they train extra models) and place synthetic points
+less precisely, which compact GANs on the same data reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import LeakyReLU, Linear, ReLU, Sequential, Sigmoid, Tanh
+from ..optim import Adam
+from ..tensor import Tensor
+
+__all__ = ["MLP", "bce_loss", "GanCore", "fit_feature_scaler", "FeatureScaler"]
+
+
+def MLP(sizes, hidden_activation="leaky_relu", out_activation=None, rng=None):
+    """Build an MLP from a list of layer sizes.
+
+    ``sizes = [in, h1, ..., out]``; activations applied between layers,
+    plus an optional output activation ("sigmoid"/"tanh").
+    """
+    if len(sizes) < 2:
+        raise ValueError("MLP needs at least input and output sizes")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    acts = {"relu": ReLU, "leaky_relu": LeakyReLU}
+    out_acts = {"sigmoid": Sigmoid, "tanh": Tanh, None: None}
+    layers = []
+    for i in range(len(sizes) - 1):
+        layers.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+        if i < len(sizes) - 2:
+            layers.append(acts[hidden_activation]())
+    out = out_acts[out_activation]
+    if out is not None:
+        layers.append(out())
+    return Sequential(*layers)
+
+
+def bce_loss(probs, targets, eps=1e-7):
+    """Binary cross-entropy over probabilities in (0, 1)."""
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    p = probs.clip(eps, 1.0 - eps)
+    losses = -(targets * p.log() + (1.0 - targets) * (1.0 - p).log())
+    return losses.mean()
+
+
+class FeatureScaler:
+    """Min-max scaler mapping features to [-1, 1] and back.
+
+    GAN generators with tanh outputs need bounded targets; the scaler
+    also lets generated samples be mapped back to the original feature
+    space.
+    """
+
+    def __init__(self, low, high):
+        self.low = np.asarray(low, dtype=np.float64)
+        self.high = np.asarray(high, dtype=np.float64)
+        span = self.high - self.low
+        self.span = np.where(span > 1e-12, span, 1.0)
+
+    def transform(self, x):
+        return 2.0 * (np.asarray(x) - self.low) / self.span - 1.0
+
+    def inverse(self, x):
+        return (np.asarray(x) + 1.0) / 2.0 * self.span + self.low
+
+
+def fit_feature_scaler(x):
+    """Fit a :class:`FeatureScaler` to a feature matrix."""
+    x = np.asarray(x, dtype=np.float64)
+    return FeatureScaler(x.min(axis=0), x.max(axis=0))
+
+
+class GanCore:
+    """A generator/discriminator pair with an alternating training loop.
+
+    Parameters
+    ----------
+    generator, discriminator:
+        Modules; the discriminator must output a probability in (0, 1).
+    latent_dim:
+        Noise dimension fed to the generator.
+    lr:
+        Adam learning rate for both networks.
+    """
+
+    def __init__(self, generator, discriminator, latent_dim, lr=2e-3, seed=0):
+        self.generator = generator
+        self.discriminator = discriminator
+        self.latent_dim = latent_dim
+        self.g_opt = Adam(generator.parameters(), lr=lr, betas=(0.5, 0.999))
+        self.d_opt = Adam(discriminator.parameters(), lr=lr, betas=(0.5, 0.999))
+        self.rng = np.random.default_rng(seed)
+        self.d_losses = []
+        self.g_losses = []
+
+    def sample_noise(self, n):
+        return Tensor(self.rng.normal(size=(n, self.latent_dim)))
+
+    def train_step(self, real_batch, cond_real=None, cond_fake=None):
+        """One alternating D-then-G update.
+
+        ``cond_real``/``cond_fake`` are optional conditioning arrays
+        concatenated to the discriminator/generator inputs (conditional
+        GAN); ``cond_fake`` also conditions the generator.
+        """
+        n = real_batch.shape[0]
+        real = Tensor(real_batch)
+
+        # --- discriminator step ---
+        z = self.sample_noise(n)
+        g_in = z if cond_fake is None else _concat(z, cond_fake)
+        fake = self.generator(g_in).detach()
+        d_real_in = real if cond_real is None else _concat(real, cond_real)
+        d_fake_in = fake if cond_fake is None else _concat(fake, cond_fake)
+        self.d_opt.zero_grad()
+        d_loss = bce_loss(
+            self.discriminator(d_real_in), np.ones((n, 1))
+        ) + bce_loss(self.discriminator(d_fake_in), np.zeros((n, 1)))
+        d_loss.backward()
+        self.d_opt.step()
+
+        # --- generator step (non-saturating loss) ---
+        z = self.sample_noise(n)
+        g_in = z if cond_fake is None else _concat(z, cond_fake)
+        self.g_opt.zero_grad()
+        fake = self.generator(g_in)
+        d_fake_in = fake if cond_fake is None else _concat(fake, cond_fake)
+        g_loss = bce_loss(self.discriminator(d_fake_in), np.ones((n, 1)))
+        g_loss.backward()
+        self.g_opt.step()
+
+        self.d_losses.append(float(d_loss.data))
+        self.g_losses.append(float(g_loss.data))
+        return float(d_loss.data), float(g_loss.data)
+
+    def generate(self, n, cond=None):
+        """Sample n points from the generator (detached numpy array)."""
+        z = self.sample_noise(n)
+        g_in = z if cond is None else _concat(z, cond)
+        return self.generator(g_in).data.copy()
+
+
+def _concat(tensor, cond):
+    from ..tensor import concatenate
+
+    cond_t = Tensor(np.asarray(cond, dtype=np.float64))
+    return concatenate([tensor, cond_t], axis=1)

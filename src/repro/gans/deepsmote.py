@@ -1,0 +1,130 @@
+"""DeepSMOTE (Dablain, Krawczyk & Chawla 2022) — the paper's ref [48].
+
+The same authors' predecessor method: train an encoder/decoder on all
+classes (no adversarial game, unlike BAGAN), run plain SMOTE in the
+learned latent space of each deficient class, and decode the synthetic
+latents back to the input space.  DeepSMOTE sits between pixel-space
+SMOTE (no learned representation) and the EOS framework (which drops
+the decoder and resamples the classifier's own embeddings), making it a
+natural baseline for this library.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .._validation import validate_xy
+from ..optim import Adam
+from ..sampling.base import sampling_targets
+from ..sampling.smote import SMOTE
+from ..tensor import Tensor
+from .base import MLP, fit_feature_scaler
+
+__all__ = ["DeepSMOTE"]
+
+
+class DeepSMOTE:
+    """Autoencoder + latent SMOTE over-sampler.
+
+    Parameters
+    ----------
+    latent_dim:
+        Bottleneck dimension of the autoencoder.
+    hidden:
+        Width of the encoder/decoder MLPs.
+    ae_epochs:
+        Reconstruction training steps.
+    k_neighbors:
+        SMOTE neighborhood size in latent space.
+    permute_reconstruction:
+        DeepSMOTE's training trick: with probability 1/2, reconstruct a
+        *different same-class instance* instead of the input, which
+        forces class-level (not instance-level) codes.
+    """
+
+    def __init__(
+        self,
+        latent_dim=16,
+        hidden=64,
+        ae_epochs=300,
+        batch_size=32,
+        lr=2e-3,
+        k_neighbors=5,
+        permute_reconstruction=True,
+        sampling_strategy="auto",
+        random_state=0,
+    ):
+        self.latent_dim = latent_dim
+        self.hidden = hidden
+        self.ae_epochs = ae_epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.k_neighbors = k_neighbors
+        self.permute_reconstruction = permute_reconstruction
+        self.sampling_strategy = sampling_strategy
+        self.random_state = random_state
+        self.fit_seconds = 0.0
+
+    def _train_autoencoder(self, scaled, y, rng):
+        d = scaled.shape[1]
+        encoder = MLP([d, self.hidden, self.latent_dim], rng=rng)
+        decoder = MLP(
+            [self.latent_dim, self.hidden, d], out_activation="tanh", rng=rng
+        )
+        params = list(encoder.parameters()) + list(decoder.parameters())
+        opt = Adam(params, lr=self.lr)
+        n = scaled.shape[0]
+        bs = min(self.batch_size, n)
+        class_pools = {c: np.nonzero(y == c)[0] for c in np.unique(y)}
+        for _ in range(self.ae_epochs):
+            idx = rng.integers(0, n, size=bs)
+            inputs = scaled[idx]
+            if self.permute_reconstruction and rng.random() < 0.5:
+                # Reconstruct a random same-class partner instead.
+                target_idx = np.array(
+                    [rng.choice(class_pools[int(c)]) for c in y[idx]]
+                )
+                targets = scaled[target_idx]
+            else:
+                targets = inputs
+            opt.zero_grad()
+            recon = decoder(encoder(Tensor(inputs)))
+            loss = ((recon - Tensor(targets)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        return encoder, decoder
+
+    def fit_resample(self, x, y):
+        """Balance (x, y) by SMOTE in a learned latent space."""
+        x, y = validate_xy(x, y)
+        targets = sampling_targets(y, self.sampling_strategy)
+        if not targets:
+            return x.copy(), y.copy()
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.random_state)
+        scaler = fit_feature_scaler(x)
+        scaled = scaler.transform(x)
+
+        encoder, decoder = self._train_autoencoder(scaled, y, rng)
+        latents = encoder(Tensor(scaled)).data
+
+        # Plain SMOTE in latent space, then decode the synthetic block.
+        smote = SMOTE(
+            k_neighbors=self.k_neighbors,
+            sampling_strategy=self.sampling_strategy,
+            random_state=self.random_state,
+        )
+        latents_res, labels_res = smote.fit_resample(latents, y)
+        synth_latents = latents_res[x.shape[0]:]
+        synth_labels = labels_res[x.shape[0]:]
+        if synth_latents.shape[0]:
+            decoded = decoder(Tensor(synth_latents)).data
+            synth_x = scaler.inverse(decoded)
+            out_x = np.concatenate([x, synth_x])
+            out_y = np.concatenate([y, synth_labels])
+        else:
+            out_x, out_y = x.copy(), y.copy()
+        self.fit_seconds = time.perf_counter() - start
+        return out_x, out_y

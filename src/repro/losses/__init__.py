@@ -1,0 +1,21 @@
+"""Loss functions for imbalanced deep learning."""
+
+from .losses import (
+    AsymmetricLoss,
+    CrossEntropyLoss,
+    FocalLoss,
+    LDAMLoss,
+    Loss,
+    build_loss,
+    class_balanced_weights,
+)
+
+__all__ = [
+    "Loss",
+    "CrossEntropyLoss",
+    "FocalLoss",
+    "LDAMLoss",
+    "AsymmetricLoss",
+    "class_balanced_weights",
+    "build_loss",
+]

@@ -1,0 +1,197 @@
+"""Loss functions for imbalanced learning.
+
+Implements the four training losses the paper evaluates:
+
+* ``CrossEntropyLoss`` (CE) — plain softmax cross-entropy with optional
+  per-class weights.
+* ``FocalLoss`` (Lin et al. 2017) — down-weights easy examples with a
+  ``(1 - p_t)^gamma`` modulating factor.
+* ``LDAMLoss`` (Cao et al. 2019) — label-distribution-aware margins
+  ``m_c ∝ n_c^{-1/4}``, with the deferred re-weighting (DRW) schedule.
+* ``AsymmetricLoss`` (ASL, Ben-Baruch et al. 2020) — sigmoid-based loss
+  with separate positive/negative focusing and probability shifting,
+  applied to one-hot targets as in the reference implementation.
+
+Also provides ``class_balanced_weights`` (Cui et al. 2019 "effective
+number of samples"), used by LDAM's DRW stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, log_softmax, nll_loss, one_hot
+
+__all__ = [
+    "Loss",
+    "CrossEntropyLoss",
+    "FocalLoss",
+    "LDAMLoss",
+    "AsymmetricLoss",
+    "class_balanced_weights",
+    "build_loss",
+]
+
+
+def class_balanced_weights(class_counts, beta=0.9999):
+    """Per-class weights from the effective number of samples.
+
+    ``w_c = (1 - beta) / (1 - beta^{n_c})``, normalized to sum to the
+    number of classes (Cui et al. 2019).
+    """
+    counts = np.asarray(class_counts, dtype=np.float64)
+    if np.any(counts <= 0):
+        raise ValueError("all class counts must be positive")
+    effective = 1.0 - np.power(beta, counts)
+    weights = (1.0 - beta) / effective
+    return weights * (len(counts) / weights.sum())
+
+
+class Loss:
+    """Base class: callable mapping (logits, targets) -> scalar Tensor."""
+
+    def __call__(self, logits, targets):
+        raise NotImplementedError
+
+    def set_epoch(self, epoch):
+        """Hook for epoch-dependent schedules (used by LDAM's DRW)."""
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy with optional per-class weights."""
+
+    def __init__(self, weight=None):
+        self.weight = None if weight is None else np.asarray(weight, dtype=np.float64)
+
+    def __call__(self, logits, targets):
+        log_probs = log_softmax(logits, axis=-1)
+        return nll_loss(log_probs, targets, weight=self.weight)
+
+
+class FocalLoss(Loss):
+    """Focal loss: ``-(1 - p_t)^gamma * log(p_t)`` with optional alpha."""
+
+    def __init__(self, gamma=2.0, weight=None):
+        if gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        self.gamma = gamma
+        self.weight = None if weight is None else np.asarray(weight, dtype=np.float64)
+
+    def __call__(self, logits, targets):
+        t = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        t = t.astype(np.int64)
+        n, num_classes = logits.shape
+        log_probs = log_softmax(logits, axis=-1)
+        hot = one_hot(t, num_classes, dtype=logits.dtype)
+        log_pt = (log_probs * hot).sum(axis=1)
+        # Modulating factor treated as constant w.r.t. gradient, as in the
+        # standard implementation trick for stability is NOT used; we
+        # differentiate through (1 - p_t)^gamma as well.
+        pt = log_pt.exp()
+        focal = (1.0 - pt) ** self.gamma
+        losses = -(focal * log_pt)
+        if self.weight is not None:
+            losses = losses * Tensor(self.weight[t])
+        return losses.mean()
+
+
+class LDAMLoss(Loss):
+    """Label-distribution-aware margin loss with deferred re-weighting.
+
+    The per-class margin is ``m_c = max_m * n_c^{-1/4} / max(n^{-1/4})``.
+    The true-class logit is reduced by its margin before a scaled softmax
+    cross-entropy.  With ``drw_epoch`` set, class-balanced weights kick in
+    from that epoch onward (the DRW schedule of Cao et al.).
+
+    Note on ``scale``: the original LDAM applies s=30 to *cosine* logits
+    (normalized features and weights).  This implementation works on raw
+    linear logits, where s=30 destabilizes training; the default of 5
+    plays the same role (making the 0.5 margin significant relative to
+    logit magnitudes) at stable gradient scales.
+    """
+
+    def __init__(self, class_counts, max_margin=0.5, scale=5.0, drw_epoch=None,
+                 drw_beta=0.9999):
+        counts = np.asarray(class_counts, dtype=np.float64)
+        if np.any(counts <= 0):
+            raise ValueError("all class counts must be positive")
+        margins = 1.0 / np.power(counts, 0.25)
+        self.margins = margins * (max_margin / margins.max())
+        self.scale = scale
+        self.drw_epoch = drw_epoch
+        self._drw_weights = class_balanced_weights(counts, beta=drw_beta)
+        self._active_weight = None
+
+    def set_epoch(self, epoch):
+        if self.drw_epoch is not None and epoch >= self.drw_epoch:
+            self._active_weight = self._drw_weights
+        else:
+            self._active_weight = None
+
+    def __call__(self, logits, targets):
+        t = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        t = t.astype(np.int64)
+        n, num_classes = logits.shape
+        margin_matrix = np.zeros((n, num_classes))
+        margin_matrix[np.arange(n), t] = self.margins[t]
+        adjusted = (logits - Tensor(margin_matrix)) * self.scale
+        log_probs = log_softmax(adjusted, axis=-1)
+        return nll_loss(log_probs, t, weight=self._active_weight)
+
+
+class AsymmetricLoss(Loss):
+    """Asymmetric loss (ASL) on one-hot targets.
+
+    Sigmoid probabilities with separate focusing parameters for the
+    positive (``gamma_pos``) and negative (``gamma_neg``) parts, plus a
+    probability shift ``clip`` applied to negatives — the mechanism that
+    decays the contribution of easy negatives.
+    """
+
+    def __init__(self, gamma_pos=0.0, gamma_neg=4.0, clip=0.05, eps=1e-8):
+        if clip < 0 or clip >= 1:
+            raise ValueError("clip must be in [0, 1)")
+        self.gamma_pos = gamma_pos
+        self.gamma_neg = gamma_neg
+        self.clip = clip
+        self.eps = eps
+
+    def __call__(self, logits, targets):
+        t = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        t = t.astype(np.int64)
+        n, num_classes = logits.shape
+        hot = one_hot(t, num_classes, dtype=logits.dtype)
+        probs = logits.sigmoid()
+        # Probability shifting for negatives.
+        probs_neg = (probs - self.clip).clip(0.0, 1.0) if self.clip > 0 else probs
+
+        pos_log = (probs.clip(self.eps, 1.0)).log()
+        neg_log = ((1.0 - probs_neg).clip(self.eps, 1.0)).log()
+
+        pos_focus = (1.0 - probs) ** self.gamma_pos if self.gamma_pos else 1.0
+        neg_focus = probs_neg ** self.gamma_neg if self.gamma_neg else 1.0
+
+        loss_pos = hot * pos_log * pos_focus
+        loss_neg = (1.0 - hot) * neg_log * neg_focus
+        total = -(loss_pos + loss_neg).sum(axis=1)
+        return total.mean()
+
+
+_LOSS_REGISTRY = {
+    "ce": lambda counts, **kw: CrossEntropyLoss(**kw),
+    "focal": lambda counts, **kw: FocalLoss(**kw),
+    "ldam": lambda counts, **kw: LDAMLoss(counts, **kw),
+    "asl": lambda counts, **kw: AsymmetricLoss(**kw),
+}
+
+
+def build_loss(name, class_counts=None, **kwargs):
+    """Instantiate a loss by registry name ('ce', 'focal', 'ldam', 'asl')."""
+    try:
+        factory = _LOSS_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown loss %r (available: %s)"
+            % (name, ", ".join(sorted(_LOSS_REGISTRY)))
+        ) from None
+    return factory(class_counts, **kwargs)

@@ -1,0 +1,5 @@
+"""Manifold visualization (exact t-SNE)."""
+
+from .tsne import TSNE, perplexity_calibration
+
+__all__ = ["TSNE", "perplexity_calibration"]

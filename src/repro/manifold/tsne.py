@@ -1,0 +1,165 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008), from scratch.
+
+Used to reproduce the paper's Figure 6: a 2-D visualization of the
+embedding-space decision boundary between a majority and a minority
+class under different over-samplers.
+
+The implementation is the standard exact algorithm:
+
+1. per-point Gaussian bandwidths calibrated to a target perplexity by
+   binary search,
+2. symmetrized input affinities P,
+3. Student-t output affinities Q,
+4. KL(P || Q) minimized by gradient descent with momentum and early
+   exaggeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neighbors import pairwise_distances
+
+__all__ = ["TSNE", "perplexity_calibration"]
+
+
+def _row_affinities(dist_sq_row, beta):
+    """Conditional Gaussian affinities for one point at precision beta."""
+    p = np.exp(-dist_sq_row * beta)
+    p_sum = p.sum()
+    if p_sum <= 0:
+        return np.zeros_like(p), 0.0
+    p = p / p_sum
+    # Shannon entropy in nats.
+    nz = p > 1e-12
+    h = -np.sum(p[nz] * np.log(p[nz]))
+    return p, h
+
+
+def perplexity_calibration(dist_sq, perplexity, tol=1e-4, max_iter=50):
+    """Binary-search per-point precisions matching the target perplexity.
+
+    ``dist_sq`` is the (n, n) squared distance matrix with the diagonal
+    ignored.  Returns the (n, n) conditional probability matrix.
+    """
+    n = dist_sq.shape[0]
+    if not 1 < perplexity < n:
+        raise ValueError("perplexity must be in (1, n_samples)")
+    target_entropy = np.log(perplexity)
+    P = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(dist_sq[i], i)
+        beta, beta_min, beta_max = 1.0, 0.0, np.inf
+        for _ in range(max_iter):
+            p, h = _row_affinities(row, beta)
+            diff = h - target_entropy
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> narrower kernel
+                beta_min = beta
+                beta = beta * 2 if beta_max == np.inf else (beta + beta_max) / 2
+            else:
+                beta_max = beta
+                beta = beta / 2 if beta_min == 0 else (beta + beta_min) / 2
+        P[i, np.arange(n) != i] = p
+    return P
+
+
+class TSNE:
+    """Exact t-SNE embedding.
+
+    Parameters
+    ----------
+    n_components:
+        Output dimensionality (2 for visualization).
+    perplexity:
+        Effective neighborhood size.
+    learning_rate:
+        Gradient-descent step size.
+    n_iter:
+        Optimization iterations.
+    early_exaggeration:
+        Factor multiplying P for the first quarter of the iterations.
+    init:
+        "random" (gaussian, default) or "pca" (scaled principal
+        components — more reproducible global structure).
+    seed:
+        RNG seed for the initial layout.
+    """
+
+    def __init__(
+        self,
+        n_components=2,
+        perplexity=15.0,
+        learning_rate=100.0,
+        n_iter=300,
+        early_exaggeration=4.0,
+        init="random",
+        seed=0,
+    ):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if init not in ("random", "pca"):
+            raise ValueError("init must be 'random' or 'pca'")
+        self.n_components = n_components
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.early_exaggeration = early_exaggeration
+        self.init = init
+        self.seed = seed
+        self.kl_history = []
+
+    def _initial_layout(self, x, rng):
+        n = x.shape[0]
+        if self.init == "pca":
+            centered = x - x.mean(axis=0)
+            # Principal directions via SVD; scale to the usual 1e-4 std.
+            _, _, vt = np.linalg.svd(centered, full_matrices=False)
+            coords = centered @ vt[: self.n_components].T
+            std = coords.std(axis=0)
+            std[std < 1e-12] = 1.0
+            return coords / std * 1e-4
+        return rng.normal(0.0, 1e-4, size=(n, self.n_components))
+
+    def fit_transform(self, x):
+        """Embed rows of ``x`` (n, d) into (n, n_components)."""
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        if n < 4:
+            raise ValueError("t-SNE needs at least 4 points")
+        perplexity = min(self.perplexity, (n - 1) / 3.0)
+
+        dist = pairwise_distances(x, x)
+        cond_p = perplexity_calibration(dist ** 2, max(perplexity, 1.01))
+        P = (cond_p + cond_p.T) / (2.0 * n)
+        P = np.maximum(P, 1e-12)
+
+        rng = np.random.default_rng(self.seed)
+        Y = self._initial_layout(x, rng)
+        velocity = np.zeros_like(Y)
+        exag_until = max(self.n_iter // 4, 1)
+        self.kl_history = []
+
+        for it in range(self.n_iter):
+            p_eff = P * self.early_exaggeration if it < exag_until else P
+            # Student-t affinities.
+            d2 = pairwise_distances(Y, Y) ** 2
+            inv = 1.0 / (1.0 + d2)
+            np.fill_diagonal(inv, 0.0)
+            Q = inv / inv.sum()
+            Q = np.maximum(Q, 1e-12)
+
+            # Gradient of KL(P || Q).
+            pq = (p_eff - Q) * inv
+            grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ Y)
+
+            momentum = 0.5 if it < exag_until else 0.8
+            velocity = momentum * velocity - self.learning_rate * grad
+            Y = Y + velocity
+            Y = Y - Y.mean(axis=0)
+
+            if it % 25 == 0 or it == self.n_iter - 1:
+                kl = float((p_eff * np.log(p_eff / Q)).sum())
+                self.kl_history.append(kl)
+        return Y

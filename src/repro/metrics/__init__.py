@@ -1,0 +1,25 @@
+"""Skew-insensitive evaluation metrics (BAC, GM, macro-F1)."""
+
+from .classification import (
+    accuracy,
+    balanced_accuracy,
+    classification_report,
+    confusion_matrix,
+    evaluate_predictions,
+    geometric_mean,
+    macro_f1,
+    per_class_precision,
+    per_class_recall,
+)
+
+__all__ = [
+    "confusion_matrix",
+    "per_class_recall",
+    "per_class_precision",
+    "balanced_accuracy",
+    "geometric_mean",
+    "macro_f1",
+    "accuracy",
+    "evaluate_predictions",
+    "classification_report",
+]

@@ -1,0 +1,127 @@
+"""Skew-insensitive classification metrics.
+
+The paper reports three metrics for every experiment:
+
+* **BAC** — balanced accuracy: the mean of per-class recalls.
+* **GM** — geometric mean of per-class recalls.
+* **FM** — macro-averaged F1 measure.
+
+All are computed from a confusion matrix so they can be derived from a
+single pass over predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "per_class_recall",
+    "per_class_precision",
+    "balanced_accuracy",
+    "geometric_mean",
+    "macro_f1",
+    "accuracy",
+    "classification_report",
+    "evaluate_predictions",
+]
+
+
+def confusion_matrix(y_true, y_pred, num_classes=None):
+    """Confusion matrix C where C[i, j] counts true i predicted j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    cm = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(cm, (y_true, y_pred), 1)
+    return cm
+
+
+def per_class_recall(cm):
+    """Recall (true-positive rate) per class; 0 where a class is absent."""
+    support = cm.sum(axis=1)
+    tp = np.diag(cm)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        recall = np.where(support > 0, tp / support, 0.0)
+    return recall
+
+
+def per_class_precision(cm):
+    """Precision per class; 0 where a class is never predicted."""
+    predicted = cm.sum(axis=0)
+    tp = np.diag(cm)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+    return precision
+
+
+def balanced_accuracy(y_true, y_pred, num_classes=None):
+    """Mean of per-class recalls, over classes present in y_true."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    support = cm.sum(axis=1)
+    recall = per_class_recall(cm)
+    present = support > 0
+    return float(recall[present].mean())
+
+
+def geometric_mean(y_true, y_pred, num_classes=None, correction=0.001):
+    """Geometric mean of per-class recalls (zero recalls floored).
+
+    ``correction`` replaces zero recalls so a single empty class does not
+    collapse the metric to zero, following common imbalanced-learning
+    practice.
+    """
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    support = cm.sum(axis=1)
+    recall = per_class_recall(cm)[support > 0]
+    recall = np.where(recall > 0, recall, correction)
+    return float(np.exp(np.log(recall).mean()))
+
+
+def macro_f1(y_true, y_pred, num_classes=None):
+    """Macro-averaged F1 over classes present in y_true."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    support = cm.sum(axis=1)
+    recall = per_class_recall(cm)
+    precision = per_class_precision(cm)
+    denom = precision + recall
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return float(f1[support > 0].mean())
+
+
+def accuracy(y_true, y_pred):
+    """Plain (skew-sensitive) accuracy."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def evaluate_predictions(y_true, y_pred, num_classes=None):
+    """Return the paper's metric triple as a dict: BAC, GM, FM."""
+    return {
+        "bac": balanced_accuracy(y_true, y_pred, num_classes),
+        "gm": geometric_mean(y_true, y_pred, num_classes),
+        "fm": macro_f1(y_true, y_pred, num_classes),
+    }
+
+
+def classification_report(y_true, y_pred, num_classes=None):
+    """Human-readable per-class report plus the headline metrics."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    recall = per_class_recall(cm)
+    precision = per_class_precision(cm)
+    support = cm.sum(axis=1)
+    lines = ["class  support  recall  precision"]
+    for c in range(cm.shape[0]):
+        lines.append(
+            "%5d  %7d  %6.3f  %9.3f" % (c, support[c], recall[c], precision[c])
+        )
+    metrics = evaluate_predictions(y_true, y_pred, num_classes)
+    lines.append(
+        "BAC=%.4f  GM=%.4f  FM=%.4f" % (metrics["bac"], metrics["gm"], metrics["fm"])
+    )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Nearest-neighbor search utilities."""
+
+from .knn import KNeighbors, nearest_enemies, pairwise_distances
+
+__all__ = ["KNeighbors", "nearest_enemies", "pairwise_distances"]

@@ -1,0 +1,168 @@
+"""Nearest-neighbor search (brute force, memory-chunked).
+
+Provides the neighbor machinery the over-samplers need: k-nearest
+neighbors under euclidean or manhattan distance, plus *nearest enemy*
+queries (nearest neighbors belonging to a different class), the key
+primitive of EOS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_distances", "KNeighbors", "nearest_enemies"]
+
+
+def pairwise_distances(a, b, metric="euclidean"):
+    """Dense distance matrix between rows of ``a`` (n, d) and ``b`` (m, d)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError("inputs must be 2D with matching feature dims")
+    if metric == "euclidean":
+        # (a - b)^2 = a^2 + b^2 - 2ab, clipped for numeric safety.
+        sq = (
+            (a * a).sum(axis=1)[:, None]
+            + (b * b).sum(axis=1)[None, :]
+            - 2.0 * (a @ b.T)
+        )
+        return np.sqrt(np.clip(sq, 0.0, None))
+    if metric == "manhattan":
+        return np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+    raise ValueError("unknown metric %r" % metric)
+
+
+class KNeighbors:
+    """Brute-force k-NN index with optional chunked queries.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbors returned by :meth:`query`.
+    metric:
+        "euclidean" or "manhattan".
+    chunk_size:
+        Query rows processed per chunk, bounding the distance-matrix
+        memory to ``chunk_size * n_index`` floats.
+    """
+
+    def __init__(self, k=5, metric="euclidean", chunk_size=2048):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.metric = metric
+        self.chunk_size = chunk_size
+        self._data = None
+        self._labels = None
+
+    def fit(self, data, labels=None):
+        """Index ``data`` (n, d) with optional integer labels."""
+        self._data = np.asarray(data, dtype=np.float64)
+        if self._data.ndim != 2:
+            raise ValueError("data must be 2D")
+        self._labels = None if labels is None else np.asarray(labels, dtype=np.int64)
+        return self
+
+    @property
+    def data(self):
+        return self._data
+
+    @property
+    def labels(self):
+        return self._labels
+
+    def query(self, points, k=None, exclude_self=False):
+        """Return (distances, indices) of the k nearest indexed rows.
+
+        With ``exclude_self`` the nearest zero-distance hit per query row
+        is dropped (for querying the index with its own points).
+        """
+        if self._data is None:
+            raise RuntimeError("call fit() before query()")
+        k = k if k is not None else self.k
+        extra = 1 if exclude_self else 0
+        k_eff = min(k + extra, self._data.shape[0])
+        points = np.asarray(points, dtype=np.float64)
+        n = points.shape[0]
+        dists = np.empty((n, k_eff))
+        idxs = np.empty((n, k_eff), dtype=np.int64)
+        for start in range(0, n, self.chunk_size):
+            chunk = points[start : start + self.chunk_size]
+            d = pairwise_distances(chunk, self._data, self.metric)
+            part = np.argpartition(d, k_eff - 1, axis=1)[:, :k_eff]
+            rows = np.arange(d.shape[0])[:, None]
+            part_d = d[rows, part]
+            order = np.argsort(part_d, axis=1)
+            idxs[start : start + self.chunk_size] = part[rows, order]
+            dists[start : start + self.chunk_size] = part_d[rows, order]
+        if exclude_self:
+            dists, idxs = self._drop_self(points, dists, idxs, k)
+        return dists, idxs
+
+    def _drop_self(self, points, dists, idxs, k):
+        """Remove one exact self-match per row (first zero-distance hit)."""
+        n, k_eff = dists.shape
+        out_d = np.empty((n, min(k, k_eff - 1) if k_eff > 1 else 0))
+        out_i = np.empty_like(out_d, dtype=np.int64)
+        for i in range(n):
+            row_i = idxs[i]
+            row_d = dists[i]
+            drop = None
+            for j in range(k_eff):
+                if row_d[j] <= 1e-12 and np.array_equal(
+                    self._data[row_i[j]], points[i]
+                ):
+                    drop = j
+                    break
+            if drop is None:
+                keep = slice(0, out_d.shape[1])
+                out_d[i] = row_d[keep]
+                out_i[i] = row_i[keep]
+            else:
+                kept_d = np.delete(row_d, drop)
+                kept_i = np.delete(row_i, drop)
+                out_d[i] = kept_d[: out_d.shape[1]]
+                out_i[i] = kept_i[: out_d.shape[1]]
+        return out_d, out_i
+
+    def predict(self, points, k=None):
+        """Majority-vote classification using indexed labels."""
+        if self._labels is None:
+            raise RuntimeError("index was fit without labels")
+        _, idx = self.query(points, k=k)
+        votes = self._labels[idx]
+        num_classes = int(self._labels.max()) + 1
+        counts = np.apply_along_axis(
+            lambda row: np.bincount(row, minlength=num_classes), 1, votes
+        )
+        return counts.argmax(axis=1)
+
+
+def nearest_enemies(features, labels, k, metric="euclidean", chunk_size=2048):
+    """For every sample, its k nearest *other-class* neighbors.
+
+    Returns (distances, indices), both (n, k) arrays indexing into
+    ``features``.  This is the core geometric query of EOS: enemies are
+    the adversary-class points closest to each sample, i.e. the points
+    that sit across the local decision boundary.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    n = features.shape[0]
+    if k <= 0:
+        raise ValueError("k must be positive")
+    out_d = np.full((n, k), np.inf)
+    out_i = np.full((n, k), -1, dtype=np.int64)
+    for start in range(0, n, chunk_size):
+        chunk = features[start : start + chunk_size]
+        d = pairwise_distances(chunk, features, metric)
+        same = labels[start : start + chunk_size, None] == labels[None, :]
+        d[same] = np.inf
+        k_eff = min(k, n - 1)
+        part = np.argpartition(d, k_eff - 1, axis=1)[:, :k_eff]
+        rows = np.arange(d.shape[0])[:, None]
+        part_d = d[rows, part]
+        order = np.argsort(part_d, axis=1)
+        out_i[start : start + chunk_size, :k_eff] = part[rows, order]
+        out_d[start : start + chunk_size, :k_eff] = part_d[rows, order]
+    return out_d, out_i

@@ -1,0 +1,84 @@
+"""Convolutional autoencoder for image-space generative workflows.
+
+A compact conv encoder / transposed-conv decoder pair.  DeepSMOTE-style
+pipelines can train it on images and run SMOTE in its latent space; it
+also serves as a general dimensionality-reduction block for the
+synthetic image families.
+
+The spatial contract: the encoder halves the spatial dims twice
+(stride-2 convs), so the input side length must be a multiple of 4; the
+decoder mirrors it back exactly with stride-2 transposed convs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import BatchNorm2d, Conv2d, ConvTranspose2d, Linear
+from .module import Module
+
+__all__ = ["ConvAutoencoder"]
+
+
+class ConvAutoencoder(Module):
+    """Conv encoder + transposed-conv decoder with a linear bottleneck.
+
+    Parameters
+    ----------
+    in_channels:
+        Image channels.
+    image_size:
+        Side length (must be divisible by 4).
+    latent_dim:
+        Bottleneck dimension.
+    width:
+        Base channel width of the conv stacks.
+    """
+
+    def __init__(self, in_channels=3, image_size=12, latent_dim=16, width=8,
+                 rng=None):
+        super().__init__()
+        if image_size % 4 != 0:
+            raise ValueError("image_size must be divisible by 4")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.latent_dim = latent_dim
+        self._spatial = image_size // 4
+        self._flat = 2 * width * self._spatial * self._spatial
+
+        # Encoder: two stride-2 conv blocks, then a linear bottleneck.
+        self.enc_conv1 = Conv2d(in_channels, width, 3, stride=2, padding=1,
+                                rng=rng)
+        self.enc_bn1 = BatchNorm2d(width)
+        self.enc_conv2 = Conv2d(width, 2 * width, 3, stride=2, padding=1,
+                                rng=rng)
+        self.enc_bn2 = BatchNorm2d(2 * width)
+        self.enc_fc = Linear(self._flat, latent_dim, rng=rng)
+
+        # Decoder: linear up-projection, then two stride-2 transposed convs.
+        self.dec_fc = Linear(latent_dim, self._flat, rng=rng)
+        self.dec_conv1 = ConvTranspose2d(
+            2 * width, width, 4, stride=2, padding=1, rng=rng
+        )
+        self.dec_bn1 = BatchNorm2d(width)
+        self.dec_conv2 = ConvTranspose2d(
+            width, in_channels, 4, stride=2, padding=1, rng=rng
+        )
+
+    def encode(self, x):
+        """Images (N, C, H, W) -> latents (N, latent_dim)."""
+        out = self.enc_bn1(self.enc_conv1(x)).relu()
+        out = self.enc_bn2(self.enc_conv2(out)).relu()
+        return self.enc_fc(out.flatten())
+
+    def decode(self, z):
+        """Latents (N, latent_dim) -> images (N, C, H, W) in (0, 1)."""
+        width2 = self._flat // (self._spatial * self._spatial)
+        out = self.dec_fc(z).relu()
+        out = out.reshape(-1, width2, self._spatial, self._spatial)
+        out = self.dec_bn1(self.dec_conv1(out)).relu()
+        return self.dec_conv2(out).sigmoid()
+
+    def forward(self, x):
+        return self.decode(self.encode(x))

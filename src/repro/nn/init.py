@@ -1,0 +1,59 @@
+"""Weight initialization schemes (Kaiming, Xavier, constant)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "zeros",
+    "ones",
+]
+
+
+def _fan(shape, mode):
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_in, fan_out = shape[1], shape[0]
+    elif len(shape) == 4:  # Conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError("unsupported weight shape %s" % (shape,))
+    return fan_in if mode == "fan_in" else fan_out
+
+
+def kaiming_normal(shape, rng, mode="fan_in", gain=np.sqrt(2.0)):
+    """He-normal init, the standard choice for ReLU networks."""
+    std = gain / np.sqrt(_fan(shape, mode))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng, mode="fan_in", gain=np.sqrt(2.0)):
+    bound = gain * np.sqrt(3.0 / _fan(shape, mode))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, rng, gain=1.0):
+    fan_in = _fan(shape, "fan_in")
+    fan_out = _fan(shape, "fan_out")
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng, gain=1.0):
+    fan_in = _fan(shape, "fan_in")
+    fan_out = _fan(shape, "fan_out")
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape):
+    return np.zeros(shape)
+
+
+def ones(shape):
+    return np.ones(shape)

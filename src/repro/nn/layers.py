@@ -1,0 +1,320 @@
+"""Standard neural-network layers on top of the autograd engine.
+
+Includes the layers the paper's architectures need: ``Linear``,
+``Conv2d``, ``BatchNorm2d``, ``BatchNorm1d``, ``ReLU``, pooling wrappers,
+``Flatten`` and ``Dropout``.  Batch norm keeps running statistics and
+switches between batch statistics (train) and running statistics (eval),
+matching the semantics the paper's generalization-gap analysis relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import conv as conv_ops
+from ..tensor import functional as F
+from . import init
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "ConvTranspose2d",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+]
+
+
+class Linear(Module):
+    """Affine layer: ``y = x W^T + b``."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng, gain=1.0)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x):
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self):
+        return "Linear(in=%d, out=%d, bias=%s)" % (
+            self.in_features,
+            self.out_features,
+            self.bias is not None,
+        )
+
+
+class Conv2d(Module):
+    """2D convolution layer (NCHW)."""
+
+    def __init__(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias=True,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x):
+        return conv_ops.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def __repr__(self):
+        return "Conv2d(%d, %d, k=%d, s=%d, p=%d)" % (
+            self.in_channels,
+            self.out_channels,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+
+class ConvTranspose2d(Module):
+    """2D transposed convolution layer (upsampling; NCHW).
+
+    Weight layout (in_channels, out_channels, k, k), matching the
+    PyTorch convention for transposed convolutions.
+    """
+
+    def __init__(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias=True,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (in_channels, out_channels, kernel_size, kernel_size)
+        # fan_in for the adjoint op is in_channels * k^2 viewed from the
+        # output side; reuse the conv initializer on the swapped layout.
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), rng
+            ).transpose(1, 0, 2, 3)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x):
+        return conv_ops.conv_transpose2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def __repr__(self):
+        return "ConvTranspose2d(%d, %d, k=%d, s=%d, p=%d)" % (
+            self.in_channels,
+            self.out_channels,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+
+class _BatchNorm(Module):
+    """Shared batch-norm implementation for 1D and 2D variants."""
+
+    def __init__(self, num_features, eps=1e-5, momentum=0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def _normalize(self, x, axes, shape):
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            # Update running stats with exponential moving average.
+            self.running_mean[...] = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            n = x.data.size / self.num_features
+            unbiased = var * n / max(n - 1, 1)
+            self.running_var[...] = (
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased
+            )
+            # Differentiate through batch statistics: recompute as graph ops.
+            mu = x.mean(axis=axes, keepdims=True)
+            centered = x - mu
+            variance = (centered * centered).mean(axis=axes, keepdims=True)
+            inv_std = (variance + self.eps) ** -0.5
+            x_hat = centered * inv_std
+        else:
+            mean_arr = self.running_mean.reshape(shape)
+            var_arr = self.running_var.reshape(shape)
+            x_hat = (x - Tensor(mean_arr)) * Tensor(
+                1.0 / np.sqrt(var_arr + self.eps)
+            )
+        w = self.weight.reshape(shape)
+        b = self.bias.reshape(shape)
+        return x_hat * w + b
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalization over (N, H, W) for each channel of NCHW input."""
+
+    def forward(self, x):
+        if x.ndim != 4:
+            raise ValueError("BatchNorm2d expects NCHW input")
+        return self._normalize(x, (0, 2, 3), (1, self.num_features, 1, 1))
+
+    def __repr__(self):
+        return "BatchNorm2d(%d)" % self.num_features
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalization over the batch axis of (N, C) input."""
+
+    def forward(self, x):
+        if x.ndim != 2:
+            raise ValueError("BatchNorm1d expects (N, C) input")
+        return self._normalize(x, (0,), (1, self.num_features))
+
+    def __repr__(self):
+        return "BatchNorm1d(%d)" % self.num_features
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return x.relu()
+
+    def __repr__(self):
+        return "ReLU()"
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope=0.2):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return x.leaky_relu(self.negative_slope)
+
+    def __repr__(self):
+        return "LeakyReLU(%.2f)" % self.negative_slope
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return x.sigmoid()
+
+    def __repr__(self):
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return x.tanh()
+
+    def __repr__(self):
+        return "Tanh()"
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel=2, stride=None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x):
+        return conv_ops.max_pool2d(x, self.kernel, self.stride)
+
+    def __repr__(self):
+        return "MaxPool2d(k=%d)" % self.kernel
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel=2, stride=None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x):
+        return conv_ops.avg_pool2d(x, self.kernel, self.stride)
+
+    def __repr__(self):
+        return "AvgPool2d(k=%d)" % self.kernel
+
+
+class GlobalAvgPool2d(Module):
+    """Pool (N, C, H, W) to (N, C) — produces the paper's feature embeddings."""
+
+    def forward(self, x):
+        return conv_ops.global_avg_pool2d(x)
+
+    def __repr__(self):
+        return "GlobalAvgPool2d()"
+
+
+class Flatten(Module):
+    def __init__(self, start_dim=1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x):
+        return x.flatten(self.start_dim)
+
+    def __repr__(self):
+        return "Flatten()"
+
+
+class Dropout(Module):
+    def __init__(self, p=0.5, rng=None):
+        super().__init__()
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x):
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+    def __repr__(self):
+        return "Dropout(p=%.2f)" % self.p
+
+
+class Identity(Module):
+    def forward(self, x):
+        return x
+
+    def __repr__(self):
+        return "Identity()"

@@ -1,0 +1,323 @@
+"""CNN architectures used in the paper, with a feature/classifier split.
+
+Every classifier here follows the decomposition in the paper's Figure 2:
+
+* ``forward_features(x)`` — the extraction layers :math:`f_\\theta(\\cdot)`,
+  ending in global average pooling.  Its output is the paper's *feature
+  embedding* (FE), a (N, D) tensor.
+* ``classifier`` — a single Linear layer mapping FE to logits.  This is
+  the layer the three-phase framework detaches and fine-tunes on
+  augmented embeddings.
+* ``forward(x)`` — features followed by the classifier head.
+
+Architectures: CIFAR-style ResNet (depth 6n+2: resnet8/14/20/32/56),
+WideResNet (WRN-d-k), and DenseNet (BC-style).  All are parameterised by a
+``width_multiplier`` so that the experiment harness can run scaled-down
+instances on CPU while the full paper-scale constructors remain available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import concatenate
+from .layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear
+from .module import Module, Sequential
+
+__all__ = [
+    "ImageClassifier",
+    "BasicBlock",
+    "ResNet",
+    "resnet8",
+    "resnet14",
+    "resnet20",
+    "resnet32",
+    "resnet56",
+    "WideResNet",
+    "DenseNet",
+    "SmallConvNet",
+    "build_model",
+]
+
+
+class ImageClassifier(Module):
+    """Base class providing the feature/head split used by the framework."""
+
+    feature_dim = None  # set by subclasses
+
+    def forward_features(self, x):
+        """Map images (N, C, H, W) to feature embeddings (N, D)."""
+        raise NotImplementedError
+
+    def forward_head(self, features):
+        """Map feature embeddings to class logits."""
+        return self.classifier(features)
+
+    def forward(self, x):
+        return self.forward_head(self.forward_features(x))
+
+
+def _conv3x3(c_in, c_out, stride, rng):
+    return Conv2d(c_in, c_out, 3, stride=stride, padding=1, bias=False, rng=rng)
+
+
+class BasicBlock(Module):
+    """Standard pre-activationless residual block: conv-bn-relu-conv-bn + skip."""
+
+    def __init__(self, c_in, c_out, stride, rng):
+        super().__init__()
+        self.conv1 = _conv3x3(c_in, c_out, stride, rng)
+        self.bn1 = BatchNorm2d(c_out)
+        self.conv2 = _conv3x3(c_out, c_out, 1, rng)
+        self.bn2 = BatchNorm2d(c_out)
+        if stride != 1 or c_in != c_out:
+            # Option-B shortcut: 1x1 convolution projection.
+            self.shortcut = Sequential(
+                Conv2d(c_in, c_out, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(c_out),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        skip = x if self.shortcut is None else self.shortcut(x)
+        return (out + skip).relu()
+
+
+class ResNet(ImageClassifier):
+    """CIFAR-style ResNet: 3 stages of ``n`` blocks, depth ``6n + 2``.
+
+    Parameters
+    ----------
+    depth:
+        Total depth; must satisfy ``depth = 6n + 2`` (8, 14, 20, 32, 56...).
+    num_classes:
+        Output classes.
+    in_channels:
+        Image channels (3 for RGB).
+    width_multiplier:
+        Scales the stage widths (16, 32, 64) for CPU-friendly instances.
+    """
+
+    def __init__(
+        self,
+        depth=32,
+        num_classes=10,
+        in_channels=3,
+        width_multiplier=1.0,
+        rng=None,
+    ):
+        super().__init__()
+        if (depth - 2) % 6 != 0:
+            raise ValueError("ResNet depth must be 6n+2, got %d" % depth)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        n = (depth - 2) // 6
+        widths = [max(4, int(round(w * width_multiplier))) for w in (16, 32, 64)]
+        self.depth = depth
+        self.feature_dim = widths[2]
+
+        self.conv1 = _conv3x3(in_channels, widths[0], 1, rng)
+        self.bn1 = BatchNorm2d(widths[0])
+        self.stage1 = self._make_stage(widths[0], widths[0], n, 1, rng)
+        self.stage2 = self._make_stage(widths[0], widths[1], n, 2, rng)
+        self.stage3 = self._make_stage(widths[1], widths[2], n, 2, rng)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(widths[2], num_classes, rng=rng)
+
+    @staticmethod
+    def _make_stage(c_in, c_out, blocks, stride, rng):
+        layers = [BasicBlock(c_in, c_out, stride, rng)]
+        for _ in range(blocks - 1):
+            layers.append(BasicBlock(c_out, c_out, 1, rng))
+        return Sequential(*layers)
+
+    def forward_features(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        return self.pool(out)
+
+
+def resnet8(**kwargs):
+    return ResNet(depth=8, **kwargs)
+
+
+def resnet14(**kwargs):
+    return ResNet(depth=14, **kwargs)
+
+
+def resnet20(**kwargs):
+    return ResNet(depth=20, **kwargs)
+
+
+def resnet32(**kwargs):
+    """The paper's architecture for CIFAR-10/100 and SVHN."""
+    return ResNet(depth=32, **kwargs)
+
+
+def resnet56(**kwargs):
+    """The paper's architecture for CelebA (and the Table V comparison)."""
+    return ResNet(depth=56, **kwargs)
+
+
+class WideResNet(ImageClassifier):
+    """Wide Residual Network (WRN-depth-k) with CIFAR-style stages.
+
+    ``depth`` must satisfy ``depth = 6n + 4``; ``widen_factor`` multiplies
+    the base widths (16, 32, 64).
+    """
+
+    def __init__(
+        self,
+        depth=16,
+        widen_factor=2,
+        num_classes=10,
+        in_channels=3,
+        width_multiplier=1.0,
+        rng=None,
+    ):
+        super().__init__()
+        if (depth - 4) % 6 != 0:
+            raise ValueError("WideResNet depth must be 6n+4, got %d" % depth)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        n = (depth - 4) // 6
+        base = [16, 32, 64]
+        widths = [
+            max(4, int(round(w * widen_factor * width_multiplier))) for w in base
+        ]
+        stem = max(4, int(round(16 * width_multiplier)))
+        self.feature_dim = widths[2]
+
+        self.conv1 = _conv3x3(in_channels, stem, 1, rng)
+        self.bn1 = BatchNorm2d(stem)
+        self.stage1 = ResNet._make_stage(stem, widths[0], n, 1, rng)
+        self.stage2 = ResNet._make_stage(widths[0], widths[1], n, 2, rng)
+        self.stage3 = ResNet._make_stage(widths[1], widths[2], n, 2, rng)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(widths[2], num_classes, rng=rng)
+
+    def forward_features(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        return self.pool(out)
+
+
+class _DenseLayer(Module):
+    """BN-ReLU-Conv(3x3) producing ``growth_rate`` new channels."""
+
+    def __init__(self, c_in, growth_rate, rng):
+        super().__init__()
+        self.bn = BatchNorm2d(c_in)
+        self.conv = _conv3x3(c_in, growth_rate, 1, rng)
+
+    def forward(self, x):
+        new = self.conv(self.bn(x).relu())
+        return concatenate([x, new], axis=1)
+
+
+class _Transition(Module):
+    """BN-ReLU-Conv(1x1)-AvgPool transition between dense blocks."""
+
+    def __init__(self, c_in, c_out, rng):
+        super().__init__()
+        from .layers import AvgPool2d
+
+        self.bn = BatchNorm2d(c_in)
+        self.conv = Conv2d(c_in, c_out, 1, bias=False, rng=rng)
+        self.pool = AvgPool2d(2)
+
+    def forward(self, x):
+        return self.pool(self.conv(self.bn(x).relu()))
+
+
+class DenseNet(ImageClassifier):
+    """Densely connected CNN with three dense blocks (CIFAR-style)."""
+
+    def __init__(
+        self,
+        growth_rate=12,
+        block_layers=(4, 4, 4),
+        num_classes=10,
+        in_channels=3,
+        compression=0.5,
+        width_multiplier=1.0,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        growth = max(2, int(round(growth_rate * width_multiplier)))
+        channels = max(4, 2 * growth)
+
+        self.conv1 = _conv3x3(in_channels, channels, 1, rng)
+        blocks = []
+        for i, layers in enumerate(block_layers):
+            for _ in range(layers):
+                blocks.append(_DenseLayer(channels, growth, rng))
+                channels += growth
+            if i != len(block_layers) - 1:
+                out_ch = max(4, int(channels * compression))
+                blocks.append(_Transition(channels, out_ch, rng))
+                channels = out_ch
+        self.blocks = Sequential(*blocks)
+        self.bn_final = BatchNorm2d(channels)
+        self.pool = GlobalAvgPool2d()
+        self.feature_dim = channels
+        self.classifier = Linear(channels, num_classes, rng=rng)
+
+    def forward_features(self, x):
+        out = self.conv1(x)
+        out = self.blocks(out)
+        out = self.bn_final(out).relu()
+        return self.pool(out)
+
+
+class SmallConvNet(ImageClassifier):
+    """A compact conv-bn-relu stack for fast unit tests and examples."""
+
+    def __init__(self, num_classes=10, in_channels=3, width=8, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv1 = _conv3x3(in_channels, width, 1, rng)
+        self.bn1 = BatchNorm2d(width)
+        self.conv2 = _conv3x3(width, 2 * width, 2, rng)
+        self.bn2 = BatchNorm2d(2 * width)
+        self.conv3 = _conv3x3(2 * width, 4 * width, 2, rng)
+        self.bn3 = BatchNorm2d(4 * width)
+        self.pool = GlobalAvgPool2d()
+        self.feature_dim = 4 * width
+        self.classifier = Linear(4 * width, num_classes, rng=rng)
+
+    def forward_features(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out)).relu()
+        return self.pool(out)
+
+
+_MODEL_REGISTRY = {
+    "resnet8": resnet8,
+    "resnet14": resnet14,
+    "resnet20": resnet20,
+    "resnet32": resnet32,
+    "resnet56": resnet56,
+    "wideresnet": WideResNet,
+    "densenet": DenseNet,
+    "smallconvnet": SmallConvNet,
+}
+
+
+def build_model(name, **kwargs):
+    """Instantiate a registered architecture by name."""
+    try:
+        factory = _MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown model %r (available: %s)"
+            % (name, ", ".join(sorted(_MODEL_REGISTRY)))
+        ) from None
+    return factory(**kwargs)

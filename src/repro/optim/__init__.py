@@ -1,0 +1,22 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from .schedulers import (
+    CosineAnnealingLR,
+    LRScheduler,
+    MultiStepLR,
+    StepLR,
+    WarmupWrapper,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "WarmupWrapper",
+]

@@ -1,0 +1,100 @@
+"""Learning-rate schedulers driving an Optimizer's ``lr`` attribute.
+
+The paper's training regime (from Cui et al. 2019) uses SGD with a
+multi-step decay and linear warmup; cosine decay is provided for the
+extension experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LRScheduler", "StepLR", "MultiStepLR", "CosineAnnealingLR", "WarmupWrapper"]
+
+
+class LRScheduler:
+    """Base scheduler; call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self):
+        raise NotImplementedError
+
+    def step(self):
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    @property
+    def current_lr(self):
+        return self.optimizer.lr
+
+
+class StepLR(LRScheduler):
+    """Decay the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self):
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Decay the LR by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer, milestones, gamma=0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self):
+        passed = sum(1 for m in self.milestones if self.epoch >= m)
+        return self.base_lr * self.gamma ** passed
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max, eta_min=0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self):
+        t = min(self.epoch, self.t_max)
+        cos = (1 + math.cos(math.pi * t / self.t_max)) / 2
+        return self.eta_min + (self.base_lr - self.eta_min) * cos
+
+
+class WarmupWrapper(LRScheduler):
+    """Linear warmup for the first ``warmup_epochs``, then delegate.
+
+    Mirrors the warmup used in the Cui et al. training regime the paper
+    follows.
+    """
+
+    def __init__(self, scheduler, warmup_epochs):
+        super().__init__(scheduler.optimizer)
+        if warmup_epochs < 0:
+            raise ValueError("warmup_epochs must be non-negative")
+        self.scheduler = scheduler
+        self.warmup_epochs = warmup_epochs
+
+    def get_lr(self):
+        if self.warmup_epochs and self.epoch <= self.warmup_epochs:
+            return self.base_lr * self.epoch / self.warmup_epochs
+        return self.scheduler.get_lr()
+
+    def step(self):
+        self.epoch += 1
+        self.scheduler.epoch = self.epoch
+        self.optimizer.lr = self.get_lr()

@@ -1,0 +1,34 @@
+"""Over- and under-sampling baselines with a shared fit_resample API."""
+
+from .adasyn import ADASYN
+from .balanced_svm import BalancedSVMSampler
+from .base import BaseSampler, sampling_targets, validate_xy
+from .ccr import CCR
+from .cleaning import EditedNearestNeighbors, TomekLinks, find_tomek_links
+from .combined import SMOTEENN, SMOTETomek
+from .random_samplers import RandomOverSampler, RandomUnderSampler
+from .rbo import RadialBasedOversampler
+from .remix import Remix
+from .smote import SMOTE, BorderlineSMOTE
+from .swim import SWIM
+
+__all__ = [
+    "BaseSampler",
+    "sampling_targets",
+    "validate_xy",
+    "RandomOverSampler",
+    "RandomUnderSampler",
+    "SMOTE",
+    "BorderlineSMOTE",
+    "ADASYN",
+    "BalancedSVMSampler",
+    "Remix",
+    "RadialBasedOversampler",
+    "CCR",
+    "SWIM",
+    "TomekLinks",
+    "EditedNearestNeighbors",
+    "find_tomek_links",
+    "SMOTEENN",
+    "SMOTETomek",
+]

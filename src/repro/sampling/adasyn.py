@@ -1,0 +1,58 @@
+"""ADASYN: adaptive synthetic over-sampling (He et al. 2008).
+
+Allocates more synthetic samples to minority points that are *harder to
+learn*, measured by the fraction of adversary-class points in each
+minority point's neighborhood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neighbors import KNeighbors
+from .base import BaseSampler
+from .smote import _interpolate
+
+__all__ = ["ADASYN"]
+
+
+class ADASYN(BaseSampler):
+    """Adaptive synthetic sampling.
+
+    Each minority point gets a difficulty score ``r_i`` = (enemies among
+    its ``k_neighbors`` over the full dataset) / k.  Scores are
+    normalized to a distribution that allocates the class's synthetic
+    budget; generation then interpolates toward same-class neighbors as
+    in SMOTE.  If every score is zero (class fully interior) allocation
+    is uniform.
+    """
+
+    def __init__(self, k_neighbors=5, sampling_strategy="auto", random_state=0):
+        super().__init__(sampling_strategy, random_state)
+        if k_neighbors <= 0:
+            raise ValueError("k_neighbors must be positive")
+        self.k_neighbors = k_neighbors
+
+    def _generate(self, x, y, cls, n_new, rng):
+        pool_idx = np.nonzero(y == cls)[0]
+        pool = x[pool_idx]
+        if pool.shape[0] == 1:
+            return np.repeat(pool, n_new, axis=0)
+
+        k_global = min(self.k_neighbors, x.shape[0] - 1)
+        full_index = KNeighbors(k=k_global).fit(x)
+        _, nn_idx = full_index.query(pool, exclude_self=True)
+        difficulty = (y[nn_idx] != cls).mean(axis=1)
+        if difficulty.sum() <= 0:
+            weights = np.full(pool.shape[0], 1.0 / pool.shape[0])
+        else:
+            weights = difficulty / difficulty.sum()
+
+        base_ids = rng.choice(pool.shape[0], size=n_new, replace=True, p=weights)
+
+        k_local = min(self.k_neighbors, pool.shape[0] - 1)
+        local_index = KNeighbors(k=k_local).fit(pool)
+        _, local_nn = local_index.query(pool, exclude_self=True)
+        nbr_col = rng.integers(0, local_nn.shape[1], size=n_new)
+        neighbors = pool[local_nn[base_ids, nbr_col]]
+        return _interpolate(pool[base_ids], neighbors, rng)

@@ -1,0 +1,83 @@
+"""Balanced-SVM over-sampling (Farquad & Bose 2012).
+
+SMOTE generates the synthetic candidates; a linear SVM trained on the
+*real* data then replaces each candidate's label with the SVM's
+prediction.  Candidates the margin classifier assigns to another class
+therefore migrate there, cleaning up synthetic points that landed on the
+wrong side of the decision boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..svm import LinearSVM
+from .base import validate_xy
+from .smote import SMOTE
+
+__all__ = ["BalancedSVMSampler"]
+
+
+class BalancedSVMSampler:
+    """SMOTE + SVM relabeling.
+
+    Parameters
+    ----------
+    k_neighbors:
+        SMOTE neighborhood size.
+    svm_params:
+        Keyword arguments forwarded to :class:`repro.svm.LinearSVM`.
+    keep_labels:
+        When True, keeps the SMOTE labels and *drops* relabeled-away
+        points instead of moving them (a stricter cleaning variant).
+    """
+
+    def __init__(
+        self,
+        k_neighbors=5,
+        sampling_strategy="auto",
+        random_state=0,
+        svm_params=None,
+        keep_labels=False,
+    ):
+        self.k_neighbors = k_neighbors
+        self.sampling_strategy = sampling_strategy
+        self.random_state = random_state
+        self.svm_params = dict(svm_params or {})
+        self.keep_labels = keep_labels
+
+    def fit_resample(self, x, y):
+        x, y = validate_xy(x, y)
+        smote = SMOTE(
+            k_neighbors=self.k_neighbors,
+            sampling_strategy=self.sampling_strategy,
+            random_state=self.random_state,
+        )
+        x_res, y_res = smote.fit_resample(x, y)
+        n_orig = x.shape[0]
+        synth_x = x_res[n_orig:]
+        synth_y = y_res[n_orig:]
+        if synth_x.shape[0] == 0:
+            return x_res, y_res
+
+        # Standardize features for the SVM: hinge subgradients are not
+        # scale-invariant and raw pixel vectors (hundreds of dims in
+        # [0, 1]) destabilize the fixed learning rate otherwise.
+        mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std = np.where(std > 1e-8, std, 1.0)
+        svm_params = {"class_weight": "balanced", **self.svm_params}
+        svm = LinearSVM(seed=self.random_state, **svm_params)
+        svm.fit((x - mean) / std, y)
+        predicted = svm.predict((synth_x - mean) / std)
+
+        if self.keep_labels:
+            keep = predicted == synth_y
+            synth_x = synth_x[keep]
+            synth_y = synth_y[keep]
+        else:
+            synth_y = predicted.astype(np.int64)
+        return (
+            np.concatenate([x, synth_x]),
+            np.concatenate([y, synth_y]),
+        )

@@ -1,0 +1,85 @@
+"""Common over-/under-sampler interface.
+
+Every sampler implements ``fit_resample(X, y) -> (X_res, y_res)`` over a
+2D feature matrix — which may hold flattened pixels (pre-processing
+usage) or CNN feature embeddings (the paper's phase-2 usage).  The
+resampled output always contains the original samples followed by the
+synthetic/duplicated ones, so callers can recover the synthetic block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import validate_xy
+
+__all__ = ["BaseSampler", "sampling_targets", "validate_xy"]
+
+
+def sampling_targets(y, strategy="auto"):
+    """Number of *synthetic* samples needed per class.
+
+    ``"auto"`` balances every class up to the largest class count.  A
+    dict {class: total_count} requests explicit totals.  Returns a dict
+    {class: n_new} with only the classes that need new samples.
+    """
+    y = np.asarray(y, dtype=np.int64)
+    counts = np.bincount(y)
+    present = np.nonzero(counts)[0]
+    if strategy == "auto":
+        n_max = counts.max()
+        return {
+            int(c): int(n_max - counts[c]) for c in present if counts[c] < n_max
+        }
+    if isinstance(strategy, dict):
+        targets = {}
+        for c, total in strategy.items():
+            have = counts[c] if c < len(counts) else 0
+            if have == 0:
+                raise ValueError("class %r has no samples to resample from" % c)
+            if total < have:
+                raise ValueError(
+                    "target %d for class %r is below its current count %d"
+                    % (total, c, have)
+                )
+            if total > have:
+                targets[int(c)] = int(total - have)
+        return targets
+    raise ValueError("unknown sampling strategy %r" % strategy)
+
+
+class BaseSampler:
+    """Base class for resamplers.
+
+    Subclasses implement :meth:`_generate` which returns the synthetic
+    samples for one class.
+    """
+
+    def __init__(self, sampling_strategy="auto", random_state=0):
+        self.sampling_strategy = sampling_strategy
+        self.random_state = random_state
+
+    def _rng(self):
+        return np.random.default_rng(self.random_state)
+
+    def fit_resample(self, x, y):
+        """Resample (x, y); returns originals followed by synthetic rows."""
+        x, y = validate_xy(x, y)
+        rng = self._rng()
+        targets = sampling_targets(y, self.sampling_strategy)
+        new_x, new_y = [x], [y]
+        for cls, n_new in sorted(targets.items()):
+            if n_new <= 0:
+                continue
+            synth = self._generate(x, y, cls, n_new, rng)
+            if synth.shape[0] != n_new:
+                raise RuntimeError(
+                    "%s produced %d samples for class %d, expected %d"
+                    % (type(self).__name__, synth.shape[0], cls, n_new)
+                )
+            new_x.append(synth)
+            new_y.append(np.full(n_new, cls, dtype=np.int64))
+        return np.concatenate(new_x), np.concatenate(new_y)
+
+    def _generate(self, x, y, cls, n_new, rng):
+        raise NotImplementedError

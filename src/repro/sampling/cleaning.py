@@ -1,0 +1,111 @@
+"""Under-sampling cleaning methods: Tomek links and Edited Nearest Neighbors.
+
+Classic neighborhood-based cleaning, used standalone or as the cleaning
+stage of combined methods (:mod:`repro.sampling.ccr`).  Both operate on
+the same (X, y) interface as the over-samplers but *remove* points:
+
+* **Tomek links** — a pair (a, b) of different classes where each is the
+  other's nearest neighbor marks a boundary conflict; removing the
+  majority member sharpens the boundary.
+* **ENN** — remove every (majority) point whose k-neighborhood majority
+  vote disagrees with its label; a stronger smoother than Tomek links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import validate_xy
+from ..neighbors import KNeighbors
+
+__all__ = ["TomekLinks", "EditedNearestNeighbors", "find_tomek_links"]
+
+
+def find_tomek_links(x, y):
+    """Return an (m, 2) array of index pairs forming Tomek links."""
+    x, y = validate_xy(x, y)
+    if x.shape[0] < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    index = KNeighbors(k=1).fit(x)
+    _, nn = index.query(x, exclude_self=True)
+    nearest = nn[:, 0]
+    links = []
+    for i in range(x.shape[0]):
+        j = nearest[i]
+        if j > i and nearest[j] == i and y[i] != y[j]:
+            links.append((i, j))
+    return np.asarray(links, dtype=np.int64).reshape(-1, 2)
+
+
+class TomekLinks:
+    """Remove the majority-class member of every Tomek link.
+
+    ``strategy="majority"`` (default) removes only majority-side points;
+    ``strategy="both"`` removes both link members.
+    """
+
+    def __init__(self, strategy="majority"):
+        if strategy not in ("majority", "both"):
+            raise ValueError("strategy must be 'majority' or 'both'")
+        self.strategy = strategy
+
+    def fit_resample(self, x, y):
+        x, y = validate_xy(x, y)
+        links = find_tomek_links(x, y)
+        if links.size == 0:
+            return x.copy(), y.copy()
+        counts = np.bincount(y)
+        drop = set()
+        for i, j in links:
+            if self.strategy == "both":
+                drop.update((int(i), int(j)))
+            else:
+                # Drop the member of the more frequent class.
+                drop.add(int(i) if counts[y[i]] >= counts[y[j]] else int(j))
+        keep = np.array(
+            [idx for idx in range(x.shape[0]) if idx not in drop], dtype=np.int64
+        )
+        return x[keep].copy(), y[keep].copy()
+
+
+class EditedNearestNeighbors:
+    """Remove points whose k-NN majority vote disagrees with their label.
+
+    ``protect_minority`` (default True) never removes points of the
+    smallest classes — the standard usage when cleaning imbalanced data
+    is to smooth the majority, not to erase the minority.
+    """
+
+    def __init__(self, k_neighbors=3, protect_minority=True):
+        if k_neighbors <= 0:
+            raise ValueError("k_neighbors must be positive")
+        self.k_neighbors = k_neighbors
+        self.protect_minority = protect_minority
+
+    def fit_resample(self, x, y):
+        x, y = validate_xy(x, y)
+        n = x.shape[0]
+        if n <= self.k_neighbors:
+            return x.copy(), y.copy()
+        index = KNeighbors(k=self.k_neighbors).fit(x)
+        _, nn = index.query(x, exclude_self=True)
+        votes = y[nn]
+        num_classes = int(y.max()) + 1
+        counts = np.bincount(y, minlength=num_classes)
+        # Protect classes strictly smaller than the largest: on an
+        # already-balanced set (e.g. after SMOTE) nothing is protected
+        # and cleaning edits both sides of the boundary.
+        max_count = counts.max()
+        minority_classes = set(
+            np.nonzero((counts > 0) & (counts < max_count))[0].tolist()
+        )
+        keep = []
+        for i in range(n):
+            vote_counts = np.bincount(votes[i], minlength=num_classes)
+            majority_vote = vote_counts.argmax()
+            if majority_vote == y[i]:
+                keep.append(i)
+            elif self.protect_minority and int(y[i]) in minority_classes:
+                keep.append(i)
+        keep = np.asarray(keep, dtype=np.int64)
+        return x[keep].copy(), y[keep].copy()

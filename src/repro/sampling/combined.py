@@ -1,0 +1,86 @@
+"""Combined over-sampling + cleaning pipelines (SMOTE-ENN, SMOTE-Tomek).
+
+The classic two-stage recipes: over-sample to balance, then clean the
+result with a neighborhood editor to remove the synthetic (and original)
+points that landed in overlap regions.  Both reuse the library's SMOTE
+and cleaning blocks; any over-sampler with ``fit_resample`` can be
+substituted via the ``oversampler`` argument (e.g. EOS-Tomek).
+"""
+
+from __future__ import annotations
+
+from .._validation import validate_xy
+from .cleaning import EditedNearestNeighbors, TomekLinks
+from .smote import SMOTE
+
+__all__ = ["SMOTEENN", "SMOTETomek"]
+
+
+class _CombinedSampler:
+    """Over-sample then clean; shared implementation."""
+
+    def __init__(self, oversampler, cleaner):
+        self.oversampler = oversampler
+        self.cleaner = cleaner
+
+    def fit_resample(self, x, y):
+        x, y = validate_xy(x, y)
+        x_over, y_over = self.oversampler.fit_resample(x, y)
+        return self.cleaner.fit_resample(x_over, y_over)
+
+
+class SMOTEENN(_CombinedSampler):
+    """SMOTE followed by Edited-Nearest-Neighbors cleaning.
+
+    Parameters
+    ----------
+    k_neighbors:
+        SMOTE neighborhood size.
+    enn_neighbors:
+        ENN voting neighborhood size.
+    oversampler:
+        Optional replacement for the SMOTE stage (any ``fit_resample``
+        object); when given, ``k_neighbors`` is ignored.
+    """
+
+    def __init__(
+        self,
+        k_neighbors=5,
+        enn_neighbors=3,
+        sampling_strategy="auto",
+        random_state=0,
+        oversampler=None,
+    ):
+        if oversampler is None:
+            oversampler = SMOTE(
+                k_neighbors=k_neighbors,
+                sampling_strategy=sampling_strategy,
+                random_state=random_state,
+            )
+        super().__init__(
+            oversampler, EditedNearestNeighbors(k_neighbors=enn_neighbors)
+        )
+
+
+class SMOTETomek(_CombinedSampler):
+    """SMOTE followed by Tomek-link removal.
+
+    Parameters as :class:`SMOTEENN`; the cleaning stage drops the
+    majority member of every Tomek link in the balanced set.
+    """
+
+    def __init__(
+        self,
+        k_neighbors=5,
+        sampling_strategy="auto",
+        random_state=0,
+        oversampler=None,
+        link_strategy="majority",
+    ):
+        if oversampler is None:
+            oversampler = SMOTE(
+                k_neighbors=k_neighbors,
+                sampling_strategy=sampling_strategy,
+                random_state=random_state,
+            )
+        super().__init__(oversampler, TomekLinks(strategy=link_strategy))

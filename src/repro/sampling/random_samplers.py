@@ -1,0 +1,51 @@
+"""Random over-/under-sampling baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseSampler, validate_xy
+
+__all__ = ["RandomOverSampler", "RandomUnderSampler"]
+
+
+class RandomOverSampler(BaseSampler):
+    """Balance classes by duplicating minority samples with replacement."""
+
+    def _generate(self, x, y, cls, n_new, rng):
+        pool = np.nonzero(y == cls)[0]
+        picks = rng.choice(pool, size=n_new, replace=True)
+        return x[picks].copy()
+
+
+class RandomUnderSampler:
+    """Balance classes by discarding majority samples.
+
+    Keeps ``min_count`` samples per class (the smallest class count, or
+    an explicit per-class dict via ``sampling_strategy``).
+    """
+
+    def __init__(self, sampling_strategy="auto", random_state=0):
+        self.sampling_strategy = sampling_strategy
+        self.random_state = random_state
+
+    def fit_resample(self, x, y):
+        x, y = validate_xy(x, y)
+        rng = np.random.default_rng(self.random_state)
+        counts = np.bincount(y)
+        present = np.nonzero(counts)[0]
+        if self.sampling_strategy == "auto":
+            target = {int(c): int(counts[present].min()) for c in present}
+        elif isinstance(self.sampling_strategy, dict):
+            target = {int(c): int(n) for c, n in self.sampling_strategy.items()}
+        else:
+            raise ValueError(
+                "unknown sampling strategy %r" % self.sampling_strategy
+            )
+        keep = []
+        for c in present:
+            idx = np.nonzero(y == c)[0]
+            want = min(target.get(int(c), len(idx)), len(idx))
+            keep.append(rng.choice(idx, size=want, replace=False))
+        keep = np.sort(np.concatenate(keep))
+        return x[keep].copy(), y[keep].copy()

@@ -1,0 +1,100 @@
+"""SMOTE and Borderline-SMOTE over-samplers (Chawla 2002; Han 2005).
+
+Both are *interpolative*: synthetic points are convex combinations of
+same-class neighbors, and therefore never leave the convex hull of the
+minority class — the limitation (no feature-range expansion) that
+motivates the paper's EOS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neighbors import KNeighbors
+from .base import BaseSampler
+
+__all__ = ["SMOTE", "BorderlineSMOTE"]
+
+
+def _interpolate(bases, neighbors, rng):
+    """Classic SMOTE step: ``base + u * (neighbor - base)``, u ~ U[0, 1]."""
+    u = rng.random((bases.shape[0], 1))
+    return bases + u * (neighbors - bases)
+
+
+class SMOTE(BaseSampler):
+    """Synthetic Minority Over-sampling TEchnique.
+
+    For each synthetic sample: pick a random minority point, pick one of
+    its ``k_neighbors`` nearest same-class neighbors, and interpolate
+    uniformly between them.  Classes with a single sample fall back to
+    duplication.
+    """
+
+    def __init__(self, k_neighbors=5, sampling_strategy="auto", random_state=0):
+        super().__init__(sampling_strategy, random_state)
+        if k_neighbors <= 0:
+            raise ValueError("k_neighbors must be positive")
+        self.k_neighbors = k_neighbors
+
+    def _generate(self, x, y, cls, n_new, rng):
+        pool = x[y == cls]
+        if pool.shape[0] == 1:
+            return np.repeat(pool, n_new, axis=0)
+        k = min(self.k_neighbors, pool.shape[0] - 1)
+        index = KNeighbors(k=k).fit(pool)
+        _, nn_idx = index.query(pool, exclude_self=True)
+
+        base_ids = rng.integers(0, pool.shape[0], size=n_new)
+        nbr_col = rng.integers(0, nn_idx.shape[1], size=n_new)
+        neighbors = pool[nn_idx[base_ids, nbr_col]]
+        return _interpolate(pool[base_ids], neighbors, rng)
+
+
+class BorderlineSMOTE(BaseSampler):
+    """Borderline-SMOTE (variant 1).
+
+    Only *danger* points seed interpolation: minority points whose
+    ``m_neighbors``-neighborhood (over the full dataset) contains at
+    least half enemies but is not entirely enemies ("noise").  If no
+    danger points exist the sampler falls back to plain SMOTE behaviour
+    over the whole class.
+    """
+
+    def __init__(
+        self,
+        k_neighbors=5,
+        m_neighbors=10,
+        sampling_strategy="auto",
+        random_state=0,
+    ):
+        super().__init__(sampling_strategy, random_state)
+        if k_neighbors <= 0 or m_neighbors <= 0:
+            raise ValueError("neighbor counts must be positive")
+        self.k_neighbors = k_neighbors
+        self.m_neighbors = m_neighbors
+
+    def danger_mask(self, x, y, cls):
+        """Boolean mask over class-``cls`` rows marking danger points."""
+        pool_idx = np.nonzero(y == cls)[0]
+        m = min(self.m_neighbors, x.shape[0] - 1)
+        index = KNeighbors(k=m).fit(x)
+        _, nn_idx = index.query(x[pool_idx], exclude_self=True)
+        enemy_counts = (y[nn_idx] != cls).sum(axis=1)
+        half = nn_idx.shape[1] / 2.0
+        return (enemy_counts >= half) & (enemy_counts < nn_idx.shape[1])
+
+    def _generate(self, x, y, cls, n_new, rng):
+        pool = x[y == cls]
+        if pool.shape[0] == 1:
+            return np.repeat(pool, n_new, axis=0)
+        danger = self.danger_mask(x, y, cls)
+        seeds = pool[danger] if danger.any() else pool
+        k = min(self.k_neighbors, pool.shape[0] - 1)
+        index = KNeighbors(k=k).fit(pool)
+        _, nn_idx = index.query(seeds, exclude_self=True)
+
+        base_ids = rng.integers(0, seeds.shape[0], size=n_new)
+        nbr_col = rng.integers(0, nn_idx.shape[1], size=n_new)
+        neighbors = pool[nn_idx[base_ids, nbr_col]]
+        return _interpolate(seeds[base_ids], neighbors, rng)

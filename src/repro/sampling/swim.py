@@ -1,0 +1,81 @@
+"""SWIM: Sampling WIth the Majority (Bellinger et al. 2020, ref [47]).
+
+Designed for *extreme* imbalance (a handful of minority points), SWIM
+generates synthetic minority samples using the **majority** class's
+density: each synthetic point is a jittered copy of a minority point
+constrained to stay on (approximately) the same Mahalanobis density
+contour of the majority distribution — so new points spread along the
+majority's shape without drifting into its high-density core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseSampler
+
+__all__ = ["SWIM"]
+
+
+class SWIM(BaseSampler):
+    """Mahalanobis-contour minority expansion.
+
+    Parameters
+    ----------
+    spread:
+        Std of the jitter applied in whitened majority space.
+    shrink_reg:
+        Ridge added to the majority covariance before inversion.
+    """
+
+    def __init__(
+        self, spread=0.35, shrink_reg=1e-3, sampling_strategy="auto", random_state=0
+    ):
+        super().__init__(sampling_strategy, random_state)
+        if spread <= 0:
+            raise ValueError("spread must be positive")
+        if shrink_reg < 0:
+            raise ValueError("shrink_reg must be non-negative")
+        self.spread = spread
+        self.shrink_reg = shrink_reg
+
+    def _whitener(self, majority):
+        """Return (mean, W, W_inv) whitening the majority distribution."""
+        mean = majority.mean(axis=0)
+        centered = majority - mean
+        cov = centered.T @ centered / max(majority.shape[0] - 1, 1)
+        cov += self.shrink_reg * np.eye(cov.shape[0])
+        # Symmetric eigendecomposition for a stable inverse square root.
+        values, vectors = np.linalg.eigh(cov)
+        values = np.maximum(values, 1e-12)
+        w = vectors @ np.diag(values ** -0.5) @ vectors.T
+        w_inv = vectors @ np.diag(values ** 0.5) @ vectors.T
+        return mean, w, w_inv
+
+    def _generate(self, x, y, cls, n_new, rng):
+        minority = x[y == cls]
+        majority = x[y != cls]
+        if majority.shape[0] <= x.shape[1]:
+            # Not enough majority data to estimate a covariance: fall
+            # back to gaussian jitter around minority points.
+            picks = rng.integers(0, minority.shape[0], size=n_new)
+            jitter = rng.normal(
+                0.0, self.spread * (minority.std(axis=0) + 1e-12), (n_new, x.shape[1])
+            )
+            return minority[picks] + jitter
+
+        mean, w, w_inv = self._whitener(majority)
+        # Whitened minority seeds.
+        seeds = (minority - mean) @ w
+        picks = rng.integers(0, seeds.shape[0], size=n_new)
+        base = seeds[picks]
+        norms = np.linalg.norm(base, axis=1, keepdims=True)
+        norms = np.maximum(norms, 1e-12)
+
+        # Jitter in whitened space, then rescale back to the seed's
+        # Mahalanobis radius so density w.r.t. the majority is preserved.
+        jittered = base + rng.normal(0.0, self.spread, size=base.shape)
+        new_norms = np.linalg.norm(jittered, axis=1, keepdims=True)
+        new_norms = np.maximum(new_norms, 1e-12)
+        on_contour = jittered * (norms / new_norms)
+        return on_contour @ w_inv + mean

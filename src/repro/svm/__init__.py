@@ -1,0 +1,5 @@
+"""Linear SVM substrate (used by the Balanced-SVM over-sampler)."""
+
+from .linear_svm import LinearSVM
+
+__all__ = ["LinearSVM"]

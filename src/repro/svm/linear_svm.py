@@ -1,0 +1,125 @@
+"""Multiclass linear SVM trained with subgradient descent.
+
+Used by the Balanced-SVM over-sampler (Farquad & Bose 2012): SMOTE
+generates candidate synthetic points and an SVM trained on the real data
+re-labels them, so only points the margin classifier agrees with keep
+their minority label.
+
+One-vs-rest squared-hinge formulation:
+
+    L = (1/n) * sum_i max(0, 1 - y_i * (w.x_i + b))^2 + lambda * ||w||^2
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM with squared hinge loss.
+
+    Parameters
+    ----------
+    reg:
+        L2 regularization strength (lambda).
+    lr:
+        SGD learning rate.
+    epochs:
+        Full passes over the data.
+    batch_size:
+        Mini-batch size for the subgradient steps.
+    seed:
+        RNG seed for shuffling and init.
+    """
+
+    def __init__(
+        self,
+        reg=1e-3,
+        lr=0.01,
+        epochs=30,
+        batch_size=64,
+        class_weight=None,
+        lr_decay=0.01,
+        max_class_weight=10.0,
+        seed=0,
+    ):
+        if reg < 0:
+            raise ValueError("reg must be non-negative")
+        if class_weight not in (None, "balanced"):
+            raise ValueError("class_weight must be None or 'balanced'")
+        self.reg = reg
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.class_weight = class_weight
+        self.lr_decay = lr_decay
+        self.max_class_weight = max_class_weight
+        self.seed = seed
+        self.weights = None  # (num_classes, d)
+        self.biases = None  # (num_classes,)
+        self.num_classes = None
+
+    def fit(self, x, y):
+        """Train on features ``x`` (n, d) and integer labels ``y`` (n,)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2D")
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        self.num_classes = int(y.max()) + 1
+        self.weights = np.zeros((self.num_classes, d))
+        self.biases = np.zeros(self.num_classes)
+        # +1/-1 target matrix for one-vs-rest.
+        targets = -np.ones((n, self.num_classes))
+        targets[np.arange(n), y] = 1.0
+        # "balanced" weighting scales each sample by n / (C * n_class),
+        # countering majority bias in the hinge subgradients.
+        if self.class_weight == "balanced":
+            counts = np.bincount(y, minlength=self.num_classes)
+            counts = np.maximum(counts, 1)
+            # Cap the weights: singleton classes would otherwise get
+            # gradients large enough to destabilize the fixed step size.
+            class_w = np.minimum(
+                n / (self.num_classes * counts), self.max_class_weight
+            )
+            sample_w = class_w[y]
+        else:
+            sample_w = np.ones(n)
+
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb = x[idx]
+                tb = targets[idx]
+                lr = self.lr / (1.0 + self.lr_decay * step)
+                step += 1
+                scores = xb @ self.weights.T + self.biases  # (b, C)
+                margin = 1.0 - tb * scores
+                active = margin > 0
+                # d/dw squared hinge: -2 * t * max(0, margin) * x
+                coeff = -2.0 * tb * margin * active * sample_w[idx][:, None]
+                grad_w = coeff.T @ xb / len(idx) + 2 * self.reg * self.weights
+                grad_b = coeff.mean(axis=0)
+                self.weights -= lr * grad_w
+                self.biases -= lr * grad_b
+        return self
+
+    def decision_function(self, x):
+        """Raw per-class scores (n, num_classes)."""
+        if self.weights is None:
+            raise RuntimeError("call fit() before decision_function()")
+        x = np.asarray(x, dtype=np.float64)
+        return x @ self.weights.T + self.biases
+
+    def predict(self, x):
+        """Predicted class labels."""
+        return self.decision_function(x).argmax(axis=1)
+
+    def score(self, x, y):
+        """Plain accuracy on (x, y)."""
+        return float((self.predict(x) == np.asarray(y)).mean())

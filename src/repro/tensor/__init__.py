@@ -1,0 +1,45 @@
+"""Autograd tensor engine (numpy-backed reverse-mode differentiation)."""
+
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from .conv import (
+    avg_pool2d,
+    col2im,
+    conv2d,
+    conv_transpose2d,
+    global_avg_pool2d,
+    im2col,
+    max_pool2d,
+)
+from .functional import (
+    dropout,
+    linear,
+    log_softmax,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+from .gradcheck import check_gradients, numeric_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "where",
+    "conv2d",
+    "conv_transpose2d",
+    "im2col",
+    "col2im",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "dropout",
+    "linear",
+    "nll_loss",
+    "check_gradients",
+    "numeric_grad",
+]

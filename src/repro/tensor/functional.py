@@ -1,0 +1,134 @@
+"""Composite differentiable functions: softmax family, one-hot, dropout.
+
+These are implemented either as numerically-stable primitives with
+hand-written backward passes (softmax, log_softmax) or as graph
+compositions of `Tensor` primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "dropout",
+    "linear",
+    "nll_loss",
+]
+
+
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        # dL/dx = s * (g - sum(g * s))
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return (out * (g - dot),)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def log_softmax(x, axis=-1):
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_norm
+    soft = np.exp(out)
+
+    def backward(g):
+        return (g - soft * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def one_hot(labels, num_classes, dtype=np.float64):
+    """Return a detached one-hot (N, num_classes) Tensor for integer labels."""
+    labels = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
+    labels = labels.astype(np.int64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return Tensor(out)
+
+
+def dropout(x, p=0.5, training=True, rng=None):
+    """Inverted dropout: scales surviving activations by 1/(1-p)."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(g):
+        return (g * mask,)
+
+    return Tensor._from_op(x.data * mask, (x,), backward)
+
+
+def linear(x, weight, bias=None):
+    """Affine map ``x @ weight.T + bias`` matching torch.nn.functional.linear."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def nll_loss(log_probs, targets, weight=None, reduction="mean"):
+    """Negative log-likelihood over log-probabilities.
+
+    Parameters
+    ----------
+    log_probs:
+        (N, C) tensor of log-probabilities.
+    targets:
+        integer array / Tensor of shape (N,).
+    weight:
+        optional per-class weights (C,), numpy array or Tensor.
+    reduction:
+        "mean" (weighted mean as in PyTorch), "sum", or "none".
+    """
+    t = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    t = t.astype(np.int64)
+    n = log_probs.shape[0]
+    w = None
+    if weight is not None:
+        w = weight.data if isinstance(weight, Tensor) else np.asarray(weight)
+        sample_w = w[t]
+    else:
+        sample_w = np.ones(n, dtype=log_probs.dtype)
+
+    picked = log_probs.data[np.arange(n), t]
+    losses = -picked * sample_w
+
+    if reduction == "none":
+        denom = None
+        out_data = losses
+    elif reduction == "sum":
+        denom = 1.0
+        out_data = losses.sum()
+    elif reduction == "mean":
+        denom = sample_w.sum()
+        out_data = losses.sum() / denom
+    else:
+        raise ValueError("unknown reduction %r" % reduction)
+
+    def backward(g):
+        grad = np.zeros_like(log_probs.data)
+        if reduction == "none":
+            grad[np.arange(n), t] = -sample_w * g
+        elif reduction == "sum":
+            grad[np.arange(n), t] = -sample_w * g
+        else:
+            grad[np.arange(n), t] = -sample_w * (g / denom)
+        return (grad,)
+
+    if is_grad_enabled() and log_probs.requires_grad:
+        return Tensor._from_op(out_data, (log_probs,), backward)
+    return Tensor(out_data)

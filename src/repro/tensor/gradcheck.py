@@ -1,0 +1,58 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test-suite to verify every primitive op against central
+finite differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["numeric_grad", "check_gradients"]
+
+
+def numeric_grad(fn, inputs, wrt, eps=1e-5):
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. ``inputs[wrt]``.
+
+    ``fn`` must accept the raw Tensors and return a scalar Tensor.
+    """
+    x = inputs[wrt]
+    grad = np.zeros_like(x.data, dtype=np.float64)
+    flat = x.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = float(fn(*inputs).data)
+        flat[i] = orig - eps
+        lo = float(fn(*inputs).data)
+        flat[i] = orig
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradients(fn, inputs, eps=1e-5, atol=1e-4, rtol=1e-3):
+    """Compare analytic vs numeric gradients for all grad-requiring inputs.
+
+    Returns True on success; raises AssertionError with diagnostics on
+    mismatch.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    if out.size != 1:
+        raise ValueError("check_gradients requires a scalar output")
+    out.backward()
+    for idx, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        num = numeric_grad(fn, inputs, idx, eps=eps)
+        ana = t.grad
+        if ana is None:
+            raise AssertionError("input %d received no gradient" % idx)
+        if not np.allclose(ana, num, atol=atol, rtol=rtol):
+            worst = np.abs(ana - num).max()
+            raise AssertionError(
+                "gradient mismatch on input %d (max abs err %.3g)" % (idx, worst)
+            )
+    return True

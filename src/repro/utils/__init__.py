@@ -1,0 +1,24 @@
+"""Utility helpers (tables, ASCII charts, serialization)."""
+
+from .charts import ascii_chart
+from .serialization import (
+    load_dataset,
+    load_embeddings,
+    load_model,
+    save_dataset,
+    save_embeddings,
+    save_model,
+)
+from .tables import format_float, format_table
+
+__all__ = [
+    "format_table",
+    "ascii_chart",
+    "format_float",
+    "save_model",
+    "load_model",
+    "save_embeddings",
+    "load_embeddings",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,87 @@
+"""ASCII line charts for rendering the paper's figures in a terminal.
+
+No plotting library is available in the reproduction environment, so
+the figure runners render their series as text charts: each series gets
+a marker character, points are plotted on a character grid with a
+labeled y-axis, and a legend follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(series, width=60, height=16, title=None, x_label=None,
+                y_label=None):
+    """Render named series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Dict mapping series name -> 1-D array of y values.  All series
+        share the x axis 0..n-1 (lengths may differ).
+    width, height:
+        Plot-area size in characters.
+    title, x_label, y_label:
+        Optional labels.
+
+    Returns the chart as a single string.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    cleaned = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        finite = arr[np.isfinite(arr)]
+        if finite.size == 0:
+            continue
+        cleaned[name] = arr
+    if not cleaned:
+        raise ValueError("all series are empty or non-finite")
+
+    y_min = min(np.nanmin(v[np.isfinite(v)]) for v in cleaned.values())
+    y_max = max(np.nanmax(v[np.isfinite(v)]) for v in cleaned.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_max = max(len(v) for v in cleaned.values()) - 1
+    x_max = max(x_max, 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(cleaned.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in enumerate(values):
+            if not np.isfinite(y):
+                continue
+            col = int(round(x / x_max * (width - 1)))
+            row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    label_width = 8
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = "%7.3g" % y_max
+        elif i == height - 1:
+            label = "%7.3g" % y_min
+        else:
+            label = " " * 7
+        lines.append("%s |%s" % (label.rjust(label_width - 1), "".join(row)))
+    lines.append(" " * label_width + "+" + "-" * width)
+    axis_note = "0 .. %d" % x_max
+    if x_label:
+        axis_note += "  (%s)" % x_label
+    lines.append(" " * label_width + " " + axis_note)
+    legend = "  ".join(
+        "%s=%s" % (_MARKERS[i % len(_MARKERS)], name)
+        for i, name in enumerate(cleaned)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Checkpointing: save/load models, embeddings and datasets as .npz files.
+
+The three-phase framework naturally checkpoints at two places — after
+phase-1 training (model weights) and after embedding extraction (the
+(N, D) embedding matrix + labels).  These helpers make both durable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "save_model",
+    "load_model",
+    "save_embeddings",
+    "load_embeddings",
+    "save_dataset",
+    "load_dataset",
+]
+
+
+def save_model(model, path):
+    """Write a module's state dict to an ``.npz`` file."""
+    state = model.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_model(model, path):
+    """Load an ``.npz`` checkpoint into a compatible module (in place)."""
+    with np.load(path) as data:
+        state = {key: data[key] for key in data.files}
+    model.load_state_dict(state)
+    return model
+
+
+def save_embeddings(path, embeddings, labels):
+    """Persist an (N, D) embedding matrix and its labels."""
+    embeddings = np.asarray(embeddings)
+    labels = np.asarray(labels)
+    if embeddings.shape[0] != labels.shape[0]:
+        raise ValueError("embeddings and labels must be aligned")
+    np.savez_compressed(path, embeddings=embeddings, labels=labels)
+
+
+def load_embeddings(path):
+    """Load (embeddings, labels) saved by :func:`save_embeddings`."""
+    with np.load(path) as data:
+        return data["embeddings"], data["labels"]
+
+
+def save_dataset(path, dataset):
+    """Persist an :class:`repro.data.ArrayDataset`."""
+    np.savez_compressed(path, images=dataset.images, labels=dataset.labels)
+
+
+def load_dataset(path):
+    """Load an :class:`repro.data.ArrayDataset` saved by :func:`save_dataset`."""
+    from ..data import ArrayDataset
+
+    with np.load(path) as data:
+        return ArrayDataset(data["images"], data["labels"])

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits=4):
+    """Format a float like the paper's tables (.7581 style)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value != value:  # NaN
+        return "nan"
+    text = "%.*f" % (digits, value)
+    if text.startswith("0."):
+        return text[1:]
+    if text.startswith("-0."):
+        return "-" + text[2:]
+    return text
+
+
+def format_table(headers, rows, title=None):
+    """Render rows (lists of str) under headers as an aligned text table."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic Generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blob_data(rng):
+    """Three imbalanced Gaussian blobs in 2D: counts (60, 20, 6)."""
+    x = np.concatenate(
+        [
+            rng.normal([0.0, 0.0], 0.8, size=(60, 2)),
+            rng.normal([4.0, 0.0], 0.8, size=(20, 2)),
+            rng.normal([0.0, 4.0], 0.8, size=(6, 2)),
+        ]
+    )
+    y = np.array([0] * 60 + [1] * 20 + [2] * 6)
+    return x, y
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny imbalanced synthetic train/test pair (session-cached)."""
+    from repro.data import make_dataset
+
+    return make_dataset("cifar10_like", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_artifacts():
+    """One trained tiny extractor shared by framework-level tests."""
+    from repro.experiments import bench_config
+    from repro.experiments.pipeline import train_phase1
+
+    config = bench_config(phase1_epochs=10)
+    return train_phase1(config, "ce")

@@ -1,0 +1,71 @@
+"""Tests for the convolutional autoencoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ConvAutoencoder
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(201)
+
+
+class TestConvAutoencoder:
+    def test_shapes_roundtrip(self, rng):
+        ae = ConvAutoencoder(in_channels=3, image_size=12, latent_dim=10,
+                             width=4, rng=rng)
+        x = Tensor(rng.random((5, 3, 12, 12)))
+        z = ae.encode(x)
+        assert z.shape == (5, 10)
+        recon = ae.decode(z)
+        assert recon.shape == (5, 3, 12, 12)
+
+    def test_output_in_unit_interval(self, rng):
+        ae = ConvAutoencoder(image_size=8, width=4, rng=rng)
+        out = ae(Tensor(rng.random((3, 3, 8, 8)))).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_image_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            ConvAutoencoder(image_size=10, rng=rng)
+
+    def test_reconstruction_improves_with_training(self, rng):
+        ae = ConvAutoencoder(in_channels=1, image_size=8, latent_dim=8,
+                             width=4, rng=rng)
+        x = rng.random((24, 1, 8, 8))
+        opt = Adam(ae.parameters(), lr=2e-3)
+        losses = []
+        for _ in range(40):
+            opt.zero_grad()
+            loss = ((ae(Tensor(x)) - Tensor(x)) ** 2).mean()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] * 0.9
+
+    def test_gradients_reach_both_ends(self, rng):
+        ae = ConvAutoencoder(image_size=8, width=4, rng=rng)
+        x = Tensor(rng.random((2, 3, 8, 8)))
+        ((ae(x) - x) ** 2).mean().backward()
+        assert ae.enc_conv1.weight.grad is not None
+        assert ae.dec_conv2.weight.grad is not None
+
+    def test_latent_smote_workflow(self, rng):
+        """DeepSMOTE-style: encode images, SMOTE the latents, decode."""
+        from repro.sampling import SMOTE
+
+        ae = ConvAutoencoder(in_channels=1, image_size=8, latent_dim=6,
+                             width=4, rng=rng)
+        images = rng.random((30, 1, 8, 8))
+        labels = np.array([0] * 25 + [1] * 5)
+        ae.eval()
+        latents = ae.encode(Tensor(images)).data
+        z_res, y_res = SMOTE(k_neighbors=3, random_state=0).fit_resample(
+            latents, labels
+        )
+        synth = ae.decode(Tensor(z_res[30:])).data
+        assert synth.shape == (20, 1, 8, 8)
+        assert np.all((synth >= 0) & (synth <= 1))

@@ -1,0 +1,110 @@
+"""Tests for the BBN-style dual-branch head."""
+
+import numpy as np
+import pytest
+
+from repro.core import DualBranchHead, reverse_sampling_probabilities
+from repro.nn import Linear
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(181)
+
+
+@pytest.fixture
+def embeddings(rng):
+    centers = np.zeros((3, 8))
+    centers[0, 0] = centers[1, 1] = centers[2, 2] = 2.2
+    counts = [120, 30, 6]
+    x, y = [], []
+    for c, n in enumerate(counts):
+        x.append(rng.normal(centers[c], 1.0, size=(n, 8)))
+        y += [c] * n
+    return np.concatenate(x), np.array(y)
+
+
+def head_factory():
+    return Linear(8, 3, rng=np.random.default_rng(5))
+
+
+class TestReverseSampling:
+    def test_probabilities_sum_to_one(self):
+        y = np.array([0] * 90 + [1] * 10)
+        p = reverse_sampling_probabilities(y)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_class_mass_equalized(self):
+        """Total probability mass per class is equal under reversal."""
+        y = np.array([0] * 90 + [1] * 10)
+        p = reverse_sampling_probabilities(y)
+        assert p[y == 0].sum() == pytest.approx(p[y == 1].sum())
+
+    def test_minority_sample_more_likely(self):
+        y = np.array([0] * 90 + [1] * 10)
+        p = reverse_sampling_probabilities(y)
+        assert p[-1] > p[0]
+
+    def test_absent_class_handled(self):
+        y = np.array([0, 0, 2, 2])
+        p = reverse_sampling_probabilities(y, num_classes=3)
+        assert np.isfinite(p).all()
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestDualBranchHead:
+    def test_alpha_schedule_cumulative(self, embeddings):
+        x, y = embeddings
+        model = DualBranchHead(head_factory, epochs=5, random_state=0)
+        model.fit(x, y)
+        alphas = model.alpha_history
+        assert alphas[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(alphas, alphas[1:]))
+        assert alphas[-1] < 0.5
+
+    def test_improves_minority_over_uniform_only(self, embeddings):
+        """The blended model must beat the uniform branch alone on BAC."""
+        from repro.metrics import balanced_accuracy
+
+        x, y = embeddings
+        model = DualBranchHead(head_factory, epochs=12, random_state=0).fit(x, y)
+        blended = model.score(x, y)
+        uniform_only = balanced_accuracy(
+            y,
+            model.uniform_head(
+                __import__("repro.tensor", fromlist=["Tensor"]).Tensor(x)
+            ).data.argmax(axis=1),
+        )
+        assert blended >= uniform_only - 0.02
+
+    def test_predict_shapes(self, embeddings):
+        x, y = embeddings
+        model = DualBranchHead(head_factory, epochs=2, random_state=0).fit(x, y)
+        assert model.predict_logits(x).shape == (len(x), 3)
+        assert model.predict(x).shape == (len(x),)
+
+    def test_logits_are_branch_average(self, embeddings):
+        from repro.tensor import Tensor
+
+        x, y = embeddings
+        model = DualBranchHead(head_factory, epochs=2, random_state=0).fit(x, y)
+        manual = 0.5 * (
+            model.uniform_head(Tensor(x)).data
+            + model.rebalance_head(Tensor(x)).data
+        )
+        np.testing.assert_allclose(model.predict_logits(x), manual)
+
+    def test_deterministic(self, embeddings):
+        x, y = embeddings
+        a = DualBranchHead(head_factory, epochs=3, random_state=9).fit(x, y)
+        b = DualBranchHead(head_factory, epochs=3, random_state=9).fit(x, y)
+        np.testing.assert_allclose(a.predict_logits(x), b.predict_logits(x))
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            DualBranchHead(head_factory, epochs=0)
+
+    def test_reasonable_accuracy(self, embeddings):
+        x, y = embeddings
+        model = DualBranchHead(head_factory, epochs=12, random_state=0).fit(x, y)
+        assert model.score(x, y) > 0.7

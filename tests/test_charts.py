@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_all_elements(self):
+        chart = ascii_chart(
+            {"a": [1.0, 2.0, 3.0]},
+            width=20,
+            height=5,
+            title="Title",
+            x_label="step",
+        )
+        assert "Title" in chart
+        assert "legend: *=a" in chart
+        assert "(step)" in chart
+
+    def test_rising_series_marks_corners(self):
+        chart = ascii_chart({"a": [0.0, 1.0]}, width=10, height=4)
+        lines = chart.splitlines()
+        plot = [line.split("|", 1)[1] for line in lines if "|" in line]
+        # Max value at top-right, min at bottom-left.
+        assert plot[0].rstrip().endswith("*")
+        assert plot[-1].lstrip().startswith("*")
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart({"a": [1, 2], "b": [2, 1]}, width=10, height=4)
+        assert "*" in chart and "o" in chart
+        assert "*=a" in chart and "o=b" in chart
+
+    def test_constant_series_no_crash(self):
+        chart = ascii_chart({"flat": [5.0, 5.0, 5.0]}, width=12, height=4)
+        assert "*" in chart
+
+    def test_nan_values_skipped(self):
+        chart = ascii_chart(
+            {"gappy": [1.0, float("nan"), 3.0]}, width=12, height=4
+        )
+        assert "*" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = ascii_chart({"a": np.linspace(0.0, 2.0, 5)}, width=10, height=4)
+        assert "2" in chart
+        assert "0" in chart
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [float("nan")]})
+
+    def test_different_lengths_share_axis(self):
+        chart = ascii_chart({"short": [1, 2], "long": [1, 2, 3, 4]}, width=20,
+                            height=5)
+        assert "0 .. 3" in chart

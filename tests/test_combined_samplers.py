@@ -1,0 +1,78 @@
+"""Tests for the combined over-sampling + cleaning pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core import EOS
+from repro.sampling import SMOTEENN, SMOTETomek
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(191)
+
+
+@pytest.fixture
+def overlapping(rng):
+    x = np.concatenate(
+        [rng.normal(0.0, 1.0, size=(60, 2)), rng.normal([1.2, 0.0], 0.8, size=(8, 2))]
+    )
+    y = np.array([0] * 60 + [1] * 8)
+    return x, y
+
+
+class TestSMOTEENN:
+    def test_roughly_balances(self, overlapping):
+        x, y = overlapping
+        xr, yr = SMOTEENN(random_state=0).fit_resample(x, y)
+        counts = np.bincount(yr)
+        # ENN removes some points, but the minority must be boosted far
+        # beyond its original count.
+        assert counts[1] > 30
+
+    def test_cleaning_removes_points(self, overlapping):
+        """Compared to plain SMOTE output, ENN drops overlap points."""
+        from repro.sampling import SMOTE
+
+        x, y = overlapping
+        x_smote, _ = SMOTE(random_state=0).fit_resample(x, y)
+        x_enn, _ = SMOTEENN(random_state=0).fit_resample(x, y)
+        assert len(x_enn) < len(x_smote)
+
+    def test_custom_oversampler(self, overlapping):
+        x, y = overlapping
+        sampler = SMOTEENN(
+            oversampler=EOS(k_neighbors=5, random_state=0)
+        )
+        xr, yr = sampler.fit_resample(x, y)
+        assert np.bincount(yr)[1] > 8  # EOS stage boosted the minority
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            SMOTEENN().fit_resample(np.zeros((3, 2, 2)), np.zeros(3))
+
+
+class TestSMOTETomek:
+    def test_roughly_balances(self, overlapping):
+        x, y = overlapping
+        xr, yr = SMOTETomek(random_state=0).fit_resample(x, y)
+        counts = np.bincount(yr)
+        assert counts[1] > 40
+
+    def test_no_tomek_links_remain(self, overlapping):
+        from repro.sampling import find_tomek_links
+
+        x, y = overlapping
+        xr, yr = SMOTETomek(random_state=0, link_strategy="both").fit_resample(
+            x, y
+        )
+        assert find_tomek_links(xr, yr).size == 0
+
+    def test_separated_classes_unchanged_count(self, rng):
+        x = np.concatenate(
+            [rng.normal(0, 0.1, (20, 2)), rng.normal(50, 0.1, (5, 2))]
+        )
+        y = np.array([0] * 20 + [1] * 5)
+        xr, yr = SMOTETomek(random_state=0).fit_resample(x, y)
+        # No links in a fully separated space: pure SMOTE balance.
+        np.testing.assert_array_equal(np.bincount(yr), [20, 20])

@@ -1,0 +1,145 @@
+"""Tests for the decoupled-classifier baselines (cRT, tau-norm, NCM)."""
+
+import numpy as np
+import pytest
+
+from repro.core import NearestClassMean, crt_retrain, tau_normalize
+from repro.nn import SmallConvNet
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(111)
+
+
+@pytest.fixture
+def embedding_task(rng):
+    """Imbalanced, separable 16-dim embeddings for 3 classes."""
+    centers = np.zeros((3, 16))
+    centers[0, 0] = 2.5
+    centers[1, 1] = 2.5
+    centers[2, 2] = 2.5
+    counts = [120, 24, 6]
+    emb, labels = [], []
+    for c, n in enumerate(counts):
+        emb.append(rng.normal(centers[c], 1.0, size=(n, 16)))
+        labels += [c] * n
+    return np.concatenate(emb), np.array(labels)
+
+
+class TestCRT:
+    def test_improves_minority_over_imbalanced_head(self, embedding_task, rng):
+        from repro.core import finetune_classifier
+        from repro.metrics import balanced_accuracy
+
+        emb, labels = embedding_task
+        test_emb, test_labels = embedding_task  # same distribution
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+
+        # Head trained on imbalanced embeddings.
+        finetune_classifier(model, emb, labels, epochs=15,
+                            reinitialize=True, rng=np.random.default_rng(1))
+        from repro.tensor import Tensor
+
+        before = balanced_accuracy(
+            test_labels, model.forward_head(Tensor(test_emb)).data.argmax(axis=1)
+        )
+        crt_retrain(model, emb, labels, epochs=15, rng=np.random.default_rng(2))
+        after = balanced_accuracy(
+            test_labels, model.forward_head(Tensor(test_emb)).data.argmax(axis=1)
+        )
+        assert after >= before - 0.02
+
+    def test_returns_history(self, embedding_task, rng):
+        emb, labels = embedding_task
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        history = crt_retrain(model, emb, labels, epochs=3)
+        assert len(history) == 3
+
+
+class TestTauNormalize:
+    def test_tau_one_equalizes_norms(self, rng):
+        model = SmallConvNet(num_classes=4, width=4, rng=rng)
+        model.classifier.weight.data[...] = rng.normal(
+            size=model.classifier.weight.shape
+        ) * np.array([[4.0], [2.0], [1.0], [0.5]])
+        tau_normalize(model.classifier, tau=1.0)
+        norms = np.linalg.norm(model.classifier.weight.data, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_tau_zero_noop(self, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        before = model.classifier.weight.data.copy()
+        tau_normalize(model.classifier, tau=0.0)
+        np.testing.assert_allclose(model.classifier.weight.data, before)
+
+    def test_returns_prior_norms(self, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        expected = np.linalg.norm(model.classifier.weight.data, axis=1)
+        returned = tau_normalize(model.classifier, tau=0.5)
+        np.testing.assert_allclose(returned, expected)
+
+    def test_bias_scaled_consistently(self, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        model.classifier.bias.data[...] = 1.0
+        norms = np.linalg.norm(model.classifier.weight.data, axis=1)
+        tau_normalize(model.classifier, tau=1.0)
+        np.testing.assert_allclose(model.classifier.bias.data, 1.0 / norms)
+
+    def test_invalid_tau(self, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        with pytest.raises(ValueError):
+            tau_normalize(model.classifier, tau=1.5)
+
+    def test_reduces_majority_bias(self, embedding_task, rng):
+        """After training on imbalanced data, tau-norm lifts minority
+        predictions."""
+        from repro.core import finetune_classifier
+        from repro.tensor import Tensor
+
+        emb, labels = embedding_task
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        finetune_classifier(model, emb, labels, epochs=20,
+                            reinitialize=True, rng=np.random.default_rng(3))
+        preds_before = model.forward_head(Tensor(emb)).data.argmax(axis=1)
+        minority_before = (preds_before == 2).sum()
+        tau_normalize(model.classifier, tau=1.0)
+        preds_after = model.forward_head(Tensor(emb)).data.argmax(axis=1)
+        minority_after = (preds_after == 2).sum()
+        assert minority_after >= minority_before
+
+
+class TestNCM:
+    def test_perfect_on_separated_clusters(self, rng):
+        emb = np.concatenate(
+            [rng.normal([5, 0], 0.2, (30, 2)), rng.normal([0, 5], 0.2, (10, 2))]
+        )
+        labels = np.array([0] * 30 + [1] * 10)
+        ncm = NearestClassMean(normalize=False).fit(emb, labels)
+        assert ncm.score(emb, labels) == 1.0
+
+    def test_imbalance_insensitive(self, embedding_task):
+        """NCM uses only class means, so skewed counts don't bias it."""
+        emb, labels = embedding_task
+        ncm = NearestClassMean().fit(emb, labels)
+        from repro.metrics import balanced_accuracy
+
+        assert balanced_accuracy(labels, ncm.predict(emb)) > 0.8
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            NearestClassMean().predict(np.zeros((1, 4)))
+
+    def test_normalization_option(self, rng):
+        emb = rng.normal(size=(20, 4))
+        labels = np.array([0, 1] * 10)
+        a = NearestClassMean(normalize=True).fit(emb, labels)
+        b = NearestClassMean(normalize=False).fit(emb, labels)
+        assert not np.allclose(a.means, b.means)
+
+    def test_classes_preserved(self, rng):
+        emb = rng.normal(size=(10, 3))
+        labels = np.array([2, 5] * 5)  # non-contiguous labels
+        ncm = NearestClassMean().fit(emb, labels)
+        preds = ncm.predict(emb)
+        assert set(np.unique(preds)) <= {2, 5}

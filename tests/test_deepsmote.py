@@ -1,0 +1,77 @@
+"""Tests for the DeepSMOTE over-sampler (autoencoder + latent SMOTE)."""
+
+import numpy as np
+import pytest
+
+from repro.gans import DeepSMOTE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(161)
+
+
+@pytest.fixture
+def blobs(rng):
+    x = np.concatenate(
+        [rng.normal(0.0, 1.0, size=(80, 6)), rng.normal(3.0, 0.5, size=(8, 6))]
+    )
+    y = np.array([0] * 80 + [1] * 8)
+    return x, y
+
+
+FAST = dict(ae_epochs=120, random_state=0)
+
+
+class TestDeepSMOTE:
+    def test_balances(self, blobs):
+        x, y = blobs
+        xr, yr = DeepSMOTE(**FAST).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [80, 80])
+
+    def test_originals_prefix(self, blobs):
+        x, y = blobs
+        xr, yr = DeepSMOTE(**FAST).fit_resample(x, y)
+        np.testing.assert_array_equal(xr[: len(x)], x)
+
+    def test_synthetic_near_minority(self, blobs):
+        x, y = blobs
+        xr, yr = DeepSMOTE(**FAST).fit_resample(x, y)
+        synth = xr[len(x):]
+        d_min = np.linalg.norm(synth - 3.0, axis=1).mean()
+        d_maj = np.linalg.norm(synth - 0.0, axis=1).mean()
+        assert d_min < d_maj
+
+    def test_records_fit_time(self, blobs):
+        x, y = blobs
+        sampler = DeepSMOTE(**FAST)
+        sampler.fit_resample(x, y)
+        assert sampler.fit_seconds > 0
+
+    def test_balanced_input_noop(self, rng):
+        x = rng.normal(size=(20, 4))
+        y = np.array([0, 1] * 10)
+        xr, yr = DeepSMOTE(**FAST).fit_resample(x, y)
+        assert len(xr) == 20
+
+    def test_deterministic(self, blobs):
+        x, y = blobs
+        a = DeepSMOTE(**FAST).fit_resample(x, y)
+        b = DeepSMOTE(**FAST).fit_resample(x, y)
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_permute_reconstruction_flag(self, blobs):
+        """Both training modes must run; permuted reconstruction yields a
+        different (class-level) autoencoder."""
+        x, y = blobs
+        a = DeepSMOTE(permute_reconstruction=True, **FAST).fit_resample(x, y)
+        b = DeepSMOTE(permute_reconstruction=False, **FAST).fit_resample(x, y)
+        assert not np.allclose(a[0][len(x):], b[0][len(x):])
+
+    def test_registry_integration(self, blobs):
+        from repro.experiments import build_sampler
+
+        x, y = blobs
+        sampler = build_sampler("deepsmote", random_state=0, ae_epochs=60)
+        xr, yr = sampler.fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [80, 80])

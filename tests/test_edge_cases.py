@@ -1,0 +1,147 @@
+"""Edge-case tests across modules: odd shapes, degenerate inputs, rare paths."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, nll_loss, log_softmax, where
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(211)
+
+
+class TestTensorEdges:
+    def test_where_with_float_condition(self, rng):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([10.0, 20.0], requires_grad=True)
+        cond = np.array([1.0, 0.0])  # float mask
+        out = where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+    def test_nll_none_reduction_backward(self, rng):
+        lp = log_softmax(Tensor(rng.normal(size=(3, 4)), requires_grad=True))
+        losses = nll_loss(lp, np.array([0, 1, 2]), reduction="none")
+        losses.backward(np.ones(3))
+        # Gradient flowed to the original logits producer.
+        assert losses.shape == (3,)
+
+    def test_single_element_tensor_ops(self):
+        a = Tensor([[2.0]], requires_grad=True)
+        ((a ** 3).log() * 2).backward()
+        assert a.grad[0, 0] == pytest.approx(2 * 3 / 2.0)
+
+    def test_zero_dim_result_item(self):
+        a = Tensor([1.0, 2.0, 3.0])
+        assert a.sum().item() == 6.0
+
+    def test_matmul_1d_1d(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = a @ b
+        assert out.item() == 11.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+
+
+class TestDataEdges:
+    def test_empty_dataset_num_classes(self):
+        from repro.data import ArrayDataset
+
+        ds = ArrayDataset(np.empty((0, 3, 2, 2)), np.empty(0, dtype=np.int64))
+        assert ds.num_classes == 0
+        assert len(ds) == 0
+
+    def test_loader_on_single_sample(self, rng):
+        from repro.data import ArrayDataset, DataLoader
+
+        ds = ArrayDataset(rng.random((1, 1, 2, 2)), np.array([0]))
+        batches = list(DataLoader(ds, batch_size=8, rng=rng))
+        assert len(batches) == 1
+        assert batches[0][0].shape[0] == 1
+
+    def test_minimum_scale_dataset(self):
+        from repro.data import make_dataset
+
+        train, test, info = make_dataset(
+            "celeba_like", scale={"n_max_train": 5, "n_test": 4}, seed=0
+        )
+        assert len(train) >= info["num_classes"]
+        assert len(test) == 4 * info["num_classes"]
+
+
+class TestSamplerEdges:
+    def test_eos_two_points_per_class(self, rng):
+        from repro.core import EOS
+
+        x = np.array([[0.0, 0.0], [0.2, 0.0], [1.0, 0.0]])
+        y = np.array([0, 0, 1])
+        xr, yr = EOS(k_neighbors=2, random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [2, 2])
+
+    def test_smote_exact_duplicate_points(self, rng):
+        """Duplicate coordinates must not break self-exclusion."""
+        from repro.sampling import SMOTE
+
+        x = np.array([[1.0, 1.0]] * 5 + [[5.0, 5.0]] * 2)
+        y = np.array([0] * 5 + [1] * 2)
+        xr, yr = SMOTE(k_neighbors=3, random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [5, 5])
+
+    def test_single_class_input_noop(self, rng):
+        from repro.sampling import SMOTE
+
+        x = rng.normal(size=(10, 2))
+        y = np.zeros(10, dtype=np.int64)
+        xr, yr = SMOTE(random_state=0).fit_resample(x, y)
+        assert len(xr) == 10
+
+
+class TestMetricsEdges:
+    def test_single_class_truth(self):
+        from repro.metrics import balanced_accuracy, geometric_mean, macro_f1
+
+        y = [1, 1, 1]
+        assert balanced_accuracy(y, y, num_classes=3) == 1.0
+        assert geometric_mean(y, y, num_classes=3) == 1.0
+        assert macro_f1(y, y, num_classes=3) == 1.0
+
+    def test_all_wrong(self):
+        from repro.metrics import balanced_accuracy
+
+        assert balanced_accuracy([0, 1], [1, 0]) == 0.0
+
+
+class TestMiscEdges:
+    def test_tsne_three_components(self, rng):
+        from repro.manifold import TSNE
+
+        out = TSNE(n_components=3, n_iter=30, seed=0).fit_transform(
+            rng.normal(size=(12, 5))
+        )
+        assert out.shape == (12, 3)
+
+    def test_linear_svm_binary(self, rng):
+        from repro.svm import LinearSVM
+
+        x = np.concatenate([rng.normal(-2, 0.5, (30, 2)), rng.normal(2, 0.5, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        svm = LinearSVM(epochs=30).fit(x, y)
+        assert svm.score(x, y) > 0.95
+
+    def test_chart_single_point_series(self):
+        from repro.utils import ascii_chart
+
+        chart = ascii_chart({"p": [1.0]}, width=8, height=3)
+        assert "*" in chart
+
+    def test_gap_with_single_feature(self, rng):
+        from repro.core import generalization_gap
+
+        f = rng.normal(size=(20, 1))
+        y = rng.integers(0, 2, 20)
+        out = generalization_gap(f[:10], y[:10], f[10:], y[10:])
+        assert np.isfinite(out["mean"])

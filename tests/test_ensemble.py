@@ -1,0 +1,105 @@
+"""Tests for the balanced head ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core import EOS
+from repro.ensemble import BalancedHeadEnsemble
+from repro.nn import Linear
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(151)
+
+
+@pytest.fixture
+def embeddings(rng):
+    """Imbalanced separable embeddings: 100 / 20 / 5."""
+    centers = np.zeros((3, 8))
+    centers[0, 0] = centers[1, 1] = centers[2, 2] = 2.0
+    counts = [100, 20, 5]
+    x, y = [], []
+    for c, n in enumerate(counts):
+        x.append(rng.normal(centers[c], 1.0, size=(n, 8)))
+        y += [c] * n
+    return np.concatenate(x), np.array(y)
+
+
+def head_factory(seed=0):
+    return Linear(8, 3, rng=np.random.default_rng(seed))
+
+
+class TestBalancedHeadEnsemble:
+    def test_fit_creates_heads(self, embeddings):
+        x, y = embeddings
+        ens = BalancedHeadEnsemble(head_factory, n_heads=3, epochs=3)
+        ens.fit(x, y)
+        assert len(ens.heads) == 3
+        # Members differ (different balanced views/seeds).
+        w0 = ens.heads[0].weight.data
+        w1 = ens.heads[1].weight.data
+        assert not np.allclose(w0, w1)
+
+    def test_undersample_views_are_balanced(self, embeddings):
+        x, y = embeddings
+        ens = BalancedHeadEnsemble(head_factory, n_heads=1)
+        xv, yv = ens._balanced_view(x, y, seed=0)
+        counts = np.bincount(yv)
+        assert len(set(counts)) == 1
+        assert counts[0] == 5  # smallest class size
+
+    def test_oversample_mode_uses_sampler(self, embeddings):
+        x, y = embeddings
+        ens = BalancedHeadEnsemble(
+            head_factory,
+            n_heads=2,
+            mode="oversample",
+            sampler_factory=lambda seed: EOS(k_neighbors=5, random_state=seed),
+            epochs=3,
+        )
+        xv, yv = ens._balanced_view(x, y, seed=0)
+        np.testing.assert_array_equal(np.bincount(yv), [100, 100, 100])
+        ens.fit(x, y)
+        assert ens.score(x, y) > 0.5
+
+    def test_beats_single_undersampled_head_on_bac(self, embeddings):
+        """Variance reduction: the ensemble should at least match a
+        single under-bagged head."""
+        x, y = embeddings
+        single = BalancedHeadEnsemble(head_factory, n_heads=1, epochs=8,
+                                      random_state=0).fit(x, y)
+        many = BalancedHeadEnsemble(head_factory, n_heads=7, epochs=8,
+                                    random_state=0).fit(x, y)
+        assert many.score(x, y) >= single.score(x, y) - 0.02
+
+    def test_predict_before_fit_raises(self, embeddings):
+        x, _ = embeddings
+        with pytest.raises(RuntimeError):
+            BalancedHeadEnsemble(head_factory).predict(x)
+
+    def test_logits_are_member_average(self, embeddings):
+        x, y = embeddings
+        ens = BalancedHeadEnsemble(head_factory, n_heads=2, epochs=1).fit(x, y)
+        from repro.tensor import Tensor
+
+        manual = (
+            ens.heads[0](Tensor(x)).data + ens.heads[1](Tensor(x)).data
+        ) / 2
+        np.testing.assert_allclose(ens.predict_logits(x), manual)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BalancedHeadEnsemble(head_factory, n_heads=0)
+        with pytest.raises(ValueError):
+            BalancedHeadEnsemble(head_factory, mode="bagging")
+        with pytest.raises(ValueError):
+            BalancedHeadEnsemble(head_factory, mode="oversample")
+
+    def test_deterministic_given_seed(self, embeddings):
+        x, y = embeddings
+        a = BalancedHeadEnsemble(head_factory, n_heads=2, epochs=2,
+                                 random_state=7).fit(x, y)
+        b = BalancedHeadEnsemble(head_factory, n_heads=2, epochs=2,
+                                 random_state=7).fit(x, y)
+        np.testing.assert_allclose(a.predict_logits(x), b.predict_logits(x))

@@ -1,0 +1,200 @@
+"""Tests for the EOS sampler (the paper's Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EOS
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(61)
+
+
+@pytest.fixture
+def boundary_data(rng):
+    """Majority blob at origin, minority blob nearby (overlapping tails)."""
+    x = np.concatenate(
+        [rng.normal(0.0, 0.8, size=(60, 2)), rng.normal([2.5, 0.0], 0.6, size=(8, 2))]
+    )
+    y = np.array([0] * 60 + [1] * 8)
+    return x, y
+
+
+class TestEOSBasics:
+    def test_balances_classes(self, boundary_data):
+        x, y = boundary_data
+        xr, yr = EOS(k_neighbors=5, random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [60, 60])
+
+    def test_originals_preserved(self, boundary_data):
+        x, y = boundary_data
+        xr, yr = EOS(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(xr[: len(x)], x)
+        np.testing.assert_array_equal(yr[: len(y)], y)
+
+    def test_deterministic(self, boundary_data):
+        x, y = boundary_data
+        a = EOS(random_state=5).fit_resample(x, y)
+        b = EOS(random_state=5).fit_resample(x, y)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_balanced_input_noop(self, rng):
+        x = rng.normal(size=(20, 3))
+        y = np.array([0, 1] * 10)
+        xr, yr = EOS(random_state=0).fit_resample(x, y)
+        assert len(xr) == 20
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EOS(k_neighbors=0)
+        with pytest.raises(ValueError):
+            EOS(direction="sideways")
+        with pytest.raises(ValueError):
+            EOS(weighting="softmax")
+        with pytest.raises(ValueError):
+            EOS(expansion=0.0)
+
+
+class TestNearestEnemyMechanics:
+    def test_find_bases_only_with_enemy_neighbors(self, rng):
+        # Minority: one point near the majority plus a tight far cluster
+        # whose k-neighborhoods contain only class members.
+        cluster = rng.normal([50.0, 50.0], 0.01, size=(5, 2))
+        x = np.concatenate([rng.normal(0, 0.2, (30, 2)), [[0.8, 0.0]], cluster])
+        y = np.array([0] * 30 + [1] * 6)
+        info = EOS(k_neighbors=3, random_state=0).find_bases(x, y)
+        bases, enemies, _ = info[1]
+        assert 30 in bases  # the near point is a base
+        for i in range(31, 36):
+            assert i not in bases  # cluster members see no enemies
+
+    def test_enemy_neighbors_are_adversaries(self, boundary_data):
+        x, y = boundary_data
+        info = EOS(k_neighbors=5, random_state=0).find_bases(x, y)
+        for cls, (bases, enemies, weights) in info.items():
+            for enemy_ids in enemies:
+                assert np.all(y[enemy_ids] != cls)
+
+    def test_uniform_weights_sum_to_one(self, boundary_data):
+        x, y = boundary_data
+        info = EOS(k_neighbors=5, weighting="uniform").find_bases(x, y)
+        for _, (_, enemies, weights) in info.items():
+            for w in weights:
+                assert w.sum() == pytest.approx(1.0)
+                assert len(set(np.round(w, 12))) == 1  # uniform
+
+    def test_distance_weights_favor_close_enemies(self, rng):
+        x = np.concatenate([[[0.0, 0.0]], [[1.0, 0.0]], [[4.0, 0.0]]])
+        y = np.array([1, 0, 0])
+        info = EOS(k_neighbors=2, weighting="distance").find_bases(x, y)
+        bases, enemies, weights = info[1]
+        order = np.argsort(enemies[0])  # enemy ids 1 (near), 2 (far)
+        w = weights[0][order]
+        assert w[0] > w[1]
+
+
+class TestExpansion:
+    def test_expands_minority_range_toward_enemies(self, boundary_data):
+        """The defining property: unlike SMOTE, EOS widens minority ranges."""
+        from repro.sampling import SMOTE
+
+        x, y = boundary_data
+        lo, hi = x[y == 1].min(axis=0), x[y == 1].max(axis=0)
+
+        xr_eos, yr_eos = EOS(k_neighbors=8, random_state=0).fit_resample(x, y)
+        synth_eos = xr_eos[len(x):]
+        eos_outside = np.any((synth_eos < lo) | (synth_eos > hi), axis=1).mean()
+        assert eos_outside > 0.2
+
+        xr_sm, yr_sm = SMOTE(k_neighbors=3, random_state=0).fit_resample(x, y)
+        synth_sm = xr_sm[len(x):]
+        sm_outside = np.any((synth_sm < lo - 1e-9) | (synth_sm > hi + 1e-9),
+                            axis=1).mean()
+        assert sm_outside == 0.0
+
+    def test_toward_samples_between_base_and_enemy(self, rng):
+        x = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 0.0], [10.1, 0.0]])
+        y = np.array([1, 1, 0, 0])
+        xr, yr = EOS(k_neighbors=3, direction="toward",
+                     random_state=0).fit_resample(x, y)
+        synth = xr[4:]
+        assert np.all(synth[:, 0] >= -1e-9)
+        assert np.all(synth[:, 0] <= 10.1 + 1e-9)
+
+    def test_away_reflects_from_enemy(self, rng):
+        x = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 0.0], [10.1, 0.0]])
+        y = np.array([1, 1, 0, 0])
+        xr, yr = EOS(k_neighbors=3, direction="away",
+                     random_state=0).fit_resample(x, y)
+        synth = xr[4:]
+        # away: b + r (b - n) with n at ~10 puts points at x <= b.
+        assert np.all(synth[:, 0] <= 0.1 + 1e-9)
+
+    def test_expansion_factor_extrapolates(self, rng):
+        x = np.array([[0.0], [0.1], [1.0], [1.1], [1.2]])
+        y = np.array([1, 1, 0, 0, 0])
+        xr, _ = EOS(
+            k_neighbors=4,
+            expansion=2.0,
+            sampling_strategy={1: 40},
+            random_state=0,
+        ).fit_resample(x, y)
+        synth = xr[5:]
+        assert synth.max() > 1.2  # beyond the enemy
+
+    def test_isolated_class_falls_back_to_duplication(self, rng):
+        x = np.concatenate(
+            [rng.normal(0, 0.01, (20, 2)), rng.normal(1000, 0.01, (3, 2))]
+        )
+        y = np.array([0] * 20 + [1] * 3)
+        xr, yr = EOS(k_neighbors=2, random_state=0).fit_resample(x, y)
+        synth = xr[23:]
+        pool = x[y == 1]
+        # Every synthetic point equals one of the originals.
+        for row in synth:
+            assert np.min(np.linalg.norm(pool - row, axis=1)) < 1e-9
+
+
+class TestKSensitivity:
+    def test_larger_k_wider_spread(self, rng):
+        """More neighbors -> more distinct enemies -> more diverse samples
+        (the Table-IV mechanism)."""
+        x = np.concatenate(
+            [rng.normal(0, 1.0, size=(100, 2)), rng.normal([3, 0], 0.5, size=(10, 2))]
+        )
+        y = np.array([0] * 100 + [1] * 10)
+        spreads = []
+        for k in (2, 20):
+            xr, yr = EOS(k_neighbors=k, random_state=0).fit_resample(x, y)
+            synth = xr[110:]
+            spreads.append(synth.std(axis=0).mean())
+        assert spreads[1] > spreads[0]
+
+    def test_k_capped_at_dataset_size(self, rng):
+        x = rng.normal(size=(6, 2))
+        y = np.array([0, 0, 0, 0, 1, 1])
+        xr, yr = EOS(k_neighbors=100, random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [4, 4])
+
+
+class TestMultiClass:
+    def test_three_class_balancing(self, rng):
+        x = np.concatenate(
+            [
+                rng.normal(0, 1, size=(50, 4)),
+                rng.normal(3, 1, size=(15, 4)),
+                rng.normal(-3, 1, size=(5, 4)),
+            ]
+        )
+        y = np.array([0] * 50 + [1] * 15 + [2] * 5)
+        xr, yr = EOS(k_neighbors=8, random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [50, 50, 50])
+
+    def test_explicit_sampling_strategy(self, rng):
+        x = np.concatenate([rng.normal(0, 1, (20, 2)), rng.normal(2, 1, (5, 2))])
+        y = np.array([0] * 20 + [1] * 5)
+        xr, yr = EOS(
+            k_neighbors=5, sampling_strategy={1: 12}, random_state=0
+        ).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [20, 12])

@@ -1,0 +1,191 @@
+"""Tests for the Trainer and the three-phase training framework."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EOS,
+    ThreePhaseTrainer,
+    Trainer,
+    extract_features,
+    finetune_classifier,
+)
+from repro.data import ArrayDataset
+from repro.losses import CrossEntropyLoss
+from repro.nn import SmallConvNet
+from repro.optim import SGD
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(81)
+
+
+@pytest.fixture
+def easy_dataset(rng):
+    """A 3-class image task with channel-coded classes; 60/12/4 imbalance."""
+    counts = [60, 12, 4]
+    images, labels = [], []
+    for c, n in enumerate(counts):
+        imgs = rng.normal(0.3, 0.1, size=(n, 3, 8, 8))
+        imgs[:, c] += 0.6
+        images.append(imgs)
+        labels += [c] * n
+    return ArrayDataset(np.concatenate(images), np.array(labels))
+
+
+def make_trainer(rng, sampler=None, num_classes=3):
+    model = SmallConvNet(num_classes=num_classes, width=4, rng=rng)
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    return ThreePhaseTrainer(model, CrossEntropyLoss(), opt, sampler=sampler)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, easy_dataset, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        trainer = Trainer(
+            model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.05, momentum=0.9)
+        )
+        history = trainer.fit(easy_dataset, epochs=6, rng=rng)
+        assert history[-1]["loss"] < history[0]["loss"]
+
+    def test_history_records_eval(self, easy_dataset, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        trainer = Trainer(
+            model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.05)
+        )
+        history = trainer.fit(
+            easy_dataset, epochs=2, rng=rng, eval_dataset=easy_dataset
+        )
+        assert "bac" in history[0]
+
+    def test_scheduler_stepped(self, easy_dataset, rng):
+        from repro.optim import StepLR
+
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        opt = SGD(model.parameters(), lr=1.0)
+        trainer = Trainer(model, CrossEntropyLoss(), opt, StepLR(opt, 1, 0.5))
+        trainer.fit(easy_dataset, epochs=3, rng=rng)
+        assert opt.lr == pytest.approx(0.125)
+
+    def test_predict_shape(self, easy_dataset, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        trainer = Trainer(model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.1))
+        preds = trainer.predict(easy_dataset.images)
+        assert preds.shape == (len(easy_dataset),)
+        assert preds.dtype.kind == "i"
+
+    def test_extract_features_dim(self, easy_dataset, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        trainer = Trainer(model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.1))
+        features = trainer.extract_features(easy_dataset)
+        assert features.shape == (len(easy_dataset), model.feature_dim)
+
+    def test_extraction_uses_eval_mode(self, easy_dataset, rng):
+        """Feature extraction must be deterministic (BN in eval mode)."""
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        # Push running stats away from init.
+        trainer = Trainer(model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.05))
+        trainer.fit(easy_dataset, epochs=1, rng=rng)
+        f1 = extract_features(model, easy_dataset.images, batch_size=16)
+        f2 = extract_features(model, easy_dataset.images, batch_size=64)
+        np.testing.assert_allclose(f1, f2, atol=1e-10)
+        assert model.training  # mode restored
+
+
+class TestFinetuneClassifier:
+    def test_only_head_changes(self, easy_dataset, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        conv_before = model.conv1.weight.data.copy()
+        head_before = model.classifier.weight.data.copy()
+        emb = rng.normal(size=(50, model.feature_dim))
+        labels = rng.integers(0, 3, 50)
+        finetune_classifier(model, emb, labels, epochs=3, rng=rng)
+        np.testing.assert_array_equal(model.conv1.weight.data, conv_before)
+        assert not np.array_equal(model.classifier.weight.data, head_before)
+
+    def test_loss_decreases(self, rng):
+        model = SmallConvNet(num_classes=2, width=4, rng=rng)
+        emb = np.concatenate(
+            [rng.normal(-1, 0.3, (40, 16)), rng.normal(1, 0.3, (40, 16))]
+        )
+        labels = np.array([0] * 40 + [1] * 40)
+        history = finetune_classifier(model, emb, labels, epochs=8, rng=rng)
+        assert history[-1]["loss"] < history[0]["loss"]
+
+    def test_reinitialize_resets_head(self, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        model.classifier.weight.data[...] = 123.0
+        emb = rng.normal(size=(10, model.feature_dim))
+        finetune_classifier(
+            model, emb, rng.integers(0, 3, 10), epochs=0, reinitialize=True, rng=rng
+        )
+        assert np.abs(model.classifier.weight.data).max() < 10.0
+
+    def test_eval_hook_merged_into_history(self, rng):
+        model = SmallConvNet(num_classes=2, width=4, rng=rng)
+        emb = rng.normal(size=(20, model.feature_dim))
+        history = finetune_classifier(
+            model,
+            emb,
+            rng.integers(0, 2, 20),
+            epochs=2,
+            rng=rng,
+            eval_hook=lambda epoch: {"marker": epoch * 10},
+        )
+        assert history[1]["marker"] == 10
+
+
+class TestThreePhaseTrainer:
+    def test_full_pipeline_improves_minority(self, easy_dataset, rng):
+        tpt = make_trainer(np.random.default_rng(1), sampler=EOS(k_neighbors=5))
+        tpt.run(easy_dataset, phase1_epochs=8, rng=rng)
+        metrics = tpt.evaluate(easy_dataset)
+        assert metrics["bac"] > 0.6
+
+    def test_phase_ordering_enforced(self, rng):
+        tpt = make_trainer(rng)
+        with pytest.raises(RuntimeError):
+            tpt.resample_embeddings()
+        with pytest.raises(RuntimeError):
+            tpt.finetune()
+
+    def test_resample_balances(self, easy_dataset, rng):
+        tpt = make_trainer(np.random.default_rng(2), sampler=EOS(k_neighbors=5))
+        tpt.train_phase1(easy_dataset, epochs=3, rng=rng)
+        tpt.extract_embeddings(easy_dataset)
+        emb, labels = tpt.resample_embeddings()
+        np.testing.assert_array_equal(np.bincount(labels), [60, 60, 60])
+
+    def test_none_sampler_passthrough(self, easy_dataset, rng):
+        tpt = make_trainer(np.random.default_rng(3), sampler=None)
+        tpt.train_phase1(easy_dataset, epochs=2, rng=rng)
+        tpt.extract_embeddings(easy_dataset)
+        emb, labels = tpt.resample_embeddings()
+        assert len(labels) == len(easy_dataset)
+
+    def test_pluggable_sampler(self, easy_dataset, rng):
+        """Any fit_resample object works in phase 2 (framework is generic)."""
+        from repro.sampling import SMOTE
+
+        tpt = make_trainer(np.random.default_rng(4), sampler=SMOTE(k_neighbors=3))
+        tpt.run(easy_dataset, phase1_epochs=3, rng=rng)
+        assert tpt.balanced_labels is not None
+
+    def test_timings_recorded(self, easy_dataset, rng):
+        tpt = make_trainer(np.random.default_rng(5), sampler=EOS(k_neighbors=3))
+        tpt.run(easy_dataset, phase1_epochs=2, rng=rng)
+        assert set(tpt.timings) == {"phase1", "extract", "resample", "finetune"}
+        assert tpt.total_time() > 0
+
+    def test_finetune_improves_balanced_accuracy(self, easy_dataset, rng):
+        """The paper's core framework claim: balancing embeddings and
+        fine-tuning the head improves BAC over the raw imbalanced model."""
+        tpt = make_trainer(np.random.default_rng(6), sampler=EOS(k_neighbors=5))
+        tpt.train_phase1(easy_dataset, epochs=8, rng=np.random.default_rng(7))
+        before = tpt.phase1.evaluate(easy_dataset)["bac"]
+        tpt.extract_embeddings(easy_dataset)
+        tpt.resample_embeddings()
+        tpt.finetune(epochs=10, rng=np.random.default_rng(8))
+        after = tpt.evaluate(easy_dataset)["bac"]
+        assert after >= before - 0.02

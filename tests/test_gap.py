@@ -1,0 +1,193 @@
+"""Tests for the generalization-gap measure (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gap import (
+    class_feature_ranges,
+    feature_deviation,
+    generalization_gap,
+    range_excess,
+    tp_fp_gap,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(71)
+
+
+class TestFeatureRanges:
+    def test_min_max_per_class(self):
+        f = np.array([[0.0, 5.0], [1.0, 3.0], [10.0, -1.0]])
+        y = np.array([0, 0, 1])
+        ranges = class_feature_ranges(f, y, num_classes=2)
+        np.testing.assert_allclose(ranges[0, :, 0], [0.0, 3.0])  # mins
+        np.testing.assert_allclose(ranges[0, :, 1], [1.0, 5.0])  # maxs
+        np.testing.assert_allclose(ranges[1, :, 0], [10.0, -1.0])
+
+    def test_missing_class_nan(self):
+        ranges = class_feature_ranges(np.zeros((2, 3)), np.zeros(2, int), 4)
+        assert np.isnan(ranges[1]).all()
+
+    def test_singleton_class_degenerate_range(self):
+        f = np.array([[2.0, 7.0]])
+        ranges = class_feature_ranges(f, np.array([0]), 1)
+        np.testing.assert_allclose(ranges[0, :, 0], ranges[0, :, 1])
+
+
+class TestRangeExcess:
+    def test_zero_when_test_inside_train(self):
+        train = np.zeros((1, 2, 2))
+        train[0, :, 0] = [-1.0, -1.0]
+        train[0, :, 1] = [1.0, 1.0]
+        test = np.zeros((1, 2, 2))
+        test[0, :, 0] = [-0.5, 0.0]
+        test[0, :, 1] = [0.5, 0.9]
+        np.testing.assert_allclose(range_excess(train, test), [0.0])
+
+    def test_counts_overshoot_both_ends(self):
+        train = np.zeros((1, 1, 2))
+        train[0, 0] = [-1.0, 1.0]
+        test = np.zeros((1, 1, 2))
+        test[0, 0] = [-2.0, 3.0]
+        # undershoot 1 + overshoot 2 = 3
+        np.testing.assert_allclose(range_excess(train, test), [3.0])
+
+    def test_floor_never_negative(self):
+        """Test range strictly inside train range must not reduce the gap."""
+        train = np.zeros((1, 1, 2))
+        train[0, 0] = [-10.0, 10.0]
+        test = np.zeros((1, 1, 2))
+        test[0, 0] = [-0.1, 0.1]
+        assert range_excess(train, test)[0] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            range_excess(np.zeros((1, 2, 2)), np.zeros((2, 2, 2)))
+
+
+class TestGeneralizationGap:
+    def test_identical_distributions_small_gap(self, rng):
+        f = rng.normal(size=(2000, 8))
+        y = rng.integers(0, 2, 2000)
+        gap = generalization_gap(f[:1000], y[:1000], f[1000:], y[1000:])
+        assert gap["mean"] < 0.5
+
+    def test_undersampled_class_has_larger_gap(self, rng):
+        """The paper's core empirical claim, in its purest form: with
+        i.i.d. sampling, the class with fewer train samples exhibits a
+        larger train/test range gap."""
+        dim = 16
+        test_f = rng.normal(size=(1000, dim))
+        test_y = np.array([0, 1] * 500)
+        train_major = rng.normal(size=(500, dim))
+        train_minor = rng.normal(size=(5, dim))
+        train_f = np.concatenate([train_major, train_minor])
+        train_y = np.array([0] * 500 + [1] * 5)
+        gap = generalization_gap(train_f, train_y, test_f, test_y)
+        assert gap["per_class"][1] > gap["per_class"][0]
+
+    def test_gap_decreases_with_more_samples(self, rng):
+        dim = 8
+        test_f = rng.normal(size=(2000, dim))
+        test_y = np.zeros(2000, int)
+        gaps = []
+        for n in (5, 50, 500):
+            train_f = rng.normal(size=(n, dim))
+            gaps.append(
+                generalization_gap(
+                    train_f, np.zeros(n, int), test_f, test_y
+                )["mean"]
+            )
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_returns_ranges(self, rng):
+        f = rng.normal(size=(40, 3))
+        y = rng.integers(0, 2, 40)
+        gap = generalization_gap(f[:20], y[:20], f[20:], y[20:], num_classes=2)
+        assert gap["train_ranges"].shape == (2, 3, 2)
+        assert gap["test_ranges"].shape == (2, 3, 2)
+
+    def test_class_missing_from_test_nan_excluded(self, rng):
+        train_f = rng.normal(size=(20, 4))
+        train_y = np.array([0] * 10 + [1] * 10)
+        test_f = rng.normal(size=(10, 4))
+        test_y = np.zeros(10, int)
+        gap = generalization_gap(train_f, train_y, test_f, test_y, num_classes=2)
+        assert np.isnan(gap["per_class"][1])
+        assert np.isfinite(gap["mean"])
+
+    def test_smote_does_not_change_gap_eos_does(self, rng):
+        """Range-level restatement of Figure 3: SMOTE leaves the train
+        ranges unchanged, EOS expands them and shrinks the gap."""
+        from repro.core import EOS
+        from repro.sampling import SMOTE
+
+        train_f = np.concatenate(
+            [rng.normal(0, 1, (200, 6)), rng.normal(1.0, 0.4, (8, 6))]
+        )
+        train_y = np.array([0] * 200 + [1] * 8)
+        test_f = np.concatenate(
+            [rng.normal(0, 1, (200, 6)), rng.normal(1.0, 1.0, (200, 6))]
+        )
+        test_y = np.array([0] * 200 + [1] * 200)
+
+        base = generalization_gap(train_f, train_y, test_f, test_y)
+        sm_f, sm_y = SMOTE(random_state=0).fit_resample(train_f, train_y)
+        sm = generalization_gap(sm_f, sm_y, test_f, test_y)
+        eos_f, eos_y = EOS(k_neighbors=20, random_state=0).fit_resample(
+            train_f, train_y
+        )
+        eos = generalization_gap(eos_f, eos_y, test_f, test_y)
+
+        assert sm["per_class"][1] == pytest.approx(base["per_class"][1])
+        assert eos["per_class"][1] < base["per_class"][1]
+
+
+class TestTpFpGap:
+    def test_fp_gap_larger_when_errors_are_outliers(self, rng):
+        dim = 8
+        train_f = rng.normal(size=(300, dim))
+        train_y = rng.integers(0, 2, 300)
+        # TPs drawn from the train distribution; FPs are far outliers.
+        tp_f = rng.normal(size=(100, dim))
+        fp_f = rng.normal(0, 3.0, size=(30, dim))
+        test_f = np.concatenate([tp_f, fp_f])
+        test_y = np.concatenate([rng.integers(0, 2, 100), np.zeros(30, int)])
+        preds = test_y.copy()
+        preds[100:] = 1  # the outliers are mispredicted
+        out = tp_fp_gap(train_f, train_y, test_f, test_y, preds)
+        assert out["fp"] > out["tp"]
+        assert out["ratio"] > 1.0
+
+    def test_all_correct_fp_nan(self, rng):
+        f = rng.normal(size=(40, 4))
+        y = rng.integers(0, 2, 40)
+        out = tp_fp_gap(f[:20], y[:20], f[20:], y[20:], y[20:])
+        assert np.isnan(out["fp"])
+
+
+class TestFeatureDeviation:
+    def test_zero_for_identical_means(self):
+        f = np.tile(np.array([[1.0, 2.0]]), (10, 1))
+        y = np.zeros(10, int)
+        out = feature_deviation(f[:5], y[:5], f[5:], y[5:])
+        assert out["mean"] == pytest.approx(0.0)
+
+    def test_squared_euclidean(self):
+        train_f = np.array([[0.0, 0.0]])
+        test_f = np.array([[3.0, 4.0]])
+        out = feature_deviation(train_f, [0], test_f, [0])
+        assert out["per_class"][0] == pytest.approx(25.0)
+
+    def test_correlates_with_range_gap_direction(self, rng):
+        """Both measures should flag the undersampled class as worse."""
+        test_f = rng.normal(size=(600, 6))
+        test_y = np.array([0, 1] * 300)
+        train_f = np.concatenate(
+            [rng.normal(size=(300, 6)), rng.normal(size=(4, 6))]
+        )
+        train_y = np.array([0] * 300 + [1] * 4)
+        dev = feature_deviation(train_f, train_y, test_f, test_y)
+        assert dev["per_class"][1] > dev["per_class"][0]

@@ -1,0 +1,115 @@
+"""Tests for the complementary gap measures (quantile gap, coverage gap)."""
+
+import numpy as np
+import pytest
+
+from repro.core import coverage_gap, generalization_gap, quantile_gap
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(121)
+
+
+class TestQuantileGap:
+    def test_zero_against_itself(self, rng):
+        f = rng.normal(size=(100, 5))
+        y = rng.integers(0, 2, 100)
+        out = quantile_gap(f, y, f, y)
+        np.testing.assert_allclose(out["per_class"], 0.0, atol=1e-12)
+
+    def test_robust_to_single_outlier(self, rng):
+        """One extreme test point blows up the min/max gap but barely
+        moves the quantile gap — the motivation for this measure."""
+        train = rng.normal(size=(200, 4))
+        y_train = np.zeros(200, int)
+        test = rng.normal(size=(200, 4))
+        test[0] = 100.0  # single outlier
+        y_test = np.zeros(200, int)
+        hard = generalization_gap(train, y_train, test, y_test, 1)["mean"]
+        soft = quantile_gap(train, y_train, test, y_test, 1, q=0.05)["mean"]
+        assert hard > 10 * max(soft, 1e-9)
+
+    def test_minority_class_larger_gap(self, rng):
+        test = rng.normal(size=(1000, 8))
+        test_y = np.array([0, 1] * 500)
+        train = np.concatenate([rng.normal(size=(400, 8)), rng.normal(size=(6, 8))])
+        train_y = np.array([0] * 400 + [1] * 6)
+        out = quantile_gap(train, train_y, test, test_y)
+        assert out["per_class"][1] > out["per_class"][0]
+
+    def test_invalid_q(self, rng):
+        f = rng.normal(size=(10, 2))
+        y = np.zeros(10, int)
+        with pytest.raises(ValueError):
+            quantile_gap(f, y, f, y, q=0.7)
+
+
+class TestCoverageGap:
+    def test_full_coverage_zero(self, rng):
+        train = rng.uniform(-1, 1, size=(500, 3))
+        y_train = np.zeros(500, int)
+        test = rng.uniform(-0.5, 0.5, size=(100, 3))
+        y_test = np.zeros(100, int)
+        out = coverage_gap(train, y_train, test, y_test)
+        assert out["mean"] == 0.0
+
+    def test_disjoint_distributions_full_gap(self, rng):
+        train = rng.uniform(0, 1, size=(50, 2))
+        test = rng.uniform(10, 11, size=(50, 2))
+        y = np.zeros(50, int)
+        out = coverage_gap(train, y, test, y)
+        assert out["mean"] == 1.0
+
+    def test_bounded_unit_interval(self, rng):
+        f = rng.normal(size=(80, 4))
+        y = rng.integers(0, 3, 80)
+        out = coverage_gap(f[:40], y[:40], f[40:], y[40:], num_classes=3)
+        valid = out["per_class"][~np.isnan(out["per_class"])]
+        assert np.all((valid >= 0) & (valid <= 1))
+
+    def test_min_violations_monotone(self, rng):
+        train = rng.normal(size=(100, 6))
+        test = rng.normal(0, 2.0, size=(100, 6))
+        y = np.zeros(100, int)
+        strict = coverage_gap(train, y, test, y, min_violations=1)["mean"]
+        lenient = coverage_gap(train, y, test, y, min_violations=3)["mean"]
+        assert lenient <= strict
+
+    def test_invalid_min_violations(self, rng):
+        f = rng.normal(size=(10, 2))
+        y = np.zeros(10, int)
+        with pytest.raises(ValueError):
+            coverage_gap(f, y, f, y, min_violations=0)
+
+    def test_minority_less_covered(self, rng):
+        """Sparse minority training sets cover less of the test mass —
+        the coverage restatement of the paper's gap claim."""
+        test = rng.normal(size=(2000, 8))
+        test_y = np.array([0, 1] * 1000)
+        train = np.concatenate(
+            [rng.normal(size=(500, 8)), rng.normal(size=(5, 8))]
+        )
+        train_y = np.array([0] * 500 + [1] * 5)
+        out = coverage_gap(train, train_y, test, test_y)
+        assert out["per_class"][1] > out["per_class"][0]
+
+    def test_eos_improves_coverage(self, rng):
+        """EOS's expansion increases the minority's coverage of the test
+        distribution."""
+        from repro.core import EOS
+
+        train = np.concatenate(
+            [rng.normal(0, 1, (300, 6)), rng.normal(0.8, 0.4, (8, 6))]
+        )
+        train_y = np.array([0] * 300 + [1] * 8)
+        test = np.concatenate(
+            [rng.normal(0, 1, (300, 6)), rng.normal(0.8, 1.0, (300, 6))]
+        )
+        test_y = np.array([0] * 300 + [1] * 300)
+        before = coverage_gap(train, train_y, test, test_y)["per_class"][1]
+        emb, labels = EOS(k_neighbors=15, random_state=0).fit_resample(
+            train, train_y
+        )
+        after = coverage_gap(emb, labels, test, test_y)["per_class"][1]
+        assert after < before

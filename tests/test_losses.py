@@ -1,0 +1,231 @@
+"""Tests for the imbalanced-learning losses (CE, Focal, LDAM, ASL)."""
+
+import numpy as np
+import pytest
+
+from repro.losses import (
+    AsymmetricLoss,
+    CrossEntropyLoss,
+    FocalLoss,
+    LDAMLoss,
+    build_loss,
+    class_balanced_weights,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def logits(rng):
+    return Tensor(rng.normal(size=(8, 4)), requires_grad=True)
+
+
+@pytest.fixture
+def targets(rng):
+    return rng.integers(0, 4, size=8)
+
+
+def numeric_loss_grad(loss, logits_data, targets, eps=1e-6):
+    grad = np.zeros_like(logits_data)
+    for i in range(logits_data.shape[0]):
+        for j in range(logits_data.shape[1]):
+            up = logits_data.copy()
+            up[i, j] += eps
+            down = logits_data.copy()
+            down[i, j] -= eps
+            hi = float(loss(Tensor(up), targets).data)
+            lo = float(loss(Tensor(down), targets).data)
+            grad[i, j] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = Tensor(rng.normal(size=(5, 3)))
+        targets = np.array([0, 1, 2, 0, 1])
+        loss = CrossEntropyLoss()(logits, targets)
+        z = logits.data
+        log_probs = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        targets = np.array([0, 1, 2, 1])
+        CrossEntropyLoss()(logits, targets).backward()
+        probs = np.exp(logits.data)
+        probs /= probs.sum(axis=1, keepdims=True)
+        expected = probs.copy()
+        expected[np.arange(4), targets] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected / 4, atol=1e-10)
+
+    def test_class_weights_emphasize_minority(self, rng):
+        logits = Tensor(rng.normal(size=(6, 2)))
+        targets = np.array([0, 0, 0, 0, 0, 1])
+        plain = float(CrossEntropyLoss()(logits, targets).data)
+        weighted = float(
+            CrossEntropyLoss(weight=[1.0, 100.0])(logits, targets).data
+        )
+        # The weighted mean shifts toward the minority sample's loss.
+        minority_loss = float(
+            CrossEntropyLoss()(
+                Tensor(logits.data[5:6]), targets[5:6]
+            ).data
+        )
+        assert abs(weighted - minority_loss) < abs(plain - minority_loss)
+
+    def test_numeric_gradient(self, rng, targets):
+        data = rng.normal(size=(8, 4))
+        loss = CrossEntropyLoss()
+        logits = Tensor(data, requires_grad=True)
+        loss(logits, targets).backward()
+        numeric = numeric_loss_grad(loss, data, targets)
+        np.testing.assert_allclose(logits.grad, numeric, atol=1e-5)
+
+
+class TestFocal:
+    def test_gamma_zero_equals_ce(self, rng, targets):
+        data = rng.normal(size=(8, 4))
+        ce = float(CrossEntropyLoss()(Tensor(data), targets).data)
+        focal = float(FocalLoss(gamma=0.0)(Tensor(data), targets).data)
+        assert focal == pytest.approx(ce)
+
+    def test_downweights_easy_examples(self):
+        easy = Tensor(np.array([[6.0, 0.0]]))
+        hard = Tensor(np.array([[0.5, 0.0]]))
+        t = np.array([0])
+        gamma = 2.0
+        ce_ratio = float(CrossEntropyLoss()(hard, t).data) / float(
+            CrossEntropyLoss()(easy, t).data
+        )
+        focal_ratio = float(FocalLoss(gamma)(hard, t).data) / float(
+            FocalLoss(gamma)(easy, t).data
+        )
+        assert focal_ratio > ce_ratio
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            FocalLoss(gamma=-1.0)
+
+    def test_numeric_gradient(self, rng, targets):
+        data = rng.normal(size=(8, 4))
+        loss = FocalLoss(gamma=2.0)
+        logits = Tensor(data, requires_grad=True)
+        loss(logits, targets).backward()
+        numeric = numeric_loss_grad(loss, data, targets)
+        np.testing.assert_allclose(logits.grad, numeric, atol=1e-5)
+
+    def test_alpha_weighting(self, rng, targets):
+        data = rng.normal(size=(8, 4))
+        plain = float(FocalLoss(2.0)(Tensor(data), targets).data)
+        weighted = float(
+            FocalLoss(2.0, weight=np.ones(4) * 3.0)(Tensor(data), targets).data
+        )
+        assert weighted == pytest.approx(3.0 * plain)
+
+
+class TestLDAM:
+    def test_margins_larger_for_minority(self):
+        loss = LDAMLoss([1000, 100, 10])
+        assert loss.margins[2] > loss.margins[1] > loss.margins[0]
+        assert loss.margins.max() == pytest.approx(0.5)
+
+    def test_margin_raises_loss_for_true_class(self, rng):
+        counts = [100, 10]
+        data = rng.normal(size=(6, 2))
+        t = np.array([1] * 6)
+        ldam = float(LDAMLoss(counts, scale=1.0)(Tensor(data), t).data)
+        ce = float(CrossEntropyLoss()(Tensor(data), t).data)
+        assert ldam > ce  # subtracting the margin makes the task harder
+
+    def test_drw_schedule_switches_weights(self):
+        loss = LDAMLoss([100, 10], drw_epoch=5)
+        loss.set_epoch(0)
+        assert loss._active_weight is None
+        loss.set_epoch(5)
+        assert loss._active_weight is not None
+        # DRW weights favor the minority class.
+        assert loss._active_weight[1] > loss._active_weight[0]
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            LDAMLoss([10, 0])
+
+    def test_numeric_gradient(self, rng, targets):
+        data = rng.normal(size=(8, 4))
+        loss = LDAMLoss([40, 30, 20, 10], scale=5.0)
+        logits = Tensor(data, requires_grad=True)
+        loss(logits, targets).backward()
+        numeric = numeric_loss_grad(loss, data, targets)
+        np.testing.assert_allclose(logits.grad, numeric, atol=1e-4)
+
+
+class TestASL:
+    def test_positive_loss(self, rng, targets):
+        data = rng.normal(size=(8, 4))
+        assert float(AsymmetricLoss()(Tensor(data), targets).data) > 0
+
+    def test_clip_shifts_easy_negatives_to_zero(self):
+        # A confident negative (p < clip) contributes ~nothing.
+        logits = Tensor(np.array([[8.0, -8.0]]))
+        t = np.array([0])
+        with_clip = float(AsymmetricLoss(clip=0.05)(logits, t).data)
+        without = float(AsymmetricLoss(clip=0.0)(logits, t).data)
+        assert with_clip <= without
+
+    def test_gamma_neg_downweights_negatives(self, rng, targets):
+        data = rng.normal(size=(8, 4))
+        hi = float(AsymmetricLoss(gamma_neg=0.0, clip=0.0)(Tensor(data), targets).data)
+        lo = float(AsymmetricLoss(gamma_neg=6.0, clip=0.0)(Tensor(data), targets).data)
+        assert lo < hi
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            AsymmetricLoss(clip=1.5)
+
+    def test_gradient_flows(self, rng, targets):
+        logits = Tensor(rng.normal(size=(8, 4)), requires_grad=True)
+        AsymmetricLoss()(logits, targets).backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).max() > 0
+
+
+class TestClassBalancedWeights:
+    def test_minority_gets_higher_weight(self):
+        w = class_balanced_weights([1000, 10])
+        assert w[1] > w[0]
+
+    def test_normalized_to_num_classes(self):
+        w = class_balanced_weights([50, 30, 20])
+        assert w.sum() == pytest.approx(3.0)
+
+    def test_beta_zero_is_uniform(self):
+        w = class_balanced_weights([100, 1], beta=0.0)
+        np.testing.assert_allclose(w, [1.0, 1.0])
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            class_balanced_weights([10, -1])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["ce", "focal", "ldam", "asl"])
+    def test_build_all(self, name, rng):
+        loss = build_loss(name, class_counts=[30, 20, 10])
+        logits = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        value = loss(logits, np.array([0, 1, 2, 0, 1]))
+        value.backward()
+        assert np.isfinite(float(value.data))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_loss("hinge")

@@ -1,0 +1,121 @@
+"""Tests for the skew-insensitive metrics (BAC, GM, macro-F1)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    accuracy,
+    balanced_accuracy,
+    classification_report,
+    confusion_matrix,
+    evaluate_predictions,
+    geometric_mean,
+    macro_f1,
+    per_class_precision,
+    per_class_recall,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect(self):
+        cm = confusion_matrix([0, 1, 2], [0, 1, 2])
+        np.testing.assert_array_equal(cm, np.eye(3, dtype=int))
+
+    def test_counts(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_explicit_num_classes(self):
+        cm = confusion_matrix([0], [0], num_classes=4)
+        assert cm.shape == (4, 4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+
+class TestRecallPrecision:
+    def test_per_class_recall(self):
+        cm = np.array([[8, 2], [5, 5]])
+        np.testing.assert_allclose(per_class_recall(cm), [0.8, 0.5])
+
+    def test_per_class_precision(self):
+        cm = np.array([[8, 2], [5, 5]])
+        np.testing.assert_allclose(
+            per_class_precision(cm), [8 / 13, 5 / 7]
+        )
+
+    def test_absent_class_zero(self):
+        cm = np.array([[3, 0], [0, 0]])
+        assert per_class_recall(cm)[1] == 0.0
+        assert per_class_precision(cm)[1] == 0.0
+
+
+class TestBalancedAccuracy:
+    def test_is_mean_of_recalls(self):
+        y_true = [0] * 90 + [1] * 10
+        y_pred = [0] * 90 + [0] * 9 + [1]
+        # recall(0)=1.0, recall(1)=0.1
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.55)
+
+    def test_insensitive_to_imbalance(self):
+        """A majority-only classifier gets BAC 0.5 regardless of skew."""
+        for n_major in (60, 600):
+            y_true = [0] * n_major + [1] * 10
+            y_pred = [0] * (n_major + 10)
+            assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_plain_accuracy_is_skew_sensitive(self):
+        y_true = [0] * 90 + [1] * 10
+        y_pred = [0] * 100
+        assert accuracy(y_true, y_pred) == pytest.approx(0.9)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_ignores_absent_classes(self):
+        assert balanced_accuracy([0, 0], [0, 0], num_classes=5) == 1.0
+
+
+class TestGeometricMean:
+    def test_perfect(self):
+        assert geometric_mean([0, 1], [0, 1]) == pytest.approx(1.0)
+
+    def test_zero_recall_floored(self):
+        y_true = [0] * 5 + [1] * 5
+        y_pred = [0] * 10
+        gm = geometric_mean(y_true, y_pred, correction=0.001)
+        assert gm == pytest.approx(np.sqrt(1.0 * 0.001))
+
+    def test_is_geometric_not_arithmetic(self):
+        y_true = [0] * 10 + [1] * 10
+        y_pred = [0] * 10 + [1] * 5 + [0] * 5
+        gm = geometric_mean(y_true, y_pred)
+        assert gm == pytest.approx(np.sqrt(0.5))
+        assert gm < balanced_accuracy(y_true, y_pred)
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        assert macro_f1([0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
+
+    def test_manual_value(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 1, 1]
+        # class0: p=1, r=.5, f1=2/3 ; class1: p=2/3, r=1, f1=0.8
+        assert macro_f1(y_true, y_pred) == pytest.approx((2 / 3 + 0.8) / 2)
+
+    def test_empty_prediction_class(self):
+        y_true = [0, 1]
+        y_pred = [0, 0]
+        assert 0.0 <= macro_f1(y_true, y_pred) < 1.0
+
+
+class TestEvaluatePredictions:
+    def test_returns_paper_triple(self):
+        out = evaluate_predictions([0, 1], [0, 1])
+        assert set(out) == {"bac", "gm", "fm"}
+        assert all(v == pytest.approx(1.0) for v in out.values())
+
+    def test_report_contains_metrics(self):
+        text = classification_report([0, 1, 1], [0, 1, 0])
+        assert "BAC=" in text and "GM=" in text and "FM=" in text
+        assert "class" in text

@@ -1,0 +1,165 @@
+"""Tests for the CNN architectures and the feature/head split."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    DenseNet,
+    ResNet,
+    SmallConvNet,
+    WideResNet,
+    build_model,
+    resnet8,
+    resnet32,
+    resnet56,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+@pytest.fixture
+def images(rng):
+    return Tensor(rng.normal(size=(4, 3, 12, 12)))
+
+
+class TestResNet:
+    def test_depth_formula_enforced(self):
+        with pytest.raises(ValueError):
+            ResNet(depth=10)
+
+    def test_forward_shapes(self, images, rng):
+        model = resnet8(num_classes=7, width_multiplier=0.25, rng=rng)
+        features = model.forward_features(images)
+        assert features.shape == (4, model.feature_dim)
+        logits = model(images)
+        assert logits.shape == (4, 7)
+
+    def test_head_matches_composition(self, images, rng):
+        model = resnet8(num_classes=5, width_multiplier=0.25, rng=rng)
+        model.eval()
+        features = model.forward_features(images)
+        np.testing.assert_allclose(
+            model(images).data, model.forward_head(features).data
+        )
+
+    def test_resnet32_paper_scale_structure(self):
+        """The paper's ResNet-32: ~464K parameters, 64-dim embeddings."""
+        model = resnet32(num_classes=10)
+        assert model.feature_dim == 64
+        n = model.num_parameters()
+        assert 400_000 < n < 530_000
+
+    def test_resnet56_paper_scale_structure(self):
+        model = resnet56(num_classes=5)
+        assert model.feature_dim == 64
+        assert model.num_parameters() > resnet32(num_classes=5).num_parameters()
+
+    def test_width_multiplier_scales_params(self, rng):
+        small = resnet8(width_multiplier=0.25, rng=rng)
+        big = resnet8(width_multiplier=1.0, rng=rng)
+        assert big.num_parameters() > 4 * small.num_parameters()
+
+    def test_stride_downsampling(self, rng):
+        """Stage 2/3 halve the spatial dims; GAP handles any input size."""
+        model = resnet8(num_classes=3, width_multiplier=0.25, rng=rng)
+        for size in (8, 12, 16):
+            x = Tensor(np.random.default_rng(0).normal(size=(2, 3, size, size)))
+            assert model(x).shape == (2, 3)
+
+    def test_gradients_flow_to_first_conv(self, images, rng):
+        model = resnet8(num_classes=4, width_multiplier=0.25, rng=rng)
+        model(images).sum().backward()
+        assert model.conv1.weight.grad is not None
+        assert np.abs(model.conv1.weight.grad).max() > 0
+
+
+class TestWideResNet:
+    def test_depth_formula(self):
+        with pytest.raises(ValueError):
+            WideResNet(depth=12)
+
+    def test_forward(self, images, rng):
+        model = WideResNet(
+            depth=10, widen_factor=2, num_classes=6, width_multiplier=0.25, rng=rng
+        )
+        assert model(images).shape == (4, 6)
+
+    def test_widen_factor_increases_feature_dim(self, rng):
+        narrow = WideResNet(depth=10, widen_factor=1, width_multiplier=0.25, rng=rng)
+        wide = WideResNet(depth=10, widen_factor=4, width_multiplier=0.25, rng=rng)
+        assert wide.feature_dim == 4 * narrow.feature_dim
+
+
+class TestDenseNet:
+    def test_forward(self, images, rng):
+        model = DenseNet(
+            growth_rate=4, block_layers=(2, 2, 2), num_classes=6, rng=rng
+        )
+        assert model(images).shape == (4, 6)
+
+    def test_feature_dim_tracks_growth(self, rng):
+        m1 = DenseNet(growth_rate=4, block_layers=(2, 2, 2), rng=rng)
+        m2 = DenseNet(growth_rate=8, block_layers=(2, 2, 2), rng=rng)
+        assert m2.feature_dim > m1.feature_dim
+
+    def test_gradients_flow(self, images, rng):
+        model = DenseNet(growth_rate=4, block_layers=(1, 1, 1), rng=rng)
+        model(images).sum().backward()
+        assert model.conv1.weight.grad is not None
+
+
+class TestSmallConvNet:
+    def test_feature_dim(self, rng):
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        assert model.feature_dim == 16
+
+    def test_learns_separable_blobs(self, rng):
+        """Sanity: the net learns a linearly-separable 2-class image task."""
+        from repro.losses import CrossEntropyLoss
+        from repro.optim import SGD
+
+        n = 40
+        images = rng.normal(size=(n, 3, 8, 8)) * 0.1
+        labels = np.array([0, 1] * (n // 2))
+        images[labels == 1, 0] += 1.0  # class 1 has a bright red channel
+        model = SmallConvNet(num_classes=2, width=4, rng=rng)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        loss = CrossEntropyLoss()
+        for _ in range(30):
+            opt.zero_grad()
+            value = loss(model(Tensor(images)), labels)
+            value.backward()
+            opt.step()
+        model.eval()
+        preds = model(Tensor(images)).data.argmax(axis=1)
+        assert (preds == labels).mean() >= 0.95
+
+
+class TestRegistry:
+    def test_build_model_names(self, rng):
+        model = build_model("resnet8", num_classes=3, width_multiplier=0.25, rng=rng)
+        assert isinstance(model, ResNet)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("resnet8", {"width_multiplier": 0.25}),
+            ("resnet14", {"width_multiplier": 0.25}),
+            ("wideresnet", {"depth": 10, "width_multiplier": 0.25}),
+            ("densenet", {"growth_rate": 4, "block_layers": (1, 1, 1)}),
+            ("smallconvnet", {"width": 4}),
+        ],
+    )
+    def test_all_registered_models_run(self, name, kwargs, rng):
+        model = build_model(name, num_classes=4, rng=rng, **kwargs)
+        x = Tensor(rng.normal(size=(2, 3, 12, 12)))
+        assert model(x).shape == (2, 4)
+        assert model.forward_features(x).shape == (2, model.feature_dim)

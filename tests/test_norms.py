@@ -1,0 +1,68 @@
+"""Tests for classifier weight-norm analysis (Figure 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import classifier_weight_norms, norm_imbalance
+from repro.nn import Linear
+
+
+class TestWeightNorms:
+    def test_from_matrix(self):
+        w = np.array([[3.0, 4.0], [0.0, 1.0]])
+        np.testing.assert_allclose(classifier_weight_norms(w), [5.0, 1.0])
+
+    def test_from_linear_layer(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        norms = classifier_weight_norms(layer)
+        assert norms.shape == (3,)
+        np.testing.assert_allclose(
+            norms, np.linalg.norm(layer.weight.data, axis=1)
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            classifier_weight_norms(np.zeros(5))
+
+    def test_imbalanced_training_produces_decaying_norms(self):
+        """Training a linear softmax head on imbalanced data yields larger
+        norms for majority classes — the Figure-5 baseline phenomenon."""
+        from repro.core import finetune_classifier
+        from repro.nn import SmallConvNet
+
+        rng = np.random.default_rng(4)
+        model = SmallConvNet(num_classes=3, width=4, rng=rng)
+        emb = np.concatenate(
+            [
+                rng.normal([2, 0, 0, 0] * 4, 1.0, (200, 16)),
+                rng.normal([0, 2, 0, 0] * 4, 1.0, (20, 16)),
+                rng.normal([0, 0, 2, 0] * 4, 1.0, (4, 16)),
+            ]
+        )
+        labels = np.array([0] * 200 + [1] * 20 + [2] * 4)
+        finetune_classifier(
+            model, emb, labels, epochs=30, reinitialize=True, rng=rng
+        )
+        norms = classifier_weight_norms(model.classifier)
+        assert norms[0] > norms[2]
+
+
+class TestNormImbalance:
+    def test_uniform_profile(self):
+        out = norm_imbalance([2.0, 2.0, 2.0])
+        assert out["ratio"] == pytest.approx(1.0)
+        assert out["cv"] == pytest.approx(0.0)
+
+    def test_skewed_profile(self):
+        out = norm_imbalance([4.0, 1.0])
+        assert out["ratio"] == pytest.approx(4.0)
+        assert out["cv"] > 0
+
+    def test_zero_norm_ratio_inf(self):
+        assert norm_imbalance([1.0, 0.0])["ratio"] == float("inf")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            norm_imbalance([])
+        with pytest.raises(ValueError):
+            norm_imbalance([-1.0, 1.0])

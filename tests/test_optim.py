@@ -1,0 +1,163 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    MultiStepLR,
+    StepLR,
+    WarmupWrapper,
+    clip_grad_norm,
+)
+from repro.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def step_quadratic(opt, p, n=50):
+    """Minimize f(x) = x^2 for n steps; return final |x|."""
+    for _ in range(n):
+        opt.zero_grad()
+        loss = (p * p).sum()
+        loss.backward()
+        opt.step()
+    return abs(float(p.data[0]))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(SGD([p], lr=0.1), p) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain = step_quadratic(SGD([p1], lr=0.02), p1, n=20)
+        momentum = step_quadratic(SGD([p2], lr=0.02, momentum=0.9), p2, n=20)
+        assert momentum < plain
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, nesterov=True)
+
+    def test_nesterov_converges(self):
+        p = quadratic_param()
+        assert step_quadratic(SGD([p], lr=0.05, momentum=0.9, nesterov=True), p, n=120) < 0.05
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        # No data gradient: only decay acts.
+        p.grad = np.zeros(1)
+        opt.step()
+        assert float(p.data[0]) == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set: must not crash or move
+        assert float(p.data[0]) == 1.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(Adam([p], lr=0.2), p, n=200) < 0.05
+
+    def test_bias_correction_first_step(self):
+        # First Adam step should move by ~lr regardless of gradient scale.
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1e-4])
+        opt.step()
+        assert float(p.data[0]) == pytest.approx(0.9, abs=1e-3)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert float(p.data[0]) < 10.0
+
+
+class TestClipGradNorm:
+    def test_clips_when_above(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([10.0])
+        total = clip_grad_norm([p], max_norm=1.0)
+        assert total == pytest.approx(10.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=1.0)
+        assert p.grad[0] == pytest.approx(0.5)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_multi_step_lr(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_endpoints(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=8)
+        lrs = []
+        for _ in range(8):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_warmup_ramps_then_delegates(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = WarmupWrapper(StepLR(opt, step_size=100), warmup_epochs=4)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs[:4] == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert lrs[4] == pytest.approx(1.0)
+
+    def test_invalid_args(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)
+        with pytest.raises(ValueError):
+            WarmupWrapper(StepLR(opt, step_size=1), warmup_epochs=-1)

@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import EOS
+from repro.core.gap import class_feature_ranges, generalization_gap, range_excess
+from repro.data.imbalance import exponential_profile, step_profile
+from repro.metrics import (
+    balanced_accuracy,
+    confusion_matrix,
+    geometric_mean,
+    macro_f1,
+)
+from repro.neighbors import KNeighbors, pairwise_distances
+from repro.sampling import SMOTE, RandomOverSampler, sampling_targets
+from repro.tensor import Tensor, log_softmax, softmax
+
+finite_floats = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+def feature_matrices(min_rows=2, max_rows=24, min_cols=1, max_cols=6):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.integers(min_cols, max_cols).flatmap(
+            lambda d: arrays(np.float64, (n, d), elements=finite_floats)
+        )
+    )
+
+
+def labeled_data(min_rows=4, max_rows=30, num_classes=3):
+    """Feature matrix + labels guaranteed to contain >= 2 classes."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_rows, max_rows))
+        d = draw(st.integers(1, 5))
+        x = draw(arrays(np.float64, (n, d), elements=finite_floats))
+        y = draw(
+            arrays(
+                np.int64,
+                (n,),
+                elements=st.integers(0, num_classes - 1),
+            ).filter(lambda arr: len(np.unique(arr)) >= 2)
+        )
+        return x, y
+
+    return build()
+
+
+class TestTensorProperties:
+    @given(arrays(np.float64, (4, 5), elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_rows_are_distributions(self, data):
+        s = softmax(Tensor(data), axis=1).data
+        assert np.all(s >= 0)
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(arrays(np.float64, (4, 5), elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_shift_invariance(self, data):
+        a = softmax(Tensor(data), axis=1).data
+        b = softmax(Tensor(data + 7.5), axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(arrays(np.float64, (3, 4), elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_log_softmax_nonpositive(self, data):
+        assert np.all(log_softmax(Tensor(data)).data <= 1e-12)
+
+    @given(
+        arrays(np.float64, (3, 4), elements=finite_floats),
+        arrays(np.float64, (3, 4), elements=finite_floats),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_addition_gradient_is_ones(self, a_data, b_data):
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+        np.testing.assert_allclose(b.grad, 1.0)
+
+    @given(arrays(np.float64, (6,), elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_relu_idempotent(self, data):
+        once = Tensor(data).relu().data
+        twice = Tensor(once).relu().data
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestDistanceProperties:
+    @given(feature_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_self_distance_diagonal_zero(self, x):
+        d = pairwise_distances(x, x)
+        # The a^2 + b^2 - 2ab formulation cancels catastrophically for
+        # large-magnitude rows; allow error proportional to the scale.
+        scale = 1.0 + np.abs(x).max()
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-5 * scale)
+
+    @given(feature_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, x):
+        d = pairwise_distances(x, x)
+        np.testing.assert_allclose(d, d.T, atol=1e-8)
+
+    @given(feature_matrices(min_rows=3))
+    @settings(max_examples=25, deadline=None)
+    def test_knn_distances_sorted(self, x):
+        k = min(3, x.shape[0])
+        dists, _ = KNeighbors(k=k).fit(x).query(x)
+        assert np.all(np.diff(dists, axis=1) >= -1e-9)
+
+
+class TestImbalanceProperties:
+    @given(
+        st.integers(2, 500),
+        st.integers(2, 30),
+        st.floats(1.0, 500.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exponential_profile_invariants(self, n_max, k, ratio):
+        counts = exponential_profile(n_max, k, ratio)
+        assert len(counts) == k
+        assert counts[0] == n_max
+        assert counts.min() >= 1
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    @given(st.integers(10, 500), st.integers(2, 20), st.floats(1.0, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_step_profile_two_levels(self, n_max, k, ratio):
+        counts = step_profile(n_max, k, ratio)
+        assert len(set(counts)) <= 2
+
+
+class TestSamplerProperties:
+    @given(labeled_data())
+    @settings(max_examples=25, deadline=None)
+    def test_sampling_targets_balance(self, data):
+        _, y = data
+        targets = sampling_targets(y)
+        counts = np.bincount(y)
+        n_max = counts.max()
+        for cls, n_new in targets.items():
+            assert counts[cls] + n_new == n_max
+
+    @given(labeled_data())
+    @settings(max_examples=20, deadline=None)
+    def test_random_oversampler_balances_any_input(self, data):
+        x, y = data
+        xr, yr = RandomOverSampler(random_state=0).fit_resample(x, y)
+        counts = np.bincount(yr)
+        counts = counts[counts > 0]
+        assert len(set(counts)) == 1
+
+    @given(labeled_data(min_rows=6))
+    @settings(max_examples=20, deadline=None)
+    def test_smote_preserves_originals_and_balances(self, data):
+        x, y = data
+        xr, yr = SMOTE(k_neighbors=3, random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(xr[: len(x)], x)
+        counts = np.bincount(yr)
+        assert len(set(counts[counts > 0])) == 1
+
+    @given(labeled_data(min_rows=6))
+    @settings(max_examples=20, deadline=None)
+    def test_eos_balances_any_input(self, data):
+        x, y = data
+        xr, yr = EOS(k_neighbors=3, random_state=0).fit_resample(x, y)
+        counts = np.bincount(yr)
+        assert len(set(counts[counts > 0])) == 1
+
+    @given(labeled_data(min_rows=8))
+    @settings(max_examples=20, deadline=None)
+    def test_smote_never_expands_class_ranges(self, data):
+        """The interpolation invariant the paper contrasts EOS against."""
+        x, y = data
+        xr, yr = SMOTE(k_neighbors=3, random_state=0).fit_resample(x, y)
+        for cls in np.unique(y):
+            orig = x[y == cls]
+            res = xr[yr == cls]
+            assert np.all(res.min(axis=0) >= orig.min(axis=0) - 1e-9)
+            assert np.all(res.max(axis=0) <= orig.max(axis=0) + 1e-9)
+
+
+class TestSamplerRegistryProperties:
+    @given(labeled_data(min_rows=8, max_rows=24))
+    @settings(max_examples=10, deadline=None)
+    def test_neighbor_samplers_never_crash_and_balance(self, data):
+        """Every neighbor-based sampler in the registry must survive
+        arbitrary labeled data and leave classes balanced."""
+        from repro.experiments import build_sampler
+
+        x, y = data
+        for name in ("ros", "smote", "bsmote", "adasyn", "rbo", "swim", "eos"):
+            sampler = build_sampler(name, k_neighbors=3, random_state=0)
+            xr, yr = sampler.fit_resample(x, y)
+            counts = np.bincount(yr)
+            counts = counts[counts > 0]
+            assert len(set(counts)) == 1, name
+            assert np.all(np.isfinite(xr)), name
+
+
+class TestGapProperties:
+    @given(labeled_data(min_rows=6))
+    @settings(max_examples=25, deadline=None)
+    def test_gap_nonnegative(self, data):
+        x, y = data
+        half = len(x) // 2
+        gap = generalization_gap(x[:half], y[:half], x[half:], y[half:])
+        per_class = gap["per_class"]
+        assert np.all((per_class >= 0) | np.isnan(per_class))
+
+    @given(labeled_data(min_rows=6))
+    @settings(max_examples=25, deadline=None)
+    def test_gap_zero_against_itself(self, data):
+        x, y = data
+        gap = generalization_gap(x, y, x, y)
+        valid = ~np.isnan(gap["per_class"])
+        np.testing.assert_allclose(gap["per_class"][valid], 0.0, atol=1e-12)
+
+    @given(feature_matrices(min_rows=4))
+    @settings(max_examples=25, deadline=None)
+    def test_range_excess_monotone_in_test_spread(self, x):
+        """Widening the test set's spread can only increase the gap."""
+        y = np.zeros(x.shape[0], dtype=np.int64)
+        train = class_feature_ranges(x, y, 1)
+        test_narrow = class_feature_ranges(x * 0.5, y, 1)
+        test_wide = class_feature_ranges(x * 2.0, y, 1)
+        assert range_excess(train, test_wide)[0] >= range_excess(
+            train, test_narrow
+        )[0] - 1e-12
+
+
+class TestMetricProperties:
+    @given(
+        arrays(np.int64, (20,), elements=st.integers(0, 3)),
+        arrays(np.int64, (20,), elements=st.integers(0, 3)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_metrics_bounded(self, y_true, y_pred):
+        for metric in (balanced_accuracy, geometric_mean, macro_f1):
+            value = metric(y_true, y_pred)
+            assert 0.0 <= value <= 1.0
+
+    @given(arrays(np.int64, (15,), elements=st.integers(0, 3)))
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_prediction_scores_one(self, y):
+        assert balanced_accuracy(y, y) == 1.0
+        assert geometric_mean(y, y) == 1.0
+        assert macro_f1(y, y) == 1.0
+
+    @given(
+        arrays(np.int64, (20,), elements=st.integers(0, 3)),
+        arrays(np.int64, (20,), elements=st.integers(0, 3)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_confusion_matrix_total(self, y_true, y_pred):
+        cm = confusion_matrix(y_true, y_pred, num_classes=4)
+        assert cm.sum() == 20
+        assert np.all(cm >= 0)

@@ -1,0 +1,266 @@
+"""Tests for the over-/under-sampling baselines."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    ADASYN,
+    BalancedSVMSampler,
+    BorderlineSMOTE,
+    RandomOverSampler,
+    RandomUnderSampler,
+    Remix,
+    SMOTE,
+    sampling_targets,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(51)
+
+
+@pytest.fixture
+def imbalanced(rng):
+    """Two well-separated classes, 50 vs 5."""
+    x = np.concatenate(
+        [rng.normal(0.0, 0.5, size=(50, 3)), rng.normal(5.0, 0.5, size=(5, 3))]
+    )
+    y = np.array([0] * 50 + [1] * 5)
+    return x, y
+
+
+ALL_BALANCERS = [
+    RandomOverSampler,
+    SMOTE,
+    BorderlineSMOTE,
+    ADASYN,
+    BalancedSVMSampler,
+    Remix,
+]
+
+
+class TestSamplingTargets:
+    def test_auto_balances_to_max(self):
+        y = np.array([0] * 10 + [1] * 4 + [2] * 1)
+        assert sampling_targets(y) == {1: 6, 2: 9}
+
+    def test_already_balanced_empty(self):
+        assert sampling_targets(np.array([0, 0, 1, 1])) == {}
+
+    def test_dict_strategy(self):
+        y = np.array([0] * 10 + [1] * 4)
+        assert sampling_targets(y, {1: 8}) == {1: 4}
+
+    def test_dict_below_current_raises(self):
+        with pytest.raises(ValueError):
+            sampling_targets(np.array([0] * 10 + [1] * 4), {1: 2})
+
+    def test_dict_empty_class_raises(self):
+        with pytest.raises(ValueError):
+            sampling_targets(np.array([0, 0]), {1: 5})
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            sampling_targets(np.array([0, 1]), "all")
+
+
+class TestCommonSamplerContract:
+    @pytest.mark.parametrize("cls", ALL_BALANCERS)
+    def test_balances_counts(self, cls, imbalanced):
+        x, y = imbalanced
+        xr, yr = cls(random_state=0).fit_resample(x, y)
+        counts = np.bincount(yr)
+        if cls is BalancedSVMSampler:
+            # SVM relabeling may move a few points between classes.
+            assert counts.min() >= 40
+        else:
+            np.testing.assert_array_equal(counts, [50, 50])
+
+    @pytest.mark.parametrize("cls", ALL_BALANCERS)
+    def test_originals_preserved_as_prefix(self, cls, imbalanced):
+        x, y = imbalanced
+        xr, yr = cls(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(xr[: len(x)], x)
+        np.testing.assert_array_equal(yr[: len(y)], y)
+
+    @pytest.mark.parametrize("cls", ALL_BALANCERS)
+    def test_deterministic_given_seed(self, cls, imbalanced):
+        x, y = imbalanced
+        a = cls(random_state=3).fit_resample(x, y)
+        b = cls(random_state=3).fit_resample(x, y)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    @pytest.mark.parametrize("cls", ALL_BALANCERS)
+    def test_input_validation(self, cls):
+        with pytest.raises(ValueError):
+            cls().fit_resample(np.zeros((3, 2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            cls().fit_resample(np.zeros((3, 2)), np.zeros(4))
+
+    @pytest.mark.parametrize("cls", ALL_BALANCERS)
+    def test_balanced_input_is_noop(self, cls, rng):
+        x = rng.normal(size=(20, 2))
+        y = np.array([0, 1] * 10)
+        xr, yr = cls(random_state=0).fit_resample(x, y)
+        assert len(xr) == 20
+
+
+class TestSMOTE:
+    def test_synthetic_on_segments(self, rng):
+        """SMOTE points lie on segments between same-class neighbors —
+        in particular inside the minority bounding box (no expansion)."""
+        x = np.concatenate(
+            [rng.normal(0, 1, size=(40, 2)), rng.uniform(4, 5, size=(6, 2))]
+        )
+        y = np.array([0] * 40 + [1] * 6)
+        xr, yr = SMOTE(k_neighbors=3, random_state=0).fit_resample(x, y)
+        synth = xr[46:][yr[46:] == 1]
+        lo = x[y == 1].min(axis=0)
+        hi = x[y == 1].max(axis=0)
+        assert np.all(synth >= lo - 1e-9)
+        assert np.all(synth <= hi + 1e-9)
+
+    def test_singleton_class_duplicates(self, rng):
+        x = np.concatenate([rng.normal(size=(9, 2)), [[7.0, 7.0]]])
+        y = np.array([0] * 9 + [1])
+        xr, yr = SMOTE(random_state=0).fit_resample(x, y)
+        synth = xr[10:]
+        np.testing.assert_allclose(synth, [[7.0, 7.0]] * 8)
+
+    def test_k_capped_at_class_size(self, rng):
+        x = np.concatenate([rng.normal(size=(20, 2)), rng.normal(5, 1, (3, 2))])
+        y = np.array([0] * 20 + [1] * 3)
+        # k=10 > 2 available neighbors: must not crash.
+        xr, yr = SMOTE(k_neighbors=10, random_state=0).fit_resample(x, y)
+        assert np.bincount(yr)[1] == 20
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SMOTE(k_neighbors=0)
+
+
+class TestBorderlineSMOTE:
+    def test_danger_mask_identifies_boundary(self, rng):
+        # Minority: 5 tightly packed far away (interior), 5 scattered
+        # individually inside the majority cloud (boundary points whose
+        # neighborhoods are dominated by enemies).
+        majority = rng.normal(0.0, 0.5, size=(60, 2))
+        interior = rng.normal([8.0, 8.0], 0.05, size=(5, 2))
+        # Boundary points in tight pairs inside the majority cloud: each
+        # keeps one same-class neighbor, so its m-neighborhood is mostly
+        # (but not entirely) enemies -> "danger", not "noise".
+        boundary = np.array(
+            [[0.6, 0.0], [0.62, 0.02], [0.0, 0.6], [0.02, 0.62]]
+        )
+        x = np.concatenate([majority, interior, boundary])
+        y = np.array([0] * 60 + [1] * 9)
+        sampler = BorderlineSMOTE(m_neighbors=4, random_state=0)
+        danger = sampler.danger_mask(x, y, 1)
+        assert danger[5:].sum() >= 3  # boundary points flagged
+        assert danger[:5].sum() == 0  # interior cluster is safe
+
+    def test_falls_back_when_no_danger(self, rng):
+        # Fully separated: no danger points, must still balance.
+        x = np.concatenate([rng.normal(0, 0.1, (20, 2)), rng.normal(50, 0.1, (4, 2))])
+        y = np.array([0] * 20 + [1] * 4)
+        xr, yr = BorderlineSMOTE(m_neighbors=3, random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [20, 20])
+
+
+class TestADASYN:
+    def test_allocates_to_hard_points(self, rng):
+        # Two minority clusters: "hard" mixed into the majority cloud,
+        # "easy" far away.  ADASYN must seed generation from the hard one.
+        majority = rng.normal(0.0, 0.5, size=(100, 2))
+        hard = rng.normal([0.8, 0.0], 0.5, size=(5, 2))
+        easy = rng.normal([8.0, 8.0], 0.3, size=(5, 2))
+        x = np.concatenate([majority, hard, easy])
+        y = np.array([0] * 100 + [1] * 10)
+        xr, yr = ADASYN(k_neighbors=5, random_state=0).fit_resample(x, y)
+        synth = xr[110:]
+        dist_to_hard = np.linalg.norm(synth - [0.8, 0.0], axis=1)
+        dist_to_easy = np.linalg.norm(synth - [8.0, 8.0], axis=1)
+        assert (dist_to_hard < dist_to_easy).mean() > 0.5
+
+    def test_uniform_when_isolated(self, rng):
+        x = np.concatenate([rng.normal(0, 0.1, (20, 2)), rng.normal(50, 0.1, (5, 2))])
+        y = np.array([0] * 20 + [1] * 5)
+        xr, yr = ADASYN(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [20, 20])
+
+
+class TestBalancedSVM:
+    def test_relabels_cross_boundary_points(self, rng):
+        """Synthetic points generated across the SVM boundary change class."""
+        x = np.concatenate(
+            [rng.normal(0.0, 0.5, (50, 2)), rng.normal(3.0, 1.5, (8, 2))]
+        )
+        y = np.array([0] * 50 + [1] * 8)
+        keep = BalancedSVMSampler(random_state=0, keep_labels=True)
+        move = BalancedSVMSampler(random_state=0, keep_labels=False)
+        xk, yk = keep.fit_resample(x, y)
+        xm, ym = move.fit_resample(x, y)
+        # keep_labels drops disagreeing points; move relabels them.
+        assert len(xk) <= len(xm)
+
+    def test_svm_params_forwarded(self, imbalanced):
+        x, y = imbalanced
+        sampler = BalancedSVMSampler(random_state=0, svm_params={"epochs": 2})
+        xr, yr = sampler.fit_resample(x, y)
+        assert len(xr) >= len(x)
+
+
+class TestRemix:
+    def test_mixed_images_are_convex_combinations(self, rng):
+        x = np.concatenate([np.zeros((30, 4)), np.ones((5, 4))])
+        y = np.array([0] * 30 + [1] * 5)
+        xr, yr = Remix(random_state=0).fit_resample(x, y)
+        synth = xr[35:]
+        assert np.all(synth >= -1e-9) and np.all(synth <= 1 + 1e-9)
+
+    def test_minority_label_kept(self, imbalanced):
+        x, y = imbalanced
+        xr, yr = Remix(random_state=0).fit_resample(x, y)
+        assert np.all(yr[len(y):] == 1)
+
+    def test_minority_biased_mixing(self, rng):
+        """Minority pixels dominate each mix (lambda >= 0.5)."""
+        x = np.concatenate([np.zeros((40, 2)), np.full((4, 2), 10.0)])
+        y = np.array([0] * 40 + [1] * 4)
+        xr, _ = Remix(random_state=0).fit_resample(x, y)
+        synth = xr[44:]
+        assert synth.mean() >= 5.0 - 1e-9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Remix(alpha=0.0)
+        with pytest.raises(ValueError):
+            Remix(kappa=0.5)
+
+
+class TestRandomSamplers:
+    def test_oversampler_duplicates_existing(self, imbalanced):
+        x, y = imbalanced
+        xr, yr = RandomOverSampler(random_state=0).fit_resample(x, y)
+        synth = xr[len(x):]
+        pool = {tuple(row) for row in x[y == 1]}
+        assert all(tuple(row) in pool for row in synth)
+
+    def test_undersampler_balances_down(self, imbalanced):
+        x, y = imbalanced
+        xr, yr = RandomUnderSampler(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [5, 5])
+
+    def test_undersampler_dict_strategy(self, imbalanced):
+        x, y = imbalanced
+        xr, yr = RandomUnderSampler(
+            sampling_strategy={0: 10, 1: 5}, random_state=0
+        ).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [10, 5])
+
+    def test_undersampler_unknown_strategy(self, imbalanced):
+        x, y = imbalanced
+        with pytest.raises(ValueError):
+            RandomUnderSampler(sampling_strategy="half").fit_resample(x, y)

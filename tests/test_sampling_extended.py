@@ -1,0 +1,276 @@
+"""Tests for the extended samplers: RBO, CCR, SWIM, Tomek links, ENN."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    CCR,
+    SWIM,
+    EditedNearestNeighbors,
+    RadialBasedOversampler,
+    TomekLinks,
+    find_tomek_links,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(141)
+
+
+@pytest.fixture
+def overlapping(rng):
+    """Two overlapping classes, 60 vs 8."""
+    x = np.concatenate(
+        [rng.normal(0.0, 1.0, size=(60, 2)), rng.normal([1.5, 0.0], 0.7, size=(8, 2))]
+    )
+    y = np.array([0] * 60 + [1] * 8)
+    return x, y
+
+
+class TestRBO:
+    def test_balances(self, overlapping):
+        x, y = overlapping
+        xr, yr = RadialBasedOversampler(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [60, 60])
+
+    def test_originals_prefix(self, overlapping):
+        x, y = overlapping
+        xr, yr = RadialBasedOversampler(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(xr[: len(x)], x)
+
+    def test_hill_climbing_improves_potential(self, overlapping):
+        """Synthetic points must sit at higher minority potential than
+        unrefined random jitters."""
+        x, y = overlapping
+        sampler = RadialBasedOversampler(steps=30, random_state=0)
+        xr, yr = sampler.fit_resample(x, y)
+        synth = xr[len(x):]
+        x_min, x_maj = x[y == 1], x[y == 0]
+        pot_synth = sampler._potential(synth, x_min, x_maj)
+
+        rng = np.random.default_rng(1)
+        naive = x_min[rng.integers(0, len(x_min), len(synth))] + rng.normal(
+            0, x_min.std(axis=0) * 0.5, (len(synth), 2)
+        )
+        pot_naive = sampler._potential(naive, x_min, x_maj)
+        assert pot_synth.mean() > pot_naive.mean()
+
+    def test_zero_steps_is_plain_jitter(self, overlapping):
+        x, y = overlapping
+        xr, yr = RadialBasedOversampler(steps=0, random_state=0).fit_resample(x, y)
+        assert np.bincount(yr)[1] == 60
+
+    def test_singleton_duplicates(self, rng):
+        x = np.concatenate([rng.normal(size=(10, 2)), [[5.0, 5.0]]])
+        y = np.array([0] * 10 + [1])
+        xr, yr = RadialBasedOversampler(random_state=0).fit_resample(x, y)
+        np.testing.assert_allclose(xr[11:], [[5.0, 5.0]] * 9)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RadialBasedOversampler(gamma=0.0)
+        with pytest.raises(ValueError):
+            RadialBasedOversampler(steps=-1)
+
+
+class TestCCR:
+    def test_balances(self, overlapping):
+        x, y = overlapping
+        xr, yr = CCR(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [60, 60])
+
+    def test_cleaning_pushes_majority_out(self, rng):
+        """Majority points caught inside a minority sphere must move."""
+        minority = np.array([[0.0, 0.0]])
+        crowd = rng.normal(0.0, 0.05, size=(10, 2))  # right on top of it
+        far = rng.normal([5.0, 5.0], 0.1, size=(30, 2))
+        x = np.concatenate([crowd, far, minority])
+        y = np.array([0] * 40 + [1])
+        sampler = CCR(energy=1.0, random_state=0)
+        xr, yr = sampler.fit_resample(x, y)
+        moved = xr[:10]
+        # All crowding points pushed to at least the sphere radius.
+        dist = np.linalg.norm(moved - minority[0], axis=1)
+        assert dist.min() > np.linalg.norm(crowd - minority[0], axis=1).min()
+
+    def test_far_majority_untouched(self, rng):
+        minority = np.array([[0.0, 0.0], [0.2, 0.0]])
+        far = rng.normal([10.0, 10.0], 0.1, size=(30, 2))
+        x = np.concatenate([far, minority])
+        y = np.array([0] * 30 + [1, 1])
+        xr, yr = CCR(energy=0.25, random_state=0).fit_resample(x, y)
+        np.testing.assert_allclose(xr[:30], far)
+
+    def test_synthetic_within_spheres(self, overlapping):
+        """Synthetic points stay within max sphere radius of a minority
+        point (spheres bound the generation region)."""
+        x, y = overlapping
+        sampler = CCR(energy=0.5, random_state=0)
+        xr, yr = sampler.fit_resample(x, y)
+        synth = xr[len(x):]
+        minority = x[y == 1]
+        d = np.sqrt(
+            ((synth[:, None, :] - minority[None, :, :]) ** 2).sum(axis=2)
+        ).min(axis=1)
+        assert d.max() <= 0.5 + 1e-6  # radius can't exceed the energy budget
+
+    def test_harder_points_get_more_samples(self, rng):
+        """Inverse-radius allocation: the minority point crowded by
+        majority neighbors seeds more synthetic points."""
+        crowded = np.array([[0.0, 0.0]])
+        isolated = np.array([[50.0, 50.0]])
+        majority = rng.normal(0.0, 0.3, size=(40, 2))
+        x = np.concatenate([majority, crowded, isolated])
+        y = np.array([0] * 40 + [1, 1])
+        sampler = CCR(energy=0.5, random_state=0)
+        xr, yr = sampler.fit_resample(x, y)
+        synth = xr[42:]
+        near_crowded = (np.linalg.norm(synth - crowded, axis=1) < 25).sum()
+        near_isolated = (np.linalg.norm(synth - isolated, axis=1) < 25).sum()
+        assert near_crowded > near_isolated
+
+    def test_invalid_energy(self):
+        with pytest.raises(ValueError):
+            CCR(energy=0.0)
+
+
+class TestSWIM:
+    def test_balances(self, overlapping):
+        x, y = overlapping
+        xr, yr = SWIM(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [60, 60])
+
+    def test_preserves_majority_density_contour(self, rng):
+        """Synthetic points keep (roughly) their seed's Mahalanobis
+        radius w.r.t. the majority distribution."""
+        majority = rng.normal(0.0, 1.0, size=(300, 3))
+        minority = rng.normal(2.5, 0.2, size=(4, 3))
+        x = np.concatenate([majority, minority])
+        y = np.array([0] * 300 + [1] * 4)
+        sampler = SWIM(spread=0.3, random_state=0)
+        xr, yr = sampler.fit_resample(x, y)
+        synth = xr[len(x):]
+
+        mean, w, _ = sampler._whitener(majority)
+        seed_radii = np.linalg.norm((minority - mean) @ w, axis=1)
+        synth_radii = np.linalg.norm((synth - mean) @ w, axis=1)
+        assert synth_radii.min() > seed_radii.min() * 0.8
+        assert synth_radii.max() < seed_radii.max() * 1.2
+
+    def test_spreads_beyond_seeds(self, rng):
+        """Unlike duplication, SWIM samples genuinely new locations."""
+        majority = rng.normal(0.0, 1.0, size=(200, 2))
+        minority = rng.normal([2.0, 0.0], 0.05, size=(3, 2))
+        x = np.concatenate([majority, minority])
+        y = np.array([0] * 200 + [1] * 3)
+        xr, yr = SWIM(spread=0.5, random_state=0).fit_resample(x, y)
+        synth = xr[len(x):]
+        d_to_seeds = np.sqrt(
+            ((synth[:, None, :] - minority[None, :, :]) ** 2).sum(axis=2)
+        ).min(axis=1)
+        assert d_to_seeds.max() > 0.3
+
+    def test_fallback_with_tiny_majority(self, rng):
+        x = np.concatenate([rng.normal(size=(2, 4)), rng.normal(3, 1, (6, 4))])
+        y = np.array([1, 1, 0, 0, 0, 0, 0, 0])
+        xr, yr = SWIM(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(np.bincount(yr), [6, 6])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SWIM(spread=0.0)
+        with pytest.raises(ValueError):
+            SWIM(shrink_reg=-1.0)
+
+
+class TestTomekLinks:
+    def test_finds_known_link(self):
+        x = np.array([[0.0], [0.4], [5.0], [5.3]])
+        y = np.array([0, 1, 0, 0])
+        links = find_tomek_links(x, y)
+        assert links.shape == (1, 2)
+        assert set(links[0]) == {0, 1}
+
+    def test_same_class_pair_not_link(self):
+        x = np.array([[0.0], [0.1], [9.0]])
+        y = np.array([0, 0, 1])
+        assert find_tomek_links(x, y).size == 0
+
+    def test_majority_member_removed(self):
+        x = np.array([[0.0], [0.4], [5.0], [5.5], [6.0]])
+        y = np.array([1, 0, 0, 0, 0])
+        xr, yr = TomekLinks().fit_resample(x, y)
+        # Minority point 0 survives; its majority partner 1 is dropped.
+        assert 0.0 in xr.ravel()
+        assert 0.4 not in xr.ravel()
+
+    def test_both_strategy_removes_pair(self):
+        x = np.array([[0.0], [0.4], [5.0], [5.5], [6.0]])
+        y = np.array([1, 0, 0, 0, 0])
+        xr, yr = TomekLinks(strategy="both").fit_resample(x, y)
+        assert len(xr) == 3
+
+    def test_no_links_noop(self, rng):
+        x = np.concatenate([rng.normal(0, 0.1, (10, 2)), rng.normal(9, 0.1, (10, 2))])
+        y = np.array([0] * 10 + [1] * 10)
+        xr, yr = TomekLinks().fit_resample(x, y)
+        assert len(xr) == 20
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            TomekLinks(strategy="all")
+
+
+class TestENN:
+    def test_removes_misclassified_majority(self, rng):
+        majority = rng.normal(0.0, 0.3, size=(30, 2))
+        intruder = np.array([[5.0, 5.0]])  # majority label, minority zone
+        minority = rng.normal([5.0, 5.0], 0.3, size=(10, 2))
+        x = np.concatenate([majority, intruder, minority])
+        y = np.array([0] * 31 + [1] * 10)
+        xr, yr = EditedNearestNeighbors(k_neighbors=3).fit_resample(x, y)
+        # The intruder should be gone; clean majority survives.
+        assert (yr == 0).sum() == 30
+
+    def test_protects_minority_by_default(self, rng):
+        majority = rng.normal(0.0, 0.5, size=(40, 2))
+        # A minority point deep inside the majority: misclassified by
+        # k-NN vote but protected.
+        minority = np.array([[0.0, 0.0], [8.0, 8.0]])
+        x = np.concatenate([majority, minority])
+        y = np.array([0] * 40 + [1, 1])
+        xr, yr = EditedNearestNeighbors(k_neighbors=3).fit_resample(x, y)
+        assert (yr == 1).sum() == 2
+
+    def test_unprotected_minority_can_be_removed(self, rng):
+        majority = rng.normal(0.0, 0.5, size=(40, 2))
+        minority = np.array([[0.0, 0.0], [8.0, 8.0]])
+        x = np.concatenate([majority, minority])
+        y = np.array([0] * 40 + [1, 1])
+        xr, yr = EditedNearestNeighbors(
+            k_neighbors=3, protect_minority=False
+        ).fit_resample(x, y)
+        assert (yr == 1).sum() < 2
+
+    def test_tiny_dataset_noop(self, rng):
+        x = rng.normal(size=(3, 2))
+        y = np.array([0, 1, 0])
+        xr, yr = EditedNearestNeighbors(k_neighbors=5).fit_resample(x, y)
+        assert len(xr) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            EditedNearestNeighbors(k_neighbors=0)
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("name", ["rbo", "ccr", "swim"])
+    def test_buildable_and_balancing(self, name, overlapping):
+        from repro.experiments import build_sampler
+
+        x, y = overlapping
+        sampler = build_sampler(name, random_state=0)
+        xr, yr = sampler.fit_resample(x, y)
+        counts = np.bincount(yr)
+        np.testing.assert_array_equal(counts, [60, 60])

@@ -1,0 +1,93 @@
+"""Tests for model/embedding/dataset checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.nn import SmallConvNet, resnet8
+from repro.tensor import Tensor
+from repro.utils import (
+    load_dataset,
+    load_embeddings,
+    load_model,
+    save_dataset,
+    save_embeddings,
+    save_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(131)
+
+
+class TestModelCheckpoint:
+    def test_roundtrip_identical_outputs(self, tmp_path, rng):
+        model = SmallConvNet(num_classes=4, width=4, rng=rng)
+        x = Tensor(rng.normal(size=(3, 3, 8, 8)))
+        model.eval()
+        before = model(x).data.copy()
+
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        clone = SmallConvNet(num_classes=4, width=4, rng=np.random.default_rng(9))
+        load_model(clone, path)
+        clone.eval()
+        np.testing.assert_allclose(clone(x).data, before, atol=1e-12)
+
+    def test_batchnorm_buffers_preserved(self, tmp_path, rng):
+        model = SmallConvNet(num_classes=2, width=4, rng=rng)
+        model.bn1.running_mean[...] = 7.0
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        clone = SmallConvNet(num_classes=2, width=4, rng=rng)
+        load_model(clone, path)
+        np.testing.assert_allclose(clone.bn1.running_mean, 7.0)
+
+    def test_resnet_roundtrip(self, tmp_path, rng):
+        model = resnet8(num_classes=3, width_multiplier=0.25, rng=rng)
+        path = tmp_path / "resnet.npz"
+        save_model(model, path)
+        clone = resnet8(
+            num_classes=3, width_multiplier=0.25, rng=np.random.default_rng(5)
+        )
+        load_model(clone, path)
+        for (name_a, p_a), (name_b, p_b) in zip(
+            model.named_parameters(), clone.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(p_a.data, p_b.data)
+
+    def test_incompatible_model_raises(self, tmp_path, rng):
+        model = SmallConvNet(num_classes=4, width=4, rng=rng)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        other = SmallConvNet(num_classes=4, width=8, rng=rng)
+        with pytest.raises(ValueError):
+            load_model(other, path)
+
+
+class TestEmbeddingCheckpoint:
+    def test_roundtrip(self, tmp_path, rng):
+        emb = rng.normal(size=(20, 8))
+        labels = rng.integers(0, 3, 20)
+        path = tmp_path / "emb.npz"
+        save_embeddings(path, emb, labels)
+        emb2, labels2 = load_embeddings(path)
+        np.testing.assert_array_equal(emb2, emb)
+        np.testing.assert_array_equal(labels2, labels)
+
+    def test_misaligned_raises(self, tmp_path, rng):
+        with pytest.raises(ValueError):
+            save_embeddings(tmp_path / "x.npz", rng.normal(size=(5, 2)),
+                            np.zeros(4))
+
+
+class TestDatasetCheckpoint:
+    def test_roundtrip(self, tmp_path, rng):
+        ds = ArrayDataset(rng.random((6, 3, 4, 4)), rng.integers(0, 2, 6))
+        path = tmp_path / "ds.npz"
+        save_dataset(path, ds)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.images, ds.images)
+        np.testing.assert_array_equal(loaded.labels, ds.labels)

@@ -1,0 +1,124 @@
+"""Tests for seed-repetition statistics and the CIFAR binary loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_cifar10_binary, load_cifar100_binary
+from repro.experiments import (
+    aggregate_metrics,
+    bench_config,
+    repeated_sampler_comparison,
+    run_seeds,
+)
+
+
+class TestAggregateMetrics:
+    def test_mean_and_std(self):
+        out = aggregate_metrics([{"bac": 0.5}, {"bac": 0.7}])
+        mean, std = out["bac"]
+        assert mean == pytest.approx(0.6)
+        assert std == pytest.approx(0.1)
+
+    def test_multiple_keys(self):
+        out = aggregate_metrics([{"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 4.0}])
+        assert out["a"][0] == 2.0
+        assert out["b"][0] == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([])
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([{"a": 1.0}, {"b": 2.0}])
+
+
+class TestRunSeeds:
+    def test_calls_per_seed(self):
+        calls = []
+
+        def fn(seed):
+            calls.append(seed)
+            return {"bac": seed / 10.0}
+
+        per_seed, agg = run_seeds(fn, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert len(per_seed) == 3
+        assert agg["bac"][0] == pytest.approx(0.2)
+
+
+class TestRepeatedComparison:
+    def test_two_seed_comparison(self):
+        """Mirrors the paper's multi-cut protocol at micro scale."""
+        config = bench_config(phase1_epochs=4)
+        out = repeated_sampler_comparison(
+            config, "ce", ("none", "eos"), seeds=(0, 1)
+        )
+        assert set(out["aggregated"]) == {"none", "eos"}
+        assert len(out["per_sampler"]["eos"]) == 2
+        assert "±" in out["report"]
+        # Resampling should beat the baseline on seed-averaged BAC.
+        assert out["aggregated"]["eos"]["bac"][0] > out["aggregated"]["none"][
+            "bac"
+        ][0]
+
+
+def _write_cifar10_bin(path, n, rng):
+    labels = rng.integers(0, 10, n, dtype=np.uint8)
+    pixels = rng.integers(0, 256, (n, 3072), dtype=np.uint8)
+    records = np.concatenate([labels[:, None], pixels], axis=1)
+    path.write_bytes(records.tobytes())
+    return labels, pixels
+
+
+class TestCifarBinaryIO:
+    def test_cifar10_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        path = tmp_path / "data_batch_1.bin"
+        labels, pixels = _write_cifar10_bin(path, 20, rng)
+        ds = load_cifar10_binary(path)
+        assert len(ds) == 20
+        assert ds.image_shape == (3, 32, 32)
+        np.testing.assert_array_equal(ds.labels, labels)
+        np.testing.assert_allclose(
+            ds.images.reshape(20, -1), pixels / 255.0
+        )
+
+    def test_cifar10_multiple_files(self, tmp_path):
+        rng = np.random.default_rng(1)
+        p1, p2 = tmp_path / "b1.bin", tmp_path / "b2.bin"
+        _write_cifar10_bin(p1, 5, rng)
+        _write_cifar10_bin(p2, 7, rng)
+        ds = load_cifar10_binary([p1, p2])
+        assert len(ds) == 12
+
+    def test_cifar10_bad_size_raises(self, tmp_path):
+        path = tmp_path / "broken.bin"
+        path.write_bytes(b"\x00" * 100)
+        with pytest.raises(ValueError):
+            load_cifar10_binary(path)
+
+    def test_cifar10_no_paths(self):
+        with pytest.raises(ValueError):
+            load_cifar10_binary([])
+
+    def test_cifar100_fine_and_coarse(self, tmp_path):
+        rng = np.random.default_rng(2)
+        n = 8
+        coarse = rng.integers(0, 20, n, dtype=np.uint8)
+        fine = rng.integers(0, 100, n, dtype=np.uint8)
+        pixels = rng.integers(0, 256, (n, 3072), dtype=np.uint8)
+        records = np.concatenate(
+            [coarse[:, None], fine[:, None], pixels], axis=1
+        )
+        path = tmp_path / "train.bin"
+        path.write_bytes(records.tobytes())
+
+        ds_fine = load_cifar100_binary(path, label_kind="fine")
+        ds_coarse = load_cifar100_binary(path, label_kind="coarse")
+        np.testing.assert_array_equal(ds_fine.labels, fine)
+        np.testing.assert_array_equal(ds_coarse.labels, coarse)
+
+    def test_cifar100_invalid_kind(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_cifar100_binary(tmp_path / "x.bin", label_kind="super")

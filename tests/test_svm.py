@@ -1,0 +1,71 @@
+"""Tests for the linear SVM substrate."""
+
+import numpy as np
+import pytest
+
+from repro.svm import LinearSVM
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+def blobs(rng, counts=(50, 50, 50), spread=0.5):
+    centers = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+    xs, ys = [], []
+    for c, n in enumerate(counts):
+        xs.append(rng.normal(centers[c], spread, size=(n, 2)))
+        ys.append(np.full(n, c))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestLinearSVM:
+    def test_separable_blobs_high_accuracy(self, rng):
+        x, y = blobs(rng)
+        svm = LinearSVM(epochs=50).fit(x, y)
+        assert svm.score(x, y) > 0.95
+
+    def test_decision_function_shape(self, rng):
+        x, y = blobs(rng)
+        svm = LinearSVM().fit(x, y)
+        assert svm.decision_function(x).shape == (150, 3)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+    def test_generalizes_to_new_points(self, rng):
+        x, y = blobs(rng)
+        svm = LinearSVM(epochs=50).fit(x, y)
+        x_test, y_test = blobs(np.random.default_rng(99))
+        assert svm.score(x_test, y_test) > 0.9
+
+    def test_balanced_weighting_helps_minority_recall(self, rng):
+        x, y = blobs(rng, counts=(200, 200, 8), spread=1.5)
+        plain = LinearSVM(epochs=50, seed=0).fit(x, y)
+        balanced = LinearSVM(epochs=50, class_weight="balanced", seed=0).fit(x, y)
+        minority = y == 2
+        recall_plain = (plain.predict(x[minority]) == 2).mean()
+        recall_balanced = (balanced.predict(x[minority]) == 2).mean()
+        assert recall_balanced >= recall_plain
+
+    def test_regularization_shrinks_weights(self, rng):
+        x, y = blobs(rng)
+        w_small = LinearSVM(reg=1e-4, epochs=30).fit(x, y)
+        w_large = LinearSVM(reg=1.0, epochs=30).fit(x, y)
+        assert np.linalg.norm(w_large.weights) < np.linalg.norm(w_small.weights)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LinearSVM(reg=-1.0)
+        with pytest.raises(ValueError):
+            LinearSVM(class_weight="bogus")
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((2, 2, 2)), np.zeros(2))
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = blobs(rng)
+        a = LinearSVM(seed=7).fit(x, y)
+        b = LinearSVM(seed=7).fit(x, y)
+        np.testing.assert_array_equal(a.weights, b.weights)

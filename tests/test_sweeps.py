@@ -1,0 +1,85 @@
+"""Tests for the grid-sweep utilities."""
+
+import pytest
+
+from repro.experiments import bench_config, grid_sweep, sweep_report
+
+
+class TestGridSweep:
+    def test_crosses_all_combinations(self):
+        config = bench_config()
+        seen = []
+
+        def evaluate(variant):
+            seen.append((variant.k_neighbors, variant.finetune_epochs))
+            return {"bac": variant.k_neighbors / 100.0}
+
+        results = grid_sweep(
+            config,
+            {"k_neighbors": [5, 10], "finetune_epochs": [3, 6, 9]},
+            evaluate,
+        )
+        assert len(results) == 6
+        assert len(set(seen)) == 6
+
+    def test_records_params_and_metrics(self):
+        config = bench_config()
+        results = grid_sweep(
+            config, {"k_neighbors": [7]}, lambda v: {"bac": 0.5, "gm": 0.4}
+        )
+        assert results[0]["params"] == {"k_neighbors": 7}
+        assert results[0]["metrics"]["gm"] == 0.4
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            grid_sweep(bench_config(), {"learning_rate": [0.1]}, lambda v: {})
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            grid_sweep(bench_config(), {}, lambda v: {})
+
+    def test_base_config_not_mutated(self):
+        config = bench_config()
+        grid_sweep(config, {"k_neighbors": [99]}, lambda v: {"bac": 0.0})
+        assert config.k_neighbors == 10
+
+
+class TestSweepReport:
+    def test_ranked_descending(self):
+        results = [
+            {"params": {"k": 1}, "metrics": {"bac": 0.2}},
+            {"params": {"k": 2}, "metrics": {"bac": 0.9}},
+        ]
+        report = sweep_report(results, sort_by="bac")
+        lines = report.splitlines()
+        k2_line = next(i for i, l in enumerate(lines) if l.startswith("2"))
+        k1_line = next(i for i, l in enumerate(lines) if l.startswith("1"))
+        assert k2_line < k1_line
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            sweep_report(
+                [{"params": {"k": 1}, "metrics": {"bac": 0.5}}], sort_by="f1"
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sweep_report([])
+
+    def test_integration_with_real_evaluation(self):
+        """A real micro-sweep: fine-tune length over a cached extractor."""
+        from repro.experiments import ExtractorCache, evaluate_sampler
+
+        cache = ExtractorCache()
+        config = bench_config(phase1_epochs=3)
+
+        def evaluate(variant):
+            artifacts = cache.get(variant, "ce")
+            return evaluate_sampler(
+                artifacts, "eos", finetune_epochs=variant.finetune_epochs
+            )
+
+        results = grid_sweep(config, {"finetune_epochs": [1, 5]}, evaluate)
+        report = sweep_report(results)
+        assert "finetune_epochs" in report
+        assert len(results) == 2

@@ -1,0 +1,252 @@
+"""Finite-difference gradient checks for every differentiable primitive."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    check_gradients,
+    conv2d,
+    conv_transpose2d,
+    global_avg_pool2d,
+    log_softmax,
+    max_pool2d,
+    softmax,
+)
+
+
+def _t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestElementwiseGradcheck:
+    def test_add_mul_chain(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        check_gradients(lambda a, b: ((a + b) * (a - b)).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = _t(rng, 4)
+        b = Tensor(rng.uniform(1.0, 2.0, 4), requires_grad=True)
+        check_gradients(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_exp_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, (3, 3)), requires_grad=True)
+        check_gradients(lambda a: (a.exp() + a.log()).sum(), [a])
+
+    def test_tanh_sigmoid(self, rng):
+        a = _t(rng, 5)
+        check_gradients(lambda a: (a.tanh() * a.sigmoid()).sum(), [a])
+
+    def test_pow_tensor_exponent(self, rng):
+        base = Tensor(rng.uniform(0.5, 2.0, 4), requires_grad=True)
+        expo = Tensor(rng.uniform(0.5, 2.0, 4), requires_grad=True)
+        check_gradients(lambda b, e: (b ** e).sum(), [base, expo])
+
+    def test_broadcasting_grad(self, rng):
+        a = _t(rng, 2, 3, 4)
+        b = _t(rng, 4)
+        check_gradients(lambda a, b: ((a * b) ** 2).sum(), [a, b])
+
+    def test_matmul(self, rng):
+        a, b = _t(rng, 3, 5), _t(rng, 5, 2)
+        check_gradients(lambda a, b: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_maximum(self, rng):
+        a, b = _t(rng, 6), _t(rng, 6)
+        check_gradients(lambda a, b: a.maximum(b).sum(), [a, b])
+
+
+class TestReductionGradcheck:
+    def test_mean_axis(self, rng):
+        a = _t(rng, 4, 5)
+        check_gradients(lambda a: (a.mean(axis=0) ** 2).sum(), [a])
+
+    def test_var(self, rng):
+        a = _t(rng, 4, 5)
+        check_gradients(lambda a: a.var(axis=0).sum(), [a])
+
+    def test_max_reduction(self, rng):
+        # Use well-separated values so finite differences don't cross ties.
+        a = Tensor(
+            rng.permutation(np.arange(12.0)).reshape(3, 4), requires_grad=True
+        )
+        check_gradients(lambda a: (a.max(axis=1) ** 2).sum(), [a])
+
+
+class TestSoftmaxGradcheck:
+    def test_softmax(self, rng):
+        a = _t(rng, 3, 5)
+        w = Tensor(rng.normal(size=(3, 5)))
+        check_gradients(lambda a: (softmax(a, axis=1) * w).sum(), [a])
+
+    def test_log_softmax(self, rng):
+        a = _t(rng, 3, 5)
+        w = Tensor(rng.normal(size=(3, 5)))
+        check_gradients(lambda a: (log_softmax(a, axis=1) * w).sum(), [a])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        a = _t(rng, 4, 7)
+        s = softmax(a, axis=1)
+        np.testing.assert_allclose(s.data.sum(axis=1), np.ones(4))
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        a = _t(rng, 2, 6)
+        np.testing.assert_allclose(
+            log_softmax(a).data, np.log(softmax(a).data), atol=1e-10
+        )
+
+    def test_stability_with_large_logits(self):
+        a = Tensor(np.array([[1000.0, 1000.0, -1000.0]]))
+        assert np.all(np.isfinite(softmax(a).data))
+        assert np.all(np.isfinite(log_softmax(a).data))
+
+
+class TestConvGradcheck:
+    def test_conv2d_basic(self, rng):
+        x = _t(rng, 2, 2, 5, 5)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.3, requires_grad=True)
+        b = _t(rng, 3)
+        check_gradients(
+            lambda x, w, b: (conv2d(x, w, b, stride=1, padding=1) ** 2).sum(),
+            [x, w, b],
+        )
+
+    def test_conv2d_strided(self, rng):
+        x = _t(rng, 1, 2, 6, 6)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.3, requires_grad=True)
+        check_gradients(
+            lambda x, w: (conv2d(x, w, stride=2, padding=1) ** 2).sum(), [x, w]
+        )
+
+    def test_conv2d_no_padding(self, rng):
+        x = _t(rng, 1, 1, 4, 4)
+        w = Tensor(rng.normal(size=(1, 1, 2, 2)), requires_grad=True)
+        check_gradients(lambda x, w: (conv2d(x, w) ** 2).sum(), [x, w])
+
+    def test_conv2d_shape(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(5, 3, 3, 3)))
+        assert conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+
+    def test_conv2d_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)))
+        w = Tensor(rng.normal(size=(2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+    def test_conv2d_matches_direct_computation(self, rng):
+        # Compare against a naive nested-loop convolution.
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=1, padding=0).data
+        expected = np.zeros((1, 3, 3, 3))
+        for co in range(3):
+            for i in range(3):
+                for j in range(3):
+                    expected[0, co, i, j] = (
+                        x[0, :, i : i + 3, j : j + 3] * w[co]
+                    ).sum()
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+class TestConvTranspose:
+    def test_adjoint_of_conv2d(self, rng):
+        """Inner-product identity: <conv(x), y> == <x, convT(y)> with a
+        shared weight (the defining property of the transposed conv)."""
+        x = rng.normal(size=(2, 3, 7, 7))
+        y = rng.normal(size=(2, 4, 4, 4))
+        w = rng.normal(size=(4, 3, 3, 3)) * 0.2
+        lhs = (conv2d(Tensor(x), Tensor(w), stride=2, padding=1).data * y).sum()
+        rhs = (
+            conv_transpose2d(Tensor(y), Tensor(w), stride=2, padding=1).data * x
+        ).sum()
+        assert lhs == pytest.approx(rhs)
+
+    def test_output_shape_upsamples(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        w = Tensor(rng.normal(size=(2, 3, 3, 3)))
+        out = conv_transpose2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 3, 7, 7)
+
+    def test_gradcheck(self, rng):
+        x = _t(rng, 1, 2, 3, 3)
+        w = Tensor(rng.normal(size=(2, 3, 3, 3)) * 0.2, requires_grad=True)
+        b = _t(rng, 3)
+        check_gradients(
+            lambda x, w, b: (
+                conv_transpose2d(x, w, b, stride=2, padding=1) ** 2
+            ).sum(),
+            [x, w, b],
+        )
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)))
+        w = Tensor(rng.normal(size=(2, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            conv_transpose2d(x, w)
+
+    def test_layer_module(self, rng):
+        """The ConvTranspose2d layer upsamples inside an autoencoder-ish
+        stack and its parameters receive gradients."""
+        from repro.nn import ConvTranspose2d
+
+        layer = ConvTranspose2d(2, 1, 3, stride=2, padding=1,
+                                rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 2, 4, 4)), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (2, 1, 7, 7)
+        (out ** 2).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestPoolingGradcheck:
+    def test_max_pool(self, rng):
+        x = Tensor(
+            rng.permutation(np.arange(32.0)).reshape(1, 2, 4, 4),
+            requires_grad=True,
+        )
+        check_gradients(lambda x: (max_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_avg_pool(self, rng):
+        x = _t(rng, 1, 2, 4, 4)
+        check_gradients(lambda x: (avg_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = _t(rng, 2, 3, 4, 4)
+        check_gradients(lambda x: (global_avg_pool2d(x) ** 2).sum(), [x])
+
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool_is_mean(self, rng):
+        data = rng.normal(size=(3, 5, 4, 4))
+        out = global_avg_pool2d(Tensor(data)).data
+        np.testing.assert_allclose(out, data.mean(axis=(2, 3)))
+
+
+class TestIm2Col:
+    def test_im2col_col2im_adjoint(self, rng):
+        """col2im must be the exact adjoint of im2col: <Ax, y> == <x, A'y>."""
+        from repro.tensor import col2im, im2col
+
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, oh, ow = im2col(x, (3, 3), stride=2, padding=1)
+        y = rng.normal(size=cols.shape)
+        back = col2im(y, x.shape, (3, 3), stride=2, padding=1)
+        assert np.dot(cols.ravel(), y.ravel()) == pytest.approx(
+            np.dot(x.ravel(), back.ravel())
+        )

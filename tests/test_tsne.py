@@ -1,0 +1,133 @@
+"""Tests for the exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.manifold import TSNE, perplexity_calibration
+from repro.neighbors import pairwise_distances
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+@pytest.fixture
+def two_blobs(rng):
+    a = rng.normal(0.0, 0.3, size=(25, 10))
+    b = rng.normal(3.0, 0.3, size=(25, 10))
+    return np.concatenate([a, b]), np.array([0] * 25 + [1] * 25)
+
+
+class TestPerplexityCalibration:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(20, 5))
+        P = perplexity_calibration(pairwise_distances(x, x) ** 2, 5.0)
+        np.testing.assert_allclose(P.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_diagonal_zero(self, rng):
+        x = rng.normal(size=(15, 3))
+        P = perplexity_calibration(pairwise_distances(x, x) ** 2, 5.0)
+        np.testing.assert_allclose(np.diag(P), 0.0)
+
+    def test_entropy_matches_target(self, rng):
+        x = rng.normal(size=(30, 4))
+        target = 8.0
+        P = perplexity_calibration(pairwise_distances(x, x) ** 2, target)
+        for i in range(30):
+            row = P[i][P[i] > 1e-12]
+            perp = np.exp(-(row * np.log(row)).sum())
+            assert perp == pytest.approx(target, rel=0.05)
+
+    def test_invalid_perplexity(self, rng):
+        d = pairwise_distances(rng.normal(size=(5, 2)), rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            perplexity_calibration(d ** 2, 10.0)
+
+
+class TestTSNE:
+    def test_output_shape(self, two_blobs):
+        x, _ = two_blobs
+        out = TSNE(n_iter=100, seed=0).fit_transform(x)
+        assert out.shape == (50, 2)
+
+    def test_separates_blobs(self, two_blobs):
+        """Well-separated clusters must remain separated in the plane."""
+        x, labels = two_blobs
+        out = TSNE(perplexity=10, n_iter=250, seed=0).fit_transform(x)
+        c0 = out[labels == 0].mean(axis=0)
+        c1 = out[labels == 1].mean(axis=0)
+        between = np.linalg.norm(c0 - c1)
+        within = max(
+            np.linalg.norm(out[labels == 0] - c0, axis=1).mean(),
+            np.linalg.norm(out[labels == 1] - c1, axis=1).mean(),
+        )
+        assert between > 2 * within
+
+    def test_kl_decreases(self, two_blobs):
+        x, _ = two_blobs
+        tsne = TSNE(perplexity=10, n_iter=200, seed=0)
+        tsne.fit_transform(x)
+        # Compare post-exaggeration KL values (same objective scale).
+        post = tsne.kl_history[3:]
+        assert post[-1] <= post[0]
+
+    def test_deterministic_given_seed(self, two_blobs):
+        x, _ = two_blobs
+        a = TSNE(n_iter=60, seed=3).fit_transform(x)
+        b = TSNE(n_iter=60, seed=3).fit_transform(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_centered_output(self, two_blobs):
+        x, _ = two_blobs
+        out = TSNE(n_iter=80, seed=0).fit_transform(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((3, 4)))
+
+    def test_perplexity_autocapped(self, rng):
+        # 10 points with default perplexity 15: must not crash.
+        out = TSNE(n_iter=50, seed=0).fit_transform(rng.normal(size=(10, 4)))
+        assert out.shape == (10, 2)
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            TSNE(n_components=0)
+
+    def test_pca_init_separates_blobs(self, two_blobs):
+        x, labels = two_blobs
+        out = TSNE(perplexity=10, n_iter=200, init="pca", seed=0).fit_transform(x)
+        c0 = out[labels == 0].mean(axis=0)
+        c1 = out[labels == 1].mean(axis=0)
+        assert np.linalg.norm(c0 - c1) > 1.0
+
+    def test_pca_init_deterministic_regardless_of_seed(self, two_blobs):
+        """PCA init does not consume the rng for the layout, so two seeds
+        give the same starting configuration (descent is deterministic)."""
+        x, _ = two_blobs
+        a = TSNE(n_iter=40, init="pca", seed=0).fit_transform(x)
+        b = TSNE(n_iter=40, init="pca", seed=99).fit_transform(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_init(self):
+        with pytest.raises(ValueError):
+            TSNE(init="spectral")
+
+    def test_preserves_local_structure(self, rng):
+        """Nearest neighbor in input space should stay among the nearest
+        few in the embedding for most points."""
+        x = rng.normal(size=(40, 6))
+        out = TSNE(perplexity=10, n_iter=300, seed=1).fit_transform(x)
+        d_in = pairwise_distances(x, x)
+        d_out = pairwise_distances(out, out)
+        np.fill_diagonal(d_in, np.inf)
+        np.fill_diagonal(d_out, np.inf)
+        nn_in = d_in.argmin(axis=1)
+        rank_hits = 0
+        for i in range(40):
+            order = np.argsort(d_out[i])
+            if nn_in[i] in order[:8]:
+                rank_hits += 1
+        assert rank_hits / 40 > 0.5
