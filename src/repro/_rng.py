@@ -1,0 +1,33 @@
+"""Process-wide reproducible RNG spawning.
+
+The lint rule RNG002 bans unseeded ``np.random.default_rng()``: it draws
+entropy from the OS, so two runs of the "same" experiment diverge.  But
+several components (layer initialisers, data loaders, dropout) need a
+*fallback* generator when the caller does not thread one through.
+
+:func:`fresh_generator` provides that fallback reproducibly: every call
+spawns an independent child stream of one seeded root
+``np.random.SeedSequence``, so distinct call sites get distinct streams
+(no accidental weight-sharing between layers) while the whole process
+stays deterministic for a fixed construction order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fresh_generator", "reseed_root"]
+
+_ROOT_SEED = 0x5EED
+_root_seq = np.random.SeedSequence(_ROOT_SEED)
+
+
+def fresh_generator():
+    """A new independent, reproducibly-seeded ``np.random.Generator``."""
+    return np.random.default_rng(_root_seq.spawn(1)[0])
+
+
+def reseed_root(seed):
+    """Reset the root stream (e.g. between repeated experiment runs)."""
+    global _root_seq
+    _root_seq = np.random.SeedSequence(seed)

@@ -10,7 +10,10 @@ __all__ = ["validate_xy"]
 def validate_xy(x, y):
     """Validate and canonicalize a (features, labels) pair.
 
-    Returns float64 features (n, d) and int64 labels (n,).
+    Returns float64 features (n, d) and int64 labels (n,).  Rejects
+    non-finite features: a single NaN/Inf embedding silently poisons
+    every distance computation downstream (k-NN, EOS enemy search,
+    SMOTE interpolation), so it must fail loudly at the boundary.
     """
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.int64)
@@ -20,4 +23,10 @@ def validate_xy(x, y):
         raise ValueError("y must be 1D and aligned with X")
     if x.shape[0] == 0:
         raise ValueError("cannot resample an empty dataset")
+    if not np.isfinite(x).all():
+        bad = np.nonzero(~np.isfinite(x).all(axis=1))[0]
+        raise ValueError(
+            "X contains non-finite values (NaN/Inf) in %d row(s), first at "
+            "row %d; clean or impute before resampling" % (bad.size, bad[0])
+        )
     return x, y

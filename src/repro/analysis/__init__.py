@@ -1,0 +1,31 @@
+"""Static analysis and runtime sanitizers for the reproduction.
+
+Two coordinated layers of correctness tooling:
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an
+  AST-based lint engine with repro-specific rules (RNG discipline, tape
+  hygiene, sampler validation, export drift...).  Run it as
+  ``python -m repro.analysis [--strict] src/`` or via the
+  ``repro-lint`` console script.
+* :mod:`repro.analysis.sanitizer` — the opt-in ``detect_anomaly()``
+  runtime tape sanitizer for the autograd engine.
+"""
+
+from .engine import Finding, LintEngine, LintReport, ModuleContext, Rule
+from .rules import RULE_CLASSES, all_rules, rule_index
+from .sanitizer import AnomalyError, array_version, detect_anomaly, is_anomaly_enabled
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "RULE_CLASSES",
+    "all_rules",
+    "rule_index",
+    "AnomalyError",
+    "array_version",
+    "detect_anomaly",
+    "is_anomaly_enabled",
+]

@@ -1,0 +1,54 @@
+"""Rule registry for the repro lint engine.
+
+``all_rules()`` returns one fresh instance of every registered rule, in
+stable id order.  Add new rules by importing the class and appending it
+to ``RULE_CLASSES``.
+"""
+
+from __future__ import annotations
+
+from .api import AllExportDriftRule, SamplerValidationRule, UnusedNoqaRule
+from .autograd import MissingNoGradRule, TapeDataEscapeRule, TensorDtypeRule
+from .mutation import MutableDefaultRule, ParamInPlaceMutationRule
+from .rng import BareNumpyRandomRule, UnseededGeneratorRule
+
+__all__ = [
+    "RULE_CLASSES",
+    "all_rules",
+    "rule_index",
+    "AllExportDriftRule",
+    "SamplerValidationRule",
+    "UnusedNoqaRule",
+    "MissingNoGradRule",
+    "TapeDataEscapeRule",
+    "TensorDtypeRule",
+    "MutableDefaultRule",
+    "ParamInPlaceMutationRule",
+    "BareNumpyRandomRule",
+    "UnseededGeneratorRule",
+]
+
+RULE_CLASSES = (
+    BareNumpyRandomRule,    # RNG001
+    UnseededGeneratorRule,  # RNG002
+    MutableDefaultRule,     # MUT001
+    ParamInPlaceMutationRule,  # MUT002
+    MissingNoGradRule,      # GRAD001
+    TapeDataEscapeRule,     # TAPE001
+    TensorDtypeRule,        # DTYPE001
+    SamplerValidationRule,  # VAL001
+    AllExportDriftRule,     # EXP001
+    UnusedNoqaRule,         # NOQA001
+)
+
+
+def all_rules():
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rule_index():
+    """Mapping of rule id -> (name, description, severity)."""
+    return {
+        cls.id: (cls.name, cls.description, cls.severity) for cls in RULE_CLASSES
+    }

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._rng import fresh_generator
+
 __all__ = ["ArrayDataset", "DataLoader"]
 
 
@@ -112,7 +114,7 @@ class DataLoader:
         self.shuffle = shuffle
         self.transform = transform
         self.drop_last = drop_last
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else fresh_generator()
 
     def __len__(self):
         n = len(self.dataset)

@@ -22,7 +22,13 @@ from ..nn import build_model
 from ..optim import SGD
 from .config import build_sampler
 
-__all__ = ["Phase1Artifacts", "ExtractorCache", "evaluate_sampler", "train_preprocessed"]
+__all__ = [
+    "Phase1Artifacts",
+    "ExtractorCache",
+    "train_phase1",
+    "evaluate_sampler",
+    "train_preprocessed",
+]
 
 
 class Phase1Artifacts:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._rng import fresh_generator
 from ..tensor import Tensor
 from ..tensor import conv as conv_ops
 from ..tensor import functional as F
@@ -41,7 +42,7 @@ class Linear(Module):
 
     def __init__(self, in_features, out_features, bias=True, rng=None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else fresh_generator()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
@@ -74,7 +75,7 @@ class Conv2d(Module):
         rng=None,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else fresh_generator()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
@@ -117,7 +118,7 @@ class ConvTranspose2d(Module):
         rng=None,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else fresh_generator()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
@@ -303,7 +304,7 @@ class Dropout(Module):
     def __init__(self, p=0.5, rng=None):
         super().__init__()
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else fresh_generator()
 
     def forward(self, x):
         return F.dropout(x, self.p, training=self.training, rng=self.rng)

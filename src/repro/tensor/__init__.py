@@ -1,5 +1,6 @@
 """Autograd tensor engine (numpy-backed reverse-mode differentiation)."""
 
+from ..analysis.sanitizer import AnomalyError, detect_anomaly, is_anomaly_enabled
 from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
 from .conv import (
     avg_pool2d,
@@ -18,12 +19,22 @@ from .functional import (
     one_hot,
     softmax,
 )
-from .gradcheck import check_gradients, numeric_grad
+from .gradcheck import (
+    check_gradients,
+    check_inplace_mutation_detected,
+    gradcheck_batchnorm_eval,
+    gradcheck_conv2d_nonsquare,
+    numeric_grad,
+    run_extended_checks,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "AnomalyError",
+    "detect_anomaly",
+    "is_anomaly_enabled",
     "concatenate",
     "stack",
     "where",
@@ -42,4 +53,8 @@ __all__ = [
     "nll_loss",
     "check_gradients",
     "numeric_grad",
+    "gradcheck_conv2d_nonsquare",
+    "gradcheck_batchnorm_eval",
+    "check_inplace_mutation_detected",
+    "run_extended_checks",
 ]

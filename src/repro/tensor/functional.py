@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._rng import fresh_generator
 from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
@@ -63,7 +64,7 @@ def dropout(x, p=0.5, training=True, rng=None):
         return x
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else fresh_generator()
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
 
     def backward(g):

@@ -8,7 +8,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["numeric_grad", "check_gradients"]
+__all__ = [
+    "numeric_grad",
+    "check_gradients",
+    "gradcheck_conv2d_nonsquare",
+    "gradcheck_batchnorm_eval",
+    "check_inplace_mutation_detected",
+    "run_extended_checks",
+]
 
 
 def numeric_grad(fn, inputs, wrt, eps=1e-5):
@@ -56,3 +63,92 @@ def check_gradients(fn, inputs, eps=1e-5, atol=1e-4, rtol=1e-3):
                 "gradient mismatch on input %d (max abs err %.3g)" % (idx, worst)
             )
     return True
+
+
+# ----------------------------------------------------------------------
+# Sanitizer-aware extended checks
+# ----------------------------------------------------------------------
+# These run the numeric comparison *inside* detect_anomaly(), so besides
+# validating the analytic gradients they also exercise the tape
+# sanitizer's NaN / mutation / dtype instrumentation on realistic ops.
+
+
+def gradcheck_conv2d_nonsquare(seed=0):
+    """conv2d with a non-square (2x3) kernel, stride 2, padding 1."""
+    from ..analysis.sanitizer import detect_anomaly
+    from .conv import conv2d
+    from .tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((2, 2, 5, 4)), requires_grad=True)
+    w = Tensor(0.5 * rng.standard_normal((3, 2, 2, 3)), requires_grad=True)
+    b = Tensor(rng.standard_normal(3), requires_grad=True)
+
+    def fn(x, w, b):
+        return conv2d(x, w, b, stride=2, padding=1).sum()
+
+    with detect_anomaly():
+        return check_gradients(fn, [x, w, b])
+
+
+def gradcheck_batchnorm_eval(seed=0):
+    """BatchNorm2d in eval mode (running-stats path) under the sanitizer.
+
+    Eval-mode batchnorm normalizes with *constant* running statistics,
+    so d out / d x must be exactly gamma / sqrt(running_var + eps) —
+    a path the training-mode gradcheck never touches.
+    """
+    from ..analysis.sanitizer import detect_anomaly
+    from ..nn.layers import BatchNorm2d
+    from .tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    bn = BatchNorm2d(3)
+    # Warm up the running statistics with a couple of training batches.
+    for _ in range(2):
+        bn(Tensor(rng.standard_normal((4, 3, 2, 2)) * 2.0 + 1.0))
+    bn.eval()
+    x = Tensor(rng.standard_normal((2, 3, 2, 2)), requires_grad=True)
+
+    def fn(x):
+        return (bn(x) * bn(x)).sum()
+
+    with detect_anomaly():
+        return check_gradients(fn, [x])
+
+
+def check_inplace_mutation_detected(seed=0):
+    """Assert the version-counter check fires on in-place mutation.
+
+    An array is recorded on the tape, then mutated through numpy before
+    ``backward`` runs; the sanitizer must raise ``AnomalyError`` rather
+    than silently differentiate against the mutated buffer.
+    """
+    from ..analysis.sanitizer import AnomalyError, detect_anomaly
+    from .tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    with detect_anomaly():
+        a = Tensor(rng.standard_normal(4), requires_grad=True)
+        b = a * 3.0
+        loss = b.sum()
+        a.data[0] = 42.0  # deliberate corruption of a taped buffer
+        try:
+            loss.backward()
+        except AnomalyError:
+            return True
+    raise AssertionError(
+        "in-place mutation of a taped array was not detected by the sanitizer"
+    )
+
+
+def run_extended_checks(seed=0):
+    """Run every extended check; returns the list of check names run."""
+    gradcheck_conv2d_nonsquare(seed)
+    gradcheck_batchnorm_eval(seed)
+    check_inplace_mutation_detected(seed)
+    return [
+        "gradcheck_conv2d_nonsquare",
+        "gradcheck_batchnorm_eval",
+        "check_inplace_mutation_detected",
+    ]

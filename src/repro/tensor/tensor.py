@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+from ..analysis import sanitizer as _sanitizer
+from ..analysis.sanitizer import _STATE as _ANOMALY
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "concatenate", "stack", "where"]
 
 _GRAD_ENABLED = True
 
@@ -91,7 +94,8 @@ class Tensor:
         are recorded so that ``backward`` can compute ``self.grad``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name",
+                 "_anomaly")
     __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
 
     def __init__(self, data, requires_grad=False, dtype=None):
@@ -106,6 +110,7 @@ class Tensor:
         self._backward = None
         self._prev = ()
         self.name = None
+        self._anomaly = None  # provenance record set by detect_anomaly()
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -170,6 +175,8 @@ class Tensor:
         if requires:
             out._backward = backward
             out._prev = tuple(parents)
+        if _ANOMALY.enabled:
+            _sanitizer._on_op(out, parents, backward)
         return out
 
     def backward(self, grad=None):
@@ -190,6 +197,8 @@ class Tensor:
                     "gradient shape %s does not match tensor shape %s"
                     % (grad.shape, self.data.shape)
                 )
+        if _ANOMALY.enabled:
+            _sanitizer._on_seed(self, grad)
 
         topo = []
         visited = set()
@@ -213,7 +222,11 @@ class Tensor:
             if node_grad is None:
                 continue
             if node._backward is not None:
+                if _ANOMALY.enabled:
+                    _sanitizer._before_node_backward(node)
                 parent_grads = node._backward(node_grad)
+                if _ANOMALY.enabled:
+                    _sanitizer._after_node_backward(node, parent_grads)
                 for parent, pgrad in zip(node._prev, parent_grads):
                     if pgrad is None or not parent.requires_grad:
                         continue
@@ -224,6 +237,8 @@ class Tensor:
                         grads[key] = pgrad
             # Leaf (or intermediate explicitly retaining grad): accumulate.
             if node._backward is None:
+                if _ANOMALY.enabled:
+                    _sanitizer._on_accumulate(node, node_grad)
                 if node.grad is None:
                     node.grad = node_grad.copy()
                 else:

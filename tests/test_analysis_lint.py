@@ -1,0 +1,450 @@
+"""Tests for the repro.analysis lint engine: every rule gets a positive
+(violating) and a negative (clean) fixture snippet, plus engine-level
+behavior — noqa suppression, rule selection, output formats, CLI exit
+codes, and the one-violation-per-rule fixture tree."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import LintEngine, all_rules, rule_index
+from repro.analysis.__main__ import main as lint_main
+
+
+def lint(source, select=None):
+    """Lint a snippet with the full rule set; returns findings."""
+    engine = LintEngine(select=select)
+    findings, _ = engine.check_source(textwrap.dedent(source))
+    return findings
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Per-rule positive/negative fixtures
+# ----------------------------------------------------------------------
+class TestRNG001BareNumpyRandom:
+    def test_flags_bare_calls(self):
+        findings = lint(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            y = np.random.choice([1, 2])
+            """
+        )
+        assert sum(1 for f in findings if f.rule == "RNG001") == 2
+
+    def test_allows_modern_api(self):
+        findings = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.random(3)
+            seq = np.random.SeedSequence(7)
+            """
+        )
+        assert "RNG001" not in rule_ids(findings)
+
+
+class TestRNG002UnseededGenerator:
+    def test_flags_unseeded(self):
+        findings = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert "RNG002" in rule_ids(findings)
+
+    def test_allows_seeded(self):
+        findings = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            other = np.random.default_rng(seed)
+            """
+        )
+        assert "RNG002" not in rule_ids(findings)
+
+
+class TestMUT001MutableDefault:
+    def test_flags_literals_and_constructors(self):
+        findings = lint(
+            """
+            def f(a, items=[], table={}, s=set()):
+                return a
+            """
+        )
+        assert sum(1 for f in findings if f.rule == "MUT001") == 3
+
+    def test_allows_none_default(self):
+        findings = lint(
+            """
+            def f(a, items=None, n=3, name="x"):
+                items = items if items is not None else []
+                return a
+            """
+        )
+        assert "MUT001" not in rule_ids(findings)
+
+
+class TestMUT002ParamInPlaceMutation:
+    def test_flags_subscript_write(self):
+        findings = lint(
+            """
+            def f(x):
+                x[0] = 1.0
+                return x
+            """
+        )
+        assert "MUT002" in rule_ids(findings)
+
+    def test_flags_augmented_assign(self):
+        findings = lint(
+            """
+            def f(x, scale):
+                x *= scale
+                return x
+            """
+        )
+        assert "MUT002" in rule_ids(findings)
+
+    def test_allows_copy_then_mutate(self):
+        findings = lint(
+            """
+            import numpy as np
+            def f(x):
+                x = np.array(x, copy=True)
+                x[0] = 1.0
+                x += 2.0
+                return x
+            """
+        )
+        assert "MUT002" not in rule_ids(findings)
+
+    def test_allows_local_mutation(self):
+        findings = lint(
+            """
+            def f(x):
+                out = [0] * 3
+                out[0] = x
+                return out
+            """
+        )
+        assert "MUT002" not in rule_ids(findings)
+
+
+class TestGRAD001MissingNoGrad:
+    def test_flags_eval_without_no_grad(self):
+        findings = lint(
+            """
+            def predict(model, images):
+                logits = model(images)
+                return logits
+            """
+        )
+        assert "GRAD001" in rule_ids(findings)
+
+    def test_allows_eval_with_no_grad(self):
+        findings = lint(
+            """
+            from repro.tensor import no_grad
+
+            def predict(model, images):
+                with no_grad():
+                    logits = model(images)
+                return logits
+            """
+        )
+        assert "GRAD001" not in rule_ids(findings)
+
+    def test_ignores_training_functions(self):
+        findings = lint(
+            """
+            def train_step(model, images):
+                return model(images)
+            """
+        )
+        assert "GRAD001" not in rule_ids(findings)
+
+
+class TestTAPE001DataEscape:
+    def test_flags_raw_data_into_save(self):
+        findings = lint(
+            """
+            import numpy as np
+            def checkpoint(tensor, path):
+                np.save(path, tensor.data)
+            """
+        )
+        assert "TAPE001" in rule_ids(findings)
+
+    def test_allows_copied_data(self):
+        findings = lint(
+            """
+            import numpy as np
+            def checkpoint(tensor, path):
+                np.save(path, tensor.data.copy())
+            """
+        )
+        assert "TAPE001" not in rule_ids(findings)
+
+
+class TestDTYPE001TensorDtype:
+    def test_flags_float32_construction(self):
+        findings = lint(
+            """
+            import numpy as np
+            from repro.tensor import Tensor
+            t = Tensor([1.0], dtype=np.float32)
+            u = Tensor([1.0], dtype="float16")
+            """
+        )
+        assert sum(1 for f in findings if f.rule == "DTYPE001") == 2
+
+    def test_allows_float64(self):
+        findings = lint(
+            """
+            import numpy as np
+            from repro.tensor import Tensor
+            t = Tensor([1.0], dtype=np.float64)
+            u = Tensor([1.0])
+            """
+        )
+        assert "DTYPE001" not in rule_ids(findings)
+
+
+class TestVAL001SamplerValidation:
+    def test_flags_unvalidated_fit_resample(self):
+        findings = lint(
+            """
+            class BadSampler:
+                def fit_resample(self, x, y):
+                    return x, y
+            """
+        )
+        assert "VAL001" in rule_ids(findings)
+
+    def test_allows_validate_xy(self):
+        findings = lint(
+            """
+            from repro._validation import validate_xy
+
+            class GoodSampler:
+                def fit_resample(self, x, y):
+                    x, y = validate_xy(x, y)
+                    return x, y
+            """
+        )
+        assert "VAL001" not in rule_ids(findings)
+
+    def test_allows_delegation(self):
+        findings = lint(
+            """
+            class Wrapper:
+                def fit_resample(self, x, y):
+                    return self.inner.fit_resample(x, y)
+            """
+        )
+        assert "VAL001" not in rule_ids(findings)
+
+
+class TestEXP001ExportDrift:
+    def test_flags_phantom_export(self):
+        findings = lint(
+            """
+            __all__ = ["missing_thing"]
+            """
+        )
+        assert "EXP001" in rule_ids(findings)
+
+    def test_flags_unexported_public_def(self):
+        findings = lint(
+            """
+            __all__ = ["f"]
+
+            def f():
+                pass
+
+            def g():
+                pass
+            """
+        )
+        messages = [f.message for f in findings if f.rule == "EXP001"]
+        assert any("'g'" in m for m in messages)
+
+    def test_clean_module_passes(self):
+        findings = lint(
+            """
+            __all__ = ["f", "CONST"]
+
+            CONST = 3
+
+            def f():
+                pass
+
+            def _private():
+                pass
+            """
+        )
+        assert "EXP001" not in rule_ids(findings)
+
+    def test_no_all_is_ignored(self):
+        findings = lint(
+            """
+            def anything():
+                pass
+            """
+        )
+        assert "EXP001" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# Suppression & engine behavior
+# ----------------------------------------------------------------------
+class TestNoqaSuppression:
+    def test_targeted_noqa_suppresses(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa[RNG001] legacy fixture\n"
+        )
+        report = LintEngine().run([tmp_path])
+        assert not report.findings
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "RNG001"
+
+    def test_blanket_noqa_suppresses(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import numpy as np\nx = np.random.rand(3)  # repro: noqa\n"
+        )
+        report = LintEngine().run([tmp_path])
+        assert not report.findings
+
+    def test_wrong_rule_noqa_does_not_suppress(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa[MUT001]\n"
+        )
+        report = LintEngine().run([tmp_path])
+        assert "RNG001" in rule_ids(report.findings)
+
+    def test_unused_noqa_flagged(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("x = 1  # repro: noqa[RNG001]\n")
+        report = LintEngine().run([tmp_path])
+        assert rule_ids(report.findings) == {"NOQA001"}
+
+    def test_noqa_inside_string_is_not_a_suppression(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text('DOC = "example:  # repro: noqa[RNG001]"\n')
+        report = LintEngine().run([tmp_path])
+        assert not report.findings
+
+
+class TestEngineConfig:
+    def test_select_restricts_rules(self):
+        findings = lint(
+            """
+            import numpy as np
+            def f(items=[]):
+                return np.random.rand(3)
+            """,
+            select=["MUT001"],
+        )
+        assert rule_ids(findings) == {"MUT001"}
+
+    def test_ignore_disables_rule(self):
+        engine = LintEngine(ignore=["RNG001"])
+        findings, _ = engine.check_source("import numpy as np\nx = np.random.rand(3)\n")
+        assert "RNG001" not in rule_ids(findings)
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError):
+            LintEngine(select=["NOPE999"])
+
+    def test_registry_has_ten_rules(self):
+        assert len(all_rules()) == 10
+        assert len(rule_index()) == 10
+
+
+# ----------------------------------------------------------------------
+# Acceptance: fixture tree with one violation per rule, both formats
+# ----------------------------------------------------------------------
+VIOLATION_FIXTURES = {
+    "RNG001": "import numpy as np\nx = np.random.rand(3)\n",
+    "RNG002": "import numpy as np\nrng = np.random.default_rng()\n",
+    "MUT001": "def f(items=[]):\n    return items\n",
+    "MUT002": "def f(x):\n    x[0] = 1\n",
+    "GRAD001": "def predict(model, images):\n    return model(images)\n",
+    "TAPE001": (
+        "import numpy as np\n"
+        "def f(t, path):\n    np.save(path, t.data)\n"
+    ),
+    "DTYPE001": (
+        "import numpy as np\nfrom repro.tensor import Tensor\n"
+        "t = Tensor([1.0], dtype=np.float32)\n"
+    ),
+    "VAL001": (
+        "class S:\n    def fit_resample(self, x, y):\n        return x, y\n"
+    ),
+    "EXP001": '__all__ = ["ghost"]\n',
+    "NOQA001": "x = 1  # repro: noqa[RNG001]\n",
+}
+
+
+@pytest.fixture
+def violation_tree(tmp_path):
+    for rid, source in VIOLATION_FIXTURES.items():
+        (tmp_path / ("viol_%s.py" % rid.lower())).write_text(source)
+    return tmp_path
+
+
+class TestViolationTree:
+    def test_one_finding_per_rule(self, violation_tree):
+        report = LintEngine().run([violation_tree])
+        assert rule_ids(report.findings) == set(VIOLATION_FIXTURES)
+
+    def test_text_format_has_file_line(self, violation_tree):
+        report = LintEngine().run([violation_tree])
+        text = report.format_text()
+        for f in report.findings:
+            assert "%s:%d:" % (f.path, f.line) in text
+
+    def test_json_format_has_file_line(self, violation_tree):
+        report = LintEngine().run([violation_tree])
+        payload = json.loads(report.format_json())
+        assert payload["errors"] > 0
+        assert set(f["rule"] for f in payload["findings"]) == set(VIOLATION_FIXTURES)
+        for f in payload["findings"]:
+            assert f["path"] and f["line"] >= 1
+
+    def test_cli_exits_nonzero_text(self, violation_tree, capsys):
+        code = lint_main(["--strict", str(violation_tree)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out and ":%d:" % 2 in out
+
+    def test_cli_exits_nonzero_json(self, violation_tree, capsys):
+        code = lint_main(["--strict", "--format", "json", str(violation_tree)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["findings"]) >= len(VIOLATION_FIXTURES)
+
+    def test_cli_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text('"""Clean module."""\nX = 1\n')
+        assert lint_main(["--strict", str(tmp_path)]) == 0
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in VIOLATION_FIXTURES:
+            assert rid in out
+
+    def test_cli_bad_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope.txt")]) == 2

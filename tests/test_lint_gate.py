@@ -1,0 +1,44 @@
+"""CI gate: the lint engine must report a clean tree over src/.
+
+This is the tier-1-adjacent enforcement of the repo's static-analysis
+conventions — any non-suppressed finding in src/ fails the build, and
+every suppression that exists must actually suppress something (the
+engine's NOQA001 rule guarantees suppressions cannot go stale).
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import LintEngine
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_tree_is_lint_clean():
+    report = LintEngine().run([SRC])
+    assert report.files_checked > 50, "lint gate found too few files; wrong root?"
+    details = "\n" + report.format_text()
+    assert not report.findings, details
+
+
+def test_every_suppression_is_justified():
+    """Each # repro: noqa in src/ must carry a justification comment."""
+    report = LintEngine().run([SRC])
+    for finding in report.suppressed:
+        source_line = Path(finding.path).read_text().splitlines()[finding.line - 1]
+        marker = source_line.split("noqa", 1)[1]
+        # Strip the [RULE] spec; whatever remains is the justification.
+        justification = marker.split("]", 1)[-1].strip(" ]:")
+        assert justification, (
+            "%s:%d suppresses %s without a justification comment"
+            % (finding.path, finding.line, finding.rule)
+        )
+
+
+def test_console_script_is_registered():
+    import tomllib
+
+    payload = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    scripts = payload["project"]["scripts"]
+    assert scripts["repro-lint"] == "repro.analysis.__main__:main"

@@ -250,3 +250,33 @@ class TestIm2Col:
         assert np.dot(cols.ravel(), y.ravel()) == pytest.approx(
             np.dot(x.ravel(), back.ravel())
         )
+
+
+class TestSanitizerAwareGradcheck:
+    """Extended cases from repro.tensor.gradcheck: numeric gradient
+    comparison running *inside* detect_anomaly(), so the tape sanitizer
+    instrumentation is exercised on realistic conv/batchnorm graphs."""
+
+    def test_conv2d_nonsquare_kernel(self):
+        from repro.tensor import gradcheck_conv2d_nonsquare
+
+        assert gradcheck_conv2d_nonsquare(seed=0)
+
+    def test_batchnorm_eval_mode(self):
+        from repro.tensor import gradcheck_batchnorm_eval
+
+        assert gradcheck_batchnorm_eval(seed=0)
+
+    def test_batchnorm_eval_uses_running_stats_gradient(self):
+        """Eval-mode BN gradient must be exactly gamma/sqrt(var+eps)."""
+        from repro.nn import BatchNorm1d
+
+        gen = np.random.default_rng(11)
+        bn = BatchNorm1d(4)
+        for _ in range(3):
+            bn(Tensor(gen.normal(1.0, 2.0, size=(16, 4))))
+        bn.eval()
+        x = Tensor(gen.normal(size=(5, 4)), requires_grad=True)
+        bn(x).sum().backward()
+        expected = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+        np.testing.assert_allclose(x.grad, np.broadcast_to(expected, (5, 4)))
