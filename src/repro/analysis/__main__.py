@@ -81,9 +81,7 @@ def main(argv=None):
             print(report.format_json())
         else:
             print(report.format_text())
-    except BrokenPipeError:
-        # Downstream consumer (head, grep -q) closed the pipe early;
-        # the findings still determine the exit code.
+    except BrokenPipeError:  # repro: noqa[RES002] downstream closed the pipe early; exit code still reports the findings
         pass
     return report.exit_code(strict=args.strict)
 

@@ -111,7 +111,7 @@ def parse_noqa_comments(source):
                     part.strip().upper() for part in spec.split(",") if part.strip()
                 )
             comments[tok.start[0]] = NoqaComment(tok.start[0], rules)
-    except tokenize.TokenError:
+    except tokenize.TokenError:  # repro: noqa[RES002] unterminated source still lints; it just loses noqa handling
         pass
     return comments
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from .api import AllExportDriftRule, SamplerValidationRule, UnusedNoqaRule
 from .autograd import MissingNoGradRule, TapeDataEscapeRule, TensorDtypeRule
 from .mutation import MutableDefaultRule, ParamInPlaceMutationRule
+from .resilience import NonAtomicArtifactWriteRule, SwallowedExceptionRule
 from .rng import BareNumpyRandomRule, UnseededGeneratorRule
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "TensorDtypeRule",
     "MutableDefaultRule",
     "ParamInPlaceMutationRule",
+    "NonAtomicArtifactWriteRule",
+    "SwallowedExceptionRule",
     "BareNumpyRandomRule",
     "UnseededGeneratorRule",
 ]
@@ -37,6 +40,8 @@ RULE_CLASSES = (
     TapeDataEscapeRule,     # TAPE001
     TensorDtypeRule,        # DTYPE001
     SamplerValidationRule,  # VAL001
+    NonAtomicArtifactWriteRule,  # RES001
+    SwallowedExceptionRule,      # RES002
     AllExportDriftRule,     # EXP001
     UnusedNoqaRule,         # NOQA001
 )

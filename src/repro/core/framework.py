@@ -27,6 +27,8 @@ import numpy as np
 from ..losses import CrossEntropyLoss
 from ..metrics import evaluate_predictions
 from ..optim import SGD
+from ..resilience.errors import DivergenceError
+from ..resilience.faults import maybe_fire
 from ..tensor import Tensor, no_grad
 from .training import Trainer, extract_features
 
@@ -99,8 +101,20 @@ def finetune_classifier(
             logits = model.forward_head(Tensor(embeddings[idx]))
             value = loss(logits, labels[idx])
             value.backward()
+            batch_loss = float(value.data)
+            if maybe_fire("finetune.batch", epoch=epoch,
+                          batch=n_batches) == "nan":
+                batch_loss = float("nan")
+            if not np.isfinite(batch_loss):
+                raise DivergenceError(
+                    "non-finite fine-tuning loss",
+                    epoch=epoch,
+                    batch=n_batches,
+                    loss=batch_loss,
+                    phase="finetune",
+                )
             optimizer.step()
-            epoch_loss += float(value.data)
+            epoch_loss += batch_loss
             n_batches += 1
         record = {
             "epoch": epoch,
@@ -144,7 +158,7 @@ class ThreePhaseTrainer:
 
     # ------------------------------------------------------------------
     def train_phase1(self, dataset, epochs, batch_size=32, transform=None, rng=None,
-                     eval_dataset=None, verbose=False):
+                     eval_dataset=None, verbose=False, max_seconds=None):
         """Phase 1: end-to-end training on the imbalanced dataset."""
         start = time.perf_counter()
         history = self.phase1.fit(
@@ -155,6 +169,7 @@ class ThreePhaseTrainer:
             rng=rng,
             eval_dataset=eval_dataset,
             verbose=verbose,
+            max_seconds=max_seconds,
         )
         self.timings["phase1"] = time.perf_counter() - start
         return history

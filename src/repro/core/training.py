@@ -14,7 +14,9 @@ import numpy as np
 
 from ..data import DataLoader
 from ..metrics import evaluate_predictions
-from ..tensor import Tensor, no_grad
+from ..resilience.errors import DivergenceError, TrialTimeoutError
+from ..resilience.faults import maybe_fire
+from ..tensor import AnomalyError, Tensor, no_grad
 
 __all__ = ["Trainer", "predict_logits", "extract_features"]
 
@@ -79,8 +81,16 @@ class Trainer:
         rng=None,
         eval_dataset=None,
         verbose=False,
+        max_seconds=None,
     ):
         """Train for ``epochs`` passes; records per-epoch loss (and BAC).
+
+        A non-finite batch loss aborts immediately with a
+        :class:`repro.resilience.DivergenceError` carrying epoch/batch
+        provenance — continuing would only propagate NaN gradients into
+        every parameter.  ``max_seconds`` bounds the wall-clock cost of
+        the whole fit (checked at batch granularity), raising
+        :class:`repro.resilience.TrialTimeoutError` when exceeded.
 
         Returns the history list of per-epoch dicts.
         """
@@ -88,6 +98,7 @@ class Trainer:
         loader = DataLoader(
             dataset, batch_size=batch_size, shuffle=True, transform=transform, rng=rng
         )
+        fit_start = time.perf_counter()
         for epoch in range(epochs):
             self.loss.set_epoch(epoch)
             self.model.train()
@@ -95,12 +106,44 @@ class Trainer:
             n_batches = 0
             start_time = time.perf_counter()
             for images, labels in loader:
+                if max_seconds is not None:
+                    elapsed = time.perf_counter() - fit_start
+                    if elapsed > max_seconds:
+                        raise TrialTimeoutError(
+                            "training exceeded its wall-clock budget",
+                            seconds=elapsed,
+                            budget=max_seconds,
+                        )
                 self.optimizer.zero_grad()
-                logits = self.model(Tensor(images))
-                loss_value = self.loss(logits, labels)
-                loss_value.backward()
+                try:
+                    logits = self.model(Tensor(images))
+                    loss_value = self.loss(logits, labels)
+                    loss_value.backward()
+                except AnomalyError as exc:
+                    # The tape sanitizer already pinpointed the producing
+                    # op; re-raise with training-loop provenance attached.
+                    raise DivergenceError(
+                        "tape sanitizer trapped an anomaly during training",
+                        epoch=epoch,
+                        batch=n_batches,
+                        op=exc.op,
+                        site=exc.site,
+                        phase="phase1",
+                    ) from exc
+                batch_loss = float(loss_value.data)
+                if maybe_fire("trainer.batch", epoch=epoch,
+                              batch=n_batches) == "nan":
+                    batch_loss = float("nan")
+                if not np.isfinite(batch_loss):
+                    raise DivergenceError(
+                        "non-finite training loss",
+                        epoch=epoch,
+                        batch=n_batches,
+                        loss=batch_loss,
+                        phase="phase1",
+                    )
                 self.optimizer.step()
-                epoch_loss += float(loss_value.data)
+                epoch_loss += batch_loss
                 n_batches += 1
             if self.scheduler is not None:
                 self.scheduler.step()

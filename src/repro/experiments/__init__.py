@@ -12,6 +12,8 @@ from .pipeline import (
     ExtractorCache,
     Phase1Artifacts,
     evaluate_sampler,
+    phase1_fingerprint,
+    train_phase1,
     train_preprocessed,
 )
 from .stats import aggregate_metrics, repeated_sampler_comparison, run_seeds
@@ -41,6 +43,8 @@ __all__ = [
     "ExtractorCache",
     "Phase1Artifacts",
     "evaluate_sampler",
+    "phase1_fingerprint",
+    "train_phase1",
     "train_preprocessed",
     "run_table1",
     "run_table2",

@@ -4,10 +4,19 @@ Runs the selected paper experiments (or all of them) and prints each
 reproduced table.  Keys: t1-t5 (Tables I-V), f3-f7 (Figures 3-7),
 rt (runtime comparison), px (pixel-vs-embedding EOS).
 
+Fault tolerance: ``--checkpoint-dir`` checkpoints every table cell and
+phase-1 extractor through a :class:`repro.resilience.RunRegistry`
+(``--resume`` continues an interrupted run from it), ``--max-retries`` /
+``--trial-timeout`` retry diverged or overlong trials with seed-bump +
+LR-backoff, and failed cells degrade to ``FAILED(reason)`` rows unless
+``--fail-fast`` is given.
+
 Examples::
 
     python -m repro.experiments t2 f3
     python -m repro.experiments --scale tiny --datasets cifar10_like
+    python -m repro.experiments t2 --checkpoint-dir runs/t2 --max-retries 2
+    python -m repro.experiments t2 --checkpoint-dir runs/t2 --resume
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ import argparse
 import sys
 import time
 
+from ..resilience import RetryPolicy, RunRegistry, fingerprint_of
 from . import (
     ExtractorCache,
     bench_config,
@@ -33,20 +43,37 @@ from . import (
     run_table5,
 )
 
+__all__ = ["build_registry", "main"]
 
-def build_registry(config, datasets, cache):
-    """Map experiment keys to (title, runner-thunk)."""
+
+def build_registry(config, datasets, cache, run_registry=None,
+                   retry_policy=None, fail_soft=True):
+    """Map experiment keys to (title, runner-thunk).
+
+    ``run_registry`` / ``retry_policy`` / ``fail_soft`` apply to the
+    table runners (the sweeps worth checkpointing); figures keep their
+    direct execution path.
+    """
+    resilience = {
+        "registry": run_registry,
+        "retry_policy": retry_policy,
+        "fail_soft": fail_soft,
+    }
     return {
         "t1": ("Table I (pre vs post over-sampling)",
-               lambda: run_table1(config, datasets=datasets, cache=cache)),
+               lambda: run_table1(config, datasets=datasets, cache=cache,
+                                  **resilience)),
         "t2": ("Table II (losses x samplers)",
-               lambda: run_table2(config, datasets=datasets, cache=cache)),
+               lambda: run_table2(config, datasets=datasets, cache=cache,
+                                  **resilience)),
         "t3": ("Table III (GAN comparison)",
-               lambda: run_table3(config, datasets=datasets, cache=cache)),
+               lambda: run_table3(config, datasets=datasets, cache=cache,
+                                  **resilience)),
         "t4": ("Table IV (EOS K sweep)",
-               lambda: run_table4(config, datasets=datasets, cache=cache)),
+               lambda: run_table4(config, datasets=datasets, cache=cache,
+                                  **resilience)),
         "t5": ("Table V (architectures)",
-               lambda: run_table5(config, cache=cache)),
+               lambda: run_table5(config, cache=cache, **resilience)),
         "f3": ("Figure 3 (gap curves)", lambda: run_figure3(config, cache=cache)),
         "f4": ("Figure 4 (TP vs FP gap)",
                lambda: run_figure4(config, datasets=datasets, cache=cache)),
@@ -71,11 +98,67 @@ def main(argv=None):
                         choices=("tiny", "small", "medium"))
     parser.add_argument("--datasets", nargs="+", default=["cifar10_like"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="checkpoint cells + phase-1 artifacts into DIR (atomic "
+             "manifest; enables crash-safe sweeps)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted run from --checkpoint-dir "
+             "(completed cells are loaded, not recomputed)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry diverged/timed-out trials up to N times with "
+             "deterministic seed-bump and LR-backoff (default: 0)",
+    )
+    parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock budget; overlong trials raise and "
+             "follow the retry/degradation path",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep on the first failed cell instead of "
+             "recording it as FAILED(reason)",
+    )
     args = parser.parse_args(argv)
 
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+
+    retry_policy = None
+    if args.max_retries > 0 or args.trial_timeout is not None:
+        retry_policy = RetryPolicy(
+            max_retries=max(args.max_retries, 0),
+            trial_timeout=args.trial_timeout,
+        )
+
+    run_registry = None
+    if args.checkpoint_dir:
+        run_registry = RunRegistry(args.checkpoint_dir)
+        has_prior_cells = bool(run_registry.cell_statuses())
+        if has_prior_cells and not args.resume:
+            parser.error(
+                "%s already holds a checkpointed run; pass --resume to "
+                "continue it or use a fresh --checkpoint-dir"
+                % args.checkpoint_dir
+            )
+        run_registry.ensure_fingerprint(
+            fingerprint_of("cli", args.scale, tuple(args.datasets), args.seed)
+        )
+
     config = bench_config(scale=args.scale, seed=args.seed)
-    cache = ExtractorCache()
-    registry = build_registry(config, tuple(args.datasets), cache)
+    cache = ExtractorCache(registry=run_registry, retry_policy=retry_policy)
+    registry = build_registry(
+        config,
+        tuple(args.datasets),
+        cache,
+        run_registry=run_registry,
+        retry_policy=retry_policy,
+        fail_soft=not args.fail_fast,
+    )
 
     keys = args.keys or list(registry)
     unknown = [key for key in keys if key not in registry]
@@ -94,6 +177,8 @@ def main(argv=None):
         out = runner()
         print(out["report"])
         print("(%.1fs)\n" % (time.perf_counter() - start))
+    if run_registry is not None:
+        print("checkpoint: %s" % run_registry.summary())
     return 0
 
 

@@ -4,12 +4,16 @@ The expensive step of every experiment is phase-1 CNN training; many
 experiments then compare several samplers on the *same* trained
 extractor.  :class:`ExtractorCache` trains each (dataset, loss, model,
 seed) combination once and snapshots the model state so each sampler
-evaluation starts from identical weights.
+evaluation starts from identical weights.  The cache is bounded (LRU)
+and can be backed by a :class:`repro.resilience.RunRegistry`, in which
+case phase-1 artifacts are persisted at the phase boundary and evicted
+or interrupted runs reload them from disk instead of retraining.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 
 import numpy as np
 
@@ -20,11 +24,13 @@ from ..losses import build_loss
 from ..metrics import evaluate_predictions
 from ..nn import build_model
 from ..optim import SGD
+from ..resilience import fingerprint_of, maybe_fire
 from .config import build_sampler
 
 __all__ = [
     "Phase1Artifacts",
     "ExtractorCache",
+    "phase1_fingerprint",
     "train_phase1",
     "evaluate_sampler",
     "train_preprocessed",
@@ -96,9 +102,36 @@ def _loss_kwargs(config, loss_name):
     return {}
 
 
-def train_phase1(config, loss_name):
-    """Train one extractor end-to-end; returns :class:`Phase1Artifacts`."""
-    model, train, test, info = _make_model_and_data(config)
+def _phase1_key(config, loss_name):
+    return (
+        config.dataset,
+        config.scale,
+        config.model,
+        tuple(sorted(config.model_kwargs.items())),
+        config.phase1_epochs,
+        config.batch_size,
+        config.lr,
+        config.augment,
+        loss_name,
+        config.seed,
+    )
+
+
+def phase1_fingerprint(config, loss_name):
+    """Stable registry fingerprint for one phase-1 training run."""
+    return fingerprint_of("phase1", *_phase1_key(config, loss_name))
+
+
+def _train_phase1_attempt(config, loss_name, attempt=None):
+    """One phase-1 training trial (possibly a seed-bumped retry)."""
+    index = 0 if attempt is None else attempt.index
+    seed_offset = 0 if attempt is None else attempt.seed_offset
+    lr_scale = 1.0 if attempt is None else attempt.lr_scale
+    max_seconds = None if attempt is None else attempt.max_seconds
+    maybe_fire("phase1.trial", loss=loss_name, attempt=index)
+    model, train, test, info = _make_model_and_data(
+        config, rng_offset=seed_offset
+    )
     loss = build_loss(
         loss_name,
         class_counts=info["train_counts"],
@@ -106,7 +139,7 @@ def train_phase1(config, loss_name):
     )
     optimizer = SGD(
         model.parameters(),
-        lr=config.lr,
+        lr=config.lr * lr_scale,
         momentum=config.momentum,
         weight_decay=config.weight_decay,
     )
@@ -118,7 +151,8 @@ def train_phase1(config, loss_name):
         epochs=config.phase1_epochs,
         batch_size=config.batch_size,
         transform=transform,
-        rng=np.random.default_rng(config.seed + 2),
+        rng=np.random.default_rng(config.seed + 2 + seed_offset),
+        max_seconds=max_seconds,
     )
     train_seconds = time.perf_counter() - start
     train_emb = trainer.extract_embeddings(train)
@@ -140,28 +174,139 @@ def train_phase1(config, loss_name):
     )
 
 
-class ExtractorCache:
-    """Memoizes phase-1 training by (dataset, scale, model, loss, seed)."""
+def _load_phase1_artifacts(config, loss_name, registry, fingerprint):
+    """Rebuild :class:`Phase1Artifacts` from persisted registry state.
 
-    def __init__(self):
-        self._cache = {}
+    Datasets are regenerated deterministically from the config (they are
+    seeded), the model skeleton is rebuilt and its persisted weights
+    loaded, so a resumed run is bit-identical to the run that wrote the
+    checkpoint.
+    """
+    model, train, test, info = _make_model_and_data(config)
+    model_state, head_state, train_pair, test_pair, meta = (
+        registry.load_phase1(fingerprint)
+    )
+    model.load_state_dict(model_state)
+    train_emb, _ = train_pair
+    test_emb, _ = test_pair
+    return Phase1Artifacts(
+        config,
+        loss_name,
+        model,
+        train,
+        test,
+        info,
+        train_emb,
+        test_emb,
+        dict(meta["baseline_metrics"]),
+        head_state,
+        meta["train_seconds"],
+    )
+
+
+def _save_phase1_artifacts(registry, fingerprint, artifacts):
+    registry.save_phase1(
+        fingerprint,
+        artifacts.model.state_dict(),
+        artifacts.head_state,
+        artifacts.train_embeddings,
+        artifacts.train.labels,
+        artifacts.test_embeddings,
+        artifacts.test.labels,
+        {
+            "loss": artifacts.loss_name,
+            "train_seconds": artifacts.train_seconds,
+            "baseline_metrics": artifacts.baseline_metrics,
+        },
+    )
+
+
+def train_phase1(config, loss_name, registry=None, retry_policy=None):
+    """Train one extractor end-to-end; returns :class:`Phase1Artifacts`.
+
+    With a ``registry``, previously persisted artifacts for the same
+    configuration are loaded instead of retraining, and fresh training
+    results are persisted at the phase boundary.  With a
+    ``retry_policy``, a divergent or timed-out trial is re-run with the
+    policy's deterministic seed-bump and LR-backoff schedule.
+    """
+    fingerprint = None
+    if registry is not None:
+        fingerprint = phase1_fingerprint(config, loss_name)
+        if registry.has_phase1(fingerprint):
+            return _load_phase1_artifacts(
+                config, loss_name, registry, fingerprint
+            )
+    if retry_policy is None:
+        artifacts = _train_phase1_attempt(config, loss_name)
+    else:
+        artifacts = retry_policy.run(
+            lambda attempt: _train_phase1_attempt(config, loss_name, attempt)
+        )
+    if registry is not None:
+        _save_phase1_artifacts(registry, fingerprint, artifacts)
+    return artifacts
+
+
+class ExtractorCache:
+    """Bounded LRU memo of phase-1 training, optionally registry-backed.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory bound; the least-recently-used artifact set is evicted
+        when exceeded.  ``None`` means unbounded (the pre-resilience
+        behavior).
+    registry:
+        Optional :class:`repro.resilience.RunRegistry`.  Artifacts are
+        persisted on first training, and cache misses (including
+        re-requests for evicted entries) reload from disk instead of
+        retraining.
+    retry_policy:
+        Optional :class:`repro.resilience.RetryPolicy` applied to each
+        phase-1 training run.
+    """
+
+    def __init__(self, max_entries=8, registry=None, retry_policy=None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self._cache = OrderedDict()
+        self.max_entries = max_entries
+        self.registry = registry
+        self.retry_policy = retry_policy
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def get(self, config, loss_name):
-        key = (
-            config.dataset,
-            config.scale,
-            config.model,
-            tuple(sorted(config.model_kwargs.items())),
-            config.phase1_epochs,
-            config.batch_size,
-            config.lr,
-            config.augment,
+        key = _phase1_key(config, loss_name)
+        if key in self._cache:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self._misses += 1
+        artifacts = train_phase1(
+            config,
             loss_name,
-            config.seed,
+            registry=self.registry,
+            retry_policy=self.retry_policy,
         )
-        if key not in self._cache:
-            self._cache[key] = train_phase1(config, loss_name)
-        return self._cache[key]
+        self._cache[key] = artifacts
+        if self.max_entries is not None:
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+        return artifacts
+
+    def stats(self):
+        """Cache effectiveness counters (survive :meth:`clear`)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._cache),
+            "max_entries": self.max_entries,
+        }
 
     def clear(self):
         self._cache.clear()
@@ -175,12 +320,15 @@ def evaluate_sampler(
     finetune_lr=None,
     sampler_kwargs=None,
     return_details=False,
+    seed=None,
 ):
     """Fine-tune the cached extractor's head with one sampler; score it.
 
     The classifier head is restored to its phase-1 state first, so calls
     are independent and order-insensitive.  ``sampler_name="none"``
-    scores the phase-1 baseline without fine-tuning.
+    scores the phase-1 baseline without fine-tuning.  ``seed`` overrides
+    the config seed for the sampler and fine-tuning RNG — retry policies
+    use it to bump the random draw of a diverged cell deterministically.
     """
     config = artifacts.config
     finetune_epochs = (
@@ -188,6 +336,7 @@ def evaluate_sampler(
     )
     k = k_neighbors if k_neighbors is not None else config.k_neighbors
     lr = finetune_lr if finetune_lr is not None else config.finetune_lr
+    seed = seed if seed is not None else config.seed
     artifacts.restore_head()
 
     if sampler_name == "none":
@@ -198,7 +347,7 @@ def evaluate_sampler(
         sampler = build_sampler(
             sampler_name,
             k_neighbors=k,
-            random_state=config.seed,
+            random_state=seed,
             **(sampler_kwargs or {}),
         )
         start = time.perf_counter()
@@ -211,7 +360,7 @@ def evaluate_sampler(
             labels,
             epochs=finetune_epochs,
             lr=lr,
-            rng=np.random.default_rng(config.seed + 3),
+            rng=np.random.default_rng(seed + 3),
         )
         seconds = time.perf_counter() - start
         preds = _predict(artifacts)
@@ -237,12 +386,14 @@ def _predict(artifacts, batch_size=256):
     return logits.argmax(axis=1)
 
 
-def train_preprocessed(config, loss_name, sampler_name, sampler_kwargs=None):
+def train_preprocessed(config, loss_name, sampler_name, sampler_kwargs=None,
+                       max_seconds=None):
     """Pixel-space pre-processing baseline: resample images, train end-to-end.
 
     Images are flattened for the sampler and reshaped back, matching how
     SMOTE-family methods are applied to image data as a pre-processing
-    step.  Returns (metrics, wall_seconds).
+    step.  ``max_seconds`` bounds the training wall-clock (see
+    :meth:`repro.core.Trainer.fit`).  Returns (metrics, wall_seconds).
     """
     from ..data import ArrayDataset
 
@@ -283,6 +434,7 @@ def train_preprocessed(config, loss_name, sampler_name, sampler_kwargs=None):
         batch_size=config.batch_size,
         transform=transform,
         rng=np.random.default_rng(config.seed + 4),
+        max_seconds=max_seconds,
     )
     seconds = time.perf_counter() - start
     metrics = trainer.phase1.evaluate(test)

@@ -5,6 +5,15 @@ a ``report`` string whose rows mirror the corresponding paper table or
 figure series.  The benchmark suite invokes these with the tiny bench
 configuration; ``examples/reproduce_paper.py`` runs them at a larger
 scale.
+
+The table runners (``run_table1`` … ``run_table5``) execute every
+dataset × loss × sampler cell through the resilience layer
+(:func:`repro.resilience.run_cell`): a failing cell is recorded as
+``FAILED(reason)`` in the emitted table instead of aborting the sweep,
+an optional :class:`~repro.resilience.RetryPolicy` re-runs diverged
+cells with seed-bump + LR-backoff, and an optional
+:class:`~repro.resilience.RunRegistry` checkpoints each finished cell so
+an interrupted sweep resumes where it stopped.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from ..core import classifier_weight_norms, norm_imbalance
 from ..core.gap import generalization_gap, tp_fp_gap
 from ..manifold import TSNE
 from ..metrics import evaluate_predictions
+from ..resilience import CellFailure, run_cell
 from ..utils import format_float, format_table
 from .config import bench_config, build_sampler
 from .pipeline import (
@@ -44,13 +54,116 @@ _METRICS = ("bac", "gm", "fm")
 
 
 def _metric_cells(metrics):
+    if isinstance(metrics, CellFailure):
+        return [metrics.label()] + ["-"] * (len(_METRICS) - 1)
     return [format_float(metrics[m]) for m in _METRICS]
+
+
+def _bac(metrics):
+    """A cell's BAC, or None when the cell failed (degraded)."""
+    if isinstance(metrics, CellFailure):
+        return None
+    return metrics["bac"]
+
+
+def _make_cache(cache, registry, retry_policy):
+    if cache is not None:
+        return cache
+    return ExtractorCache(registry=registry, retry_policy=retry_policy)
+
+
+def _get_artifacts(cache, cfg, loss_name, fail_soft):
+    """Phase-1 artifacts, or a CellFailure when training itself fails.
+
+    A failed extractor degrades every cell that depends on it; the
+    runner stamps the same failure into each of those cells.
+    """
+    try:
+        return cache.get(cfg, loss_name)
+    except Exception as exc:
+        if not fail_soft:
+            raise
+        return CellFailure(str(exc), error_type=type(exc).__name__)
+
+
+def _sampler_cell(artifacts, name, **eval_kwargs):
+    """Thunk for one ``evaluate_sampler`` cell, honoring retry attempts
+    (seed bump + fine-tuning LR backoff)."""
+    config = artifacts.config
+
+    def thunk(attempt):
+        seed = config.seed + (0 if attempt is None else attempt.seed_offset)
+        lr = config.finetune_lr * (
+            1.0 if attempt is None else attempt.lr_scale
+        )
+        return evaluate_sampler(
+            artifacts, name, seed=seed, finetune_lr=lr, **eval_kwargs
+        )
+
+    return thunk
+
+
+def _timed_sampler_cell(artifacts, name, **eval_kwargs):
+    """Like :func:`_sampler_cell` but keeps the resample+tune timing
+    (JSON-safe payload: metrics + seconds, no weight arrays)."""
+    inner = _sampler_cell(artifacts, name, return_details=True, **eval_kwargs)
+
+    def thunk(attempt):
+        details = inner(attempt)
+        return {"metrics": details["metrics"], "seconds": details["seconds"]}
+
+    return thunk
+
+
+def _preprocessed_cell(config, loss_name, sampler_name):
+    """Thunk for one pixel-space pre-processing cell (full retraining)."""
+
+    def thunk(attempt):
+        cfg = config
+        max_seconds = None
+        if attempt is not None:
+            max_seconds = attempt.max_seconds
+            if attempt.seed_offset or attempt.lr_scale != 1.0:
+                cfg = config.with_overrides(
+                    seed=config.seed + attempt.seed_offset,
+                    lr=config.lr * attempt.lr_scale,
+                )
+        metrics, seconds = train_preprocessed(
+            cfg, loss_name, sampler_name, max_seconds=max_seconds
+        )
+        return {"metrics": metrics, "seconds": seconds}
+
+    return thunk
+
+
+def _degraded_summary(results):
+    """Trailer listing every FAILED cell, or an empty string."""
+    failures = [
+        (key, value)
+        for key, value in results.items()
+        if isinstance(value, CellFailure)
+    ]
+    if not failures:
+        return ""
+    lines = [
+        "",
+        "DEGRADED: %d / %d cell(s) failed and were excluded from summaries:"
+        % (len(failures), len(results)),
+    ]
+    for key, failure in failures:
+        cell = "/".join(str(part) for part in key)
+        lines.append(
+            "  %s -> %s after %d attempt(s)"
+            % (cell, failure.label(width=60), failure.attempts)
+        )
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
 # Table I — pre-processing (pixel) vs embedding-space over-sampling (CE)
 # ----------------------------------------------------------------------
-def run_table1(config=None, datasets=("cifar10_like",), cache=None):
+def run_table1(config=None, datasets=("cifar10_like",), cache=None,
+               registry=None, retry_policy=None, fail_soft=True):
     """Pre- vs post- (embedding-space) over-sampling under CE loss.
 
     Paper shape: in most dataset x sampler cells, the *Post-* variant
@@ -58,19 +171,35 @@ def run_table1(config=None, datasets=("cifar10_like",), cache=None):
     *Pre-* variant (pixel-space over-sampling + full retraining).
     """
     config = config if config is not None else bench_config()
-    cache = cache if cache is not None else ExtractorCache()
+    cache = _make_cache(cache, registry, retry_policy)
     samplers = ("smote", "bsmote", "balsvm")
     results = {}
     rows = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
         for name in samplers + ("remix",):
-            metrics, _ = train_preprocessed(cfg, "ce", name)
+            out = run_cell(
+                _preprocessed_cell(cfg, "ce", name),
+                "t1/%s/pre/%s" % (dataset, name),
+                registry=registry,
+                retry_policy=retry_policy,
+                fail_soft=fail_soft,
+            )
+            metrics = out if isinstance(out, CellFailure) else out["metrics"]
             results[(dataset, "pre", name)] = metrics
             rows.append(["%s" % dataset, "Pre-%s" % name] + _metric_cells(metrics))
-        artifacts = cache.get(cfg, "ce")
+        artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
         for name in samplers:
-            metrics = evaluate_sampler(artifacts, name)
+            if isinstance(artifacts, CellFailure):
+                metrics = artifacts
+            else:
+                metrics = run_cell(
+                    _sampler_cell(artifacts, name),
+                    "t1/%s/post/%s" % (dataset, name),
+                    registry=registry,
+                    retry_policy=retry_policy,
+                    fail_soft=fail_soft,
+                )
             results[(dataset, "post", name)] = metrics
             rows.append(["%s" % dataset, "Post-%s" % name] + _metric_cells(metrics))
 
@@ -78,8 +207,10 @@ def run_table1(config=None, datasets=("cifar10_like",), cache=None):
         1
         for dataset in datasets
         for name in samplers
-        if results[(dataset, "post", name)]["bac"]
-        > results[(dataset, "pre", name)]["bac"]
+        if _bac(results[(dataset, "post", name)]) is not None
+        and _bac(results[(dataset, "pre", name)]) is not None
+        and _bac(results[(dataset, "post", name)])
+        > _bac(results[(dataset, "pre", name)])
     )
     report = format_table(
         ["dataset", "method", "BAC", "GM", "FM"],
@@ -90,6 +221,7 @@ def run_table1(config=None, datasets=("cifar10_like",), cache=None):
         post_wins,
         len(datasets) * len(samplers),
     )
+    report += _degraded_summary(results)
     return {"results": results, "post_wins": post_wins,
             "cells": len(datasets) * len(samplers), "report": report}
 
@@ -103,6 +235,9 @@ def run_table2(
     losses=("ce", "asl", "focal", "ldam"),
     samplers=("none", "smote", "bsmote", "balsvm", "eos"),
     cache=None,
+    registry=None,
+    retry_policy=None,
+    fail_soft=True,
 ):
     """The paper's main accuracy table.
 
@@ -110,15 +245,24 @@ def run_table2(
     row; every embedding-space sampler beats the raw baseline.
     """
     config = config if config is not None else bench_config()
-    cache = cache if cache is not None else ExtractorCache()
+    cache = _make_cache(cache, registry, retry_policy)
     results = {}
     rows = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
         for loss in losses:
-            artifacts = cache.get(cfg, loss)
+            artifacts = _get_artifacts(cache, cfg, loss, fail_soft)
             for name in samplers:
-                metrics = evaluate_sampler(artifacts, name)
+                if isinstance(artifacts, CellFailure):
+                    metrics = artifacts
+                else:
+                    metrics = run_cell(
+                        _sampler_cell(artifacts, name),
+                        "t2/%s/%s/%s" % (dataset, loss, name),
+                        registry=registry,
+                        retry_policy=retry_policy,
+                        fail_soft=fail_soft,
+                    )
                 results[(dataset, loss, name)] = metrics
                 rows.append([dataset, loss, name] + _metric_cells(metrics))
 
@@ -128,13 +272,15 @@ def run_table2(
         for dataset in datasets:
             for loss in losses:
                 rivals = [
-                    results[(dataset, loss, s)]["bac"]
+                    _bac(results[(dataset, loss, s)])
                     for s in samplers
                     if s not in ("eos", "none")
                 ]
-                if rivals:
+                rivals = [bac for bac in rivals if bac is not None]
+                eos_bac = _bac(results[(dataset, loss, "eos")])
+                if rivals and eos_bac is not None:
                     comparisons += 1
-                    if results[(dataset, loss, "eos")]["bac"] >= max(rivals):
+                    if eos_bac >= max(rivals):
                         eos_wins += 1
     report = format_table(
         ["dataset", "loss", "sampler", "BAC", "GM", "FM"],
@@ -142,6 +288,7 @@ def run_table2(
         title="Table II: baselines & over-sampling in embedding space",
     )
     report += "\nEOS best-of-samplers in %d / %d rows" % (eos_wins, comparisons)
+    report += _degraded_summary(results)
     return {"results": results, "eos_wins": eos_wins,
             "comparisons": comparisons, "report": report}
 
@@ -156,6 +303,9 @@ def run_table3(
     samplers=("gamo", "bagan", "cgan", "eos"),
     mode="embedding",
     cache=None,
+    registry=None,
+    retry_policy=None,
+    fail_soft=True,
 ):
     """GAN over-samplers vs EOS.
 
@@ -173,35 +323,51 @@ def run_table3(
     if mode not in ("embedding", "pixel"):
         raise ValueError("mode must be 'embedding' or 'pixel'")
     config = config if config is not None else bench_config()
-    cache = cache if cache is not None else ExtractorCache()
+    cache = _make_cache(cache, registry, retry_policy)
     results = {}
     timing = {}
     rows = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
         for loss in losses:
-            artifacts = cache.get(cfg, loss)
+            artifacts = _get_artifacts(cache, cfg, loss, fail_soft)
             for name in samplers:
+                cell_id = "t3/%s/%s/%s/%s" % (mode, dataset, loss, name)
                 if mode == "pixel" and name != "eos":
-                    metrics, seconds = train_preprocessed(cfg, loss, name)
-                else:
-                    details = evaluate_sampler(
-                        artifacts, name, return_details=True
+                    out = run_cell(
+                        _preprocessed_cell(cfg, loss, name),
+                        cell_id,
+                        registry=registry,
+                        retry_policy=retry_policy,
+                        fail_soft=fail_soft,
                     )
-                    metrics = details["metrics"]
-                    seconds = details["seconds"]
+                elif isinstance(artifacts, CellFailure):
+                    out = artifacts
+                else:
+                    out = run_cell(
+                        _timed_sampler_cell(artifacts, name),
+                        cell_id,
+                        registry=registry,
+                        retry_policy=retry_policy,
+                        fail_soft=fail_soft,
+                    )
+                if isinstance(out, CellFailure):
+                    metrics, seconds = out, None
+                else:
+                    metrics, seconds = out["metrics"], out["seconds"]
                 results[(dataset, loss, name)] = metrics
                 timing[(dataset, loss, name)] = seconds
                 rows.append(
                     [dataset, loss, name]
                     + _metric_cells(metrics)
-                    + ["%.2fs" % seconds]
+                    + ["%.2fs" % seconds if seconds is not None else "-"]
                 )
     report = format_table(
         ["dataset", "loss", "sampler", "BAC", "GM", "FM", "resample+tune"],
         rows,
         title="Table III: GAN-based over-sampling vs EOS (%s space)" % mode,
     )
+    report += _degraded_summary(results)
     return {"results": results, "timing": timing, "mode": mode, "report": report}
 
 
@@ -213,20 +379,32 @@ def run_table4(
     datasets=("cifar10_like",),
     k_values=(2, 5, 10, 20, 40),
     cache=None,
+    registry=None,
+    retry_policy=None,
+    fail_soft=True,
 ):
     """EOS K-nearest-neighbor sweep (paper: K in {10..300}, BAC rises
     with K then plateaus).  ``k_values`` defaults scale the sweep to the
     bench dataset size; pass the paper's values at larger scales.
     """
     config = config if config is not None else bench_config()
-    cache = cache if cache is not None else ExtractorCache()
+    cache = _make_cache(cache, registry, retry_policy)
     results = {}
     rows = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
-        artifacts = cache.get(cfg, "ce")
+        artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
         for k in k_values:
-            metrics = evaluate_sampler(artifacts, "eos", k_neighbors=k)
+            if isinstance(artifacts, CellFailure):
+                metrics = artifacts
+            else:
+                metrics = run_cell(
+                    _sampler_cell(artifacts, "eos", k_neighbors=k),
+                    "t4/%s/k=%d" % (dataset, k),
+                    registry=registry,
+                    retry_policy=retry_policy,
+                    fail_soft=fail_soft,
+                )
             results[(dataset, k)] = metrics
             rows.append([dataset, str(k)] + _metric_cells(metrics))
     report = format_table(
@@ -234,16 +412,18 @@ def run_table4(
         rows,
         title="Table IV: EOS nearest-neighbor size analysis",
     )
+    report += _degraded_summary(results)
     return {"results": results, "k_values": tuple(k_values), "report": report}
 
 
 # ----------------------------------------------------------------------
 # Table V — architectures with & without EOS
 # ----------------------------------------------------------------------
-def run_table5(config=None, architectures=None, cache=None):
+def run_table5(config=None, architectures=None, cache=None,
+               registry=None, retry_policy=None, fail_soft=True):
     """EOS across CNN architectures (paper: EOS helps every backbone)."""
     config = config if config is not None else bench_config()
-    cache = cache if cache is not None else ExtractorCache()
+    cache = _make_cache(cache, registry, retry_policy)
     if architectures is None:
         architectures = (
             ("resnet8", {"width_multiplier": 0.5}),
@@ -254,18 +434,27 @@ def run_table5(config=None, architectures=None, cache=None):
     rows = []
     for model_name, kwargs in architectures:
         cfg = config.with_overrides(model=model_name, model_kwargs=dict(kwargs))
-        artifacts = cache.get(cfg, "ce")
-        base = evaluate_sampler(artifacts, "none")
-        eos = evaluate_sampler(artifacts, "eos")
-        results[(model_name, "baseline")] = base
-        results[(model_name, "eos")] = eos
-        rows.append([model_name] + _metric_cells(base))
-        rows.append(["EOS: %s" % model_name] + _metric_cells(eos))
+        artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
+        for sampler_name, label in (("none", "baseline"), ("eos", "eos")):
+            if isinstance(artifacts, CellFailure):
+                metrics = artifacts
+            else:
+                metrics = run_cell(
+                    _sampler_cell(artifacts, sampler_name),
+                    "t5/%s/%s" % (model_name, label),
+                    registry=registry,
+                    retry_policy=retry_policy,
+                    fail_soft=fail_soft,
+                )
+            results[(model_name, label)] = metrics
+            prefix = model_name if label == "baseline" else "EOS: %s" % model_name
+            rows.append([prefix] + _metric_cells(metrics))
     report = format_table(
         ["network", "BAC", "GM", "FM"],
         rows,
         title="Table V: CNN architectures with & without EOS",
     )
+    report += _degraded_summary(results)
     return {"results": results, "report": report}
 
 

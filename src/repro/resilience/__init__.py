@@ -1,0 +1,63 @@
+"""Fault-tolerant experiment execution.
+
+Long multi-seed sweeps on a CPU-only numpy substrate must survive the
+failures that real training runs hit: divergent trials (GAN baselines
+especially), crashed cells, and killed processes.  This package supplies
+the four coordinated pieces:
+
+* :mod:`~repro.resilience.checkpoint` — :class:`RunRegistry`, a durable
+  run manifest plus phase-boundary artifact store (atomic writes), so an
+  interrupted sweep resumes from its completed cells;
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy`, deterministic
+  seed-bump + LR-backoff retry with per-trial wall-clock budgets;
+* :mod:`~repro.resilience.degrade` — :func:`run_cell` /
+  :class:`CellFailure`, graceful ``FAILED(reason)`` degradation of sweep
+  cells;
+* :mod:`~repro.resilience.faults` — :class:`FaultPlan`, deterministic
+  injection of NaN losses, raised exceptions and simulated kills, so all
+  of the above is testable against the real code paths.
+"""
+
+from .checkpoint import RunRegistry, fingerprint_of
+from .degrade import CellFailure, failure_from_payload, run_cell
+from .errors import (
+    CheckpointMismatchError,
+    DivergenceError,
+    FaultInjected,
+    ResilienceError,
+    RetryBudgetExhausted,
+    SimulatedKill,
+    TrialTimeoutError,
+)
+from .faults import (
+    FaultPlan,
+    active_plan,
+    clear_faults,
+    inject_faults,
+    install_faults,
+    maybe_fire,
+)
+from .retry import Attempt, RetryPolicy
+
+__all__ = [
+    "RunRegistry",
+    "fingerprint_of",
+    "CellFailure",
+    "failure_from_payload",
+    "run_cell",
+    "ResilienceError",
+    "DivergenceError",
+    "TrialTimeoutError",
+    "RetryBudgetExhausted",
+    "CheckpointMismatchError",
+    "FaultInjected",
+    "SimulatedKill",
+    "FaultPlan",
+    "active_plan",
+    "clear_faults",
+    "inject_faults",
+    "install_faults",
+    "maybe_fire",
+    "Attempt",
+    "RetryPolicy",
+]

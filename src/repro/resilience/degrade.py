@@ -1,0 +1,134 @@
+"""Graceful degradation for sweep cells.
+
+A sweep over samplers × losses × datasets should never lose hours of
+finished cells because one cell diverged.  :func:`run_cell` wraps the
+evaluation of a single cell with the full resilience stack:
+
+1. **resume** — if a :class:`RunRegistry` already holds this cell's
+   result, return it without recomputing;
+2. **retry** — run the cell under an optional :class:`RetryPolicy`
+   (each attempt passes the ``sweep.cell`` fault point, so divergence
+   can be injected deterministically in tests);
+3. **degrade** — when the cell still fails, return a
+   :class:`CellFailure` recording the reason instead of raising, so the
+   sweep completes and renders a ``FAILED(...)`` row.
+
+:class:`SimulatedKill` (a ``BaseException``) is never absorbed — it
+models the process dying, which only checkpoint/resume survives.
+"""
+
+from __future__ import annotations
+
+from .errors import RetryBudgetExhausted
+from .faults import maybe_fire
+
+__all__ = ["CellFailure", "run_cell", "failure_from_payload"]
+
+
+class CellFailure:
+    """Recorded outcome of a sweep cell that produced no metrics.
+
+    Stands in for the metrics dict in a runner's ``results`` mapping;
+    renders as ``FAILED(ErrorType: reason)`` in reports.
+    """
+
+    __slots__ = ("reason", "error_type", "attempts")
+
+    def __init__(self, reason, error_type="Exception", attempts=1):
+        self.reason = str(reason)
+        self.error_type = error_type
+        self.attempts = int(attempts)
+
+    def label(self, width=40):
+        """Compact ``FAILED(...)`` cell text for table rendering."""
+        text = "%s: %s" % (self.error_type, self.reason)
+        if len(text) > width:
+            text = text[: width - 3] + "..."
+        return "FAILED(%s)" % text
+
+    def to_payload(self):
+        """JSON-serializable manifest payload."""
+        return {
+            "reason": self.reason,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+        }
+
+    def __repr__(self):
+        return "CellFailure(%s, attempts=%d)" % (self.label(), self.attempts)
+
+
+def failure_from_payload(payload):
+    """Rebuild a :class:`CellFailure` from its manifest payload."""
+    return CellFailure(
+        payload.get("reason", "unknown"),
+        error_type=payload.get("error_type", "Exception"),
+        attempts=payload.get("attempts", 1),
+    )
+
+
+def run_cell(thunk, cell_id, registry=None, retry_policy=None,
+             fail_soft=True, payload_of=None, result_of=None):
+    """Evaluate one sweep cell with resume, retry, and degradation.
+
+    Parameters
+    ----------
+    thunk:
+        Callable ``(attempt_or_none) -> result``.  With a retry policy
+        it receives each :class:`Attempt` (seed offset / LR scale /
+        timeout budget); without one it receives ``None``.
+    cell_id:
+        Stable identifier (e.g. ``"t2/cifar10_like/ce/smote"``) used for
+        checkpoint keys and fault matching.
+    registry:
+        Optional :class:`RunRegistry`; completed cells are loaded from
+        it and new outcomes (success *and* failure) are recorded.
+    retry_policy:
+        Optional :class:`RetryPolicy` applied around ``thunk``.
+    fail_soft:
+        When True (default), failures return a :class:`CellFailure`;
+        when False they propagate (the pre-resilience behavior).
+    payload_of / result_of:
+        Optional converters between the thunk's result and the
+        JSON-serializable payload stored in the registry.  Defaults to
+        identity (fine for plain metric dicts).
+
+    Returns the thunk's result, a registry-loaded result, or a
+    :class:`CellFailure`.
+    """
+    if registry is not None and registry.has_cell(cell_id):
+        payload = registry.load_cell(cell_id)
+        return result_of(payload) if result_of is not None else payload
+
+    attempts_made = [0]
+
+    def trial(attempt):
+        attempts_made[0] += 1
+        index = 0 if attempt is None else attempt.index
+        maybe_fire("sweep.cell", cell=cell_id, attempt=index)
+        return thunk(attempt)
+
+    try:
+        if retry_policy is not None:
+            result = retry_policy.run(trial)
+        else:
+            result = trial(None)
+    except Exception as exc:
+        if not fail_soft:
+            raise
+        cause = exc.last_error if isinstance(exc, RetryBudgetExhausted) and \
+            exc.last_error is not None else exc
+        failure = CellFailure(
+            str(cause),
+            error_type=type(cause).__name__,
+            attempts=max(attempts_made[0], 1),
+        )
+        if registry is not None:
+            registry.record_cell(cell_id, failure.to_payload(),
+                                 status="failed")
+        return failure
+
+    if registry is not None:
+        payload = payload_of(result) if payload_of is not None else result
+        registry.record_cell(cell_id, payload, status="done")
+    return result

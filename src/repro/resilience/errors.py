@@ -1,0 +1,145 @@
+"""Structured failure types for fault-tolerant experiment execution.
+
+Every failure the resilience layer knows how to handle is a *typed*
+exception carrying provenance (which epoch/batch/trial/cell), so retry
+policies can decide what is retryable and sweep runners can record
+useful ``FAILED(reason)`` cells instead of opaque tracebacks.
+
+:class:`SimulatedKill` deliberately derives from ``BaseException`` —
+like ``KeyboardInterrupt``, it must sail through the ``except
+Exception`` handlers that implement graceful degradation, because it
+stands in for the process dying (the thing degradation cannot survive
+and checkpoint/resume exists for).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "DivergenceError",
+    "TrialTimeoutError",
+    "RetryBudgetExhausted",
+    "CheckpointMismatchError",
+    "FaultInjected",
+    "SimulatedKill",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for failures the resilience layer understands."""
+
+
+class DivergenceError(ResilienceError):
+    """Training produced a non-finite loss (or the tape sanitizer trapped
+    a NaN/Inf at its producing op).
+
+    Attributes
+    ----------
+    epoch, batch:
+        Position in the training loop where divergence surfaced.
+    loss:
+        The offending loss value (NaN/Inf), when known.
+    op, site:
+        Producing op name and ``file:line`` creation site, forwarded from
+        :class:`repro.tensor.AnomalyError` when the sanitizer was active.
+    phase:
+        Which loop diverged (``"phase1"`` / ``"finetune"`` / ...).
+    """
+
+    def __init__(self, message, epoch=None, batch=None, loss=None,
+                 op=None, site=None, phase=None):
+        self.epoch = epoch
+        self.batch = batch
+        self.loss = loss
+        self.op = op
+        self.site = site
+        self.phase = phase
+        detail = message
+        where = []
+        if phase is not None:
+            where.append("phase=%s" % phase)
+        if epoch is not None:
+            where.append("epoch=%d" % epoch)
+        if batch is not None:
+            where.append("batch=%d" % batch)
+        if loss is not None:
+            where.append("loss=%r" % loss)
+        if op is not None:
+            where.append("op=%s" % op)
+        if site is not None:
+            where.append("site=%s" % site)
+        if where:
+            detail += " [" + ", ".join(where) + "]"
+        super().__init__(detail)
+
+
+class TrialTimeoutError(ResilienceError):
+    """A trial exceeded its wall-clock budget.
+
+    Attributes
+    ----------
+    seconds:
+        Elapsed wall-clock seconds when the deadline check fired.
+    budget:
+        The allowed budget in seconds.
+    """
+
+    def __init__(self, message, seconds=None, budget=None):
+        self.seconds = seconds
+        self.budget = budget
+        detail = message
+        if seconds is not None and budget is not None:
+            detail += " [%.2fs elapsed, budget %.2fs]" % (seconds, budget)
+        super().__init__(detail)
+
+
+class RetryBudgetExhausted(ResilienceError):
+    """Every attempt allowed by a :class:`RetryPolicy` failed.
+
+    Attributes
+    ----------
+    attempts:
+        Number of attempts made (initial try + retries).
+    last_error:
+        The exception raised by the final attempt (also chained as
+        ``__cause__``).
+    """
+
+    def __init__(self, message, attempts=None, last_error=None):
+        self.attempts = attempts
+        self.last_error = last_error
+        detail = message
+        if attempts is not None:
+            detail += " [%d attempt(s)]" % attempts
+        if last_error is not None:
+            detail += ": %s: %s" % (type(last_error).__name__, last_error)
+        super().__init__(detail)
+
+
+class CheckpointMismatchError(ResilienceError):
+    """A checkpoint directory belongs to a differently-configured run.
+
+    Resuming into it would silently mix metrics computed under two
+    configurations, so the registry refuses instead.
+    """
+
+
+class FaultInjected(ResilienceError):
+    """Default exception raised by a ``raise``-action injected fault."""
+
+    def __init__(self, point, context=None):
+        self.point = point
+        self.context = dict(context or {})
+        super().__init__(
+            "injected fault at %r (%s)"
+            % (point, ", ".join("%s=%r" % kv for kv in sorted(self.context.items())))
+        )
+
+
+class SimulatedKill(BaseException):
+    """Simulated process death, injected by the fault harness.
+
+    Derives from ``BaseException`` so graceful-degradation handlers
+    (``except Exception``) cannot absorb it — exactly like a real
+    SIGKILL, the only recovery is checkpoint/resume.
+    """

@@ -1,0 +1,206 @@
+"""Deterministic fault injection for testing the resilience stack.
+
+Training loops, the phase-1 pipeline and the sweep runners each expose a
+named *fault point* by calling :func:`maybe_fire` with their current
+context (epoch, batch, cell id, attempt index ...).  A test installs a
+:class:`FaultPlan` describing which points should misbehave, runs the
+real code path, and observes how checkpointing / retry / degradation
+respond — no monkeypatching, no nondeterminism.
+
+Built-in fault points
+---------------------
+``trainer.batch``
+    Fired once per training batch in :meth:`repro.core.Trainer.fit`
+    with ``epoch``/``batch``.  The ``"nan"`` action poisons that batch's
+    loss value, which the trainer's divergence guard then traps.
+``finetune.batch``
+    Same, inside :func:`repro.core.finetune_classifier`.
+``phase1.trial``
+    Fired at the start of each phase-1 training attempt with ``loss``
+    and ``attempt``.
+``sweep.cell``
+    Fired at the start of each sweep-cell attempt with ``cell`` and
+    ``attempt``.
+
+Actions
+-------
+``"nan"``
+    :func:`maybe_fire` returns the string ``"nan"``; the call site
+    substitutes a NaN for the real value.
+``"raise"``
+    Raises ``exc`` (default: :class:`FaultInjected`).
+``"kill"``
+    Raises :class:`SimulatedKill` (a ``BaseException`` — degradation
+    handlers cannot swallow it).
+
+Example::
+
+    plan = FaultPlan()
+    plan.inject("trainer.batch", action="nan", when={"epoch": 1, "batch": 0})
+    with inject_faults(plan):
+        trainer.fit(dataset, epochs=3)   # raises DivergenceError at (1, 0)
+
+When no plan is installed, :func:`maybe_fire` is a single ``is None``
+check — the instrumented hot paths pay essentially nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .errors import FaultInjected, SimulatedKill
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "active_plan",
+    "clear_faults",
+    "inject_faults",
+    "install_faults",
+    "maybe_fire",
+]
+
+_ACTIONS = ("nan", "raise", "kill")
+
+
+class Fault:
+    """One scheduled misbehavior at a fault point.
+
+    Parameters
+    ----------
+    point:
+        Fault-point name this fault listens on.
+    action:
+        One of ``"nan"`` / ``"raise"`` / ``"kill"``.
+    when:
+        Optional dict matched against the call-site context; the fault
+        only considers occurrences where every key equals the context
+        value (missing context keys never match).
+    after:
+        Arm on the Nth matching occurrence (1 = first match).
+    times:
+        How many matching occurrences fire once armed; ``None`` means
+        every one.
+    exc:
+        Exception instance for ``action="raise"``.
+    """
+
+    __slots__ = ("point", "action", "when", "after", "times", "exc",
+                 "seen", "fired")
+
+    def __init__(self, point, action="raise", when=None, after=1, times=1,
+                 exc=None):
+        if action not in _ACTIONS:
+            raise ValueError("unknown action %r (valid: %s)"
+                             % (action, ", ".join(_ACTIONS)))
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self.point = point
+        self.action = action
+        self.when = dict(when or {})
+        self.after = int(after)
+        self.times = None if times is None else int(times)
+        self.exc = exc
+        self.seen = 0
+        self.fired = 0
+
+    def matches(self, point, context):
+        if point != self.point:
+            return False
+        return all(
+            key in context and context[key] == value
+            for key, value in self.when.items()
+        )
+
+    def should_fire(self):
+        """Advance the occurrence counter; True when this one fires."""
+        self.seen += 1
+        if self.seen < self.after:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """A set of scheduled faults plus a log of everything that fired."""
+
+    def __init__(self):
+        self.faults = []
+        self.log = []
+
+    def inject(self, point, action="raise", when=None, after=1, times=1,
+               exc=None):
+        """Schedule a fault; returns the :class:`Fault` for inspection."""
+        fault = Fault(point, action=action, when=when, after=after,
+                      times=times, exc=exc)
+        self.faults.append(fault)
+        return fault
+
+    def fire(self, point, context):
+        """Evaluate every fault against one occurrence of ``point``."""
+        for fault in self.faults:
+            if not fault.matches(point, context):
+                continue
+            if not fault.should_fire():
+                continue
+            self.log.append((point, dict(context), fault.action))
+            if fault.action == "nan":
+                return "nan"
+            if fault.action == "kill":
+                raise SimulatedKill(
+                    "simulated kill at %r (%s)"
+                    % (point, ", ".join("%s=%r" % kv
+                                        for kv in sorted(context.items())))
+                )
+            raise fault.exc if fault.exc is not None else FaultInjected(
+                point, context
+            )
+        return None
+
+
+_ACTIVE = None
+
+
+def active_plan():
+    """The currently installed :class:`FaultPlan`, or None."""
+    return _ACTIVE
+
+
+def install_faults(plan):
+    """Install ``plan`` globally (replacing any previous plan)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def clear_faults():
+    """Remove the installed plan (fault points become no-ops again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def inject_faults(plan):
+    """Context manager: install ``plan`` for the duration of the block."""
+    previous = _ACTIVE
+    install_faults(plan)
+    try:
+        yield plan
+    finally:
+        if previous is not None:
+            install_faults(previous)
+        else:
+            clear_faults()
+
+
+def maybe_fire(point, **context):
+    """Fault-point hook: no-op unless a plan is installed.
+
+    Returns ``"nan"`` when a nan-action fault fires, None otherwise;
+    raise-/kill-action faults raise from here.
+    """
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.fire(point, context)

@@ -2,9 +2,13 @@
 
 from .charts import ascii_chart
 from .serialization import (
+    atomic_write,
+    atomic_write_json,
+    load_arrays,
     load_dataset,
     load_embeddings,
     load_model,
+    save_arrays,
     save_dataset,
     save_embeddings,
     save_model,
@@ -15,6 +19,10 @@ __all__ = [
     "format_table",
     "ascii_chart",
     "format_float",
+    "atomic_write",
+    "atomic_write_json",
+    "save_arrays",
+    "load_arrays",
     "save_model",
     "load_model",
     "save_embeddings",

@@ -3,13 +3,28 @@
 The three-phase framework naturally checkpoints at two places — after
 phase-1 training (model weights) and after embedding extraction (the
 (N, D) embedding matrix + labels).  These helpers make both durable.
+
+Every writer goes through :func:`atomic_write`: the payload is written
+to a temp file in the destination directory, fsynced, and renamed over
+the target with ``os.replace``.  A crash mid-write therefore leaves
+either the previous checkpoint or no file — never a torn one — which is
+the invariant the resume machinery in :mod:`repro.resilience` relies
+on (lint rule RES001 flags artifact writes that bypass this).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
+
 import numpy as np
 
 __all__ = [
+    "atomic_write",
+    "atomic_write_json",
+    "save_arrays",
+    "load_arrays",
     "save_model",
     "load_model",
     "save_embeddings",
@@ -19,27 +34,108 @@ __all__ = [
 ]
 
 
+def atomic_write(path, write):
+    """Atomically create/replace ``path`` with the bytes ``write`` emits.
+
+    ``write`` receives a binary file handle opened on a temp file in the
+    same directory; after it returns, the temp file is fsynced and
+    atomically renamed onto ``path``.  On any failure the temp file is
+    removed and the previous ``path`` (if any) is left untouched.
+
+    Returns the final path as a string.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # repro: noqa[RES002] best-effort temp cleanup while re-raising the real error
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path, payload, indent=2):
+    """Atomically serialize ``payload`` as JSON to ``path``."""
+    data = json.dumps(payload, indent=indent, sort_keys=True).encode("utf-8")
+    return atomic_write(path, lambda handle: handle.write(data))
+
+
+def _npz_path(path):
+    """Match ``np.savez``'s suffix behavior for handle-based writes."""
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def _save_npz(path, arrays):
+    return atomic_write(
+        _npz_path(path),
+        lambda handle: np.savez_compressed(handle, **arrays),  # repro: noqa[RES001] this lambda runs inside atomic_write's temp handle
+    )
+
+
+def save_arrays(path, arrays):
+    """Atomically persist a flat ``{name: ndarray}`` mapping as ``.npz``."""
+    return _save_npz(path, dict(arrays))
+
+
+def load_arrays(path):
+    """Load a ``{name: ndarray}`` mapping saved by :func:`save_arrays`."""
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}
+
+
 def save_model(model, path):
-    """Write a module's state dict to an ``.npz`` file."""
-    state = model.state_dict()
-    np.savez_compressed(path, **state)
+    """Write a module's state dict to an ``.npz`` file (atomically)."""
+    return _save_npz(path, model.state_dict())
 
 
 def load_model(model, path):
-    """Load an ``.npz`` checkpoint into a compatible module (in place)."""
+    """Load an ``.npz`` checkpoint into a compatible module (in place).
+
+    An incompatible checkpoint raises ``ValueError`` naming every
+    missing, unexpected, or shape-mismatched entry — not a numpy
+    broadcast error from deep inside ``load_state_dict``.
+    """
     with np.load(path) as data:
         state = {key: data[key] for key in data.files}
+    expected = model.state_dict()
+    problems = []
+    for name in sorted(set(expected) - set(state)):
+        problems.append("missing %r" % name)
+    for name in sorted(set(state) - set(expected)):
+        problems.append("unexpected %r" % name)
+    for name in sorted(set(state) & set(expected)):
+        if expected[name].shape != state[name].shape:
+            problems.append(
+                "shape mismatch for %r: checkpoint %s vs model %s"
+                % (name, state[name].shape, expected[name].shape)
+            )
+    if problems:
+        raise ValueError(
+            "checkpoint %s does not fit the model: %s"
+            % (path, "; ".join(problems))
+        )
     model.load_state_dict(state)
     return model
 
 
 def save_embeddings(path, embeddings, labels):
-    """Persist an (N, D) embedding matrix and its labels."""
+    """Persist an (N, D) embedding matrix and its labels (atomically)."""
     embeddings = np.asarray(embeddings)
     labels = np.asarray(labels)
     if embeddings.shape[0] != labels.shape[0]:
         raise ValueError("embeddings and labels must be aligned")
-    np.savez_compressed(path, embeddings=embeddings, labels=labels)
+    return _save_npz(path, {"embeddings": embeddings, "labels": labels})
 
 
 def load_embeddings(path):
@@ -49,8 +145,8 @@ def load_embeddings(path):
 
 
 def save_dataset(path, dataset):
-    """Persist an :class:`repro.data.ArrayDataset`."""
-    np.savez_compressed(path, images=dataset.images, labels=dataset.labels)
+    """Persist an :class:`repro.data.ArrayDataset` (atomically)."""
+    return _save_npz(path, {"images": dataset.images, "labels": dataset.labels})
 
 
 def load_dataset(path):

@@ -347,6 +347,122 @@ class TestNoqaSuppression:
         assert not report.findings
 
 
+class TestRES001NonAtomicArtifactWrite:
+    def test_flags_numpy_writers(self):
+        findings = lint(
+            """
+            import numpy as np
+            def dump(path, arrays):
+                np.savez(path, **arrays)
+                np.savez_compressed(path, **arrays)
+                np.save(path, arrays["x"])
+            """
+        )
+        assert sum(1 for f in findings if f.rule == "RES001") == 3
+
+    def test_flags_write_mode_open(self):
+        findings = lint(
+            """
+            def dump(path, payload):
+                with open(path, "wb") as fh:
+                    fh.write(payload)
+                with open(path, mode="a") as fh:
+                    fh.write("tail")
+            """
+        )
+        assert sum(1 for f in findings if f.rule == "RES001") == 2
+
+    def test_allows_reads_and_dynamic_modes(self):
+        findings = lint(
+            """
+            def load(path, mode):
+                with open(path) as fh:
+                    first = fh.read()
+                with open(path, "rb") as fh:
+                    second = fh.read()
+                with open(path, mode) as fh:
+                    third = fh.read()
+                return first, second, third
+            """
+        )
+        assert "RES001" not in rule_ids(findings)
+
+    def test_atomic_writer_is_clean(self):
+        findings = lint(
+            """
+            from repro.utils.serialization import atomic_write_json, save_arrays
+            def dump(path, arrays, meta):
+                save_arrays(path, arrays)
+                atomic_write_json(path, meta)
+            """
+        )
+        assert "RES001" not in rule_ids(findings)
+
+
+class TestRES002SwallowedException:
+    def test_flags_bare_except(self):
+        findings = lint(
+            """
+            def risky():
+                try:
+                    return 1
+                except:
+                    return 0
+            """
+        )
+        assert "RES002" in rule_ids(findings)
+
+    def test_flags_pass_only_handler(self):
+        findings = lint(
+            """
+            def risky():
+                try:
+                    return 1
+                except ValueError:
+                    pass
+            """
+        )
+        assert "RES002" in rule_ids(findings)
+
+    def test_finding_anchors_on_except_line(self):
+        findings = lint(
+            "def risky():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        res = [f for f in findings if f.rule == "RES002"]
+        assert res and res[0].line == 4
+
+    def test_allows_handlers_that_act(self):
+        findings = lint(
+            """
+            def risky(log):
+                try:
+                    return 1
+                except ValueError as exc:
+                    log.append(exc)
+                    raise
+            """
+        )
+        assert "RES002" not in rule_ids(findings)
+
+    def test_noqa_on_except_line_suppresses(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "def risky():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except ValueError:  # repro: noqa[RES002] probe\n"
+            "        pass\n"
+        )
+        report = LintEngine().run([tmp_path])
+        assert "RES002" not in rule_ids(report.findings)
+        assert "NOQA001" not in rule_ids(report.findings)
+        assert any(f.rule == "RES002" for f in report.suppressed)
+
+
 class TestEngineConfig:
     def test_select_restricts_rules(self):
         findings = lint(
@@ -368,9 +484,9 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             LintEngine(select=["NOPE999"])
 
-    def test_registry_has_ten_rules(self):
-        assert len(all_rules()) == 10
-        assert len(rule_index()) == 10
+    def test_registry_has_twelve_rules(self):
+        assert len(all_rules()) == 12
+        assert len(rule_index()) == 12
 
 
 # ----------------------------------------------------------------------
@@ -395,6 +511,15 @@ VIOLATION_FIXTURES = {
     ),
     "EXP001": '__all__ = ["ghost"]\n',
     "NOQA001": "x = 1  # repro: noqa[RNG001]\n",
+    "RES001": (
+        "def dump(path, payload):\n"
+        '    with open(path, "w") as fh:\n'
+        "        fh.write(payload)\n"
+    ),
+    "RES002": (
+        "def risky():\n    try:\n        return 1\n"
+        "    except ValueError:\n        pass\n"
+    ),
 }
 
 
