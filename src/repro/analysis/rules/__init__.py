@@ -10,6 +10,7 @@ from __future__ import annotations
 from .api import AllExportDriftRule, SamplerValidationRule, UnusedNoqaRule
 from .autograd import MissingNoGradRule, TapeDataEscapeRule, TensorDtypeRule
 from .mutation import MutableDefaultRule, ParamInPlaceMutationRule
+from .observability import RawClockRule
 from .resilience import NonAtomicArtifactWriteRule, SwallowedExceptionRule
 from .rng import BareNumpyRandomRule, UnseededGeneratorRule
 
@@ -27,6 +28,7 @@ __all__ = [
     "ParamInPlaceMutationRule",
     "NonAtomicArtifactWriteRule",
     "SwallowedExceptionRule",
+    "RawClockRule",
     "BareNumpyRandomRule",
     "UnseededGeneratorRule",
 ]
@@ -43,6 +45,7 @@ RULE_CLASSES = (
     NonAtomicArtifactWriteRule,  # RES001
     SwallowedExceptionRule,      # RES002
     AllExportDriftRule,     # EXP001
+    RawClockRule,           # OBS001
     UnusedNoqaRule,         # NOQA001
 )
 

@@ -1,0 +1,61 @@
+"""Observability discipline rules.
+
+All timing in the library flows through :mod:`repro.telemetry.clock`
+(``monotonic`` for durations, ``wall_time`` for timestamps).  Raw
+``time.time()`` in experiment code drifts with NTP adjustments and
+splits the codebase across two clocks, making trace spans and history
+``seconds`` fields incomparable.  OBS001 pins every module outside the
+telemetry package to the shared clock.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["RawClockRule"]
+
+#: ``time.<attr>`` reads that must route through repro.telemetry.clock.
+_CLOCK_ATTRS = {"time", "perf_counter", "monotonic", "process_time"}
+
+
+def _in_telemetry_package(path):
+    parts = path.replace("\\", "/").split("/")
+    return "telemetry" in parts
+
+
+class RawClockRule(Rule):
+    """OBS001: no raw ``time.*()`` clock reads outside repro.telemetry.
+
+    Durations belong on the telemetry monotonic clock and timestamps on
+    its ``wall_time`` so every recorded ``seconds`` field is measured
+    the same way the tracer measures spans.  Only the telemetry package
+    itself may touch :mod:`time` directly.
+    """
+
+    id = "OBS001"
+    name = "raw-clock-read"
+    description = ("raw time.time()/time.perf_counter() outside "
+                   "repro.telemetry; use telemetry.monotonic/wall_time")
+
+    def check(self, ctx):
+        if _in_telemetry_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CLOCK_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "time.%s() reads a raw clock; use repro.telemetry."
+                    "monotonic (durations) or wall_time (timestamps) so "
+                    "all timings share the tracer's clock" % func.attr,
+                )

@@ -30,12 +30,12 @@ import numpy as np
 
 from ..neighbors import KNeighbors
 from .._validation import validate_xy
-from ..sampling.base import sampling_targets
+from ..sampling.base import BaseSampler, sampling_targets
 
 __all__ = ["EOS"]
 
 
-class EOS:
+class EOS(BaseSampler):
     """Expansive Over-Sampling.
 
     Parameters
@@ -79,12 +79,13 @@ class EOS:
             raise ValueError("weighting must be 'uniform' or 'distance'")
         if expansion <= 0:
             raise ValueError("expansion must be positive")
+        super().__init__(
+            sampling_strategy=sampling_strategy, random_state=random_state
+        )
         self.k_neighbors = k_neighbors
         self.direction = direction
         self.weighting = weighting
         self.expansion = expansion
-        self.sampling_strategy = sampling_strategy
-        self.random_state = random_state
 
     # ------------------------------------------------------------------
     def find_bases(self, x, y):
@@ -127,10 +128,9 @@ class EOS:
         return per_class
 
     # ------------------------------------------------------------------
-    def fit_resample(self, x, y):
+    def _fit_resample(self, x, y):
         """Balance (x, y); synthetic rows are appended after the originals."""
-        x, y = validate_xy(x, y)
-        rng = np.random.default_rng(self.random_state)
+        rng = self._rng()
         targets = sampling_targets(y, self.sampling_strategy)
         if not targets:
             return x.copy(), y.copy()

@@ -20,8 +20,6 @@ embeddings instead of re-training the full CNN on over-sampled images.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..losses import CrossEntropyLoss
@@ -29,6 +27,7 @@ from ..metrics import evaluate_predictions
 from ..optim import SGD
 from ..resilience.errors import DivergenceError
 from ..resilience.faults import maybe_fire
+from ..telemetry import get_metrics, get_tracer, monotonic
 from ..tensor import Tensor, no_grad
 from .training import Trainer, extract_features
 
@@ -88,39 +87,56 @@ def finetune_classifier(
     embeddings = np.asarray(embeddings, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
     n = embeddings.shape[0]
+    tracer = get_tracer()
+    metrics = get_metrics()
     history = []
     for epoch in range(epochs):
         loss.set_epoch(epoch)
         order = rng.permutation(n)
         epoch_loss = 0.0
         n_batches = 0
-        start_time = time.perf_counter()
-        for start in range(0, n, batch_size):
-            idx = order[start : start + batch_size]
-            optimizer.zero_grad()
-            logits = model.forward_head(Tensor(embeddings[idx]))
-            value = loss(logits, labels[idx])
-            value.backward()
-            batch_loss = float(value.data)
-            if maybe_fire("finetune.batch", epoch=epoch,
-                          batch=n_batches) == "nan":
-                batch_loss = float("nan")
-            if not np.isfinite(batch_loss):
-                raise DivergenceError(
-                    "non-finite fine-tuning loss",
-                    epoch=epoch,
-                    batch=n_batches,
-                    loss=batch_loss,
-                    phase="finetune",
-                )
-            optimizer.step()
-            epoch_loss += batch_loss
-            n_batches += 1
-        record = {
-            "epoch": epoch,
-            "loss": epoch_loss / max(n_batches, 1),
-            "seconds": time.perf_counter() - start_time,
-        }
+        start_time = monotonic()
+        with tracer.span("finetune.epoch", epoch=epoch) as epoch_span:
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                optimizer.zero_grad()
+                with tracer.span("finetune.batch"):
+                    logits = model.forward_head(Tensor(embeddings[idx]))
+                    value = loss(logits, labels[idx])
+                    value.backward()
+                    batch_loss = float(value.data)
+                    if maybe_fire("finetune.batch", epoch=epoch,
+                                  batch=n_batches) == "nan":
+                        batch_loss = float("nan")
+                    if not np.isfinite(batch_loss):
+                        tracer.event(
+                            "divergence",
+                            epoch=epoch,
+                            batch=n_batches,
+                            loss=batch_loss,
+                            phase="finetune",
+                        )
+                        raise DivergenceError(
+                            "non-finite fine-tuning loss",
+                            epoch=epoch,
+                            batch=n_batches,
+                            loss=batch_loss,
+                            phase="finetune",
+                        )
+                    optimizer.step()
+                epoch_loss += batch_loss
+                n_batches += 1
+            record = {
+                "epoch": epoch,
+                "loss": epoch_loss / max(n_batches, 1),
+                "seconds": monotonic() - start_time,
+            }
+            epoch_span.set(loss=record["loss"], batches=n_batches)
+        if metrics.enabled:
+            metrics.counter("finetune.batches").inc(n_batches)
+            metrics.histogram("finetune.epoch_loss", series=True).observe(
+                record["loss"]
+            )
         if eval_hook is not None:
             record.update(eval_hook(epoch))
         history.append(record)
@@ -160,43 +176,49 @@ class ThreePhaseTrainer:
     def train_phase1(self, dataset, epochs, batch_size=32, transform=None, rng=None,
                      eval_dataset=None, verbose=False, max_seconds=None):
         """Phase 1: end-to-end training on the imbalanced dataset."""
-        start = time.perf_counter()
-        history = self.phase1.fit(
-            dataset,
-            epochs,
-            batch_size=batch_size,
-            transform=transform,
-            rng=rng,
-            eval_dataset=eval_dataset,
-            verbose=verbose,
-            max_seconds=max_seconds,
-        )
-        self.timings["phase1"] = time.perf_counter() - start
+        start = monotonic()
+        with get_tracer().span("phase1", epochs=epochs):
+            history = self.phase1.fit(
+                dataset,
+                epochs,
+                batch_size=batch_size,
+                transform=transform,
+                rng=rng,
+                eval_dataset=eval_dataset,
+                verbose=verbose,
+                max_seconds=max_seconds,
+            )
+        self.timings["phase1"] = monotonic() - start
         return history
 
     def extract_embeddings(self, dataset, batch_size=128):
         """Phase 2a: cache the training-set feature embeddings."""
-        start = time.perf_counter()
-        self.train_embeddings = extract_features(
-            self.model, dataset.images, batch_size
-        )
+        start = monotonic()
+        with get_tracer().span("extract", n_images=int(dataset.images.shape[0])):
+            self.train_embeddings = extract_features(
+                self.model, dataset.images, batch_size
+            )
         self.train_embedding_labels = dataset.labels.copy()
-        self.timings["extract"] = time.perf_counter() - start
+        self.timings["extract"] = monotonic() - start
         return self.train_embeddings
 
     def resample_embeddings(self):
         """Phase 2b: balance the cached embeddings with the sampler."""
         if self.train_embeddings is None:
             raise RuntimeError("call extract_embeddings() first")
-        start = time.perf_counter()
-        if self.sampler is None:
-            self.balanced_embeddings = self.train_embeddings
-            self.balanced_labels = self.train_embedding_labels
-        else:
-            self.balanced_embeddings, self.balanced_labels = self.sampler.fit_resample(
-                self.train_embeddings, self.train_embedding_labels
-            )
-        self.timings["resample"] = time.perf_counter() - start
+        start = monotonic()
+        sampler_name = type(self.sampler).__name__ if self.sampler else "none"
+        with get_tracer().span("resample", sampler=sampler_name):
+            if self.sampler is None:
+                self.balanced_embeddings = self.train_embeddings
+                self.balanced_labels = self.train_embedding_labels
+            else:
+                self.balanced_embeddings, self.balanced_labels = (
+                    self.sampler.fit_resample(
+                        self.train_embeddings, self.train_embedding_labels
+                    )
+                )
+        self.timings["resample"] = monotonic() - start
         return self.balanced_embeddings, self.balanced_labels
 
     def finetune(self, epochs=10, batch_size=64, lr=0.05, loss=None,
@@ -204,20 +226,21 @@ class ThreePhaseTrainer:
         """Phase 3: fine-tune the classifier head on balanced embeddings."""
         if self.balanced_embeddings is None:
             raise RuntimeError("call resample_embeddings() first")
-        start = time.perf_counter()
-        self.finetune_history = finetune_classifier(
-            self.model,
-            self.balanced_embeddings,
-            self.balanced_labels,
-            epochs=epochs,
-            batch_size=batch_size,
-            lr=lr,
-            loss=loss,
-            reinitialize=reinitialize,
-            rng=rng,
-            eval_hook=eval_hook,
-        )
-        self.timings["finetune"] = time.perf_counter() - start
+        start = monotonic()
+        with get_tracer().span("finetune", epochs=epochs):
+            self.finetune_history = finetune_classifier(
+                self.model,
+                self.balanced_embeddings,
+                self.balanced_labels,
+                epochs=epochs,
+                batch_size=batch_size,
+                lr=lr,
+                loss=loss,
+                reinitialize=reinitialize,
+                rng=rng,
+                eval_hook=eval_hook,
+            )
+        self.timings["finetune"] = monotonic() - start
         return self.finetune_history
 
     # ------------------------------------------------------------------

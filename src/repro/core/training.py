@@ -8,7 +8,7 @@ the building blocks the three-phase framework composes.
 
 from __future__ import annotations
 
-import time
+import sys
 
 import numpy as np
 
@@ -16,6 +16,7 @@ from ..data import DataLoader
 from ..metrics import evaluate_predictions
 from ..resilience.errors import DivergenceError, TrialTimeoutError
 from ..resilience.faults import maybe_fire
+from ..telemetry import get_metrics, get_tracer, monotonic
 from ..tensor import AnomalyError, Tensor, no_grad
 
 __all__ = ["Trainer", "predict_logits", "extract_features"]
@@ -98,60 +99,98 @@ class Trainer:
         loader = DataLoader(
             dataset, batch_size=batch_size, shuffle=True, transform=transform, rng=rng
         )
-        fit_start = time.perf_counter()
+        tracer = get_tracer()
+        metrics = get_metrics()
+        fit_start = monotonic()
         for epoch in range(epochs):
             self.loss.set_epoch(epoch)
             self.model.train()
             epoch_loss = 0.0
             n_batches = 0
-            start_time = time.perf_counter()
-            for images, labels in loader:
-                if max_seconds is not None:
-                    elapsed = time.perf_counter() - fit_start
-                    if elapsed > max_seconds:
-                        raise TrialTimeoutError(
-                            "training exceeded its wall-clock budget",
-                            seconds=elapsed,
-                            budget=max_seconds,
-                        )
-                self.optimizer.zero_grad()
-                try:
-                    logits = self.model(Tensor(images))
-                    loss_value = self.loss(logits, labels)
-                    loss_value.backward()
-                except AnomalyError as exc:
-                    # The tape sanitizer already pinpointed the producing
-                    # op; re-raise with training-loop provenance attached.
-                    raise DivergenceError(
-                        "tape sanitizer trapped an anomaly during training",
-                        epoch=epoch,
-                        batch=n_batches,
-                        op=exc.op,
-                        site=exc.site,
-                        phase="phase1",
-                    ) from exc
-                batch_loss = float(loss_value.data)
-                if maybe_fire("trainer.batch", epoch=epoch,
-                              batch=n_batches) == "nan":
-                    batch_loss = float("nan")
-                if not np.isfinite(batch_loss):
-                    raise DivergenceError(
-                        "non-finite training loss",
-                        epoch=epoch,
-                        batch=n_batches,
-                        loss=batch_loss,
-                        phase="phase1",
-                    )
-                self.optimizer.step()
-                epoch_loss += batch_loss
-                n_batches += 1
+            start_time = monotonic()
+            epoch_span = tracer.span("train.epoch", epoch=epoch)
+            epoch_span.__enter__()
+            try:
+                for images, labels in loader:
+                    if max_seconds is not None:
+                        elapsed = monotonic() - fit_start
+                        if elapsed > max_seconds:
+                            tracer.event(
+                                "timeout", seconds=elapsed, budget=max_seconds
+                            )
+                            raise TrialTimeoutError(
+                                "training exceeded its wall-clock budget",
+                                seconds=elapsed,
+                                budget=max_seconds,
+                            )
+                    self.optimizer.zero_grad()
+                    with tracer.span("train.batch"):
+                        try:
+                            logits = self.model(Tensor(images))
+                            loss_value = self.loss(logits, labels)
+                            loss_value.backward()
+                        except AnomalyError as exc:
+                            # The tape sanitizer already pinpointed the
+                            # producing op; re-raise with training-loop
+                            # provenance attached.
+                            tracer.event(
+                                "divergence",
+                                epoch=epoch,
+                                batch=n_batches,
+                                op=exc.op,
+                                phase="phase1",
+                            )
+                            raise DivergenceError(
+                                "tape sanitizer trapped an anomaly during training",
+                                epoch=epoch,
+                                batch=n_batches,
+                                op=exc.op,
+                                site=exc.site,
+                                phase="phase1",
+                            ) from exc
+                        batch_loss = float(loss_value.data)
+                        if maybe_fire("trainer.batch", epoch=epoch,
+                                      batch=n_batches) == "nan":
+                            batch_loss = float("nan")
+                        if not np.isfinite(batch_loss):
+                            tracer.event(
+                                "divergence",
+                                epoch=epoch,
+                                batch=n_batches,
+                                loss=batch_loss,
+                                phase="phase1",
+                            )
+                            raise DivergenceError(
+                                "non-finite training loss",
+                                epoch=epoch,
+                                batch=n_batches,
+                                loss=batch_loss,
+                                phase="phase1",
+                            )
+                        self.optimizer.step()
+                    epoch_loss += batch_loss
+                    n_batches += 1
+            except BaseException:
+                epoch_span.__exit__(*sys.exc_info())
+                raise
             if self.scheduler is not None:
                 self.scheduler.step()
             record = {
                 "epoch": epoch,
                 "loss": epoch_loss / max(n_batches, 1),
-                "seconds": time.perf_counter() - start_time,
+                "seconds": monotonic() - start_time,
             }
+            epoch_span.set(loss=record["loss"], batches=n_batches)
+            epoch_span.__exit__(None, None, None)
+            if metrics.enabled:
+                metrics.counter("train.batches").inc(n_batches)
+                metrics.histogram("train.epoch_loss", series=True).observe(
+                    record["loss"]
+                )
+                if record["seconds"] > 0:
+                    metrics.gauge("train.batches_per_sec").set(
+                        n_batches / record["seconds"]
+                    )
             if eval_dataset is not None:
                 record.update(self.evaluate(eval_dataset))
             self.history.append(record)

@@ -16,6 +16,7 @@ from .pipeline import (
     train_phase1,
     train_preprocessed,
 )
+from .result import RunResult, traced_runner
 from .stats import aggregate_metrics, repeated_sampler_comparison, run_seeds
 from .sweeps import grid_sweep, sweep_report
 from .runners import (
@@ -46,6 +47,8 @@ __all__ = [
     "phase1_fingerprint",
     "train_phase1",
     "train_preprocessed",
+    "RunResult",
+    "traced_runner",
     "run_table1",
     "run_table2",
     "run_table3",

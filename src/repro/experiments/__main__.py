@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from .. import telemetry
 from ..resilience import RetryPolicy, RunRegistry, fingerprint_of
 from . import (
     ExtractorCache,
@@ -94,6 +94,11 @@ def main(argv=None):
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("keys", nargs="*", help="experiment keys (default: all)")
+    parser.add_argument(
+        "--table", type=int, action="append", default=None, metavar="N",
+        help="shorthand for table keys: --table 2 is equivalent to t2 "
+             "(repeatable)",
+    )
     parser.add_argument("--scale", default="small",
                         choices=("tiny", "small", "medium"))
     parser.add_argument("--datasets", nargs="+", default=["cifar10_like"])
@@ -122,6 +127,16 @@ def main(argv=None):
         "--fail-fast", action="store_true",
         help="abort the sweep on the first failed cell instead of "
              "recording it as FAILED(reason)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="enable telemetry and export the run's trace (spans, "
+             "events, metrics snapshot) to PATH as JSON lines; summarize "
+             "with `repro-trace PATH`",
+    )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="force the no-op tracer even when --trace-out is given",
     )
     args = parser.parse_args(argv)
 
@@ -160,7 +175,12 @@ def main(argv=None):
         fail_soft=not args.fail_fast,
     )
 
-    keys = args.keys or list(registry)
+    keys = list(args.keys)
+    for n in args.table or ():
+        key = "t%d" % n
+        if key not in keys:
+            keys.append(key)
+    keys = keys or list(registry)
     unknown = [key for key in keys if key not in registry]
     if unknown:
         parser.error(
@@ -168,15 +188,24 @@ def main(argv=None):
             % (", ".join(unknown), ", ".join(registry))
         )
 
-    for key in keys:
-        title, runner = registry[key]
-        print("=" * 72)
-        print("%s  [%s]" % (title, key))
-        print("=" * 72)
-        start = time.perf_counter()
-        out = runner()
-        print(out["report"])
-        print("(%.1fs)\n" % (time.perf_counter() - start))
+    trace_out = None if args.no_telemetry else args.trace_out
+    if trace_out is not None:
+        telemetry.enable()
+    try:
+        for key in keys:
+            title, runner = registry[key]
+            print("=" * 72)
+            print("%s  [%s]" % (title, key))
+            print("=" * 72)
+            start = telemetry.monotonic()
+            out = runner()
+            print(out["report"])
+            print("(%.1fs)\n" % (telemetry.monotonic() - start))
+    finally:
+        if trace_out is not None:
+            telemetry.disable(trace_out)
+            print("trace: %s (summarize with `repro-trace %s`)"
+                  % (trace_out, trace_out))
     if run_registry is not None:
         print("checkpoint: %s" % run_registry.summary())
     return 0

@@ -12,7 +12,6 @@ or interrupted runs reload them from disk instead of retraining.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 
 import numpy as np
@@ -25,6 +24,7 @@ from ..metrics import evaluate_predictions
 from ..nn import build_model
 from ..optim import SGD
 from ..resilience import fingerprint_of, maybe_fire
+from ..telemetry import get_metrics, get_tracer, monotonic
 from .config import build_sampler
 
 __all__ = [
@@ -145,7 +145,7 @@ def _train_phase1_attempt(config, loss_name, attempt=None):
     )
     trainer = ThreePhaseTrainer(model, loss, optimizer, sampler=None)
     transform = standard_augmentation() if config.augment else None
-    start = time.perf_counter()
+    start = monotonic()
     trainer.train_phase1(
         train,
         epochs=config.phase1_epochs,
@@ -154,7 +154,7 @@ def _train_phase1_attempt(config, loss_name, attempt=None):
         rng=np.random.default_rng(config.seed + 2 + seed_offset),
         max_seconds=max_seconds,
     )
-    train_seconds = time.perf_counter() - start
+    train_seconds = monotonic() - start
     train_emb = trainer.extract_embeddings(train)
     test_emb = extract_features(model, test.images)
     baseline = trainer.phase1.evaluate(test)
@@ -205,6 +205,7 @@ def _load_phase1_artifacts(config, loss_name, registry, fingerprint):
 
 
 def _save_phase1_artifacts(registry, fingerprint, artifacts):
+    get_metrics().counter("cache.persists").inc()
     registry.save_phase1(
         fingerprint,
         artifacts.model.state_dict(),
@@ -280,11 +281,14 @@ class ExtractorCache:
 
     def get(self, config, loss_name):
         key = _phase1_key(config, loss_name)
+        metrics = get_metrics()
         if key in self._cache:
             self._hits += 1
+            metrics.counter("cache.hits").inc()
             self._cache.move_to_end(key)
             return self._cache[key]
         self._misses += 1
+        metrics.counter("cache.misses").inc()
         artifacts = train_phase1(
             config,
             loss_name,
@@ -296,6 +300,7 @@ class ExtractorCache:
             while len(self._cache) > self.max_entries:
                 self._cache.popitem(last=False)
                 self._evictions += 1
+                metrics.counter("cache.evictions").inc()
         return artifacts
 
     def stats(self):
@@ -350,19 +355,20 @@ def evaluate_sampler(
             random_state=seed,
             **(sampler_kwargs or {}),
         )
-        start = time.perf_counter()
+        start = monotonic()
         emb, labels = sampler.fit_resample(
             artifacts.train_embeddings, artifacts.train.labels
         )
-        finetune_classifier(
-            artifacts.model,
-            emb,
-            labels,
-            epochs=finetune_epochs,
-            lr=lr,
-            rng=np.random.default_rng(seed + 3),
-        )
-        seconds = time.perf_counter() - start
+        with get_tracer().span("finetune", sampler=sampler_name):
+            finetune_classifier(
+                artifacts.model,
+                emb,
+                labels,
+                epochs=finetune_epochs,
+                lr=lr,
+                rng=np.random.default_rng(seed + 3),
+            )
+        seconds = monotonic() - start
         preds = _predict(artifacts)
         metrics = evaluate_predictions(
             artifacts.test.labels, preds, artifacts.info["num_classes"]
@@ -398,7 +404,7 @@ def train_preprocessed(config, loss_name, sampler_name, sampler_kwargs=None,
     from ..data import ArrayDataset
 
     model, train, test, info = _make_model_and_data(config, rng_offset=7)
-    start = time.perf_counter()
+    start = monotonic()
 
     if sampler_name == "none":
         resampled_train = train
@@ -436,6 +442,6 @@ def train_preprocessed(config, loss_name, sampler_name, sampler_kwargs=None,
         rng=np.random.default_rng(config.seed + 4),
         max_seconds=max_seconds,
     )
-    seconds = time.perf_counter() - start
+    seconds = monotonic() - start
     metrics = trainer.phase1.evaluate(test)
     return metrics, seconds

@@ -1,0 +1,115 @@
+"""Structured runner results: :class:`RunResult` + the tracing wrapper.
+
+Every ``run_table*`` / ``run_figure*`` runner historically returned a
+plain dict (``results``, ``report``, extras like ``post_wins``).
+:class:`RunResult` keeps that contract — it is a
+:class:`collections.abc.Mapping` over the same keys, so ``out["report"]``
+and ``dict(out)`` behave exactly as before — while adding attribute
+access and two derived fields:
+
+* ``telemetry`` — the runner's wall time plus, when telemetry is
+  enabled, the metrics snapshot captured as the runner finished;
+* ``degraded`` — the cell keys whose value is a
+  :class:`~repro.resilience.CellFailure` (empty for clean runs).
+
+:func:`traced_runner` is the decorator that wraps each runner in a
+``runner`` span and converts its dict into a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Mapping
+
+from ..resilience import CellFailure
+from ..telemetry import get_metrics, get_tracer, monotonic
+
+__all__ = ["RunResult", "traced_runner"]
+
+
+class RunResult(Mapping):
+    """Mapping-compatible view of a runner's output dict.
+
+    Dict-style consumers (``out["report"]``, ``"results" in out``,
+    ``dict(out)``) see every original key plus ``telemetry`` and
+    ``degraded``; attribute access covers the four structured fields.
+    """
+
+    def __init__(self, data, telemetry=None):
+        self._data = dict(data)
+        if "telemetry" not in self._data:
+            self._data["telemetry"] = telemetry if telemetry is not None else {}
+        if "degraded" not in self._data:
+            self._data["degraded"] = _failed_cells(self._data.get("results"))
+
+    # -- mapping protocol ------------------------------------------------
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self):
+        return len(self._data)
+
+    # -- structured fields -----------------------------------------------
+    @property
+    def results(self):
+        """Per-cell results mapping (empty for figure-style runners)."""
+        return self._data.get("results", {})
+
+    @property
+    def report(self):
+        """The rendered table/figure report text."""
+        return self._data.get("report", "")
+
+    @property
+    def telemetry(self):
+        """Runner wall time and (when enabled) the metrics snapshot."""
+        return self._data["telemetry"]
+
+    @property
+    def degraded(self):
+        """Cell keys that degraded to :class:`CellFailure` outcomes."""
+        return self._data["degraded"]
+
+    def __repr__(self):
+        return "RunResult(keys=%s, degraded=%d)" % (
+            sorted(map(str, self._data)),
+            len(self.degraded),
+        )
+
+
+def _failed_cells(results):
+    if not isinstance(results, dict):
+        return []
+    return [key for key, value in results.items()
+            if isinstance(value, CellFailure)]
+
+
+def traced_runner(name):
+    """Wrap a runner: ``runner`` span + dict -> :class:`RunResult`.
+
+    With telemetry disabled this adds two clock reads and a null-span
+    context enter/exit; the wrapped runner's dict content is unchanged.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = get_tracer()
+            start = monotonic()
+            with tracer.span("runner", runner=name):
+                out = fn(*args, **kwargs)
+            info = {
+                "runner": name,
+                "enabled": tracer.enabled,
+                "seconds": monotonic() - start,
+            }
+            if tracer.enabled:
+                info["metrics"] = get_metrics().snapshot()
+            return RunResult(out, telemetry=info)
+
+        return wrapper
+
+    return decorate

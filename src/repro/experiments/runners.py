@@ -18,8 +18,6 @@ an interrupted sweep resumes where it stopped.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..core import classifier_weight_norms, norm_imbalance
@@ -27,6 +25,7 @@ from ..core.gap import generalization_gap, tp_fp_gap
 from ..manifold import TSNE
 from ..metrics import evaluate_predictions
 from ..resilience import CellFailure, run_cell
+from ..telemetry import monotonic
 from ..utils import format_float, format_table
 from .config import bench_config, build_sampler
 from .pipeline import (
@@ -34,6 +33,7 @@ from .pipeline import (
     evaluate_sampler,
     train_preprocessed,
 )
+from .result import traced_runner
 
 __all__ = [
     "run_table1",
@@ -162,6 +162,7 @@ def _degraded_summary(results):
 # ----------------------------------------------------------------------
 # Table I — pre-processing (pixel) vs embedding-space over-sampling (CE)
 # ----------------------------------------------------------------------
+@traced_runner("table1")
 def run_table1(config=None, datasets=("cifar10_like",), cache=None,
                registry=None, retry_policy=None, fail_soft=True):
     """Pre- vs post- (embedding-space) over-sampling under CE loss.
@@ -229,6 +230,7 @@ def run_table1(config=None, datasets=("cifar10_like",), cache=None,
 # ----------------------------------------------------------------------
 # Table II — losses x {baseline, SMOTE, BSMOTE, BalSVM, EOS}
 # ----------------------------------------------------------------------
+@traced_runner("table2")
 def run_table2(
     config=None,
     datasets=("cifar10_like",),
@@ -296,6 +298,7 @@ def run_table2(
 # ----------------------------------------------------------------------
 # Table III — EOS vs GAN-based over-sampling
 # ----------------------------------------------------------------------
+@traced_runner("table3")
 def run_table3(
     config=None,
     datasets=("cifar10_like",),
@@ -374,6 +377,7 @@ def run_table3(
 # ----------------------------------------------------------------------
 # Table IV — EOS neighborhood-size sweep
 # ----------------------------------------------------------------------
+@traced_runner("table4")
 def run_table4(
     config=None,
     datasets=("cifar10_like",),
@@ -419,6 +423,7 @@ def run_table4(
 # ----------------------------------------------------------------------
 # Table V — architectures with & without EOS
 # ----------------------------------------------------------------------
+@traced_runner("table5")
 def run_table5(config=None, architectures=None, cache=None,
                registry=None, retry_policy=None, fail_soft=True):
     """EOS across CNN architectures (paper: EOS helps every backbone)."""
@@ -461,6 +466,7 @@ def run_table5(config=None, architectures=None, cache=None,
 # ----------------------------------------------------------------------
 # Figure 3 — per-class generalization-gap curves
 # ----------------------------------------------------------------------
+@traced_runner("figure3")
 def run_figure3(
     config=None,
     losses=("ce", "asl", "focal", "ldam"),
@@ -531,6 +537,7 @@ def run_figure3(
 # ----------------------------------------------------------------------
 # Figure 4 — gap for true positives vs false positives
 # ----------------------------------------------------------------------
+@traced_runner("figure4")
 def run_figure4(config=None, datasets=("cifar10_like",), cache=None):
     """TP vs FP generalization gap (paper: FP gap is ~2-4x the TP gap)."""
     config = config if config is not None else bench_config()
@@ -576,6 +583,7 @@ def run_figure4(config=None, datasets=("cifar10_like",), cache=None):
 # ----------------------------------------------------------------------
 # Figure 5 — classifier weight norms per class
 # ----------------------------------------------------------------------
+@traced_runner("figure5")
 def run_figure5(
     config=None,
     losses=("ce", "asl", "focal", "ldam"),
@@ -614,6 +622,7 @@ def run_figure5(
 # ----------------------------------------------------------------------
 # Figure 6 — t-SNE of a 2-class decision boundary
 # ----------------------------------------------------------------------
+@traced_runner("figure6")
 def run_figure6(
     config=None,
     majority_class=1,
@@ -704,6 +713,7 @@ def _class_margin(coords, labels, minority_class):
 # ----------------------------------------------------------------------
 # Figure 7 — BAC vs fine-tuning epochs
 # ----------------------------------------------------------------------
+@traced_runner("figure7")
 def run_figure7(config=None, epochs=30, samplers=("smote", "eos"), cache=None):
     """Fine-tuning length study (paper: both EOS and SMOTE plateau by
     ~epoch 10; EOS keeps a small edge afterwards)."""
@@ -783,6 +793,7 @@ def run_figure7(config=None, epochs=30, samplers=("smote", "eos"), cache=None):
 # ----------------------------------------------------------------------
 # §V-E2 — runtime comparison
 # ----------------------------------------------------------------------
+@traced_runner("runtime_comparison")
 def run_runtime_comparison(config=None, samplers=("smote", "bsmote", "balsvm")):
     """Wall-clock cost: pixel-space pre-processing vs the EOS framework.
 
@@ -800,10 +811,10 @@ def run_runtime_comparison(config=None, samplers=("smote", "bsmote", "balsvm")):
 
     from .pipeline import train_phase1
 
-    start = time.perf_counter()
+    start = monotonic()
     artifacts = train_phase1(config, "ce")
     evaluate_sampler(artifacts, "eos")
-    eos_seconds = time.perf_counter() - start
+    eos_seconds = monotonic() - start
     rows.append(["EOS (phase1 + embed + fine-tune)", "%.2f" % eos_seconds])
     speedup = avg_pre / eos_seconds if eos_seconds > 0 else float("inf")
     report = format_table(
@@ -823,6 +834,7 @@ def run_runtime_comparison(config=None, samplers=("smote", "bsmote", "balsvm")):
 # ----------------------------------------------------------------------
 # §V-E3 — EOS in pixel space vs embedding space
 # ----------------------------------------------------------------------
+@traced_runner("eos_pixel_vs_embedding")
 def run_eos_pixel_vs_embedding(config=None, cache=None):
     """EOS applied as pixel-space pre-processing vs in embedding space.
 

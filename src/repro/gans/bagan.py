@@ -13,7 +13,6 @@ BAGAN's two signature mechanisms are reproduced:
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -22,6 +21,7 @@ from .._validation import validate_xy
 from ..optim import Adam
 from ..sampling.base import sampling_targets
 from ..tensor import Tensor
+from ..telemetry import monotonic
 
 __all__ = ["BAGAN"]
 
@@ -101,7 +101,7 @@ class BAGAN:
         targets = sampling_targets(y, self.sampling_strategy)
         if not targets:
             return x.copy(), y.copy()
-        start = time.perf_counter()
+        start = monotonic()
         rng = np.random.default_rng(self.random_state)
         scaler = fit_feature_scaler(x)
         scaled = scaler.transform(x)
@@ -137,7 +137,7 @@ class BAGAN:
             synth = scaler.inverse(decoder(Tensor(z)).data)
             new_x.append(synth)
             new_y.append(np.full(n_new, cls, dtype=np.int64))
-        self.fit_seconds = time.perf_counter() - start
+        self.fit_seconds = monotonic() - start
         return np.concatenate(new_x), np.concatenate(new_y)
 
     @staticmethod

@@ -9,13 +9,13 @@ is a small MLP pair over min-max-scaled features.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
 from .base import GanCore, MLP, fit_feature_scaler
 from .._validation import validate_xy
 from ..sampling.base import sampling_targets
+from ..telemetry import monotonic
 
 __all__ = ["CGAN"]
 
@@ -78,7 +78,7 @@ class CGAN:
         if not targets:
             return x.copy(), y.copy()
         scaler = fit_feature_scaler(x)
-        start = time.perf_counter()
+        start = monotonic()
         new_x, new_y = [x], [y]
         self.models_trained = 0
         for cls, n_new in sorted(targets.items()):
@@ -88,5 +88,5 @@ class CGAN:
             synth = scaler.inverse(gan.generate(n_new))
             new_x.append(synth)
             new_y.append(np.full(n_new, cls, dtype=np.int64))
-        self.fit_seconds = time.perf_counter() - start
+        self.fit_seconds = monotonic() - start
         return np.concatenate(new_x), np.concatenate(new_y)

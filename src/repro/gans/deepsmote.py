@@ -11,7 +11,6 @@ natural baseline for this library.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -20,6 +19,7 @@ from ..optim import Adam
 from ..sampling.base import sampling_targets
 from ..sampling.smote import SMOTE
 from ..tensor import Tensor
+from ..telemetry import monotonic
 from .base import MLP, fit_feature_scaler
 
 __all__ = ["DeepSMOTE"]
@@ -102,7 +102,7 @@ class DeepSMOTE:
         targets = sampling_targets(y, self.sampling_strategy)
         if not targets:
             return x.copy(), y.copy()
-        start = time.perf_counter()
+        start = monotonic()
         rng = np.random.default_rng(self.random_state)
         scaler = fit_feature_scaler(x)
         scaled = scaler.transform(x)
@@ -126,5 +126,5 @@ class DeepSMOTE:
             out_y = np.concatenate([y, synth_labels])
         else:
             out_x, out_y = x.copy(), y.copy()
-        self.fit_seconds = time.perf_counter() - start
+        self.fit_seconds = monotonic() - start
         return out_x, out_y

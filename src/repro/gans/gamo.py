@@ -15,7 +15,6 @@ mechanism behind its weaker Table-III results.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -24,6 +23,7 @@ from .._validation import validate_xy
 from ..optim import Adam
 from ..sampling.base import sampling_targets
 from ..tensor import Tensor, softmax
+from ..telemetry import monotonic
 
 __all__ = ["GAMO"]
 
@@ -107,7 +107,7 @@ class GAMO:
         targets = sampling_targets(y, self.sampling_strategy)
         if not targets:
             return x.copy(), y.copy()
-        start = time.perf_counter()
+        start = monotonic()
         new_x, new_y = [x], [y]
         for cls, n_new in sorted(targets.items()):
             class_data = x[y == cls]
@@ -121,5 +121,5 @@ class GAMO:
                 synth = gen(z, points).data.copy()
             new_x.append(synth)
             new_y.append(np.full(n_new, cls, dtype=np.int64))
-        self.fit_seconds = time.perf_counter() - start
+        self.fit_seconds = monotonic() - start
         return np.concatenate(new_x), np.concatenate(new_y)

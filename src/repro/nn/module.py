@@ -12,6 +12,9 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..telemetry import profiler as _profiler
+from ..telemetry.clock import monotonic as _monotonic
+from ..telemetry.profiler import _STATE as _PROFILE
 from ..tensor import Tensor
 
 __all__ = ["Parameter", "Module", "Sequential"]
@@ -155,6 +158,11 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if _PROFILE.enabled:
+            t0 = _monotonic()
+            out = self.forward(*args, **kwargs)
+            _profiler._on_layer_forward(type(self).__name__, _monotonic() - t0)
+            return out
         return self.forward(*args, **kwargs)
 
     def __repr__(self):

@@ -19,6 +19,7 @@ models the process dying, which only checkpoint/resume survives.
 
 from __future__ import annotations
 
+from ..telemetry import get_metrics, get_tracer
 from .errors import RetryBudgetExhausted
 from .faults import maybe_fire
 
@@ -96,8 +97,11 @@ def run_cell(thunk, cell_id, registry=None, retry_policy=None,
     Returns the thunk's result, a registry-loaded result, or a
     :class:`CellFailure`.
     """
+    tracer = get_tracer()
     if registry is not None and registry.has_cell(cell_id):
         payload = registry.load_cell(cell_id)
+        tracer.event("cell.resumed", cell=cell_id)
+        get_metrics().counter("cells.resumed").inc()
         return result_of(payload) if result_of is not None else payload
 
     attempts_made = [0]
@@ -108,26 +112,37 @@ def run_cell(thunk, cell_id, registry=None, retry_policy=None,
         maybe_fire("sweep.cell", cell=cell_id, attempt=index)
         return thunk(attempt)
 
-    try:
-        if retry_policy is not None:
-            result = retry_policy.run(trial)
-        else:
-            result = trial(None)
-    except Exception as exc:
-        if not fail_soft:
-            raise
-        cause = exc.last_error if isinstance(exc, RetryBudgetExhausted) and \
-            exc.last_error is not None else exc
-        failure = CellFailure(
-            str(cause),
-            error_type=type(cause).__name__,
-            attempts=max(attempts_made[0], 1),
-        )
-        if registry is not None:
-            registry.record_cell(cell_id, failure.to_payload(),
-                                 status="failed")
-        return failure
+    with tracer.span("cell", cell=cell_id) as span:
+        try:
+            if retry_policy is not None:
+                result = retry_policy.run(trial)
+            else:
+                result = trial(None)
+        except Exception as exc:
+            if not fail_soft:
+                raise
+            cause = exc.last_error if isinstance(exc, RetryBudgetExhausted) and \
+                exc.last_error is not None else exc
+            failure = CellFailure(
+                str(cause),
+                error_type=type(cause).__name__,
+                attempts=max(attempts_made[0], 1),
+            )
+            span.set(outcome="failed", attempts=failure.attempts)
+            tracer.event(
+                "cell.failed",
+                cell=cell_id,
+                error_type=failure.error_type,
+                attempts=failure.attempts,
+            )
+            get_metrics().counter("cells.failed").inc()
+            if registry is not None:
+                registry.record_cell(cell_id, failure.to_payload(),
+                                     status="failed")
+            return failure
+        span.set(outcome="done", attempts=max(attempts_made[0], 1))
 
+    get_metrics().counter("cells.done").inc()
     if registry is not None:
         payload = payload_of(result) if payload_of is not None else result
         registry.record_cell(cell_id, payload, status="done")

@@ -12,13 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..svm import LinearSVM
-from .base import validate_xy
+from .base import BaseSampler
 from .smote import SMOTE
 
 __all__ = ["BalancedSVMSampler"]
 
 
-class BalancedSVMSampler:
+class BalancedSVMSampler(BaseSampler):
     """SMOTE + SVM relabeling.
 
     Parameters
@@ -40,14 +40,14 @@ class BalancedSVMSampler:
         svm_params=None,
         keep_labels=False,
     ):
+        super().__init__(
+            sampling_strategy=sampling_strategy, random_state=random_state
+        )
         self.k_neighbors = k_neighbors
-        self.sampling_strategy = sampling_strategy
-        self.random_state = random_state
         self.svm_params = dict(svm_params or {})
         self.keep_labels = keep_labels
 
-    def fit_resample(self, x, y):
-        x, y = validate_xy(x, y)
+    def _fit_resample(self, x, y):
         smote = SMOTE(
             k_neighbors=self.k_neighbors,
             sampling_strategy=self.sampling_strategy,

@@ -5,13 +5,24 @@ Every sampler implements ``fit_resample(X, y) -> (X_res, y_res)`` over a
 usage) or CNN feature embeddings (the paper's phase-2 usage).  The
 resampled output always contains the original samples followed by the
 synthetic/duplicated ones, so callers can recover the synthetic block.
+
+:meth:`BaseSampler.fit_resample` is a template method: it validates the
+inputs exactly once, stamps telemetry (a ``sampler.fit_resample`` span
+with input/output class histograms, plus per-class synthetic counters),
+and delegates the actual work to the protected :meth:`_fit_resample`
+hook.  Subclasses either override ``_fit_resample`` wholesale
+(under-samplers, combined pipelines) or just :meth:`_generate`, the
+per-class synthesis hook used by the default ``_fit_resample``.
 """
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 
 from .._validation import validate_xy
+from ..telemetry import get_metrics, get_tracer, monotonic
 
 __all__ = ["BaseSampler", "sampling_targets", "validate_xy"]
 
@@ -48,11 +59,20 @@ def sampling_targets(y, strategy="auto"):
     raise ValueError("unknown sampling strategy %r" % strategy)
 
 
+def _class_histogram(y):
+    counts = np.bincount(y)
+    return {
+        int(c): int(counts[c]) for c in np.nonzero(counts)[0]
+    }
+
+
 class BaseSampler:
     """Base class for resamplers.
 
-    Subclasses implement :meth:`_generate` which returns the synthetic
-    samples for one class.
+    Subclasses implement :meth:`_fit_resample` (full control) or just
+    :meth:`_generate` (per-class synthesis under the default balancing
+    loop).  The public :meth:`fit_resample` wrapper owns validation and
+    telemetry so no subclass repeats either.
     """
 
     def __init__(self, sampling_strategy="auto", random_state=0):
@@ -62,9 +82,47 @@ class BaseSampler:
     def _rng(self):
         return np.random.default_rng(self.random_state)
 
+    # ------------------------------------------------------------------
+    # Public template
+    # ------------------------------------------------------------------
     def fit_resample(self, x, y):
         """Resample (x, y); returns originals followed by synthetic rows."""
         x, y = validate_xy(x, y)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._fit_resample(x, y)
+
+        name = type(self).__name__
+        start = monotonic()
+        with tracer.span("sampler.fit_resample", sampler=name) as span:
+            x_res, y_res = self._fit_resample(x, y)
+            n_in, n_out = int(y.shape[0]), int(y_res.shape[0])
+            classes_in = _class_histogram(y)
+            classes_out = _class_histogram(y_res)
+            span.set(
+                n_in=n_in,
+                n_out=n_out,
+                n_synthetic=max(0, n_out - n_in),
+                n_removed=max(0, n_in - n_out),
+                classes_in=classes_in,
+                classes_out=classes_out,
+            )
+        metrics = get_metrics()
+        metrics.counter("sampler.fit_resample.calls").inc()
+        metrics.histogram("sampler.%s.seconds" % name).observe(
+            monotonic() - start
+        )
+        for cls, n_after in classes_out.items():
+            grown = n_after - classes_in.get(cls, 0)
+            if grown > 0:
+                metrics.counter("sampler.synthetic.class_%d" % cls).inc(grown)
+        return x_res, y_res
+
+    # ------------------------------------------------------------------
+    # Protected hooks
+    # ------------------------------------------------------------------
+    def _fit_resample(self, x, y):
+        """Default balancing loop: per-class :meth:`_generate` synthesis."""
         rng = self._rng()
         targets = sampling_targets(y, self.sampling_strategy)
         new_x, new_y = [x], [y]
@@ -83,3 +141,31 @@ class BaseSampler:
 
     def _generate(self, x, y, cls, n_new, rng):
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get_params(self):
+        """Constructor parameters as a dict (sklearn-style).
+
+        Read back from the instance attributes of the same name, so the
+        values reflect what the sampler will actually use; signature
+        parameters a subclass resolves away (e.g. a factory argument it
+        never stores) are omitted.
+        """
+        params = {}
+        for name, param in inspect.signature(type(self).__init__).parameters.items():
+            if name == "self" or param.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            if hasattr(self, name):
+                params[name] = getattr(self, name)
+        return params
+
+    def __repr__(self):
+        args = ", ".join(
+            "%s=%r" % (name, value) for name, value in self.get_params().items()
+        )
+        return "%s(%s)" % (type(self).__name__, args)

@@ -18,13 +18,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import validate_xy
-from .base import sampling_targets
+from .base import BaseSampler, sampling_targets
 
 __all__ = ["CCR"]
 
 
-class CCR:
+class CCR(BaseSampler):
     """Combined cleaning and resampling.
 
     Parameters
@@ -39,9 +38,10 @@ class CCR:
     def __init__(self, energy=0.25, sampling_strategy="auto", random_state=0):
         if energy <= 0:
             raise ValueError("energy must be positive")
+        super().__init__(
+            sampling_strategy=sampling_strategy, random_state=random_state
+        )
         self.energy = energy
-        self.sampling_strategy = sampling_strategy
-        self.random_state = random_state
 
     # ------------------------------------------------------------------
     def _spheres(self, minority, others):
@@ -105,10 +105,9 @@ class CCR:
         return moved
 
     # ------------------------------------------------------------------
-    def fit_resample(self, x, y):
+    def _fit_resample(self, x, y):
         """Clean around each deficient class, then oversample inside spheres."""
-        x, y = validate_xy(x, y)
-        rng = np.random.default_rng(self.random_state)
+        rng = self._rng()
         targets = sampling_targets(y, self.sampling_strategy)
         x = x.copy()
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from .._validation import validate_xy
 from ..neighbors import KNeighbors
+from .base import BaseSampler
 
 __all__ = ["TomekLinks", "EditedNearestNeighbors", "find_tomek_links"]
 
@@ -37,7 +38,7 @@ def find_tomek_links(x, y):
     return np.asarray(links, dtype=np.int64).reshape(-1, 2)
 
 
-class TomekLinks:
+class TomekLinks(BaseSampler):
     """Remove the majority-class member of every Tomek link.
 
     ``strategy="majority"`` (default) removes only majority-side points;
@@ -49,8 +50,7 @@ class TomekLinks:
             raise ValueError("strategy must be 'majority' or 'both'")
         self.strategy = strategy
 
-    def fit_resample(self, x, y):
-        x, y = validate_xy(x, y)
+    def _fit_resample(self, x, y):
         links = find_tomek_links(x, y)
         if links.size == 0:
             return x.copy(), y.copy()
@@ -68,7 +68,7 @@ class TomekLinks:
         return x[keep].copy(), y[keep].copy()
 
 
-class EditedNearestNeighbors:
+class EditedNearestNeighbors(BaseSampler):
     """Remove points whose k-NN majority vote disagrees with their label.
 
     ``protect_minority`` (default True) never removes points of the
@@ -82,8 +82,7 @@ class EditedNearestNeighbors:
         self.k_neighbors = k_neighbors
         self.protect_minority = protect_minority
 
-    def fit_resample(self, x, y):
-        x, y = validate_xy(x, y)
+    def _fit_resample(self, x, y):
         n = x.shape[0]
         if n <= self.k_neighbors:
             return x.copy(), y.copy()

@@ -9,22 +9,21 @@ substituted via the ``oversampler`` argument (e.g. EOS-Tomek).
 
 from __future__ import annotations
 
-from .._validation import validate_xy
+from .base import BaseSampler
 from .cleaning import EditedNearestNeighbors, TomekLinks
 from .smote import SMOTE
 
 __all__ = ["SMOTEENN", "SMOTETomek"]
 
 
-class _CombinedSampler:
+class _CombinedSampler(BaseSampler):
     """Over-sample then clean; shared implementation."""
 
     def __init__(self, oversampler, cleaner):
         self.oversampler = oversampler
         self.cleaner = cleaner
 
-    def fit_resample(self, x, y):
-        x, y = validate_xy(x, y)
+    def _fit_resample(self, x, y):
         x_over, y_over = self.oversampler.fit_resample(x, y)
         return self.cleaner.fit_resample(x_over, y_over)
 
@@ -51,6 +50,10 @@ class SMOTEENN(_CombinedSampler):
         random_state=0,
         oversampler=None,
     ):
+        self.k_neighbors = k_neighbors
+        self.enn_neighbors = enn_neighbors
+        self.sampling_strategy = sampling_strategy
+        self.random_state = random_state
         if oversampler is None:
             oversampler = SMOTE(
                 k_neighbors=k_neighbors,
@@ -77,6 +80,10 @@ class SMOTETomek(_CombinedSampler):
         oversampler=None,
         link_strategy="majority",
     ):
+        self.k_neighbors = k_neighbors
+        self.sampling_strategy = sampling_strategy
+        self.random_state = random_state
+        self.link_strategy = link_strategy
         if oversampler is None:
             oversampler = SMOTE(
                 k_neighbors=k_neighbors,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import BaseSampler, validate_xy
+from .base import BaseSampler
 
 __all__ = ["RandomOverSampler", "RandomUnderSampler"]
 
@@ -18,20 +18,15 @@ class RandomOverSampler(BaseSampler):
         return x[picks].copy()
 
 
-class RandomUnderSampler:
+class RandomUnderSampler(BaseSampler):
     """Balance classes by discarding majority samples.
 
     Keeps ``min_count`` samples per class (the smallest class count, or
     an explicit per-class dict via ``sampling_strategy``).
     """
 
-    def __init__(self, sampling_strategy="auto", random_state=0):
-        self.sampling_strategy = sampling_strategy
-        self.random_state = random_state
-
-    def fit_resample(self, x, y):
-        x, y = validate_xy(x, y)
-        rng = np.random.default_rng(self.random_state)
+    def _fit_resample(self, x, y):
+        rng = self._rng()
         counts = np.bincount(y)
         present = np.nonzero(counts)[0]
         if self.sampling_strategy == "auto":

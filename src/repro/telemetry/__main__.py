@@ -1,0 +1,57 @@
+"""Command-line trace summarizer: ``repro-trace`` / ``python -m repro.telemetry``.
+
+Renders a JSONL trace (produced by ``--trace-out`` on the experiment CLI
+or by :func:`repro.telemetry.session`) as the per-phase / per-cell /
+per-sampler wall-time tables plus the metrics snapshot.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.experiments t2 --trace-out trace.jsonl
+    PYTHONPATH=src python -m repro.telemetry trace.jsonl
+    PYTHONPATH=src python -m repro.telemetry trace.jsonl --format json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .summarize import render_trace_report, summarize_trace
+
+__all__ = ["main"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarize a repro telemetry trace (JSONL) into "
+        "per-phase, per-cell and per-sampler wall-time tables.",
+    )
+    parser.add_argument("trace", help="path to a .jsonl trace file")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        summary = summarize_trace(args.trace)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("repro-trace: error: %s" % exc, file=sys.stderr)
+        return 2
+
+    try:
+        if args.format == "json":
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_trace_report(summary))
+    except BrokenPipeError:  # repro: noqa[RES002] downstream closed the pipe early; the summary was already computed
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The telemetry time sources.
+
+All *duration* measurements in this repository go through
+:func:`monotonic` — an alias of ``time.perf_counter`` — so a wall-clock
+adjustment (NTP step, DST, manual reset) can never produce a negative
+``train_seconds`` or a cell timing that disagrees with the trace.
+``time.time()`` is reserved for *timestamps* (when something happened,
+not how long it took) and is only permitted inside this package; the
+``OBS001`` lint rule enforces that boundary everywhere else.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "wall_time"]
+
+#: Monotonic high-resolution clock for durations (seconds, float).
+monotonic = time.perf_counter
+
+
+def wall_time():
+    """Wall-clock UNIX timestamp — for labeling traces, never durations."""
+    return time.time()

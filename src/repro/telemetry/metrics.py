@@ -1,0 +1,205 @@
+"""Counters, gauges and histograms behind a process-wide registry.
+
+The registry mirrors the tracer's on/off design: the default
+:class:`NullMetricsRegistry` hands out three shared no-op instruments,
+so disabled call sites like ``get_metrics().counter("x").inc()`` cost
+two attribute lookups and allocate nothing.  When telemetry is enabled
+(see :func:`repro.telemetry.enable`), a real :class:`MetricsRegistry`
+is installed and its :meth:`~MetricsRegistry.snapshot` is appended to
+every flushed trace.
+
+Instrument semantics:
+
+* **Counter** — monotonically increasing total (batches seen, cache
+  hits, synthetic samples emitted).
+* **Gauge** — last-written value (current loss, current LR).
+* **Histogram** — running count/sum/min/max/last of observations
+  (per-epoch losses, per-cell seconds); ``series=True`` additionally
+  keeps the ordered observations, which is how loss *curves* ride along
+  in the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only increase; got %r" % (amount,))
+        self.value += amount
+        return self.value
+
+
+class Gauge:
+    """Last-value-wins instrument."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+        return value
+
+
+class Histogram:
+    """Running summary (count/sum/min/max/last) of observed values."""
+
+    __slots__ = ("count", "total", "min", "max", "last", "values")
+
+    def __init__(self, series=False):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self.last = None
+        self.values = [] if series else None
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.last = value
+        if self.values is not None:
+            self.values.append(value)
+        return value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def summary(self):
+        out = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "last": self.last,
+        }
+        if self.values is not None:
+            out["series"] = list(self.values)
+        return out
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+    value = None
+    count = 0
+
+    def inc(self, amount=1):
+        return 0
+
+    def set(self, value):
+        return value
+
+    def observe(self, value):
+        return value
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every lookup returns the shared no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, series=False):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+_NULL_METRICS = NullMetricsRegistry()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    def counter(self, name):
+        try:
+            return self._counters[name]
+        except KeyError:
+            instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name):
+        try:
+            return self._gauges[name]
+        except KeyError:
+            instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name, series=False):
+        try:
+            return self._histograms[name]
+        except KeyError:
+            instrument = self._histograms[name] = Histogram(series=series)
+            return instrument
+
+    def snapshot(self):
+        """JSON-serializable view of every instrument."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+
+_METRICS = _NULL_METRICS
+
+
+def get_metrics():
+    """The process-wide metrics registry (null unless telemetry is on)."""
+    return _METRICS
+
+
+def set_metrics(registry):
+    """Install ``registry`` process-wide; returns the previous registry.
+
+    Pass ``None`` to restore the shared null registry.
+    """
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry if registry is not None else _NULL_METRICS
+    return previous

@@ -1,0 +1,141 @@
+"""Opt-in tensor-op profiler hooked into the autograd tape.
+
+The autograd engine (:mod:`repro.tensor`) and the module system
+(:mod:`repro.nn`) expose two hook points guarded by a single ``enabled``
+flag, mirroring the tape sanitizer's design: when profiling is off, the
+hot path pays one attribute read per op and nothing else.
+
+Inside a :class:`profile_ops` block three aggregates are collected:
+
+* **forward op counts** — how many tape ops of each kind ran
+  (``__matmul__``, ``conv2d``, ``relu`` ...);
+* **backward wall time per op** — each backward closure is timed
+  individually during ``Tensor.backward``;
+* **forward wall time per layer** — every :class:`repro.nn.Module`
+  call is timed by class name (cumulative: a block's time includes its
+  children's).
+
+Usage::
+
+    from repro.telemetry import profile_ops
+
+    with profile_ops() as prof:
+        loss = model(x).sum()
+        loss.backward()
+    stats = prof.stats()
+    # {"forward_ops": {...}, "backward": {...}, "layers": {...}}
+"""
+
+from __future__ import annotations
+
+from .clock import monotonic
+
+__all__ = ["profile_ops", "is_profiling"]
+
+
+class _ProfilerState:
+    __slots__ = ("enabled", "forward_ops", "backward", "layers")
+
+    def __init__(self):
+        self.enabled = False
+        self.forward_ops = {}
+        self.backward = {}
+        self.layers = {}
+
+    def reset(self):
+        self.forward_ops = {}
+        self.backward = {}
+        self.layers = {}
+
+
+_STATE = _ProfilerState()
+
+
+def is_profiling():
+    """True inside an active :class:`profile_ops` block."""
+    return _STATE.enabled
+
+
+def _op_name(backward):
+    """Derive the op name from a backward closure's qualname.
+
+    ``Tensor.__mul__.<locals>.backward`` -> ``__mul__``;
+    ``conv2d.<locals>.backward`` -> ``conv2d``.
+    """
+    qual = getattr(backward, "__qualname__", "")
+    parts = qual.split(".<locals>")[0].rsplit(".", 1)
+    return parts[-1] if parts and parts[-1] else "<op>"
+
+
+# ----------------------------------------------------------------------
+# Hook points — called from repro.tensor / repro.nn when enabled.
+# ----------------------------------------------------------------------
+def _on_forward_op(backward):
+    name = _op_name(backward)
+    state = _STATE.forward_ops
+    state[name] = state.get(name, 0) + 1
+
+
+def _on_backward_op(backward, seconds):
+    name = _op_name(backward)
+    entry = _STATE.backward.get(name)
+    if entry is None:
+        _STATE.backward[name] = [1, seconds]
+    else:
+        entry[0] += 1
+        entry[1] += seconds
+
+
+def _on_layer_forward(layer_name, seconds):
+    entry = _STATE.layers.get(layer_name)
+    if entry is None:
+        _STATE.layers[layer_name] = [1, seconds]
+    else:
+        entry[0] += 1
+        entry[1] += seconds
+
+
+class profile_ops:
+    """Context manager enabling the tensor-op profiler.
+
+    Re-entrant blocks accumulate into the innermost block's aggregates.
+    On exit, the collected stats are emitted as a ``profile`` event on
+    the process-wide tracer (when tracing is enabled) so profiles land
+    in the same JSONL file as spans and metrics.
+    """
+
+    def __init__(self, clock=None):
+        self._clock = clock if clock is not None else monotonic
+        self._prev = False
+
+    def __enter__(self):
+        self._prev = _STATE.enabled
+        if not self._prev:
+            _STATE.reset()
+        _STATE.enabled = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _STATE.enabled = self._prev
+        if not self._prev:
+            from .tracer import get_tracer
+
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("profile", **self.stats())
+        return False
+
+    @staticmethod
+    def stats():
+        """Aggregates collected so far (JSON-serializable)."""
+        return {
+            "forward_ops": dict(sorted(_STATE.forward_ops.items())),
+            "backward": {
+                name: {"count": entry[0], "seconds": entry[1]}
+                for name, entry in sorted(_STATE.backward.items())
+            },
+            "layers": {
+                name: {"count": entry[0], "seconds": entry[1]}
+                for name, entry in sorted(_STATE.layers.items())
+            },
+        }

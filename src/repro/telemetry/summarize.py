@@ -1,0 +1,230 @@
+"""Trace-file summarization: JSONL -> aggregate tables.
+
+:func:`summarize_trace` folds a trace (path or record list) into
+aggregates — per-phase wall time (the paper's phase1/phase2/phase3
+decomposition), per-span statistics, per-cell and per-sampler timings,
+plus the metrics snapshot — and :func:`render_trace_report` renders them
+in the same ``format_table`` style as the experiment reports.  The
+``repro-trace`` console script (see :mod:`repro.telemetry.__main__`)
+wraps both.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["load_trace", "summarize_trace", "render_trace_report"]
+
+#: Span names contributing to each of the paper's three phases.
+PHASE_SPANS = {
+    "phase1": ("phase1",),
+    "phase2": ("extract", "resample", "sampler.fit_resample"),
+    "phase3": ("finetune",),
+}
+
+
+def load_trace(path):
+    """Parse a JSONL trace file into a list of records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _span_groups(spans):
+    groups = {}
+    for span in spans:
+        entry = groups.setdefault(
+            span["name"], {"count": 0, "seconds": 0.0, "max": 0.0}
+        )
+        entry["count"] += 1
+        entry["seconds"] += span["dur"]
+        entry["max"] = max(entry["max"], span["dur"])
+    for entry in groups.values():
+        entry["mean"] = entry["seconds"] / entry["count"]
+    return groups
+
+
+def _phase_seconds(spans):
+    """Per-phase wall time, avoiding parent/child double counting.
+
+    A ``sampler.fit_resample`` span nested under a ``resample`` span or
+    inside another sampler (combined pipelines like SMOTE-ENN) is
+    already covered by its parent and is skipped.
+    """
+    phases = {name: {"count": 0, "seconds": 0.0} for name in PHASE_SPANS}
+    for span in spans:
+        for phase, names in PHASE_SPANS.items():
+            if span["name"] not in names:
+                continue
+            if span["name"] == "sampler.fit_resample" and span.get(
+                "parent"
+            ) in ("resample", "sampler.fit_resample"):
+                continue
+            phases[phase]["count"] += 1
+            phases[phase]["seconds"] += span["dur"]
+    return phases
+
+
+def summarize_trace(trace):
+    """Aggregate a trace (path or record list) into a summary dict."""
+    records = load_trace(trace) if isinstance(trace, str) else list(trace)
+    spans = [r for r in records if r.get("type") == "span"]
+    events = [r for r in records if r.get("type") == "event"]
+    metrics = {}
+    for record in records:
+        if record.get("type") == "metrics":
+            metrics = record
+
+    cells = []
+    for span in spans:
+        if span["name"] == "cell":
+            attrs = span.get("attrs", {})
+            cells.append({
+                "cell": attrs.get("cell", "?"),
+                "seconds": span["dur"],
+                "outcome": attrs.get("outcome", "?"),
+                "attempts": attrs.get("attempts", 1),
+            })
+    cells.sort(key=lambda c: -c["seconds"])
+
+    samplers = {}
+    for span in spans:
+        if span["name"] != "sampler.fit_resample":
+            continue
+        attrs = span.get("attrs", {})
+        entry = samplers.setdefault(
+            attrs.get("sampler", "?"),
+            {"calls": 0, "seconds": 0.0, "synthetic": 0},
+        )
+        entry["calls"] += 1
+        entry["seconds"] += span["dur"]
+        entry["synthetic"] += int(attrs.get("n_synthetic", 0))
+
+    total = 0.0
+    for span in spans:
+        if span.get("depth") == 0:
+            total += span["dur"]
+
+    return {
+        "n_spans": len(spans),
+        "n_events": len(events),
+        "total_seconds": total,
+        "phases": _phase_seconds(spans),
+        "spans": _span_groups(spans),
+        "cells": cells,
+        "samplers": samplers,
+        "events": events,
+        "counters": metrics.get("counters", {}),
+        "gauges": metrics.get("gauges", {}),
+        "histograms": metrics.get("histograms", {}),
+    }
+
+
+def render_trace_report(summary):
+    """Render a :func:`summarize_trace` summary as aligned text tables."""
+    from ..utils.tables import format_table
+
+    sections = [
+        "%d span(s), %d event(s), %.2fs top-level wall time"
+        % (summary["n_spans"], summary["n_events"], summary["total_seconds"])
+    ]
+
+    phase_total = sum(p["seconds"] for p in summary["phases"].values())
+    rows = []
+    for phase in ("phase1", "phase2", "phase3"):
+        entry = summary["phases"][phase]
+        share = entry["seconds"] / phase_total if phase_total > 0 else 0.0
+        rows.append([
+            phase,
+            str(entry["count"]),
+            "%.3fs" % entry["seconds"],
+            "%.1f%%" % (100.0 * share),
+        ])
+    sections.append(format_table(
+        ["phase", "spans", "seconds", "share"],
+        rows,
+        title="Per-phase wall time (train / resample / fine-tune)",
+    ))
+
+    rows = [
+        [name, str(e["count"]), "%.3fs" % e["seconds"],
+         "%.4fs" % e["mean"], "%.4fs" % e["max"]]
+        for name, e in sorted(
+            summary["spans"].items(), key=lambda kv: -kv[1]["seconds"]
+        )
+    ]
+    if rows:
+        sections.append(format_table(
+            ["span", "count", "total", "mean", "max"],
+            rows,
+            title="Spans by name",
+        ))
+
+    if summary["cells"]:
+        rows = [
+            [c["cell"], "%.3fs" % c["seconds"], str(c["outcome"]),
+             str(c["attempts"])]
+            for c in summary["cells"]
+        ]
+        sections.append(format_table(
+            ["cell", "seconds", "outcome", "attempts"],
+            rows,
+            title="Sweep cells (slowest first)",
+        ))
+
+    if summary["samplers"]:
+        rows = [
+            [name, str(e["calls"]), "%.3fs" % e["seconds"], str(e["synthetic"])]
+            for name, e in sorted(
+                summary["samplers"].items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        ]
+        sections.append(format_table(
+            ["sampler", "calls", "seconds", "synthetic"],
+            rows,
+            title="Sampler fit_resample cost",
+        ))
+
+    if summary["counters"]:
+        rows = [
+            [name, str(value)]
+            for name, value in sorted(summary["counters"].items())
+        ]
+        sections.append(format_table(
+            ["counter", "value"], rows, title="Counters"
+        ))
+
+    if summary["histograms"]:
+        rows = []
+        for name, h in sorted(summary["histograms"].items()):
+            rows.append([
+                name,
+                str(h.get("count", 0)),
+                "-" if h.get("mean") is None else "%.4f" % h["mean"],
+                "-" if h.get("min") is None else "%.4f" % h["min"],
+                "-" if h.get("max") is None else "%.4f" % h["max"],
+            ])
+        sections.append(format_table(
+            ["histogram", "count", "mean", "min", "max"],
+            rows,
+            title="Histograms",
+        ))
+
+    anomalies = [
+        e for e in summary["events"]
+        if e["name"] in ("divergence", "timeout", "cell.failed")
+    ]
+    if anomalies:
+        lines = ["Anomaly events:"]
+        for event in anomalies:
+            attrs = ", ".join(
+                "%s=%s" % (k, v) for k, v in sorted(event["attrs"].items())
+            )
+            lines.append("  %8.3fs  %s  %s" % (event["ts"], event["name"], attrs))
+        sections.append("\n".join(lines))
+
+    return "\n\n".join(sections)

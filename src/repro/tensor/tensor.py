@@ -20,6 +20,9 @@ import numpy as np
 
 from ..analysis import sanitizer as _sanitizer
 from ..analysis.sanitizer import _STATE as _ANOMALY
+from ..telemetry import profiler as _profiler
+from ..telemetry.clock import monotonic as _monotonic
+from ..telemetry.profiler import _STATE as _PROFILE
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "concatenate", "stack", "where"]
 
@@ -177,6 +180,8 @@ class Tensor:
             out._prev = tuple(parents)
         if _ANOMALY.enabled:
             _sanitizer._on_op(out, parents, backward)
+        if _PROFILE.enabled:
+            _profiler._on_forward_op(backward)
         return out
 
     def backward(self, grad=None):
@@ -224,7 +229,12 @@ class Tensor:
             if node._backward is not None:
                 if _ANOMALY.enabled:
                     _sanitizer._before_node_backward(node)
-                parent_grads = node._backward(node_grad)
+                if _PROFILE.enabled:
+                    t0 = _monotonic()
+                    parent_grads = node._backward(node_grad)
+                    _profiler._on_backward_op(node._backward, _monotonic() - t0)
+                else:
+                    parent_grads = node._backward(node_grad)
                 if _ANOMALY.enabled:
                     _sanitizer._after_node_backward(node, parent_grads)
                 for parent, pgrad in zip(node._prev, parent_grads):

@@ -463,6 +463,46 @@ class TestRES002SwallowedException:
         assert any(f.rule == "RES002" for f in report.suppressed)
 
 
+class TestOBS001RawClock:
+    def test_flags_raw_clock_reads(self):
+        findings = lint(
+            """
+            import time
+            def run():
+                t0 = time.perf_counter()
+                stamp = time.time()
+                return time.perf_counter() - t0, stamp
+            """
+        )
+        assert sum(1 for f in findings if f.rule == "OBS001") == 3
+
+    def test_allows_telemetry_clock(self):
+        findings = lint(
+            """
+            from repro.telemetry import monotonic, wall_time
+            def run():
+                t0 = monotonic()
+                return monotonic() - t0, wall_time()
+            """
+        )
+        assert "OBS001" not in rule_ids(findings)
+
+    def test_telemetry_package_is_exempt(self, tmp_path):
+        pkg = tmp_path / "telemetry"
+        pkg.mkdir()
+        (pkg / "clock.py").write_text(
+            "import time\n\ndef monotonic():\n    return time.perf_counter()\n"
+        )
+        report = LintEngine().run([pkg])
+        assert "OBS001" not in rule_ids(report.findings)
+
+    def test_other_packages_are_not_exempt(self, tmp_path):
+        mod = tmp_path / "pipeline.py"
+        mod.write_text("import time\nt0 = time.monotonic()\n")
+        report = LintEngine().run([tmp_path])
+        assert "OBS001" in rule_ids(report.findings)
+
+
 class TestEngineConfig:
     def test_select_restricts_rules(self):
         findings = lint(
@@ -484,9 +524,9 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             LintEngine(select=["NOPE999"])
 
-    def test_registry_has_twelve_rules(self):
-        assert len(all_rules()) == 12
-        assert len(rule_index()) == 12
+    def test_registry_has_thirteen_rules(self):
+        assert len(all_rules()) == 13
+        assert len(rule_index()) == 13
 
 
 # ----------------------------------------------------------------------
@@ -510,6 +550,7 @@ VIOLATION_FIXTURES = {
         "class S:\n    def fit_resample(self, x, y):\n        return x, y\n"
     ),
     "EXP001": '__all__ = ["ghost"]\n',
+    "OBS001": "import time\nt0 = time.perf_counter()\n",
     "NOQA001": "x = 1  # repro: noqa[RNG001]\n",
     "RES001": (
         "def dump(path, payload):\n"

@@ -42,3 +42,4 @@ def test_console_script_is_registered():
     payload = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
     scripts = payload["project"]["scripts"]
     assert scripts["repro-lint"] == "repro.analysis.__main__:main"
+    assert scripts["repro-trace"] == "repro.telemetry.__main__:main"
