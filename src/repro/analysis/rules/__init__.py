@@ -11,6 +11,7 @@ from .api import AllExportDriftRule, SamplerValidationRule, UnusedNoqaRule
 from .autograd import MissingNoGradRule, TapeDataEscapeRule, TensorDtypeRule
 from .mutation import MutableDefaultRule, ParamInPlaceMutationRule
 from .observability import RawClockRule
+from .parallelism import DirectMultiprocessingRule
 from .resilience import NonAtomicArtifactWriteRule, SwallowedExceptionRule
 from .rng import BareNumpyRandomRule, UnseededGeneratorRule
 
@@ -29,6 +30,7 @@ __all__ = [
     "NonAtomicArtifactWriteRule",
     "SwallowedExceptionRule",
     "RawClockRule",
+    "DirectMultiprocessingRule",
     "BareNumpyRandomRule",
     "UnseededGeneratorRule",
 ]
@@ -46,6 +48,7 @@ RULE_CLASSES = (
     SwallowedExceptionRule,      # RES002
     AllExportDriftRule,     # EXP001
     RawClockRule,           # OBS001
+    DirectMultiprocessingRule,  # PAR001
     UnusedNoqaRule,         # NOQA001
 )
 

@@ -1,0 +1,88 @@
+"""Parallelism discipline rules.
+
+All process fan-out in the library flows through :mod:`repro.parallel`,
+which guarantees deterministic per-task seeding, order-preserved result
+assembly, per-task fault attribution, and telemetry forwarding.  Direct
+``multiprocessing``/``concurrent.futures`` pools (or raw ``os.fork``
+calls) bypass every one of those guarantees: a pickled job queue breaks
+closure-captured artifacts, a dead worker poisons the whole pool, and
+completion-order results silently destroy the serial == parallel
+bit-exactness contract.  PAR001 pins every module outside the parallel
+package to the deterministic wrapper.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["DirectMultiprocessingRule"]
+
+#: Module roots whose import means a hand-rolled pool.
+_POOL_MODULES = {"multiprocessing", "concurrent"}
+
+#: ``os.<attr>`` calls that spawn a raw child process.
+_FORK_ATTRS = {"fork", "forkpty"}
+
+
+def _in_parallel_package(path):
+    parts = path.replace("\\", "/").split("/")
+    return "parallel" in parts
+
+
+class DirectMultiprocessingRule(Rule):
+    """PAR001: no direct multiprocessing/concurrent.futures/os.fork
+    outside repro.parallel.
+
+    The deterministic pool (:func:`repro.parallel.parallel_map`) is the
+    single sanctioned fan-out primitive; anything else loses the
+    serial == parallel equivalence guarantee, per-task dead-worker
+    attribution, and worker telemetry forwarding.
+    """
+
+    id = "PAR001"
+    name = "direct-multiprocessing"
+    description = ("multiprocessing/concurrent.futures/os.fork outside "
+                   "repro.parallel; use repro.parallel.parallel_map")
+
+    def check(self, ctx):
+        if _in_parallel_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _POOL_MODULES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of %r bypasses repro.parallel; use "
+                            "parallel_map for deterministic fan-out"
+                            % alias.name,
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in _POOL_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import from %r bypasses repro.parallel; use "
+                        "parallel_map for deterministic fan-out"
+                        % (node.module or ""),
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _FORK_ATTRS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.%s() forks a raw child process; route worker "
+                        "fan-out through repro.parallel.parallel_map"
+                        % func.attr,
+                    )

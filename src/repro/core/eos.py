@@ -34,6 +34,10 @@ from ..sampling.base import BaseSampler, sampling_targets
 
 __all__ = ["EOS"]
 
+# Jitter scale for the isolated-class fallback: synthetic copies are
+# perturbed by N(0, (_FALLBACK_JITTER * per-feature std)^2).
+_FALLBACK_JITTER = 0.05
+
 
 class EOS(BaseSampler):
     """Expansive Over-Sampling.
@@ -148,10 +152,15 @@ class EOS(BaseSampler):
         if len(bases) == 0:
             # No class member has an adversary in its neighborhood: the
             # class is locally isolated, so there is no boundary to
-            # expand toward.  Fall back to jittered duplication.
+            # expand toward.  Fall back to jittered duplication: copies
+            # perturbed by Gaussian noise scaled to the per-feature
+            # spread, so the fallback still adds (mild) diversity
+            # instead of exact duplicates.
             pool = x[y == cls]
             picks = rng.integers(0, pool.shape[0], size=n_new)
-            return pool[picks].copy()
+            scale = pool.std(axis=0)
+            jitter = rng.normal(0.0, 1.0, size=(n_new, pool.shape[1]))
+            return pool[picks] + _FALLBACK_JITTER * scale * jitter
 
         base_picks = rng.integers(0, len(bases), size=n_new)
         r = rng.uniform(0.0, self.expansion, size=(n_new, 1))

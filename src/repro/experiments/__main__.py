@@ -11,6 +11,10 @@ phase-1 extractor through a :class:`repro.resilience.RunRegistry`
 LR-backoff, and failed cells degrade to ``FAILED(reason)`` rows unless
 ``--fail-fast`` is given.
 
+Parallelism: ``--workers N`` evaluates sweep cells and phase-1
+trainings across N worker processes (``repro.parallel``); results and
+reports are bit-identical to ``--workers 1`` for any N.
+
 Examples::
 
     python -m repro.experiments t2 f3
@@ -47,17 +51,18 @@ __all__ = ["build_registry", "main"]
 
 
 def build_registry(config, datasets, cache, run_registry=None,
-                   retry_policy=None, fail_soft=True):
+                   retry_policy=None, fail_soft=True, workers=None):
     """Map experiment keys to (title, runner-thunk).
 
-    ``run_registry`` / ``retry_policy`` / ``fail_soft`` apply to the
-    table runners (the sweeps worth checkpointing); figures keep their
-    direct execution path.
+    ``run_registry`` / ``retry_policy`` / ``fail_soft`` / ``workers``
+    apply to the table runners (the sweeps worth checkpointing and
+    parallelizing); figures keep their direct execution path.
     """
     resilience = {
         "registry": run_registry,
         "retry_policy": retry_policy,
         "fail_soft": fail_soft,
+        "workers": workers,
     }
     return {
         "t1": ("Table I (pre vs post over-sampling)",
@@ -138,7 +143,15 @@ def main(argv=None):
         "--no-telemetry", action="store_true",
         help="force the no-op tracer even when --trace-out is given",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="evaluate sweep cells and phase-1 trainings across N worker "
+             "processes; results are bit-identical to --workers 1 "
+             "(default: 1, exact serial execution)",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
 
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
@@ -164,6 +177,10 @@ def main(argv=None):
             fingerprint_of("cli", args.scale, tuple(args.datasets), args.seed)
         )
 
+    from ..parallel import set_default_workers
+
+    set_default_workers(args.workers)
+
     config = bench_config(scale=args.scale, seed=args.seed)
     cache = ExtractorCache(registry=run_registry, retry_policy=retry_policy)
     registry = build_registry(
@@ -173,6 +190,7 @@ def main(argv=None):
         run_registry=run_registry,
         retry_policy=retry_policy,
         fail_soft=not args.fail_fast,
+        workers=args.workers,
     )
 
     keys = list(args.keys)

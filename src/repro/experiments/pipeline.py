@@ -31,6 +31,7 @@ __all__ = [
     "Phase1Artifacts",
     "ExtractorCache",
     "phase1_fingerprint",
+    "prewarm_extractors",
     "train_phase1",
     "evaluate_sampler",
     "train_preprocessed",
@@ -303,6 +304,39 @@ class ExtractorCache:
                 metrics.counter("cache.evictions").inc()
         return artifacts
 
+    def contains(self, config, loss_name):
+        """True when :meth:`get` would not retrain (memory or registry)."""
+        key = _phase1_key(config, loss_name)
+        if key in self._cache:
+            return True
+        if self.registry is not None:
+            return self.registry.has_phase1(
+                phase1_fingerprint(config, loss_name)
+            )
+        return False
+
+    def put(self, config, loss_name, artifacts):
+        """Seed the cache with externally trained artifacts.
+
+        Used by :func:`prewarm_extractors` after parallel phase-1
+        training: artifacts are persisted to the registry (if one is
+        attached and doesn't have them yet) and inserted as the
+        most-recently-used entry, honoring the LRU bound.
+        """
+        key = _phase1_key(config, loss_name)
+        if self.registry is not None:
+            fingerprint = phase1_fingerprint(config, loss_name)
+            if not self.registry.has_phase1(fingerprint):
+                _save_phase1_artifacts(self.registry, fingerprint, artifacts)
+        self._cache[key] = artifacts
+        self._cache.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+                get_metrics().counter("cache.evictions").inc()
+        return artifacts
+
     def stats(self):
         """Cache effectiveness counters (survive :meth:`clear`)."""
         return {
@@ -315,6 +349,87 @@ class ExtractorCache:
 
     def clear(self):
         self._cache.clear()
+
+
+def prewarm_extractors(cache, jobs, max_workers=None):
+    """Train the distinct phase-1 extractors ``jobs`` needs, in parallel.
+
+    ``jobs`` is an iterable of ``(config, loss_name)`` pairs (duplicates
+    and already-cached entries are skipped).  Each remaining extractor
+    trains in its own worker process — reusing the cache's retry policy
+    — and ships back only picklable state (weight dicts + embeddings);
+    the parent rebuilds :class:`Phase1Artifacts` through the same
+    deterministic reconstruction path the registry-resume machinery
+    uses, then seeds ``cache`` via :meth:`ExtractorCache.put`.
+
+    A job whose worker fails is left untrained: the runner's serial
+    ``cache.get`` fallback re-trains (or re-raises) with full context,
+    so prewarming never changes outcomes — only wall-clock.  Returns
+    the number of extractors warmed.
+    """
+    from ..parallel import TaskFailure, parallel_map, resolve_workers
+
+    unique, seen = [], set()
+    for config, loss_name in jobs:
+        key = _phase1_key(config, loss_name)
+        if key in seen:
+            continue
+        seen.add(key)
+        if not cache.contains(config, loss_name):
+            unique.append((config, loss_name))
+    if len(unique) < 2 or resolve_workers(max_workers) <= 1:
+        return 0
+
+    retry_policy = cache.retry_policy
+
+    def train_job(job, _seed):
+        config, loss_name = job
+        if retry_policy is None:
+            artifacts = _train_phase1_attempt(config, loss_name)
+        else:
+            artifacts = retry_policy.run(
+                lambda attempt: _train_phase1_attempt(
+                    config, loss_name, attempt
+                )
+            )
+        return {
+            "model_state": artifacts.model.state_dict(),
+            "head_state": artifacts.head_state,
+            "train_embeddings": artifacts.train_embeddings,
+            "test_embeddings": artifacts.test_embeddings,
+            "baseline_metrics": artifacts.baseline_metrics,
+            "train_seconds": artifacts.train_seconds,
+        }
+
+    outs = parallel_map(
+        train_job,
+        unique,
+        max_workers=max_workers,
+        on_error="return",
+        task_label=lambda job, _index: "phase1/%s/%s"
+        % (job[0].dataset, job[1]),
+    )
+    warmed = 0
+    for (config, loss_name), out in zip(unique, outs):
+        if isinstance(out, TaskFailure):
+            continue
+        model, train, test, info = _make_model_and_data(config)
+        model.load_state_dict(out["model_state"])
+        cache.put(config, loss_name, Phase1Artifacts(
+            config,
+            loss_name,
+            model,
+            train,
+            test,
+            info,
+            out["train_embeddings"],
+            out["test_embeddings"],
+            out["baseline_metrics"],
+            out["head_state"],
+            out["train_seconds"],
+        ))
+        warmed += 1
+    return warmed
 
 
 def evaluate_sampler(

@@ -8,7 +8,9 @@ scale.
 
 The table runners (``run_table1`` … ``run_table5``) execute every
 dataset × loss × sampler cell through the resilience layer
-(:func:`repro.resilience.run_cell`): a failing cell is recorded as
+(:func:`repro.parallel.run_cells`, the batched form of
+:func:`repro.resilience.run_cell`; pass ``workers=N`` to fan cells out
+across processes with bit-identical results): a failing cell is recorded as
 ``FAILED(reason)`` in the emitted table instead of aborting the sweep,
 an optional :class:`~repro.resilience.RetryPolicy` re-runs diverged
 cells with seed-bump + LR-backoff, and an optional
@@ -24,13 +26,14 @@ from ..core import classifier_weight_norms, norm_imbalance
 from ..core.gap import generalization_gap, tp_fp_gap
 from ..manifold import TSNE
 from ..metrics import evaluate_predictions
-from ..resilience import CellFailure, run_cell
+from ..resilience import CellFailure
 from ..telemetry import monotonic
 from ..utils import format_float, format_table
 from .config import bench_config, build_sampler
 from .pipeline import (
     ExtractorCache,
     evaluate_sampler,
+    prewarm_extractors,
     train_preprocessed,
 )
 from .result import traced_runner
@@ -136,6 +139,51 @@ def _preprocessed_cell(config, loss_name, sampler_name):
     return thunk
 
 
+class _CellGrid:
+    """Batch of sweep cells a runner collects, then runs as one unit.
+
+    Each cell is registered with its results-dict ``key``, checkpoint
+    ``cell_id`` and thunk; cells whose outcome is already decided (a
+    failed extractor degrading every dependent cell) are stamped
+    directly.  :meth:`run` evaluates the batch through
+    :func:`repro.parallel.run_cells` — at one worker this is exactly the
+    per-cell ``run_cell`` loop the runners used to inline (same resume,
+    retry, degradation and registry-write behavior); above one worker
+    the cells fan out across processes with identical results.
+    """
+
+    def __init__(self, registry=None, retry_policy=None, fail_soft=True,
+                 workers=None):
+        self.registry = registry
+        self.retry_policy = retry_policy
+        self.fail_soft = fail_soft
+        self.workers = workers
+        self._keys = []
+        self._tasks = []
+        self._stamped = {}
+
+    def add(self, key, cell_id, thunk):
+        self._keys.append(key)
+        self._tasks.append((cell_id, thunk))
+
+    def stamp(self, key, outcome):
+        self._stamped[key] = outcome
+
+    def run(self):
+        from ..parallel import run_cells
+
+        outcomes = run_cells(
+            self._tasks,
+            registry=self.registry,
+            retry_policy=self.retry_policy,
+            fail_soft=self.fail_soft,
+            max_workers=self.workers,
+        )
+        results = dict(self._stamped)
+        results.update(zip(self._keys, outcomes))
+        return results
+
+
 def _degraded_summary(results):
     """Trailer listing every FAILED cell, or an empty string."""
     failures = [
@@ -164,7 +212,8 @@ def _degraded_summary(results):
 # ----------------------------------------------------------------------
 @traced_runner("table1")
 def run_table1(config=None, datasets=("cifar10_like",), cache=None,
-               registry=None, retry_policy=None, fail_soft=True):
+               registry=None, retry_policy=None, fail_soft=True,
+               workers=None):
     """Pre- vs post- (embedding-space) over-sampling under CE loss.
 
     Paper shape: in most dataset x sampler cells, the *Post-* variant
@@ -174,35 +223,40 @@ def run_table1(config=None, datasets=("cifar10_like",), cache=None,
     config = config if config is not None else bench_config()
     cache = _make_cache(cache, registry, retry_policy)
     samplers = ("smote", "bsmote", "balsvm")
-    results = {}
-    rows = []
+    prewarm_extractors(
+        cache,
+        [(config.with_overrides(dataset=d), "ce") for d in datasets],
+        max_workers=workers,
+    )
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    row_specs = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
         for name in samplers + ("remix",):
-            out = run_cell(
-                _preprocessed_cell(cfg, "ce", name),
-                "t1/%s/pre/%s" % (dataset, name),
-                registry=registry,
-                retry_policy=retry_policy,
-                fail_soft=fail_soft,
-            )
-            metrics = out if isinstance(out, CellFailure) else out["metrics"]
-            results[(dataset, "pre", name)] = metrics
-            rows.append(["%s" % dataset, "Pre-%s" % name] + _metric_cells(metrics))
+            key = (dataset, "pre", name)
+            grid.add(key, "t1/%s/pre/%s" % (dataset, name),
+                     _preprocessed_cell(cfg, "ce", name))
+            row_specs.append((key, [dataset, "Pre-%s" % name], True))
         artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
         for name in samplers:
+            key = (dataset, "post", name)
             if isinstance(artifacts, CellFailure):
-                metrics = artifacts
+                grid.stamp(key, artifacts)
             else:
-                metrics = run_cell(
-                    _sampler_cell(artifacts, name),
-                    "t1/%s/post/%s" % (dataset, name),
-                    registry=registry,
-                    retry_policy=retry_policy,
-                    fail_soft=fail_soft,
-                )
-            results[(dataset, "post", name)] = metrics
-            rows.append(["%s" % dataset, "Post-%s" % name] + _metric_cells(metrics))
+                grid.add(key, "t1/%s/post/%s" % (dataset, name),
+                         _sampler_cell(artifacts, name))
+            row_specs.append((key, [dataset, "Post-%s" % name], False))
+    outcomes = grid.run()
+    results = {}
+    rows = []
+    for key, prefix, timed in row_specs:
+        out = outcomes[key]
+        if timed and not isinstance(out, CellFailure):
+            metrics = out["metrics"]
+        else:
+            metrics = out
+        results[key] = metrics
+        rows.append(prefix + _metric_cells(metrics))
 
     post_wins = sum(
         1
@@ -240,6 +294,7 @@ def run_table2(
     registry=None,
     retry_policy=None,
     fail_soft=True,
+    workers=None,
 ):
     """The paper's main accuracy table.
 
@@ -248,25 +303,33 @@ def run_table2(
     """
     config = config if config is not None else bench_config()
     cache = _make_cache(cache, registry, retry_policy)
-    results = {}
-    rows = []
+    prewarm_extractors(
+        cache,
+        [
+            (config.with_overrides(dataset=dataset), loss)
+            for dataset in datasets
+            for loss in losses
+        ],
+        max_workers=workers,
+    )
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    keys = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
         for loss in losses:
             artifacts = _get_artifacts(cache, cfg, loss, fail_soft)
             for name in samplers:
+                key = (dataset, loss, name)
+                keys.append(key)
                 if isinstance(artifacts, CellFailure):
-                    metrics = artifacts
+                    grid.stamp(key, artifacts)
                 else:
-                    metrics = run_cell(
-                        _sampler_cell(artifacts, name),
-                        "t2/%s/%s/%s" % (dataset, loss, name),
-                        registry=registry,
-                        retry_policy=retry_policy,
-                        fail_soft=fail_soft,
-                    )
-                results[(dataset, loss, name)] = metrics
-                rows.append([dataset, loss, name] + _metric_cells(metrics))
+                    grid.add(key, "t2/%s/%s/%s" % (dataset, loss, name),
+                             _sampler_cell(artifacts, name))
+    results = grid.run()
+    rows = [
+        list(key) + _metric_cells(results[key]) for key in keys
+    ]
 
     eos_wins = 0
     comparisons = 0
@@ -309,6 +372,7 @@ def run_table3(
     registry=None,
     retry_policy=None,
     fail_soft=True,
+    workers=None,
 ):
     """GAN over-samplers vs EOS.
 
@@ -327,44 +391,48 @@ def run_table3(
         raise ValueError("mode must be 'embedding' or 'pixel'")
     config = config if config is not None else bench_config()
     cache = _make_cache(cache, registry, retry_policy)
-    results = {}
-    timing = {}
-    rows = []
+    prewarm_extractors(
+        cache,
+        [
+            (config.with_overrides(dataset=dataset), loss)
+            for dataset in datasets
+            for loss in losses
+        ],
+        max_workers=workers,
+    )
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    keys = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
         for loss in losses:
             artifacts = _get_artifacts(cache, cfg, loss, fail_soft)
             for name in samplers:
+                key = (dataset, loss, name)
+                keys.append(key)
                 cell_id = "t3/%s/%s/%s/%s" % (mode, dataset, loss, name)
                 if mode == "pixel" and name != "eos":
-                    out = run_cell(
-                        _preprocessed_cell(cfg, loss, name),
-                        cell_id,
-                        registry=registry,
-                        retry_policy=retry_policy,
-                        fail_soft=fail_soft,
-                    )
+                    grid.add(key, cell_id, _preprocessed_cell(cfg, loss, name))
                 elif isinstance(artifacts, CellFailure):
-                    out = artifacts
+                    grid.stamp(key, artifacts)
                 else:
-                    out = run_cell(
-                        _timed_sampler_cell(artifacts, name),
-                        cell_id,
-                        registry=registry,
-                        retry_policy=retry_policy,
-                        fail_soft=fail_soft,
-                    )
-                if isinstance(out, CellFailure):
-                    metrics, seconds = out, None
-                else:
-                    metrics, seconds = out["metrics"], out["seconds"]
-                results[(dataset, loss, name)] = metrics
-                timing[(dataset, loss, name)] = seconds
-                rows.append(
-                    [dataset, loss, name]
-                    + _metric_cells(metrics)
-                    + ["%.2fs" % seconds if seconds is not None else "-"]
-                )
+                    grid.add(key, cell_id, _timed_sampler_cell(artifacts, name))
+    outcomes = grid.run()
+    results = {}
+    timing = {}
+    rows = []
+    for key in keys:
+        out = outcomes[key]
+        if isinstance(out, CellFailure):
+            metrics, seconds = out, None
+        else:
+            metrics, seconds = out["metrics"], out["seconds"]
+        results[key] = metrics
+        timing[key] = seconds
+        rows.append(
+            list(key)
+            + _metric_cells(metrics)
+            + ["%.2fs" % seconds if seconds is not None else "-"]
+        )
     report = format_table(
         ["dataset", "loss", "sampler", "BAC", "GM", "FM", "resample+tune"],
         rows,
@@ -386,6 +454,7 @@ def run_table4(
     registry=None,
     retry_policy=None,
     fail_soft=True,
+    workers=None,
 ):
     """EOS K-nearest-neighbor sweep (paper: K in {10..300}, BAC rises
     with K then plateaus).  ``k_values`` defaults scale the sweep to the
@@ -393,24 +462,29 @@ def run_table4(
     """
     config = config if config is not None else bench_config()
     cache = _make_cache(cache, registry, retry_policy)
-    results = {}
-    rows = []
+    prewarm_extractors(
+        cache,
+        [(config.with_overrides(dataset=d), "ce") for d in datasets],
+        max_workers=workers,
+    )
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    keys = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
         artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
         for k in k_values:
+            key = (dataset, k)
+            keys.append(key)
             if isinstance(artifacts, CellFailure):
-                metrics = artifacts
+                grid.stamp(key, artifacts)
             else:
-                metrics = run_cell(
-                    _sampler_cell(artifacts, "eos", k_neighbors=k),
-                    "t4/%s/k=%d" % (dataset, k),
-                    registry=registry,
-                    retry_policy=retry_policy,
-                    fail_soft=fail_soft,
-                )
-            results[(dataset, k)] = metrics
-            rows.append([dataset, str(k)] + _metric_cells(metrics))
+                grid.add(key, "t4/%s/k=%d" % (dataset, k),
+                         _sampler_cell(artifacts, "eos", k_neighbors=k))
+    results = grid.run()
+    rows = [
+        [dataset, str(k)] + _metric_cells(results[(dataset, k)])
+        for dataset, k in keys
+    ]
     report = format_table(
         ["dataset", "K", "BAC", "GM", "FM"],
         rows,
@@ -425,7 +499,8 @@ def run_table4(
 # ----------------------------------------------------------------------
 @traced_runner("table5")
 def run_table5(config=None, architectures=None, cache=None,
-               registry=None, retry_policy=None, fail_soft=True):
+               registry=None, retry_policy=None, fail_soft=True,
+               workers=None):
     """EOS across CNN architectures (paper: EOS helps every backbone)."""
     config = config if config is not None else bench_config()
     cache = _make_cache(cache, registry, retry_policy)
@@ -435,25 +510,33 @@ def run_table5(config=None, architectures=None, cache=None,
             ("wideresnet", {"depth": 10, "widen_factor": 2, "width_multiplier": 0.5}),
             ("densenet", {"growth_rate": 6, "block_layers": (2, 2, 2)}),
         )
-    results = {}
-    rows = []
+    prewarm_extractors(
+        cache,
+        [
+            (config.with_overrides(model=name, model_kwargs=dict(kwargs)),
+             "ce")
+            for name, kwargs in architectures
+        ],
+        max_workers=workers,
+    )
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    keys = []
     for model_name, kwargs in architectures:
         cfg = config.with_overrides(model=model_name, model_kwargs=dict(kwargs))
         artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
         for sampler_name, label in (("none", "baseline"), ("eos", "eos")):
+            key = (model_name, label)
+            keys.append(key)
             if isinstance(artifacts, CellFailure):
-                metrics = artifacts
+                grid.stamp(key, artifacts)
             else:
-                metrics = run_cell(
-                    _sampler_cell(artifacts, sampler_name),
-                    "t5/%s/%s" % (model_name, label),
-                    registry=registry,
-                    retry_policy=retry_policy,
-                    fail_soft=fail_soft,
-                )
-            results[(model_name, label)] = metrics
-            prefix = model_name if label == "baseline" else "EOS: %s" % model_name
-            rows.append([prefix] + _metric_cells(metrics))
+                grid.add(key, "t5/%s/%s" % (model_name, label),
+                         _sampler_cell(artifacts, sampler_name))
+    results = grid.run()
+    rows = []
+    for model_name, label in keys:
+        prefix = model_name if label == "baseline" else "EOS: %s" % model_name
+        rows.append([prefix] + _metric_cells(results[(model_name, label)]))
     report = format_table(
         ["network", "BAC", "GM", "FM"],
         rows,

@@ -35,30 +35,53 @@ def aggregate_metrics(metric_dicts):
     }
 
 
-def run_seeds(fn, seeds):
+def run_seeds(fn, seeds, max_workers=1):
     """Call ``fn(seed)`` (returning a metric dict) for each seed; aggregate.
 
-    Returns ``(per_seed_list, aggregated)``.
+    ``max_workers`` runs the seeds across worker processes (results are
+    identical to serial for any value; ``None`` uses the process-wide
+    default the CLI's ``--workers`` installs).  Returns
+    ``(per_seed_list, aggregated)``.
     """
-    per_seed = [fn(seed) for seed in seeds]
+    from ..parallel import parallel_map
+
+    per_seed = parallel_map(
+        lambda seed, _derived: fn(seed),
+        seeds,
+        max_workers=max_workers,
+        task_label=lambda seed, _index: "seed=%r" % (seed,),
+    )
     return per_seed, aggregate_metrics(per_seed)
 
 
-def repeated_sampler_comparison(config, loss_name, sampler_names, seeds):
+def repeated_sampler_comparison(config, loss_name, sampler_names, seeds,
+                                max_workers=1):
     """Seed-averaged sampler comparison on fresh extractors.
 
     Trains one extractor per seed (its own training cut and model init)
     and evaluates every sampler on each, mirroring the paper's
-    three-cut protocol.  Returns a dict with per-sampler aggregated
+    three-cut protocol.  Each seed is one unit of parallel work (the
+    extractor training dominates); ``max_workers`` fans seeds out with
+    bit-identical results.  Returns a dict with per-sampler aggregated
     metrics and a rendered report.
     """
+    from ..parallel import parallel_map
     from .pipeline import evaluate_sampler, train_phase1
 
-    per_sampler = {name: [] for name in sampler_names}
-    for seed in seeds:
+    def one_seed(seed, _derived):
         artifacts = train_phase1(config.with_overrides(seed=seed), loss_name)
-        for name in sampler_names:
-            per_sampler[name].append(evaluate_sampler(artifacts, name))
+        return [evaluate_sampler(artifacts, name) for name in sampler_names]
+
+    per_seed = parallel_map(
+        one_seed,
+        seeds,
+        max_workers=max_workers,
+        task_label=lambda seed, _index: "seed=%r" % (seed,),
+    )
+    per_sampler = {name: [] for name in sampler_names}
+    for seed_metrics in per_seed:
+        for name, metrics in zip(sampler_names, seed_metrics):
+            per_sampler[name].append(metrics)
 
     aggregated = {
         name: aggregate_metrics(runs) for name, runs in per_sampler.items()

@@ -10,13 +10,14 @@ paper reports.
 from __future__ import annotations
 
 import itertools
+import math
 
 from ..utils import format_float, format_table
 
 __all__ = ["grid_sweep", "sweep_report"]
 
 
-def grid_sweep(config, param_grid, evaluate):
+def grid_sweep(config, param_grid, evaluate, max_workers=1):
     """Evaluate ``evaluate(config_variant)`` over a parameter grid.
 
     Parameters
@@ -29,6 +30,10 @@ def grid_sweep(config, param_grid, evaluate):
     evaluate:
         Callable ``(config) -> dict`` returning at least one numeric
         metric (e.g. the BAC/GM/FM triple).
+    max_workers:
+        Grid points evaluated concurrently (process pool); results are
+        identical to serial evaluation for any value.  ``None`` uses the
+        process-wide default installed by ``--workers``.
 
     Returns a list of ``{"params": {...}, "metrics": {...}}`` records in
     grid order.
@@ -39,17 +44,43 @@ def grid_sweep(config, param_grid, evaluate):
         if not hasattr(config, key):
             raise KeyError("unknown config field %r" % key)
     names = list(param_grid)
-    results = []
+    variants = []
     for values in itertools.product(*(param_grid[name] for name in names)):
         params = dict(zip(names, values))
-        variant = config.with_overrides(**params)
-        metrics = evaluate(variant)
-        results.append({"params": params, "metrics": dict(metrics)})
-    return results
+        variants.append((params, config.with_overrides(**params)))
+
+    from ..parallel import parallel_map
+
+    metrics_list = parallel_map(
+        lambda item, _seed: dict(evaluate(item[1])),
+        variants,
+        max_workers=max_workers,
+        task_label=lambda item, _index: repr(item[0]),
+    )
+    return [
+        {"params": params, "metrics": metrics}
+        for (params, _variant), metrics in zip(variants, metrics_list)
+    ]
+
+
+def _rank_key(value, descending):
+    """Sort key placing NaN (degraded/failed cells) last, always."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return (1, 0.0)
+    if math.isnan(value):
+        return (1, 0.0)
+    return (0, -value if descending else value)
 
 
 def sweep_report(results, sort_by="bac", descending=True, title=None):
-    """Render sweep results as a ranked text table."""
+    """Render sweep results as a ranked text table.
+
+    NaN metrics (degraded or FAILED cells) always sort below every
+    finite value — regardless of ``descending`` — keeping grid order
+    among themselves, and their cells are marked with a ``*``.
+    """
     if not results:
         raise ValueError("no sweep results to report")
     param_names = list(results[0]["params"])
@@ -57,16 +88,28 @@ def sweep_report(results, sort_by="bac", descending=True, title=None):
     if sort_by not in metric_names:
         raise KeyError("unknown metric %r" % sort_by)
     ordered = sorted(
-        results, key=lambda r: r["metrics"][sort_by], reverse=descending
+        results, key=lambda r: _rank_key(r["metrics"][sort_by], descending)
     )
     rows = []
+    flagged = False
     for record in ordered:
-        rows.append(
-            [str(record["params"][name]) for name in param_names]
-            + [format_float(record["metrics"][m]) for m in metric_names]
-        )
-    return format_table(
+        cells = [str(record["params"][name]) for name in param_names]
+        for name in metric_names:
+            value = record["metrics"][name]
+            text = format_float(value)
+            try:
+                if math.isnan(float(value)):
+                    text += "*"
+                    flagged = True
+            except (TypeError, ValueError):  # repro: noqa[RES002] non-numeric metric cells render as-is; only NaN needs flagging
+                pass
+            cells.append(text)
+        rows.append(cells)
+    table = format_table(
         param_names + metric_names,
         rows,
         title=title or ("Sweep ranked by %s" % sort_by),
     )
+    if flagged:
+        table += "\n* nan metric (degraded/failed evaluation); ranked last"
+    return table

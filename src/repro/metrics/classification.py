@@ -33,8 +33,24 @@ def confusion_matrix(y_true, y_pred, num_classes=None):
     y_pred = np.asarray(y_pred, dtype=np.int64)
     if y_true.shape != y_pred.shape:
         raise ValueError("y_true and y_pred must have the same shape")
-    if num_classes is None:
-        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if y_true.size:
+        low = int(min(y_true.min(), y_pred.min()))
+        high = int(max(y_true.max(), y_pred.max()))
+        # np.add.at would silently wrap label -1 onto the last class and
+        # corrupt every derived metric (BAC/GM/FM); reject instead.
+        if low < 0:
+            raise ValueError(
+                "labels must be non-negative; got minimum label %d" % low
+            )
+        if num_classes is not None and high >= num_classes:
+            raise ValueError(
+                "labels must be in [0, %d); got maximum label %d"
+                % (num_classes, high)
+            )
+        if num_classes is None:
+            num_classes = high + 1
+    elif num_classes is None:
+        num_classes = 0
     cm = np.zeros((num_classes, num_classes), dtype=np.int64)
     np.add.at(cm, (y_true, y_pred), 1)
     return cm

@@ -71,11 +71,30 @@ class KNeighbors:
     def labels(self):
         return self._labels
 
-    def query(self, points, k=None, exclude_self=False):
+    def _query_chunk(self, chunk, k_eff):
+        """Sorted (distances, indices) of the k_eff nearest for one chunk."""
+        d = pairwise_distances(chunk, self._data, self.metric)
+        part = np.argpartition(d, k_eff - 1, axis=1)[:, :k_eff]
+        rows = np.arange(d.shape[0])[:, None]
+        part_d = d[rows, part]
+        order = np.argsort(part_d, axis=1)
+        return part_d[rows, order], part[rows, order]
+
+    def query(self, points, k=None, exclude_self=False, self_indices=None,
+              workers=None):
         """Return (distances, indices) of the k nearest indexed rows.
 
-        With ``exclude_self`` the nearest zero-distance hit per query row
-        is dropped (for querying the index with its own points).
+        With ``exclude_self`` each query row's own training point is
+        dropped from its neighbor list.  Self-matches are identified by
+        *index*, never by coordinates — a distinct training point that
+        happens to duplicate the query is a legitimate neighbor and is
+        kept.  ``self_indices`` gives the indexed row owned by each
+        query row; when omitted, queries must be row-aligned with the
+        indexed data (``points[i]`` is indexed row ``i``).
+
+        ``workers`` dispatches distance chunks to the process pool when
+        the query spans more than one chunk (``None`` uses the
+        process-wide default, which is 1 unless ``--workers`` set it).
         """
         if self._data is None:
             raise RuntimeError("call fit() before query()")
@@ -86,43 +105,61 @@ class KNeighbors:
         n = points.shape[0]
         dists = np.empty((n, k_eff))
         idxs = np.empty((n, k_eff), dtype=np.int64)
-        for start in range(0, n, self.chunk_size):
-            chunk = points[start : start + self.chunk_size]
-            d = pairwise_distances(chunk, self._data, self.metric)
-            part = np.argpartition(d, k_eff - 1, axis=1)[:, :k_eff]
-            rows = np.arange(d.shape[0])[:, None]
-            part_d = d[rows, part]
-            order = np.argsort(part_d, axis=1)
-            idxs[start : start + self.chunk_size] = part[rows, order]
-            dists[start : start + self.chunk_size] = part_d[rows, order]
+        starts = list(range(0, n, self.chunk_size))
+        for start, (chunk_d, chunk_i) in zip(
+            starts, self._map_chunks(self._query_chunk, points, starts,
+                                     k_eff, workers)
+        ):
+            dists[start : start + self.chunk_size] = chunk_d
+            idxs[start : start + self.chunk_size] = chunk_i
         if exclude_self:
-            dists, idxs = self._drop_self(points, dists, idxs, k)
+            if self_indices is None:
+                if n != self._data.shape[0]:
+                    raise ValueError(
+                        "exclude_self without self_indices requires the "
+                        "query to be row-aligned with the indexed data "
+                        "(%d query rows vs %d indexed); pass self_indices"
+                        % (n, self._data.shape[0])
+                    )
+                self_indices = np.arange(n)
+            dists, idxs = self._drop_self(dists, idxs, k, self_indices)
         return dists, idxs
 
-    def _drop_self(self, points, dists, idxs, k):
-        """Remove one exact self-match per row (first zero-distance hit)."""
+    def _map_chunks(self, fn, points, starts, k_eff, workers):
+        """Run ``fn`` over query chunks, forking when it pays off."""
+        from ..parallel import parallel_map, resolve_workers
+
+        if resolve_workers(workers) > 1 and len(starts) > 1:
+            return parallel_map(
+                lambda start, _seed: fn(
+                    points[start : start + self.chunk_size], k_eff
+                ),
+                starts,
+                max_workers=workers,
+            )
+        return (
+            fn(points[start : start + self.chunk_size], k_eff)
+            for start in starts
+        )
+
+    def _drop_self(self, dists, idxs, k, self_indices):
+        """Remove each row's own indexed point (matched by index).
+
+        When the self index is absent from a row's candidate list
+        (``argpartition`` broke a zero-distance tie among duplicates in
+        favor of another copy), the farthest candidate is dropped
+        instead — the row still loses exactly one column.
+        """
         n, k_eff = dists.shape
-        out_d = np.empty((n, min(k, k_eff - 1) if k_eff > 1 else 0))
-        out_i = np.empty_like(out_d, dtype=np.int64)
-        for i in range(n):
-            row_i = idxs[i]
-            row_d = dists[i]
-            drop = None
-            for j in range(k_eff):
-                if row_d[j] <= 1e-12 and np.array_equal(
-                    self._data[row_i[j]], points[i]
-                ):
-                    drop = j
-                    break
-            if drop is None:
-                keep = slice(0, out_d.shape[1])
-                out_d[i] = row_d[keep]
-                out_i[i] = row_i[keep]
-            else:
-                kept_d = np.delete(row_d, drop)
-                kept_i = np.delete(row_i, drop)
-                out_d[i] = kept_d[: out_d.shape[1]]
-                out_i[i] = kept_i[: out_d.shape[1]]
+        out_w = min(k, k_eff - 1) if k_eff > 1 else 0
+        self_indices = np.asarray(self_indices, dtype=np.int64).reshape(-1, 1)
+        is_self = idxs == self_indices
+        has_self = is_self.any(axis=1)
+        drop = np.where(has_self, is_self.argmax(axis=1), k_eff - 1)
+        keep = np.ones((n, k_eff), dtype=bool)
+        keep[np.arange(n), drop] = False
+        out_d = dists[keep].reshape(n, k_eff - 1)[:, :out_w]
+        out_i = idxs[keep].reshape(n, k_eff - 1)[:, :out_w]
         return out_d, out_i
 
     def predict(self, points, k=None):
@@ -138,13 +175,40 @@ class KNeighbors:
         return counts.argmax(axis=1)
 
 
-def nearest_enemies(features, labels, k, metric="euclidean", chunk_size=2048):
+def _enemy_chunk(features, labels, start, stop, k_eff, metric):
+    """Sorted enemy (distances, indices) for rows [start, stop).
+
+    Slots with no reachable enemy (a class with no adversaries in the
+    data, or fewer than ``k_eff`` enemies) come back as inf/−1 rather
+    than whatever index ``argpartition`` happened to leave there.
+    """
+    d = pairwise_distances(features[start:stop], features, metric)
+    same = labels[start:stop, None] == labels[None, :]
+    d[same] = np.inf
+    part = np.argpartition(d, k_eff - 1, axis=1)[:, :k_eff]
+    rows = np.arange(d.shape[0])[:, None]
+    part_d = d[rows, part]
+    order = np.argsort(part_d, axis=1)
+    sel_d = part_d[rows, order]
+    sel_i = part[rows, order]
+    invalid = ~np.isfinite(sel_d)
+    sel_i[invalid] = -1
+    sel_d[invalid] = np.inf
+    return sel_d, sel_i
+
+
+def nearest_enemies(features, labels, k, metric="euclidean", chunk_size=2048,
+                    workers=None):
     """For every sample, its k nearest *other-class* neighbors.
 
     Returns (distances, indices), both (n, k) arrays indexing into
     ``features``.  This is the core geometric query of EOS: enemies are
     the adversary-class points closest to each sample, i.e. the points
-    that sit across the local decision boundary.
+    that sit across the local decision boundary.  Slots beyond a
+    sample's reachable enemies hold distance ``inf`` and index ``-1``.
+
+    ``workers`` dispatches distance chunks to the process pool when the
+    data spans more than one chunk.
     """
     features = np.asarray(features, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
@@ -153,16 +217,23 @@ def nearest_enemies(features, labels, k, metric="euclidean", chunk_size=2048):
         raise ValueError("k must be positive")
     out_d = np.full((n, k), np.inf)
     out_i = np.full((n, k), -1, dtype=np.int64)
-    for start in range(0, n, chunk_size):
-        chunk = features[start : start + chunk_size]
-        d = pairwise_distances(chunk, features, metric)
-        same = labels[start : start + chunk_size, None] == labels[None, :]
-        d[same] = np.inf
-        k_eff = min(k, n - 1)
-        part = np.argpartition(d, k_eff - 1, axis=1)[:, :k_eff]
-        rows = np.arange(d.shape[0])[:, None]
-        part_d = d[rows, part]
-        order = np.argsort(part_d, axis=1)
-        out_i[start : start + chunk_size, :k_eff] = part[rows, order]
-        out_d[start : start + chunk_size, :k_eff] = part_d[rows, order]
+    k_eff = min(k, n - 1)
+    if k_eff <= 0:
+        return out_d, out_i
+    starts = list(range(0, n, chunk_size))
+
+    def chunk_at(start):
+        return _enemy_chunk(features, labels, start,
+                            min(start + chunk_size, n), k_eff, metric)
+
+    from ..parallel import parallel_map, resolve_workers
+
+    if resolve_workers(workers) > 1 and len(starts) > 1:
+        chunks = parallel_map(lambda start, _seed: chunk_at(start), starts,
+                              max_workers=workers)
+    else:
+        chunks = (chunk_at(start) for start in starts)
+    for start, (sel_d, sel_i) in zip(starts, chunks):
+        out_i[start : start + chunk_size, :k_eff] = sel_i
+        out_d[start : start + chunk_size, :k_eff] = sel_d
     return out_d, out_i

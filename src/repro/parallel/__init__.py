@@ -1,0 +1,46 @@
+"""Deterministic parallel execution for sweeps, trials and k-NN chunks.
+
+Public surface:
+
+* :func:`parallel_map` — fork-based process pool whose results are
+  bit-identical to serial execution for any worker count (per-task
+  seeds derived from position, results assembled in item order).
+* :func:`run_cells` — batched sweep-cell runner preserving the
+  resume/retry/degrade contract of :func:`repro.resilience.run_cell`.
+* :func:`derive_seed` — the position-based seed derivation.
+* :func:`set_default_workers` / :func:`get_default_workers` /
+  :func:`resolve_workers` — the process-wide worker default the CLI's
+  ``--workers`` flag installs; ``None`` arguments resolve against it.
+* :func:`in_worker` — True inside a pool worker (nested pools degrade
+  to serial there).
+* :class:`TaskFailure` / :class:`WorkerError` — per-task failure record
+  and the exception wrapping it.
+
+All process fan-out in this codebase goes through this package — lint
+rule PAR001 flags direct ``multiprocessing``/``concurrent.futures``
+use elsewhere.
+"""
+
+from .cells import run_cells
+from .pool import (
+    TaskFailure,
+    WorkerError,
+    derive_seed,
+    get_default_workers,
+    in_worker,
+    parallel_map,
+    resolve_workers,
+    set_default_workers,
+)
+
+__all__ = [
+    "TaskFailure",
+    "WorkerError",
+    "derive_seed",
+    "get_default_workers",
+    "in_worker",
+    "parallel_map",
+    "resolve_workers",
+    "run_cells",
+    "set_default_workers",
+]

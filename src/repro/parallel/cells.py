@@ -1,0 +1,172 @@
+"""Parallel sweep-cell execution with the full resilience contract.
+
+:func:`run_cells` is the batched, parallel counterpart of
+:func:`repro.resilience.run_cell`.  It takes ``(cell_id, thunk)`` tasks
+and preserves every serial guarantee:
+
+* **workers == 1** delegates each task to ``run_cell`` unchanged —
+  identical behavior, identical registry write ordering, identical
+  fault propagation (a ``SimulatedKill`` still unwinds the whole
+  process, which is what the checkpoint/resume tests rely on).
+* **workers > 1** runs resume checks and registry writes in the
+  *parent* only (one writer for ``manifest.json``), while retry +
+  fault-point + span logic runs inside each worker.  Results are
+  checkpointed in completion order via the pool's ``on_result`` hook,
+  so a parent crash mid-batch loses only unfinished cells.
+* A worker that dies (real crash or injected ``SimulatedKill``)
+  becomes a ``CellFailure(error_type="WorkerDied")`` recorded with
+  status ``"failed"`` — which :meth:`RunRegistry.has_cell` treats as
+  absent, so the cell is re-attempted on resume exactly like a
+  serially failed cell.
+
+Determinism note: cell thunks carry their own seeds (runner configs
+seed every trial explicitly), so the pool's derived per-task seed is
+deliberately unused here — bit-exactness between worker counts follows
+from order-preserved assembly alone.
+"""
+
+from __future__ import annotations
+
+from ..resilience.degrade import CellFailure, run_cell
+from ..resilience.errors import RetryBudgetExhausted
+from ..resilience.faults import maybe_fire
+from ..telemetry import get_metrics, get_tracer
+from .pool import TaskFailure, WorkerError, parallel_map, resolve_workers
+
+__all__ = ["run_cells"]
+
+
+def _execute_cell(cell_id, thunk, retry_policy):
+    """Worker-side body: retry + fault point + span, no registry I/O.
+
+    Returns ``("done", result)`` or ``("failed", info)``; lets
+    non-``Exception`` errors (``SimulatedKill``) escape so the child
+    process genuinely dies and the parent takes its dead-worker path.
+    """
+    tracer = get_tracer()
+    attempts_made = [0]
+
+    def trial(attempt):
+        attempts_made[0] += 1
+        index = 0 if attempt is None else attempt.index
+        maybe_fire("sweep.cell", cell=cell_id, attempt=index)
+        return thunk(attempt)
+
+    with tracer.span("cell", cell=cell_id) as span:
+        try:
+            if retry_policy is not None:
+                result = retry_policy.run(trial)
+            else:
+                result = trial(None)
+        except Exception as exc:
+            cause = exc.last_error if isinstance(exc, RetryBudgetExhausted) \
+                and exc.last_error is not None else exc
+            attempts = max(attempts_made[0], 1)
+            span.set(outcome="failed", attempts=attempts)
+            return ("failed", {
+                "reason": str(cause),
+                "error_type": type(cause).__name__,
+                "attempts": attempts,
+            })
+        span.set(outcome="done", attempts=max(attempts_made[0], 1))
+    return ("done", result)
+
+
+def run_cells(tasks, registry=None, retry_policy=None, fail_soft=True,
+              max_workers=None, seed_root=0, payload_of=None,
+              result_of=None):
+    """Evaluate many sweep cells, optionally across worker processes.
+
+    Parameters mirror :func:`repro.resilience.run_cell`; ``tasks`` is a
+    sequence of ``(cell_id, thunk)`` pairs and the return value is a
+    list of outcomes (result, registry-loaded result, or
+    :class:`CellFailure`) in task order.
+
+    With ``fail_soft=False`` and workers > 1, a failing cell raises
+    :class:`~repro.parallel.WorkerError` *after* the in-flight batch
+    drains (serial mode raises the original exception immediately) —
+    already-finished cells are still checkpointed first.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(max_workers)
+    if workers <= 1 or len(tasks) <= 1:
+        return [
+            run_cell(thunk, cell_id, registry=registry,
+                     retry_policy=retry_policy, fail_soft=fail_soft,
+                     payload_of=payload_of, result_of=result_of)
+            for cell_id, thunk in tasks
+        ]
+
+    tracer = get_tracer()
+    metrics = get_metrics()
+    results = [None] * len(tasks)
+    pending = []
+    for position, (cell_id, thunk) in enumerate(tasks):
+        if registry is not None and registry.has_cell(cell_id):
+            payload = registry.load_cell(cell_id)
+            tracer.event("cell.resumed", cell=cell_id)
+            metrics.counter("cells.resumed").inc()
+            results[position] = (
+                result_of(payload) if result_of is not None else payload
+            )
+        else:
+            pending.append((position, cell_id, thunk))
+
+    def execute(task, seed):
+        _, cell_id, thunk = task
+        return _execute_cell(cell_id, thunk, retry_policy)
+
+    def record(task_index, outcome):
+        """Parent-side bookkeeping, called per task in completion order."""
+        position, cell_id, _ = pending[task_index]
+        if isinstance(outcome, TaskFailure):
+            failure = CellFailure(
+                outcome.message or outcome.reason,
+                error_type=outcome.reason,
+                attempts=1,
+            )
+        elif outcome[0] == "failed":
+            info = outcome[1]
+            failure = CellFailure(
+                info["reason"],
+                error_type=info["error_type"],
+                attempts=info["attempts"],
+            )
+        else:
+            result = outcome[1]
+            metrics.counter("cells.done").inc()
+            if registry is not None:
+                payload = (payload_of(result) if payload_of is not None
+                           else result)
+                registry.record_cell(cell_id, payload, status="done")
+            results[position] = result
+            return
+        tracer.event(
+            "cell.failed",
+            cell=cell_id,
+            error_type=failure.error_type,
+            attempts=failure.attempts,
+        )
+        metrics.counter("cells.failed").inc()
+        if registry is not None:
+            registry.record_cell(cell_id, failure.to_payload(),
+                                 status="failed")
+        results[position] = failure
+
+    parallel_map(
+        execute,
+        pending,
+        max_workers=workers,
+        seed_root=seed_root,
+        on_error="return",
+        task_label=lambda task, _index: task[1],
+        on_result=record,
+    )
+
+    if not fail_soft:
+        for position, outcome in enumerate(results):
+            if isinstance(outcome, CellFailure):
+                raise WorkerError(TaskFailure(
+                    position, outcome.error_type, outcome.reason,
+                ))
+    return results

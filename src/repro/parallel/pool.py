@@ -1,0 +1,427 @@
+"""Deterministic fork-based process pool.
+
+:func:`parallel_map` fans ``fn(item, seed)`` out over worker processes
+and returns results **in item order** — bit-identical to running the
+same calls serially — regardless of worker count or completion order.
+Three design decisions make that guarantee cheap to keep:
+
+* **Determinism lives in the seeds, not the scheduler.**  Every task
+  gets ``derive_seed(seed_root, index)``, a pure function of the task's
+  position.  Whatever interleaving the OS picks, task *i* always sees
+  the same seed, so an order-preserved result list is enough for
+  bit-exactness.
+* **Fork-per-task, not a pickled job queue.**  Each worker is a fresh
+  ``os.fork()`` of the parent at dispatch time: the closure, its
+  captured arrays and models, and any module-level state (fault plans,
+  cached extractors) are inherited copy-on-write — nothing needs to be
+  picklable except the *result*.  Only results travel, over a dedicated
+  pipe per child, EOF-framed pickles.
+* **Death is observable per task.**  One pipe and one pid per task
+  means a worker that dies (OOM kill, ``os._exit``, segfault) is
+  attributed to exactly the task it was running; the parent turns it
+  into a :class:`TaskFailure` instead of hanging or poisoning a shared
+  queue.  ``stdlib`` pools get this wrong in both directions, which is
+  why the lint gate (rule PAR001) funnels all fan-out through here.
+
+Workers that raise an ordinary ``Exception`` ship the error back as a
+:class:`TaskFailure` payload; raising :class:`BaseException` subclasses
+that are not ``Exception`` (notably ``repro.resilience.SimulatedKill``)
+hard-exit the child so the parent exercises its real dead-worker path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import selectors
+import sys
+import traceback
+
+__all__ = [
+    "TaskFailure",
+    "WorkerError",
+    "derive_seed",
+    "get_default_workers",
+    "in_worker",
+    "parallel_map",
+    "resolve_workers",
+    "set_default_workers",
+]
+
+# Exit code a worker uses when a simulated kill (or any non-Exception
+# BaseException) unwinds it: distinguishable from interpreter crashes in
+# the failure reason, but handled identically.
+_KILL_EXIT = 113
+
+_DEFAULT_WORKERS = 1
+_IN_WORKER = False
+
+
+class TaskFailure:
+    """Parent-side record of one task that did not produce a result.
+
+    ``reason`` is ``"WorkerDied"`` when the child process vanished
+    without delivering a payload, otherwise the exception class name
+    raised inside the worker.  Instances are returned in place of the
+    task's result when ``on_error="return"``.
+    """
+
+    __slots__ = ("index", "reason", "message", "traceback", "exit_status")
+
+    def __init__(self, index, reason, message="", tb="", exit_status=None):
+        self.index = index
+        self.reason = reason
+        self.message = message
+        self.traceback = tb
+        self.exit_status = exit_status
+
+    def __repr__(self):
+        return "TaskFailure(index=%d, reason=%r, message=%r)" % (
+            self.index, self.reason, self.message,
+        )
+
+
+class WorkerError(RuntimeError):
+    """Raised by :func:`parallel_map` (``on_error="raise"``) after the
+    pool drains, wrapping the first failed task."""
+
+    def __init__(self, failure):
+        self.failure = failure
+        detail = failure.message or failure.reason
+        super().__init__(
+            "task %d failed in worker: %s" % (failure.index, detail)
+        )
+
+
+def derive_seed(seed_root, index):
+    """Deterministic per-task seed: a pure function of root and index.
+
+    Stable across processes, platforms and Python hash randomization
+    (sha256, not ``hash()``), so task *i* of a sweep sees the same seed
+    whether it runs serially, on 4 workers, or on 32.
+    """
+    digest = hashlib.sha256(
+        b"repro.parallel:%d:%d" % (int(seed_root), int(index))
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def set_default_workers(n):
+    """Set the process-wide default worker count (the CLI's --workers)."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = max(1, int(n))
+    return _DEFAULT_WORKERS
+
+
+def get_default_workers():
+    """The process-wide default worker count (1 unless the CLI set it)."""
+    return _DEFAULT_WORKERS
+
+
+def resolve_workers(max_workers):
+    """Map a ``max_workers`` argument to an effective worker count.
+
+    ``None`` means "use the process default"; inside a worker process
+    everything degrades to serial so nested ``parallel_map`` calls never
+    fork grandchildren.
+    """
+    if _IN_WORKER:
+        return 1
+    if max_workers is None:
+        return _DEFAULT_WORKERS
+    return max(1, int(max_workers))
+
+
+def in_worker():
+    """True inside a pool worker process (nested pools stay serial)."""
+    return _IN_WORKER
+
+
+# ----------------------------------------------------------------------
+# Worker side
+
+
+def _collect_telemetry(parent_tracer_enabled, parent_metrics_enabled):
+    """Install fresh telemetry sinks in the worker; return a drain fn.
+
+    The forked child inherits the parent's Tracer/MetricsRegistry
+    objects, but appending to them is useless — the memory is
+    copy-on-write and the parent never sees it.  So when the parent had
+    telemetry enabled, the worker swaps in fresh sinks and ships their
+    contents back in the result envelope for the parent to merge.
+    """
+    if not (parent_tracer_enabled or parent_metrics_enabled):
+        return lambda: (None, None)
+    from ..telemetry.metrics import MetricsRegistry, set_metrics
+    from ..telemetry.tracer import Tracer, set_tracer
+
+    tracer = Tracer() if parent_tracer_enabled else None
+    metrics = MetricsRegistry() if parent_metrics_enabled else None
+    if tracer is not None:
+        set_tracer(tracer)
+    if metrics is not None:
+        set_metrics(metrics)
+
+    def drain():
+        records = None
+        if tracer is not None:
+            now = tracer._clock() - tracer._t0
+            while tracer._stack:
+                top = tracer._stack.pop()
+                top.duration = now - top.start
+                top.attrs.setdefault("unclosed", True)
+                tracer._record(top)
+            records = tracer.records
+        snapshot = metrics.snapshot() if metrics is not None else None
+        return records, snapshot
+
+    return drain
+
+
+def _child_main(write_fd, fn, item, index, seed, telemetry_flags):
+    """Run one task in the forked child; never returns."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    status = 0
+    try:
+        drain = _collect_telemetry(*telemetry_flags)
+        try:
+            result = fn(item, seed)
+            records, snapshot = drain()
+            envelope = {
+                "ok": True,
+                "result": result,
+                "records": records,
+                "metrics": snapshot,
+            }
+        except Exception as exc:
+            records, snapshot = drain()
+            envelope = {
+                "ok": False,
+                "reason": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+                "records": records,
+                "metrics": snapshot,
+            }
+        with os.fdopen(write_fd, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+    except BaseException:
+        # SimulatedKill or anything else non-recoverable: die without a
+        # payload so the parent takes its genuine dead-worker path.
+        status = _KILL_EXIT
+    finally:
+        # Skip interpreter teardown: atexit handlers, buffered parent
+        # file handles etc. belong to the parent and must not run here.
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(status)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+
+
+class _Child:
+    __slots__ = ("pid", "read_fd", "index", "buffer", "eof")
+
+    def __init__(self, pid, read_fd, index):
+        self.pid = pid
+        self.read_fd = read_fd
+        self.index = index
+        self.buffer = bytearray()
+        self.eof = False
+
+
+def _spawn(fn, item, index, seed, telemetry_flags):
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        os.close(read_fd)
+        _child_main(write_fd, fn, item, index, seed, telemetry_flags)
+        os._exit(_KILL_EXIT)  # unreachable; _child_main never returns
+    os.close(write_fd)
+    return _Child(pid, read_fd, index)
+
+
+def _reap(child):
+    """Wait for the child and decode its envelope (or diagnose death)."""
+    _, wait_status = os.waitpid(child.pid, 0)
+    exit_status = (
+        os.waitstatus_to_exitcode(wait_status)
+        if hasattr(os, "waitstatus_to_exitcode")
+        else (wait_status >> 8)
+    )
+    if child.buffer:
+        try:
+            return pickle.loads(bytes(child.buffer)), exit_status
+        except Exception:  # repro: noqa[RES002] truncated payload = the child died mid-write; caller records WorkerDied
+            pass
+    return None, exit_status
+
+
+def _merge_worker_telemetry(envelope):
+    if envelope.get("records"):
+        from ..telemetry.tracer import get_tracer
+
+        get_tracer().merge(envelope["records"])
+    if envelope.get("metrics"):
+        from ..telemetry.metrics import get_metrics
+
+        get_metrics().merge_snapshot(envelope["metrics"])
+
+
+def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
+                 task_label=None, on_result=None):
+    """Map ``fn(item, seed)`` over ``items``, optionally in parallel.
+
+    Parameters
+    ----------
+    fn:
+        Callable of ``(item, seed)``.  In parallel mode it runs in a
+        forked child; it may close over arbitrary unpicklable state, but
+        its *return value* must pickle.
+    items:
+        Sequence of task inputs.
+    max_workers:
+        Concurrency cap.  ``None`` uses the process default (see
+        :func:`set_default_workers`); 1 runs everything inline in this
+        process with the *same* derived seeds, so serial and parallel
+        runs are bit-identical by construction.
+    seed_root:
+        Root of the per-task seed derivation (:func:`derive_seed`).
+    on_error:
+        ``"raise"`` (default) raises :class:`WorkerError` for the first
+        failed task after all tasks finish; ``"return"`` puts a
+        :class:`TaskFailure` in the result slot instead.
+    task_label:
+        Optional ``label(item, index)`` used in the per-task telemetry
+        event emitted when a worker dies.
+    on_result:
+        Optional ``on_result(index, result_or_failure)`` invoked as each
+        task finishes, in **completion** order (item order when serial).
+        Callers use this for crash-safe incremental persistence — e.g.
+        checkpointing sweep cells as they land rather than after the
+        whole batch.
+
+    Returns
+    -------
+    list
+        One entry per item, in item order.
+    """
+    if on_error not in ("raise", "return"):
+        raise ValueError("on_error must be 'raise' or 'return'; got %r"
+                         % (on_error,))
+    items = list(items)
+    workers = resolve_workers(max_workers)
+    results = [None] * len(items)
+    failures = []
+
+    if workers <= 1 or len(items) <= 1:
+        for index, item in enumerate(items):
+            seed = derive_seed(seed_root, index)
+            try:
+                results[index] = fn(item, seed)
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                failure = TaskFailure(
+                    index, type(exc).__name__, str(exc),
+                    traceback.format_exc(),
+                )
+                failures.append(failure)
+                results[index] = failure
+            if on_result is not None:
+                on_result(index, results[index])
+        return results
+
+    from ..telemetry.metrics import get_metrics
+    from ..telemetry.tracer import get_tracer
+
+    tracer = get_tracer()
+    telemetry_flags = (tracer.enabled, get_metrics().enabled)
+
+    sel = selectors.DefaultSelector()
+    pending = iter(enumerate(items))
+    live = 0
+
+    def launch():
+        nonlocal live
+        try:
+            index, item = next(pending)
+        except StopIteration:
+            return False
+        child = _spawn(fn, item, index, derive_seed(seed_root, index),
+                       telemetry_flags)
+        sel.register(child.read_fd, selectors.EVENT_READ, child)
+        live += 1
+        return True
+
+    def finish(child):
+        nonlocal live
+        sel.unregister(child.read_fd)
+        os.close(child.read_fd)
+        live -= 1
+        envelope, exit_status = _reap(child)
+        index = child.index
+        if envelope is None:
+            failure = TaskFailure(
+                index, "WorkerDied",
+                "worker process for task %d exited with status %r before "
+                "delivering a result" % (index, exit_status),
+                exit_status=exit_status,
+            )
+            label = (task_label(items[index], index)
+                     if task_label is not None else str(index))
+            tracer.event("parallel.worker_died", task=label,
+                         exit_status=exit_status)
+            failures.append(failure)
+            results[index] = failure
+            if on_result is not None:
+                on_result(index, failure)
+            return
+        _merge_worker_telemetry(envelope)
+        if envelope["ok"]:
+            results[index] = envelope["result"]
+        else:
+            failure = TaskFailure(
+                index, envelope["reason"], envelope["message"],
+                envelope.get("traceback", ""), exit_status=exit_status,
+            )
+            failures.append(failure)
+            results[index] = failure
+        if on_result is not None:
+            on_result(index, results[index])
+
+    try:
+        while launch() and live < workers:
+            pass
+        while live:
+            for key, _ in sel.select():
+                child = key.data
+                chunk = os.read(child.read_fd, 1 << 16)
+                if chunk:
+                    child.buffer.extend(chunk)
+                else:
+                    finish(child)
+                    launch()
+    finally:
+        # On an unexpected parent-side error, don't leak children.
+        for key in list(sel.get_map().values()):
+            child = key.data
+            try:
+                os.close(child.read_fd)
+            except OSError:  # repro: noqa[RES002] fd already closed by the normal finish path
+                pass
+            try:
+                os.waitpid(child.pid, 0)
+            except ChildProcessError:  # repro: noqa[RES002] child already reaped by the normal finish path
+                pass
+        sel.close()
+
+    if failures and on_error == "raise":
+        failures.sort(key=lambda f: f.index)
+        raise WorkerError(failures[0])
+    return results

@@ -41,7 +41,8 @@ class ADASYN(BaseSampler):
 
         k_global = min(self.k_neighbors, x.shape[0] - 1)
         full_index = KNeighbors(k=k_global).fit(x)
-        _, nn_idx = full_index.query(pool, exclude_self=True)
+        _, nn_idx = full_index.query(pool, exclude_self=True,
+                                     self_indices=pool_idx)
         difficulty = (y[nn_idx] != cls).mean(axis=1)
         if difficulty.sum() <= 0:
             weights = np.full(pool.shape[0], 1.0 / pool.shape[0])

@@ -79,7 +79,8 @@ class BorderlineSMOTE(BaseSampler):
         pool_idx = np.nonzero(y == cls)[0]
         m = min(self.m_neighbors, x.shape[0] - 1)
         index = KNeighbors(k=m).fit(x)
-        _, nn_idx = index.query(x[pool_idx], exclude_self=True)
+        _, nn_idx = index.query(x[pool_idx], exclude_self=True,
+                                self_indices=pool_idx)
         enemy_counts = (y[nn_idx] != cls).sum(axis=1)
         half = nn_idx.shape[1] / 2.0
         return (enemy_counts >= half) & (enemy_counts < nn_idx.shape[1])
@@ -89,10 +90,16 @@ class BorderlineSMOTE(BaseSampler):
         if pool.shape[0] == 1:
             return np.repeat(pool, n_new, axis=0)
         danger = self.danger_mask(x, y, cls)
-        seeds = pool[danger] if danger.any() else pool
+        if danger.any():
+            seeds = pool[danger]
+            seed_rows = np.nonzero(danger)[0]
+        else:
+            seeds = pool
+            seed_rows = np.arange(pool.shape[0])
         k = min(self.k_neighbors, pool.shape[0] - 1)
         index = KNeighbors(k=k).fit(pool)
-        _, nn_idx = index.query(seeds, exclude_self=True)
+        _, nn_idx = index.query(seeds, exclude_self=True,
+                                self_indices=seed_rows)
 
         base_ids = rng.integers(0, seeds.shape[0], size=n_new)
         nbr_col = rng.integers(0, nn_idx.shape[1], size=n_new)

@@ -88,6 +88,29 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else None
 
+    def merge_summary(self, summary):
+        """Fold another histogram's :meth:`summary` into this one.
+
+        Count and sum accumulate, min/max widen, ``last`` adopts the
+        merged summary's value (the merge happens when that observation
+        stream finishes), and series observations are appended.
+        """
+        count = int(summary.get("count") or 0)
+        if count == 0:
+            return self
+        self.count += count
+        self.total += float(summary.get("sum") or 0.0)
+        for bound, pick in (("min", min), ("max", max)):
+            other = summary.get(bound)
+            if other is not None:
+                mine = getattr(self, bound)
+                setattr(self, bound, other if mine is None else pick(mine, other))
+        if summary.get("last") is not None:
+            self.last = summary["last"]
+        if self.values is not None and summary.get("series"):
+            self.values.extend(summary["series"])
+        return self
+
     def summary(self):
         out = {
             "count": self.count,
@@ -140,6 +163,9 @@ class NullMetricsRegistry:
     def snapshot(self):
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
+    def merge_snapshot(self, snapshot):
+        return None
+
 
 _NULL_METRICS = NullMetricsRegistry()
 
@@ -174,6 +200,26 @@ class MetricsRegistry:
         except KeyError:
             instrument = self._histograms[name] = Histogram(series=series)
             return instrument
+
+    def merge_snapshot(self, snapshot):
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add, gauges are last-write-wins (a ``None`` gauge never
+        overwrites), histograms accumulate via
+        :meth:`Histogram.merge_summary`.  This is how worker-process
+        metrics are folded into the parent registry when a parallel
+        region completes.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name, series="series" in summary).merge_summary(
+                summary
+            )
+        return self
 
     def snapshot(self):
         """JSON-serializable view of every instrument."""

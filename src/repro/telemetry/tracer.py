@@ -106,6 +106,9 @@ class NullTracer:
     def annotate(self, **attrs):
         return None
 
+    def merge(self, records, ts_offset=None):
+        return None
+
     def flush(self, path=None):
         return []
 
@@ -151,6 +154,34 @@ class Tracer:
         """Attach attributes to the innermost open span, if any."""
         if self._stack:
             self._stack[-1].attrs.update(attrs)
+
+    def merge(self, records, ts_offset=None):
+        """Forward records captured by another tracer (a worker process).
+
+        Each record is re-anchored under the innermost *open* span of
+        this tracer: depths shift by the current stack depth, top-level
+        forwarded spans adopt the open span as their ``parent``, and
+        timestamps are rebased onto this tracer's clock (by default the
+        merge instant).  Forwarded records are marked with a
+        ``forwarded`` attribute so trace consumers can tell them from
+        locally recorded spans.
+        """
+        base_depth = len(self._stack)
+        parent = self._stack[-1].name if self._stack else None
+        if ts_offset is None:
+            ts_offset = self._clock() - self._t0
+        for record in records:
+            if record.get("type") == "metrics":
+                continue
+            record = dict(record)
+            record["ts"] = record.get("ts", 0.0) + ts_offset
+            record["depth"] = record.get("depth", 0) + base_depth
+            if record.get("type") == "span" and record.get("parent") is None:
+                record["parent"] = parent
+            attrs = dict(record.get("attrs") or {})
+            attrs.setdefault("forwarded", True)
+            record["attrs"] = attrs
+            self.records.append(record)
 
     # ------------------------------------------------------------------
     def _push(self, span):

@@ -503,6 +503,53 @@ class TestOBS001RawClock:
         assert "OBS001" in rule_ids(report.findings)
 
 
+class TestPAR001DirectMultiprocessing:
+    def test_flags_multiprocessing_import(self):
+        findings = lint("import multiprocessing\n")
+        assert "PAR001" in rule_ids(findings)
+
+    def test_flags_concurrent_futures_import(self):
+        findings = lint(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+        )
+        assert "PAR001" in rule_ids(findings)
+
+    def test_flags_os_fork_call(self):
+        findings = lint(
+            """
+            import os
+            def spawn():
+                return os.fork()
+            """
+        )
+        assert "PAR001" in rule_ids(findings)
+
+    def test_allows_repro_parallel_usage(self):
+        findings = lint(
+            """
+            from repro.parallel import parallel_map
+            def run(fn, items):
+                return parallel_map(fn, items, max_workers=4)
+            """
+        )
+        assert "PAR001" not in rule_ids(findings)
+
+    def test_parallel_package_is_exempt(self, tmp_path):
+        pkg = tmp_path / "parallel"
+        pkg.mkdir()
+        (pkg / "pool.py").write_text(
+            "import os\n\ndef spawn():\n    return os.fork()\n"
+        )
+        report = LintEngine().run([pkg])
+        assert "PAR001" not in rule_ids(report.findings)
+
+    def test_other_packages_are_not_exempt(self, tmp_path):
+        mod = tmp_path / "runners.py"
+        mod.write_text("import multiprocessing\n")
+        report = LintEngine().run([tmp_path])
+        assert "PAR001" in rule_ids(report.findings)
+
+
 class TestEngineConfig:
     def test_select_restricts_rules(self):
         findings = lint(
@@ -524,9 +571,9 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             LintEngine(select=["NOPE999"])
 
-    def test_registry_has_thirteen_rules(self):
-        assert len(all_rules()) == 13
-        assert len(rule_index()) == 13
+    def test_registry_has_fourteen_rules(self):
+        assert len(all_rules()) == 14
+        assert len(rule_index()) == 14
 
 
 # ----------------------------------------------------------------------
@@ -551,6 +598,7 @@ VIOLATION_FIXTURES = {
     ),
     "EXP001": '__all__ = ["ghost"]\n',
     "OBS001": "import time\nt0 = time.perf_counter()\n",
+    "PAR001": "import multiprocessing\npool = multiprocessing.Pool(4)\n",
     "NOQA001": "x = 1  # repro: noqa[RNG001]\n",
     "RES001": (
         "def dump(path, payload):\n"

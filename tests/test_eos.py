@@ -143,7 +143,7 @@ class TestExpansion:
         synth = xr[5:]
         assert synth.max() > 1.2  # beyond the enemy
 
-    def test_isolated_class_falls_back_to_duplication(self, rng):
+    def test_isolated_class_falls_back_to_jittered_duplication(self, rng):
         x = np.concatenate(
             [rng.normal(0, 0.01, (20, 2)), rng.normal(1000, 0.01, (3, 2))]
         )
@@ -151,9 +151,21 @@ class TestExpansion:
         xr, yr = EOS(k_neighbors=2, random_state=0).fit_resample(x, y)
         synth = xr[23:]
         pool = x[y == 1]
-        # Every synthetic point equals one of the originals.
+        # Jitter scale: a few percent of the per-feature std (~0.01).
+        spread = np.linalg.norm(pool.std(axis=0))
         for row in synth:
-            assert np.min(np.linalg.norm(pool - row, axis=1)) < 1e-9
+            nearest = np.min(np.linalg.norm(pool - row, axis=1))
+            # Near an original (jittered copy), but not an exact duplicate.
+            assert 0.0 < nearest < spread
+
+    def test_isolated_class_fallback_is_deterministic(self, rng):
+        x = np.concatenate(
+            [rng.normal(0, 0.01, (20, 2)), rng.normal(1000, 0.01, (3, 2))]
+        )
+        y = np.array([0] * 20 + [1] * 3)
+        a, _ = EOS(k_neighbors=2, random_state=7).fit_resample(x, y)
+        b, _ = EOS(k_neighbors=2, random_state=7).fit_resample(x, y)
+        np.testing.assert_array_equal(a, b)
 
 
 class TestKSensitivity:

@@ -33,6 +33,22 @@ class TestConfusionMatrix:
         with pytest.raises(ValueError):
             confusion_matrix([0, 1], [0])
 
+    def test_negative_true_label_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            confusion_matrix([0, -1], [0, 0])
+
+    def test_negative_pred_label_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            confusion_matrix([0, 1], [0, -2])
+
+    def test_label_beyond_num_classes_rejected(self):
+        with pytest.raises(ValueError, match="maximum label"):
+            confusion_matrix([0, 3], [0, 1], num_classes=3)
+
+    def test_empty_inputs(self):
+        cm = confusion_matrix([], [], num_classes=2)
+        np.testing.assert_array_equal(cm, np.zeros((2, 2), dtype=int))
+
 
 class TestRecallPrecision:
     def test_per_class_recall(self):

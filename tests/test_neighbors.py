@@ -91,6 +91,54 @@ class TestKNeighbors:
         with pytest.raises(RuntimeError):
             index.predict(np.zeros((1, 2)))
 
+    def test_exclude_self_keeps_distinct_duplicate_point(self):
+        # Rows 0 and 1 are distinct training points at identical
+        # coordinates.  Excluding "self" must drop each row's own index,
+        # not its duplicate twin: the twin is a legitimate neighbor at
+        # distance zero.
+        data = np.array([[0.0], [0.0], [5.0]])
+        index = KNeighbors(k=1).fit(data)
+        dists, idx = index.query(data, exclude_self=True)
+        assert idx[0, 0] == 1
+        assert idx[1, 0] == 0
+        assert dists[0, 0] == 0.0 and dists[1, 0] == 0.0
+        assert idx[2, 0] in (0, 1)
+
+    def test_exclude_self_with_subset_query(self):
+        data = np.array([[0.0], [1.0], [2.0], [3.0]])
+        index = KNeighbors(k=1).fit(data)
+        pool_idx = np.array([1, 3])
+        _, idx = index.query(data[pool_idx], exclude_self=True,
+                             self_indices=pool_idx)
+        # Row 1's nearest non-self is 0 or 2 (both at distance 1);
+        # row 3's is 2.
+        assert idx[0, 0] in (0, 2)
+        assert idx[1, 0] == 2
+
+    def test_exclude_self_misaligned_without_indices_raises(self):
+        data = np.array([[0.0], [1.0], [2.0], [3.0]])
+        index = KNeighbors(k=1).fit(data)
+        with pytest.raises(ValueError):
+            index.query(data[:2], exclude_self=True)
+
+    def test_exclude_self_vectorized_matches_manual(self, rng):
+        data = rng.normal(size=(40, 3))
+        index = KNeighbors(k=4).fit(data)
+        dists, idx = index.query(data, exclude_self=True)
+        assert idx.shape == (40, 4)
+        for i in range(40):
+            assert i not in idx[i]
+            assert np.all(np.diff(dists[i]) >= -1e-12)
+
+    def test_parallel_query_matches_serial(self, rng):
+        data = rng.normal(size=(50, 3))
+        q = rng.normal(size=(30, 3))
+        index = KNeighbors(k=3, chunk_size=7).fit(data)
+        d1, i1 = index.query(q, workers=1)
+        d2, i2 = index.query(q, workers=3)
+        np.testing.assert_array_equal(d1, d2)
+        np.testing.assert_array_equal(i1, i2)
+
 
 class TestNearestEnemies:
     def test_enemies_are_other_class(self, rng):
@@ -128,4 +176,30 @@ class TestNearestEnemies:
         d1, i1 = nearest_enemies(x, y, k=3, chunk_size=11)
         d2, i2 = nearest_enemies(x, y, k=3, chunk_size=1000)
         np.testing.assert_allclose(d1, d2)
+        np.testing.assert_array_equal(i1, i2)
+
+    def test_single_class_rows_padded_not_garbage(self):
+        # Every sample shares one class: no enemies exist anywhere, so
+        # every slot must be the documented -1/inf padding, not whatever
+        # index argpartition left behind on the all-inf distance rows.
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 0, 0])
+        dists, idx = nearest_enemies(x, y, k=2)
+        assert (idx == -1).all()
+        assert np.isinf(dists).all()
+
+    def test_partial_enemy_rows_padded(self):
+        x = np.array([[0.0], [1.0], [5.0]])
+        y = np.array([0, 0, 1])
+        dists, idx = nearest_enemies(x, y, k=2)
+        # Class-0 rows have exactly one enemy; the second slot pads.
+        assert idx[0, 0] == 2 and idx[0, 1] == -1
+        assert np.isinf(dists[0, 1])
+
+    def test_parallel_matches_serial(self, rng):
+        x = rng.normal(size=(60, 4))
+        y = rng.integers(0, 4, 60)
+        d1, i1 = nearest_enemies(x, y, k=3, chunk_size=11, workers=1)
+        d2, i2 = nearest_enemies(x, y, k=3, chunk_size=11, workers=3)
+        np.testing.assert_array_equal(d1, d2)
         np.testing.assert_array_equal(i1, i2)

@@ -43,6 +43,14 @@ class TestGridSweep:
         grid_sweep(config, {"k_neighbors": [99]}, lambda v: {"bac": 0.0})
         assert config.k_neighbors == 10
 
+    def test_parallel_matches_serial(self):
+        config = bench_config()
+        grid = {"k_neighbors": [3, 5, 7, 9]}
+        evaluate = lambda v: {"bac": v.k_neighbors / 10.0}
+        serial = grid_sweep(config, grid, evaluate, max_workers=1)
+        parallel = grid_sweep(config, grid, evaluate, max_workers=3)
+        assert serial == parallel
+
 
 class TestSweepReport:
     def test_ranked_descending(self):
@@ -55,6 +63,38 @@ class TestSweepReport:
         k2_line = next(i for i, l in enumerate(lines) if l.startswith("2"))
         k1_line = next(i for i, l in enumerate(lines) if l.startswith("1"))
         assert k2_line < k1_line
+
+    def test_nan_ranked_last_descending(self):
+        results = [
+            {"params": {"k": 1}, "metrics": {"bac": float("nan")}},
+            {"params": {"k": 2}, "metrics": {"bac": 0.1}},
+            {"params": {"k": 3}, "metrics": {"bac": 0.9}},
+        ]
+        report = sweep_report(results, sort_by="bac")
+        lines = report.splitlines()
+        order = [
+            next(i for i, l in enumerate(lines) if l.startswith(str(k)))
+            for k in (3, 2, 1)
+        ]
+        assert order == sorted(order)  # 0.9, 0.1, nan
+        assert "*" in lines[order[-1]]
+        assert "ranked last" in report
+
+    def test_nan_ranked_last_ascending(self):
+        results = [
+            {"params": {"k": 1}, "metrics": {"bac": float("nan")}},
+            {"params": {"k": 2}, "metrics": {"bac": 0.5}},
+        ]
+        report = sweep_report(results, sort_by="bac", descending=False)
+        lines = report.splitlines()
+        k2_line = next(i for i, l in enumerate(lines) if l.startswith("2"))
+        k1_line = next(i for i, l in enumerate(lines) if l.startswith("1"))
+        assert k2_line < k1_line
+
+    def test_no_nan_no_trailer(self):
+        results = [{"params": {"k": 1}, "metrics": {"bac": 0.5}}]
+        report = sweep_report(results, sort_by="bac")
+        assert "ranked last" not in report
 
     def test_unknown_metric_raises(self):
         with pytest.raises(KeyError):
