@@ -12,7 +12,11 @@ from .autograd import MissingNoGradRule, TapeDataEscapeRule, TensorDtypeRule
 from .mutation import MutableDefaultRule, ParamInPlaceMutationRule
 from .observability import RawClockRule
 from .parallelism import DirectMultiprocessingRule
-from .resilience import NonAtomicArtifactWriteRule, SwallowedExceptionRule
+from .resilience import (
+    NonAtomicArtifactWriteRule,
+    RawCheckpointIORule,
+    SwallowedExceptionRule,
+)
 from .rng import BareNumpyRandomRule, UnseededGeneratorRule
 
 __all__ = [
@@ -28,6 +32,7 @@ __all__ = [
     "MutableDefaultRule",
     "ParamInPlaceMutationRule",
     "NonAtomicArtifactWriteRule",
+    "RawCheckpointIORule",
     "SwallowedExceptionRule",
     "RawClockRule",
     "DirectMultiprocessingRule",
@@ -46,6 +51,7 @@ RULE_CLASSES = (
     SamplerValidationRule,  # VAL001
     NonAtomicArtifactWriteRule,  # RES001
     SwallowedExceptionRule,      # RES002
+    RawCheckpointIORule,         # RES003
     AllExportDriftRule,     # EXP001
     RawClockRule,           # OBS001
     DirectMultiprocessingRule,  # PAR001

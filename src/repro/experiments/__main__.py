@@ -15,6 +15,15 @@ Parallelism: ``--workers N`` evaluates sweep cells and phase-1
 trainings across N worker processes (``repro.parallel``); results and
 reports are bit-identical to ``--workers 1`` for any N.
 
+Hardening (``repro.guard``): ``--task-deadline`` arms the pool's
+hung-worker watchdog (SIGKILL + same-seed re-dispatch past the
+deadline), ``--strict-resume`` makes a corrupted checkpoint artifact
+raise instead of being quarantined and recomputed, and
+``--breaker-threshold`` installs a per-configuration circuit breaker
+that converts repeated equivalent failures into immediate
+``FAILED(circuit_open: ...)`` cells (``--reset-breakers`` clears the
+persisted breaker state before running).
+
 Examples::
 
     python -m repro.experiments t2 f3
@@ -29,6 +38,7 @@ import argparse
 import sys
 
 from .. import telemetry
+from ..guard import CircuitBreaker
 from ..resilience import RetryPolicy, RunRegistry, fingerprint_of
 from . import (
     ExtractorCache,
@@ -51,18 +61,21 @@ __all__ = ["build_registry", "main"]
 
 
 def build_registry(config, datasets, cache, run_registry=None,
-                   retry_policy=None, fail_soft=True, workers=None):
+                   retry_policy=None, fail_soft=True, workers=None,
+                   breaker=None):
     """Map experiment keys to (title, runner-thunk).
 
-    ``run_registry`` / ``retry_policy`` / ``fail_soft`` / ``workers``
-    apply to the table runners (the sweeps worth checkpointing and
-    parallelizing); figures keep their direct execution path.
+    ``run_registry`` / ``retry_policy`` / ``fail_soft`` / ``workers`` /
+    ``breaker`` apply to the table runners (the sweeps worth
+    checkpointing, parallelizing and guarding); figures keep their
+    direct execution path.
     """
     resilience = {
         "registry": run_registry,
         "retry_policy": retry_policy,
         "fail_soft": fail_soft,
         "workers": workers,
+        "breaker": breaker,
     }
     return {
         "t1": ("Table I (pre vs post over-sampling)",
@@ -129,6 +142,30 @@ def main(argv=None):
              "follow the retry/degradation path",
     )
     parser.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock deadline enforced by the worker "
+             "watchdog (--workers > 1): a hung worker is SIGKILLed and "
+             "its cell re-dispatched under the same seed",
+    )
+    parser.add_argument(
+        "--strict-resume", action="store_true",
+        help="raise CheckpointCorruptError when a resumed artifact "
+             "fails digest verification, instead of quarantining it "
+             "and recomputing",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="open a circuit breaker after N equivalent failures under "
+             "one configuration family; further matching cells settle "
+             "as FAILED(circuit_open: ...) without running (state "
+             "persists in --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--reset-breakers", action="store_true",
+        help="clear persisted circuit-breaker state in --checkpoint-dir "
+             "before running",
+    )
+    parser.add_argument(
         "--fail-fast", action="store_true",
         help="abort the sweep on the first failed cell instead of "
              "recording it as FAILED(reason)",
@@ -155,17 +192,26 @@ def main(argv=None):
 
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+    if args.strict_resume and not args.checkpoint_dir:
+        parser.error("--strict-resume requires --checkpoint-dir")
+    if args.breaker_threshold is not None and args.breaker_threshold < 1:
+        parser.error("--breaker-threshold must be >= 1")
+    if args.task_deadline is not None and args.task_deadline <= 0:
+        parser.error("--task-deadline must be positive")
 
     retry_policy = None
-    if args.max_retries > 0 or args.trial_timeout is not None:
+    if (args.max_retries > 0 or args.trial_timeout is not None
+            or args.task_deadline is not None):
         retry_policy = RetryPolicy(
             max_retries=max(args.max_retries, 0),
             trial_timeout=args.trial_timeout,
+            task_deadline=args.task_deadline,
         )
 
     run_registry = None
     if args.checkpoint_dir:
-        run_registry = RunRegistry(args.checkpoint_dir)
+        run_registry = RunRegistry(args.checkpoint_dir,
+                                   strict=args.strict_resume)
         has_prior_cells = bool(run_registry.cell_statuses())
         if has_prior_cells and not args.resume:
             parser.error(
@@ -176,6 +222,14 @@ def main(argv=None):
         run_registry.ensure_fingerprint(
             fingerprint_of("cli", args.scale, tuple(args.datasets), args.seed)
         )
+
+    if args.reset_breakers and run_registry is not None:
+        run_registry.reset_breakers()
+
+    breaker = None
+    if args.breaker_threshold is not None:
+        breaker = CircuitBreaker(threshold=args.breaker_threshold,
+                                 store=run_registry)
 
     from ..parallel import set_default_workers
 
@@ -191,6 +245,7 @@ def main(argv=None):
         retry_policy=retry_policy,
         fail_soft=not args.fail_fast,
         workers=args.workers,
+        breaker=breaker,
     )
 
     keys = list(args.keys)
@@ -226,6 +281,9 @@ def main(argv=None):
                   % (trace_out, trace_out))
     if run_registry is not None:
         print("checkpoint: %s" % run_registry.summary())
+    if breaker is not None:
+        for key, signature in breaker.open_breakers().items():
+            print("breaker open: %s -> %s" % (key, signature))
     return 0
 
 

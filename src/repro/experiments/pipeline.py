@@ -23,6 +23,7 @@ from ..losses import build_loss
 from ..metrics import evaluate_predictions
 from ..nn import build_model
 from ..optim import SGD
+from ..guard import report_phase
 from ..resilience import fingerprint_of, maybe_fire
 from ..telemetry import get_metrics, get_tracer, monotonic
 from .config import build_sampler
@@ -129,6 +130,7 @@ def _train_phase1_attempt(config, loss_name, attempt=None):
     seed_offset = 0 if attempt is None else attempt.seed_offset
     lr_scale = 1.0 if attempt is None else attempt.lr_scale
     max_seconds = None if attempt is None else attempt.max_seconds
+    report_phase("phase1:%s/%s" % (config.dataset, loss_name))
     maybe_fire("phase1.trial", loss=loss_name, attempt=index)
     model, train, test, info = _make_model_and_data(
         config, rng_offset=seed_offset

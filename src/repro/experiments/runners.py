@@ -153,11 +153,12 @@ class _CellGrid:
     """
 
     def __init__(self, registry=None, retry_policy=None, fail_soft=True,
-                 workers=None):
+                 workers=None, breaker=None):
         self.registry = registry
         self.retry_policy = retry_policy
         self.fail_soft = fail_soft
         self.workers = workers
+        self.breaker = breaker
         self._keys = []
         self._tasks = []
         self._stamped = {}
@@ -178,6 +179,7 @@ class _CellGrid:
             retry_policy=self.retry_policy,
             fail_soft=self.fail_soft,
             max_workers=self.workers,
+            breaker=self.breaker,
         )
         results = dict(self._stamped)
         results.update(zip(self._keys, outcomes))
@@ -213,7 +215,7 @@ def _degraded_summary(results):
 @traced_runner("table1")
 def run_table1(config=None, datasets=("cifar10_like",), cache=None,
                registry=None, retry_policy=None, fail_soft=True,
-               workers=None):
+               workers=None, breaker=None):
     """Pre- vs post- (embedding-space) over-sampling under CE loss.
 
     Paper shape: in most dataset x sampler cells, the *Post-* variant
@@ -228,7 +230,7 @@ def run_table1(config=None, datasets=("cifar10_like",), cache=None,
         [(config.with_overrides(dataset=d), "ce") for d in datasets],
         max_workers=workers,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
     row_specs = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
@@ -295,6 +297,7 @@ def run_table2(
     retry_policy=None,
     fail_soft=True,
     workers=None,
+    breaker=None,
 ):
     """The paper's main accuracy table.
 
@@ -312,7 +315,7 @@ def run_table2(
         ],
         max_workers=workers,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
     keys = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
@@ -373,6 +376,7 @@ def run_table3(
     retry_policy=None,
     fail_soft=True,
     workers=None,
+    breaker=None,
 ):
     """GAN over-samplers vs EOS.
 
@@ -400,7 +404,7 @@ def run_table3(
         ],
         max_workers=workers,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
     keys = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
@@ -455,6 +459,7 @@ def run_table4(
     retry_policy=None,
     fail_soft=True,
     workers=None,
+    breaker=None,
 ):
     """EOS K-nearest-neighbor sweep (paper: K in {10..300}, BAC rises
     with K then plateaus).  ``k_values`` defaults scale the sweep to the
@@ -467,7 +472,7 @@ def run_table4(
         [(config.with_overrides(dataset=d), "ce") for d in datasets],
         max_workers=workers,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
     keys = []
     for dataset in datasets:
         cfg = config.with_overrides(dataset=dataset)
@@ -500,7 +505,7 @@ def run_table4(
 @traced_runner("table5")
 def run_table5(config=None, architectures=None, cache=None,
                registry=None, retry_policy=None, fail_soft=True,
-               workers=None):
+               workers=None, breaker=None):
     """EOS across CNN architectures (paper: EOS helps every backbone)."""
     config = config if config is not None else bench_config()
     cache = _make_cache(cache, registry, retry_policy)
@@ -519,7 +524,7 @@ def run_table5(config=None, architectures=None, cache=None,
         ],
         max_workers=workers,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers)
+    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
     keys = []
     for model_name, kwargs in architectures:
         cfg = config.with_overrides(model=model_name, model_kwargs=dict(kwargs))

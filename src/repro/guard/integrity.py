@@ -1,0 +1,131 @@
+"""Artifact integrity: digest verification and quarantine.
+
+Every checkpoint artifact written through
+:mod:`repro.utils.serialization` carries a sha256 sidecar
+(``<artifact>.sha256``).  :func:`verify_artifact` re-hashes the file and
+compares; :func:`quarantine` moves a failed artifact set into the
+checkpoint root's ``quarantine/`` directory together with a structured
+``reason.json``, so a corrupted checkpoint is preserved for post-mortem
+while the live tree stays clean and the cell recomputes.
+
+Quarantine layout::
+
+    <checkpoint root>/
+      quarantine/
+        <name>.0/                 # first quarantined set for <name>
+          reason.json             # {reason, files: [{path, expected, actual}]}
+          model.npz               # the offending artifacts, moved as-is
+          model.npz.sha256
+          ...
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from ..utils.serialization import file_sha256, read_digest
+
+__all__ = ["IntegrityFailure", "quarantine", "verify_artifact"]
+
+QUARANTINE_DIR = "quarantine"
+
+
+class IntegrityFailure:
+    """One artifact that failed verification (JSON-friendly record)."""
+
+    __slots__ = ("path", "reason", "expected", "actual")
+
+    def __init__(self, path, reason, expected=None, actual=None):
+        self.path = os.fspath(path)
+        self.reason = reason
+        self.expected = expected
+        self.actual = actual
+
+    def to_payload(self):
+        return {
+            "path": self.path,
+            "reason": self.reason,
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+
+    def __repr__(self):
+        return "IntegrityFailure(%s: %s)" % (self.path, self.reason)
+
+
+def verify_artifact(path, expected=None):
+    """Check one artifact against its recorded digest.
+
+    ``expected`` defaults to the sidecar digest next to ``path``.
+    Returns None when the artifact verifies (or carries no digest to
+    verify against — pre-digest checkpoints stay loadable), otherwise an
+    :class:`IntegrityFailure` describing what is wrong.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return IntegrityFailure(path, "missing")
+    if expected is None:
+        expected = read_digest(path)
+    if expected is None:
+        return None
+    actual = file_sha256(path)
+    if actual != expected:
+        return IntegrityFailure(
+            path, "digest mismatch", expected=expected, actual=actual
+        )
+    return None
+
+
+def quarantine(root, paths, reason, failures=()):
+    """Move ``paths`` into ``<root>/quarantine/<name>.<n>/`` with a reason.
+
+    ``reason`` is a short slug (e.g. ``"digest mismatch"``); ``failures``
+    is an iterable of :class:`IntegrityFailure` records included in the
+    written ``reason.json``.  Missing paths are skipped (a truncated
+    write may have lost the file entirely).  Returns the quarantine
+    directory, or None when nothing existed to move.
+    """
+    from ..telemetry import get_metrics, get_tracer
+    from ..utils.serialization import atomic_write_json
+
+    root = os.fspath(root)
+    paths = [os.fspath(p) for p in paths]
+    existing = [p for p in paths if os.path.exists(p)]
+    if not existing:
+        return None
+
+    base = os.path.basename(existing[0].rstrip(os.sep)) or "artifact"
+    parent = os.path.join(root, QUARANTINE_DIR)
+    os.makedirs(parent, exist_ok=True)
+    counter = 0
+    while True:
+        target = os.path.join(parent, "%s.%d" % (base, counter))
+        if not os.path.exists(target):
+            break
+        counter += 1
+    os.makedirs(target)
+
+    moved = []
+    for path in existing:
+        destination = os.path.join(target, os.path.basename(path))
+        shutil.move(path, destination)
+        moved.append(destination)
+        sidecar = path + ".sha256"
+        if os.path.exists(sidecar):
+            shutil.move(sidecar, destination + ".sha256")
+
+    atomic_write_json(
+        os.path.join(target, "reason.json"),
+        {
+            "reason": reason,
+            "files": [f.to_payload() for f in failures],
+            "moved": moved,
+        },
+    )
+    get_tracer().event(
+        "guard.quarantined", reason=reason, target=target,
+        files=len(moved),
+    )
+    get_metrics().counter("guard.quarantined").inc()
+    return target

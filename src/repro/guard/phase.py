@@ -1,0 +1,41 @@
+"""Worker phase reporting: what was a process doing when it hung?
+
+A watchdog-killed worker leaves no traceback, so the only diagnostic
+the parent can attach to its ``WatchdogKilled`` failure is the last
+*phase* the worker reported before going quiet.  Call
+:func:`report_phase` at coarse execution milestones ("cell:t2/...",
+"phase1:cifar10_like/ce"); inside a pool worker the installed reporter
+streams each phase over the result pipe as a heartbeat frame, and the
+parent records it per child.  Outside a worker (no reporter installed)
+the call just updates a process-local variable — effectively free.
+"""
+
+from __future__ import annotations
+
+__all__ = ["current_phase", "report_phase", "set_phase_reporter"]
+
+_REPORTER = None
+_CURRENT = None
+
+
+def set_phase_reporter(reporter):
+    """Install ``reporter(name)`` (pool workers) or None to uninstall."""
+    global _REPORTER
+    _REPORTER = reporter
+
+
+def report_phase(name):
+    """Record (and, in a worker, stream) the current execution phase."""
+    global _CURRENT
+    _CURRENT = name
+    if _REPORTER is not None:
+        try:
+            _REPORTER(name)
+        except OSError:  # repro: noqa[RES002] heartbeat pipe already gone (parent exiting); the phase update itself still took effect
+            pass
+    return name
+
+
+def current_phase():
+    """The most recently reported phase in this process, or None."""
+    return _CURRENT

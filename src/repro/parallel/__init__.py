@@ -15,6 +15,13 @@ Public surface:
   to serial there).
 * :class:`TaskFailure` / :class:`WorkerError` — per-task failure record
   and the exception wrapping it.
+* :class:`Skip` — sentinel a ``pre_dispatch`` hook returns to settle a
+  task without running it (how open circuit breakers short-circuit
+  queued cells).
+
+The pool is supervised by :mod:`repro.guard`: a per-task wall-clock
+deadline (``task_deadline``) SIGKILLs hung workers and re-dispatches
+their tasks under the same derived seed, preserving bit-exactness.
 
 All process fan-out in this codebase goes through this package — lint
 rule PAR001 flags direct ``multiprocessing``/``concurrent.futures``
@@ -23,6 +30,7 @@ use elsewhere.
 
 from .cells import run_cells
 from .pool import (
+    Skip,
     TaskFailure,
     WorkerError,
     derive_seed,
@@ -34,6 +42,7 @@ from .pool import (
 )
 
 __all__ = [
+    "Skip",
     "TaskFailure",
     "WorkerError",
     "derive_seed",

@@ -18,6 +18,13 @@ and preserves every serial guarantee:
   status ``"failed"`` — which :meth:`RunRegistry.has_cell` treats as
   absent, so the cell is re-attempted on resume exactly like a
   serially failed cell.
+* The guard layer rides along in both modes: a per-task wall-clock
+  deadline (``task_deadline`` argument or ``RetryPolicy.task_deadline``)
+  arms the pool's hung-worker watchdog, and an open
+  :class:`repro.guard.CircuitBreaker` converts still-queued cells of
+  the tripped configuration family into immediate
+  ``FAILED(circuit_open: <signature>)`` records via the pool's
+  ``pre_dispatch`` hook — their thunks never run.
 
 Determinism note: cell thunks carry their own seeds (runner configs
 seed every trial explicitly), so the pool's derived per-task seed is
@@ -27,11 +34,18 @@ from order-preserved assembly alone.
 
 from __future__ import annotations
 
-from ..resilience.degrade import CellFailure, run_cell
+from ..guard.breaker import default_breaker_key
+from ..guard.phase import report_phase
+from ..resilience.degrade import (
+    CellFailure,
+    run_cell,
+    short_circuit_failure,
+)
 from ..resilience.errors import RetryBudgetExhausted
 from ..resilience.faults import maybe_fire
 from ..telemetry import get_metrics, get_tracer
-from .pool import TaskFailure, WorkerError, parallel_map, resolve_workers
+from .pool import Skip, TaskFailure, WorkerError, parallel_map, \
+    resolve_workers
 
 __all__ = ["run_cells"]
 
@@ -49,6 +63,7 @@ def _execute_cell(cell_id, thunk, retry_policy):
     def trial(attempt):
         attempts_made[0] += 1
         index = 0 if attempt is None else attempt.index
+        report_phase("cell:%s" % cell_id)
         maybe_fire("sweep.cell", cell=cell_id, attempt=index)
         return thunk(attempt)
 
@@ -74,13 +89,21 @@ def _execute_cell(cell_id, thunk, retry_policy):
 
 def run_cells(tasks, registry=None, retry_policy=None, fail_soft=True,
               max_workers=None, seed_root=0, payload_of=None,
-              result_of=None):
+              result_of=None, breaker=None, breaker_key_of=None,
+              task_deadline=None):
     """Evaluate many sweep cells, optionally across worker processes.
 
     Parameters mirror :func:`repro.resilience.run_cell`; ``tasks`` is a
     sequence of ``(cell_id, thunk)`` pairs and the return value is a
     list of outcomes (result, registry-loaded result, or
     :class:`CellFailure`) in task order.
+
+    ``breaker`` / ``breaker_key_of`` install a
+    :class:`repro.guard.CircuitBreaker` over the batch (keys default to
+    :func:`repro.guard.default_breaker_key` of the cell id);
+    ``task_deadline`` (defaulting to ``retry_policy.task_deadline``)
+    arms the pool's hung-worker watchdog, with one re-dispatch per
+    retry the policy allows.
 
     With ``fail_soft=False`` and workers > 1, a failing cell raises
     :class:`~repro.parallel.WorkerError` *after* the in-flight batch
@@ -89,11 +112,16 @@ def run_cells(tasks, registry=None, retry_policy=None, fail_soft=True,
     """
     tasks = list(tasks)
     workers = resolve_workers(max_workers)
+    key_of = breaker_key_of if breaker_key_of is not None \
+        else default_breaker_key
+    if task_deadline is None and retry_policy is not None:
+        task_deadline = retry_policy.task_deadline
     if workers <= 1 or len(tasks) <= 1:
         return [
             run_cell(thunk, cell_id, registry=registry,
                      retry_policy=retry_policy, fail_soft=fail_soft,
-                     payload_of=payload_of, result_of=result_of)
+                     payload_of=payload_of, result_of=result_of,
+                     breaker=breaker, breaker_key=key_of(cell_id))
             for cell_id, thunk in tasks
         ]
 
@@ -116,6 +144,16 @@ def run_cells(tasks, registry=None, retry_policy=None, fail_soft=True,
         _, cell_id, thunk = task
         return _execute_cell(cell_id, thunk, retry_policy)
 
+    def pre_dispatch(task, _index):
+        """Parent-side breaker check, run just before a cell would fork."""
+        if breaker is None:
+            return None
+        _, cell_id, _thunk = task
+        signature = breaker.open_signature(key_of(cell_id))
+        if signature is None:
+            return None
+        return Skip(("skipped", signature))
+
     def record(task_index, outcome):
         """Parent-side bookkeeping, called per task in completion order."""
         position, cell_id, _ = pending[task_index]
@@ -125,6 +163,11 @@ def run_cells(tasks, registry=None, retry_policy=None, fail_soft=True,
                 error_type=outcome.reason,
                 attempts=1,
             )
+        elif outcome[0] == "skipped":
+            results[position] = short_circuit_failure(
+                cell_id, key_of(cell_id), outcome[1], registry=registry,
+            )
+            return
         elif outcome[0] == "failed":
             info = outcome[1]
             failure = CellFailure(
@@ -148,6 +191,9 @@ def run_cells(tasks, registry=None, retry_policy=None, fail_soft=True,
             attempts=failure.attempts,
         )
         metrics.counter("cells.failed").inc()
+        if breaker is not None:
+            breaker.record_failure(key_of(cell_id), failure.error_type,
+                                   failure.reason, count=failure.attempts)
         if registry is not None:
             registry.record_cell(cell_id, failure.to_payload(),
                                  status="failed")
@@ -161,6 +207,10 @@ def run_cells(tasks, registry=None, retry_policy=None, fail_soft=True,
         on_error="return",
         task_label=lambda task, _index: task[1],
         on_result=record,
+        task_deadline=task_deadline,
+        deadline_retries=(max(1, retry_policy.max_retries)
+                          if retry_policy is not None else 1),
+        pre_dispatch=pre_dispatch,
     )
 
     if not fail_soft:

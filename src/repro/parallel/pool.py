@@ -15,13 +15,29 @@ Three design decisions make that guarantee cheap to keep:
   captured arrays and models, and any module-level state (fault plans,
   cached extractors) are inherited copy-on-write — nothing needs to be
   picklable except the *result*.  Only results travel, over a dedicated
-  pipe per child, EOF-framed pickles.
+  pipe per child, as length-prefixed pickled frames.
 * **Death is observable per task.**  One pipe and one pid per task
   means a worker that dies (OOM kill, ``os._exit``, segfault) is
   attributed to exactly the task it was running; the parent turns it
   into a :class:`TaskFailure` instead of hanging or poisoning a shared
   queue.  ``stdlib`` pools get this wrong in both directions, which is
   why the lint gate (rule PAR001) funnels all fan-out through here.
+
+The pool is supervised (see :mod:`repro.guard`):
+
+* **Watchdog** — with ``task_deadline`` set, a worker that produces no
+  result within its wall-clock budget is SIGKILLed and the task is
+  **re-dispatched** with the *same* derived seed (up to
+  ``deadline_retries`` times), so a hung-then-killed-then-rerun task is
+  bit-identical to one that never hung.  A task that hangs on every
+  dispatch becomes ``TaskFailure(reason="WatchdogKilled")`` carrying
+  its elapsed time and the last phase the worker reported
+  (:func:`repro.guard.report_phase` heartbeats stream over the result
+  pipe).
+* **Pre-dispatch short-circuit** — a ``pre_dispatch(item, index)`` hook
+  may return :class:`Skip` to settle a task without forking at all;
+  :func:`repro.parallel.run_cells` uses this to honor open circuit
+  breakers mid-batch.
 
 Workers that raise an ordinary ``Exception`` ship the error back as a
 :class:`TaskFailure` payload; raising :class:`BaseException` subclasses
@@ -35,10 +51,16 @@ import hashlib
 import os
 import pickle
 import selectors
+import signal
+import struct
 import sys
+import time
 import traceback
 
+from ..telemetry.clock import monotonic
+
 __all__ = [
+    "Skip",
     "TaskFailure",
     "WorkerError",
     "derive_seed",
@@ -54,6 +76,9 @@ __all__ = [
 # the failure reason, but handled identically.
 _KILL_EXIT = 113
 
+#: Length prefix for pipe frames: 4-byte big-endian payload size.
+_FRAME_HEADER = struct.Struct(">I")
+
 _DEFAULT_WORKERS = 1
 _IN_WORKER = False
 
@@ -62,9 +87,11 @@ class TaskFailure:
     """Parent-side record of one task that did not produce a result.
 
     ``reason`` is ``"WorkerDied"`` when the child process vanished
-    without delivering a payload, otherwise the exception class name
-    raised inside the worker.  Instances are returned in place of the
-    task's result when ``on_error="return"``.
+    without delivering a payload, ``"WatchdogKilled"`` when the pool's
+    watchdog SIGKILLed a worker that exceeded its task deadline on
+    every dispatch, and otherwise the exception class name raised
+    inside the worker.  Instances are returned in place of the task's
+    result when ``on_error="return"``.
     """
 
     __slots__ = ("index", "reason", "message", "traceback", "exit_status")
@@ -94,12 +121,27 @@ class WorkerError(RuntimeError):
         )
 
 
+class Skip:
+    """Sentinel a ``pre_dispatch`` hook returns to settle a task inline.
+
+    The wrapped ``value`` becomes the task's result without a worker
+    ever being forked — how open circuit breakers convert queued cells
+    into immediate failures mid-batch.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
 def derive_seed(seed_root, index):
     """Deterministic per-task seed: a pure function of root and index.
 
     Stable across processes, platforms and Python hash randomization
     (sha256, not ``hash()``), so task *i* of a sweep sees the same seed
-    whether it runs serially, on 4 workers, or on 32.
+    whether it runs serially, on 4 workers, or on 32 — and whether or
+    not an earlier dispatch of it was watchdog-killed.
     """
     digest = hashlib.sha256(
         b"repro.parallel:%d:%d" % (int(seed_root), int(index))
@@ -136,6 +178,49 @@ def resolve_workers(max_workers):
 def in_worker():
     """True inside a pool worker process (nested pools stay serial)."""
     return _IN_WORKER
+
+
+# ----------------------------------------------------------------------
+# Pipe frames
+
+
+def _send_frame(write_fd, obj):
+    """Write one length-prefixed pickle frame to a raw fd."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    data = _FRAME_HEADER.pack(len(payload)) + payload
+    view = memoryview(data)
+    while view:
+        written = os.write(write_fd, view)
+        view = view[written:]
+
+
+def _drain_frames(child):
+    """Decode every complete frame buffered for ``child``.
+
+    ``("phase", name)`` heartbeats update the child's last-known phase;
+    the final ``("result", envelope)`` frame carries the task outcome.
+    A trailing partial frame (worker died mid-write) stays in the
+    buffer and is simply never completed — the caller sees a missing
+    envelope and records ``WorkerDied``.
+    """
+    buffer = child.buffer
+    header = _FRAME_HEADER.size
+    while len(buffer) >= header:
+        (size,) = _FRAME_HEADER.unpack(buffer[:header])
+        if len(buffer) < header + size:
+            return
+        payload = bytes(buffer[header:header + size])
+        del buffer[:header + size]
+        try:
+            kind, value = pickle.loads(payload)
+        except Exception:
+            # A frame the child corrupted mid-crash is equivalent to no
+            # frame; the reaper records WorkerDied from the missing envelope.
+            continue
+        if kind == "phase":
+            child.phase = value
+        elif kind == "result":
+            child.envelope = value
 
 
 # ----------------------------------------------------------------------
@@ -179,14 +264,25 @@ def _collect_telemetry(parent_tracer_enabled, parent_metrics_enabled):
     return drain
 
 
-def _child_main(write_fd, fn, item, index, seed, telemetry_flags):
+def _child_main(write_fd, fn, item, index, seed, telemetry_flags,
+                dispatch, label):
     """Run one task in the forked child; never returns."""
     global _IN_WORKER
     _IN_WORKER = True
     status = 0
     try:
+        from ..guard.phase import set_phase_reporter
+        from ..resilience.faults import maybe_fire
+
+        # Stream phase heartbeats over the result pipe so the parent
+        # knows what a worker was doing if it has to be watchdog-killed.
+        set_phase_reporter(
+            lambda name: _send_frame(write_fd, ("phase", name))
+        )
         drain = _collect_telemetry(*telemetry_flags)
         try:
+            maybe_fire("worker.task", index=index, task=label,
+                       dispatch=dispatch)
             result = fn(item, seed)
             records, snapshot = drain()
             envelope = {
@@ -205,12 +301,11 @@ def _child_main(write_fd, fn, item, index, seed, telemetry_flags):
                 "records": records,
                 "metrics": snapshot,
             }
-        with os.fdopen(write_fd, "wb") as handle:
-            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
+        _send_frame(write_fd, ("result", envelope))
+        os.close(write_fd)
     except BaseException:
         # SimulatedKill or anything else non-recoverable: die without a
-        # payload so the parent takes its genuine dead-worker path.
+        # result frame so the parent takes its genuine dead-worker path.
         status = _KILL_EXIT
     finally:
         # Skip interpreter teardown: atexit handlers, buffered parent
@@ -225,41 +320,82 @@ def _child_main(write_fd, fn, item, index, seed, telemetry_flags):
 
 
 class _Child:
-    __slots__ = ("pid", "read_fd", "index", "buffer", "eof")
+    __slots__ = ("pid", "read_fd", "index", "buffer", "envelope", "phase",
+                 "started", "dispatch")
 
-    def __init__(self, pid, read_fd, index):
+    def __init__(self, pid, read_fd, index, dispatch):
         self.pid = pid
         self.read_fd = read_fd
         self.index = index
         self.buffer = bytearray()
-        self.eof = False
+        self.envelope = None
+        self.phase = None
+        self.started = monotonic()
+        self.dispatch = dispatch
 
 
-def _spawn(fn, item, index, seed, telemetry_flags):
+def _spawn(fn, item, index, seed, telemetry_flags, dispatch, label):
     read_fd, write_fd = os.pipe()
     pid = os.fork()
     if pid == 0:
         os.close(read_fd)
-        _child_main(write_fd, fn, item, index, seed, telemetry_flags)
+        _child_main(write_fd, fn, item, index, seed, telemetry_flags,
+                    dispatch, label)
         os._exit(_KILL_EXIT)  # unreachable; _child_main never returns
     os.close(write_fd)
-    return _Child(pid, read_fd, index)
+    return _Child(pid, read_fd, index, dispatch)
 
 
-def _reap(child):
-    """Wait for the child and decode its envelope (or diagnose death)."""
-    _, wait_status = os.waitpid(child.pid, 0)
-    exit_status = (
-        os.waitstatus_to_exitcode(wait_status)
-        if hasattr(os, "waitstatus_to_exitcode")
-        else (wait_status >> 8)
-    )
-    if child.buffer:
+def _exit_status_of(wait_status):
+    """Decode a raw ``waitpid`` status, signal-aware.
+
+    Mirrors ``os.waitstatus_to_exitcode`` (negative signal number for a
+    signal-killed child, plain exit code otherwise) using the POSIX
+    macros directly: the naive ``wait_status >> 8`` decodes a
+    signal-killed child as exit 0, silently misreporting a SIGKILL/OOM
+    kill as a clean exit.
+    """
+    if os.WIFSIGNALED(wait_status):
+        return -os.WTERMSIG(wait_status)
+    if os.WIFEXITED(wait_status):
+        return os.WEXITSTATUS(wait_status)
+    return wait_status
+
+
+def _sigkill(pid):
+    """Best-effort SIGKILL (the process may already be gone)."""
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:  # repro: noqa[RES002] already dead, which is the desired end state
+        pass
+
+
+def _reap(child, kill_after=1.0):
+    """Collect the child's exit status without ever blocking the pool.
+
+    Called once the child's pipe reached EOF (it exited or was
+    SIGKILLed), so exit is imminent: poll ``WNOHANG`` with a short
+    backoff instead of the old blocking ``os.waitpid(pid, 0)``, and
+    escalate to SIGKILL if the child somehow lingers past
+    ``kill_after`` seconds (a hung atexit path must not wedge the
+    supervisor).
+    """
+    delay = 0.0005
+    waited = 0.0
+    killed = False
+    while True:
         try:
-            return pickle.loads(bytes(child.buffer)), exit_status
-        except Exception:  # repro: noqa[RES002] truncated payload = the child died mid-write; caller records WorkerDied
-            pass
-    return None, exit_status
+            pid, wait_status = os.waitpid(child.pid, os.WNOHANG)
+        except ChildProcessError:
+            return None
+        if pid != 0:
+            return _exit_status_of(wait_status)
+        if not killed and waited >= kill_after:
+            _sigkill(child.pid)
+            killed = True
+        time.sleep(delay)
+        waited += delay
+        delay = min(delay * 2, 0.05)
 
 
 def _merge_worker_telemetry(envelope):
@@ -274,7 +410,8 @@ def _merge_worker_telemetry(envelope):
 
 
 def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
-                 task_label=None, on_result=None):
+                 task_label=None, on_result=None, task_deadline=None,
+                 deadline_retries=1, pre_dispatch=None):
     """Map ``fn(item, seed)`` over ``items``, optionally in parallel.
 
     Parameters
@@ -297,14 +434,29 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
         failed task after all tasks finish; ``"return"`` puts a
         :class:`TaskFailure` in the result slot instead.
     task_label:
-        Optional ``label(item, index)`` used in the per-task telemetry
-        event emitted when a worker dies.
+        Optional ``label(item, index)`` used in per-task telemetry
+        events and in the ``worker.task`` fault-point context.
     on_result:
         Optional ``on_result(index, result_or_failure)`` invoked as each
         task finishes, in **completion** order (item order when serial).
         Callers use this for crash-safe incremental persistence — e.g.
         checkpointing sweep cells as they land rather than after the
         whole batch.
+    task_deadline:
+        Optional per-task wall-clock budget in seconds, enforced by the
+        pool's watchdog (parallel mode only — a serial pool has no
+        supervisor process to preempt a hung call).  A worker past its
+        deadline is SIGKILLed and the task re-dispatched with the same
+        derived seed; after ``deadline_retries`` re-dispatches it
+        settles as ``TaskFailure(reason="WatchdogKilled")``.
+    deadline_retries:
+        Re-dispatches allowed per task after a watchdog kill
+        (default 1).
+    pre_dispatch:
+        Optional ``pre_dispatch(item, index)`` called in the parent just
+        before a task would fork.  Return :class:`Skip` to settle the
+        task with ``Skip.value`` instead of running it, or None to run
+        normally.
 
     Returns
     -------
@@ -319,8 +471,23 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
     results = [None] * len(items)
     failures = []
 
+    def settle_skip(index, skip):
+        if not isinstance(skip, Skip):
+            raise TypeError(
+                "pre_dispatch must return Skip(value) or None; got %r"
+                % (skip,)
+            )
+        results[index] = skip.value
+        if on_result is not None:
+            on_result(index, skip.value)
+
     if workers <= 1 or len(items) <= 1:
         for index, item in enumerate(items):
+            if pre_dispatch is not None:
+                skip = pre_dispatch(item, index)
+                if skip is not None:
+                    settle_skip(index, skip)
+                    continue
             seed = derive_seed(seed_root, index)
             try:
                 results[index] = fn(item, seed)
@@ -341,46 +508,66 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
     from ..telemetry.tracer import get_tracer
 
     tracer = get_tracer()
-    telemetry_flags = (tracer.enabled, get_metrics().enabled)
+    metrics = get_metrics()
+    telemetry_flags = (tracer.enabled, metrics.enabled)
+
+    def label_of(index):
+        if task_label is not None:
+            return task_label(items[index], index)
+        return str(index)
 
     sel = selectors.DefaultSelector()
     pending = iter(enumerate(items))
     live = 0
 
-    def launch():
+    def spawn_task(index, dispatch):
         nonlocal live
-        try:
-            index, item = next(pending)
-        except StopIteration:
-            return False
-        child = _spawn(fn, item, index, derive_seed(seed_root, index),
-                       telemetry_flags)
+        child = _spawn(fn, items[index], index,
+                       derive_seed(seed_root, index), telemetry_flags,
+                       dispatch, label_of(index))
         sel.register(child.read_fd, selectors.EVENT_READ, child)
         live += 1
-        return True
+
+    def launch():
+        while True:
+            try:
+                index, item = next(pending)
+            except StopIteration:
+                return False
+            if pre_dispatch is not None:
+                skip = pre_dispatch(item, index)
+                if skip is not None:
+                    settle_skip(index, skip)
+                    continue
+            spawn_task(index, 0)
+            return True
+
+    def settle_failure(failure):
+        failures.append(failure)
+        results[failure.index] = failure
+        if on_result is not None:
+            on_result(failure.index, failure)
 
     def finish(child):
         nonlocal live
         sel.unregister(child.read_fd)
         os.close(child.read_fd)
         live -= 1
-        envelope, exit_status = _reap(child)
+        exit_status = _reap(child)
         index = child.index
+        envelope = child.envelope
         if envelope is None:
+            phase = "" if child.phase is None else \
+                ", last phase %r" % child.phase
             failure = TaskFailure(
                 index, "WorkerDied",
                 "worker process for task %d exited with status %r before "
-                "delivering a result" % (index, exit_status),
+                "delivering a result%s" % (index, exit_status, phase),
                 exit_status=exit_status,
             )
-            label = (task_label(items[index], index)
-                     if task_label is not None else str(index))
-            tracer.event("parallel.worker_died", task=label,
-                         exit_status=exit_status)
-            failures.append(failure)
-            results[index] = failure
-            if on_result is not None:
-                on_result(index, failure)
+            tracer.event("parallel.worker_died", task=label_of(index),
+                         exit_status=exit_status, phase=child.phase)
+            settle_failure(failure)
             return
         _merge_worker_telemetry(envelope)
         if envelope["ok"]:
@@ -395,26 +582,76 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
         if on_result is not None:
             on_result(index, results[index])
 
+    def watchdog_kill(child, now):
+        """SIGKILL a hung worker; re-dispatch or settle the task.
+
+        Returns True when the task was re-dispatched (pool occupancy
+        unchanged), False when it settled as a failure (slot freed).
+        """
+        nonlocal live
+        sel.unregister(child.read_fd)
+        os.close(child.read_fd)
+        live -= 1
+        _sigkill(child.pid)
+        _reap(child)
+        index = child.index
+        elapsed = now - child.started
+        tracer.event(
+            "guard.watchdog_kill", task=label_of(index),
+            elapsed=round(elapsed, 3), phase=child.phase,
+            dispatch=child.dispatch,
+        )
+        metrics.counter("guard.watchdog_kills").inc()
+        if child.dispatch < deadline_retries:
+            spawn_task(index, child.dispatch + 1)
+            return True
+        phase = "" if child.phase is None else \
+            ", last phase %r" % child.phase
+        settle_failure(TaskFailure(
+            index, "WatchdogKilled",
+            "task %d (%s) exceeded its %.3gs deadline on %d dispatch(es) "
+            "(%.2fs elapsed%s)" % (index, label_of(index), task_deadline,
+                                   child.dispatch + 1, elapsed, phase),
+        ))
+        return False
+
     try:
-        while launch() and live < workers:
+        while live < workers and launch():
             pass
         while live:
-            for key, _ in sel.select():
+            timeout = None
+            if task_deadline is not None:
+                now = monotonic()
+                timeout = max(0.0, min(
+                    child.started + task_deadline - now
+                    for child in (key.data for key in sel.get_map().values())
+                ))
+            for key, _ in sel.select(timeout):
                 child = key.data
                 chunk = os.read(child.read_fd, 1 << 16)
                 if chunk:
                     child.buffer.extend(chunk)
+                    _drain_frames(child)
                 else:
                     finish(child)
                     launch()
+            if task_deadline is not None:
+                now = monotonic()
+                for key in list(sel.get_map().values()):
+                    child = key.data
+                    if now - child.started >= task_deadline:
+                        if not watchdog_kill(child, now):
+                            launch()
     finally:
-        # On an unexpected parent-side error, don't leak children.
+        # On an unexpected parent-side error, don't leak (or block on)
+        # children: kill outstanding workers before reaping them.
         for key in list(sel.get_map().values()):
             child = key.data
             try:
                 os.close(child.read_fd)
             except OSError:  # repro: noqa[RES002] fd already closed by the normal finish path
                 pass
+            _sigkill(child.pid)
             try:
                 os.waitpid(child.pid, 0)
             except ChildProcessError:  # repro: noqa[RES002] child already reaped by the normal finish path

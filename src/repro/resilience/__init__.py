@@ -14,13 +14,27 @@ the four coordinated pieces:
   :class:`CellFailure`, graceful ``FAILED(reason)`` degradation of sweep
   cells;
 * :mod:`~repro.resilience.faults` — :class:`FaultPlan`, deterministic
-  injection of NaN losses, raised exceptions and simulated kills, so all
-  of the above is testable against the real code paths.
+  injection of NaN losses, raised exceptions, simulated kills, hung
+  workers and corrupted artifacts, so all of the above is testable
+  against the real code paths.
+
+The supervision layer on top — hung-worker watchdog, artifact digest
+verification/quarantine, failure circuit breakers — lives in
+:mod:`repro.guard` and plugs into this package through
+``RetryPolicy.task_deadline``, ``RunRegistry(strict=...)`` /
+``RunRegistry.load_breakers`` and the ``breaker`` argument of
+:func:`run_cell`.
 """
 
 from .checkpoint import RunRegistry, fingerprint_of
-from .degrade import CellFailure, failure_from_payload, run_cell
+from .degrade import (
+    CellFailure,
+    failure_from_payload,
+    run_cell,
+    short_circuit_failure,
+)
 from .errors import (
+    CheckpointCorruptError,
     CheckpointMismatchError,
     DivergenceError,
     FaultInjected,
@@ -45,10 +59,12 @@ __all__ = [
     "CellFailure",
     "failure_from_payload",
     "run_cell",
+    "short_circuit_failure",
     "ResilienceError",
     "DivergenceError",
     "TrialTimeoutError",
     "RetryBudgetExhausted",
+    "CheckpointCorruptError",
     "CheckpointMismatchError",
     "FaultInjected",
     "SimulatedKill",

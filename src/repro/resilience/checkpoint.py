@@ -18,6 +18,19 @@ re-flushed after each cell, so a killed process loses at most the cell
 it was computing.  Failed cells are *not* treated as complete — a
 resumed run re-attempts them (their failure may have been transient).
 
+Resume never trusts an artifact blindly: :meth:`RunRegistry.has_phase1`
+verifies every file against its sha256 sidecar
+(:func:`repro.guard.verify_artifact`) and, on mismatch or truncation,
+moves the whole artifact set to ``<root>/quarantine/`` with a
+structured reason and reports the set as absent — the cell recomputes
+transparently.  Constructing the registry with ``strict=True`` (the
+CLI's ``--strict-resume``) raises
+:class:`repro.resilience.CheckpointCorruptError` instead, for contexts
+where silent recomputation would mask an infrastructure problem.  The
+manifest also persists :class:`repro.guard.CircuitBreaker` state under
+``"breakers"``, so breakers tripped by one process bind its resumed
+successors.
+
 The registry stores only plain arrays and JSON — it knows nothing about
 models or datasets.  Rebuilding live objects from these artifacts is the
 caller's job (see ``repro.experiments.pipeline.train_phase1``), which
@@ -30,8 +43,9 @@ import hashlib
 import json
 import os
 
+from ..guard.integrity import quarantine, verify_artifact
 from ..utils.serialization import atomic_write_json, load_arrays, save_arrays
-from .errors import CheckpointMismatchError
+from .errors import CheckpointCorruptError, CheckpointMismatchError
 
 __all__ = ["RunRegistry", "fingerprint_of"]
 
@@ -48,8 +62,9 @@ def fingerprint_of(*parts):
 class RunRegistry:
     """Durable record of one sweep run (cells + phase-1 artifacts)."""
 
-    def __init__(self, root):
+    def __init__(self, root, strict=False):
         self.root = os.fspath(root)
+        self.strict = bool(strict)
         os.makedirs(self.root, exist_ok=True)
         self.manifest_path = os.path.join(self.root, _MANIFEST)
         if os.path.exists(self.manifest_path):
@@ -67,6 +82,7 @@ class RunRegistry:
                 "fingerprint": None,
                 "cells": {},
                 "phase1": {},
+                "breakers": {},
             }
 
     # ------------------------------------------------------------------
@@ -130,14 +146,47 @@ class RunRegistry:
         return os.path.join(self.root, "phase1", fingerprint)
 
     def has_phase1(self, fingerprint):
+        """True when a *verified* phase-1 artifact set exists on disk.
+
+        Every file is checked against its sha256 sidecar.  A mismatched
+        or truncated set is moved to ``<root>/quarantine/`` with a
+        structured reason and dropped from the manifest so the caller
+        recomputes it; with ``strict=True`` a
+        :class:`~repro.resilience.CheckpointCorruptError` is raised
+        instead, naming the first offending artifact.
+        """
         entry = self.manifest["phase1"].get(fingerprint)
         if entry is None:
             return False
         directory = self._phase1_dir(fingerprint)
-        return all(
-            os.path.exists(os.path.join(directory, name))
-            for name in entry["files"].values()
+        failures = []
+        for name in entry["files"].values():
+            failure = verify_artifact(os.path.join(directory, name))
+            if failure is not None:
+                failures.append(failure)
+        if not failures:
+            return True
+        if self.strict:
+            worst = failures[0]
+            raise CheckpointCorruptError(
+                "phase-1 artifact set %s failed verification on resume "
+                "(%s: %s); rerun without --strict-resume to quarantine "
+                "and recompute it"
+                % (fingerprint, worst.path, worst.reason),
+                path=worst.path,
+                expected=worst.expected,
+                actual=worst.actual,
+            )
+        reasons = "; ".join(sorted({f.reason for f in failures}))
+        quarantine(
+            self.root, [directory],
+            "phase-1 set %s failed resume verification (%s)"
+            % (fingerprint, reasons),
+            failures,
         )
+        del self.manifest["phase1"][fingerprint]
+        self.flush()
+        return False
 
     def save_phase1(self, fingerprint, model_state, head_state,
                     train_embeddings, train_labels,
@@ -193,6 +242,23 @@ class RunRegistry:
             (test["embeddings"], test["labels"]),
             entry["meta"],
         )
+
+    # ------------------------------------------------------------------
+    # Circuit breakers (the persistence backend CircuitBreaker expects)
+    # ------------------------------------------------------------------
+    def load_breakers(self):
+        """Persisted circuit-breaker state (key -> entry dict)."""
+        return self.manifest.get("breakers", {})
+
+    def save_breakers(self, state):
+        """Persist breaker state in the manifest and flush."""
+        self.manifest["breakers"] = state
+        self.flush()
+
+    def reset_breakers(self):
+        """Drop all persisted breaker state (``--reset-breakers``)."""
+        self.manifest["breakers"] = {}
+        self.flush()
 
     # ------------------------------------------------------------------
     def summary(self):

@@ -11,7 +11,12 @@ evaluation of a single cell with the full resilience stack:
    can be injected deterministically in tests);
 3. **degrade** — when the cell still fails, return a
    :class:`CellFailure` recording the reason instead of raising, so the
-   sweep completes and renders a ``FAILED(...)`` row.
+   sweep completes and renders a ``FAILED(...)`` row;
+4. **circuit break** — with a :class:`repro.guard.CircuitBreaker`
+   installed, a cell whose configuration family already tripped the
+   breaker is settled as ``FAILED(circuit_open: <signature>)``
+   *without invoking its thunk*, and every genuine failure feeds the
+   breaker's per-signature counters.
 
 :class:`SimulatedKill` (a ``BaseException``) is never absorbed — it
 models the process dying, which only checkpoint/resume survives.
@@ -19,11 +24,14 @@ models the process dying, which only checkpoint/resume survives.
 
 from __future__ import annotations
 
+from ..guard.breaker import default_breaker_key
+from ..guard.phase import report_phase
 from ..telemetry import get_metrics, get_tracer
 from .errors import RetryBudgetExhausted
 from .faults import maybe_fire
 
-__all__ = ["CellFailure", "run_cell", "failure_from_payload"]
+__all__ = ["CellFailure", "run_cell", "failure_from_payload",
+           "short_circuit_failure"]
 
 
 class CellFailure:
@@ -68,8 +76,28 @@ def failure_from_payload(payload):
     )
 
 
+def short_circuit_failure(cell_id, key, signature, registry=None):
+    """Settle one cell as ``FAILED(circuit_open: ...)`` without running it.
+
+    Shared by the serial and parallel cell runners so a tripped breaker
+    produces byte-identical records either way.
+    """
+    failure = CellFailure(signature, error_type="circuit_open", attempts=0)
+    get_tracer().event(
+        "guard.breaker_short_circuit",
+        cell=cell_id,
+        key=key,
+        signature=signature,
+    )
+    get_metrics().counter("guard.breaker_short_circuits").inc()
+    if registry is not None:
+        registry.record_cell(cell_id, failure.to_payload(), status="failed")
+    return failure
+
+
 def run_cell(thunk, cell_id, registry=None, retry_policy=None,
-             fail_soft=True, payload_of=None, result_of=None):
+             fail_soft=True, payload_of=None, result_of=None,
+             breaker=None, breaker_key=None):
     """Evaluate one sweep cell with resume, retry, and degradation.
 
     Parameters
@@ -93,6 +121,16 @@ def run_cell(thunk, cell_id, registry=None, retry_policy=None,
         Optional converters between the thunk's result and the
         JSON-serializable payload stored in the registry.  Defaults to
         identity (fine for plain metric dicts).
+    breaker:
+        Optional :class:`repro.guard.CircuitBreaker`.  If the cell's
+        breaker key is already open, the thunk is **not** invoked and a
+        ``CellFailure(error_type="circuit_open")`` carrying the tripping
+        signature is recorded instead; genuine failures are fed to
+        ``breaker.record_failure``.
+    breaker_key:
+        Breaker key for this cell; defaults to
+        :func:`repro.guard.default_breaker_key` of ``cell_id`` (the
+        cell's configuration family, dataset wildcarded).
 
     Returns the thunk's result, a registry-loaded result, or a
     :class:`CellFailure`.
@@ -104,11 +142,20 @@ def run_cell(thunk, cell_id, registry=None, retry_policy=None,
         get_metrics().counter("cells.resumed").inc()
         return result_of(payload) if result_of is not None else payload
 
+    if breaker is not None:
+        if breaker_key is None:
+            breaker_key = default_breaker_key(cell_id)
+        signature = breaker.open_signature(breaker_key)
+        if signature is not None:
+            return short_circuit_failure(cell_id, breaker_key, signature,
+                                         registry=registry)
+
     attempts_made = [0]
 
     def trial(attempt):
         attempts_made[0] += 1
         index = 0 if attempt is None else attempt.index
+        report_phase("cell:%s" % cell_id)
         maybe_fire("sweep.cell", cell=cell_id, attempt=index)
         return thunk(attempt)
 
@@ -136,6 +183,10 @@ def run_cell(thunk, cell_id, registry=None, retry_policy=None,
                 attempts=failure.attempts,
             )
             get_metrics().counter("cells.failed").inc()
+            if breaker is not None:
+                breaker.record_failure(breaker_key, failure.error_type,
+                                       failure.reason,
+                                       count=failure.attempts)
             if registry is not None:
                 registry.record_cell(cell_id, failure.to_payload(),
                                      status="failed")

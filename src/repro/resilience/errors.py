@@ -20,6 +20,7 @@ __all__ = [
     "TrialTimeoutError",
     "RetryBudgetExhausted",
     "CheckpointMismatchError",
+    "CheckpointCorruptError",
     "FaultInjected",
     "SimulatedKill",
 ]
@@ -122,6 +123,42 @@ class CheckpointMismatchError(ResilienceError):
     Resuming into it would silently mix metrics computed under two
     configurations, so the registry refuses instead.
     """
+
+
+class CheckpointCorruptError(ResilienceError):
+    """An on-disk artifact failed its integrity check.
+
+    Raised when a checkpoint file is truncated, unreadable, or its
+    sha256 digest disagrees with the digest recorded when it was
+    written.  The default (non-strict) resume path never surfaces this
+    error: :class:`~repro.resilience.RunRegistry` quarantines the
+    artifact and recomputes instead.  ``--strict-resume`` turns the
+    quarantine into this exception.
+
+    Attributes
+    ----------
+    path:
+        The offending artifact.
+    expected, actual:
+        Hex sha256 digests (recorded vs recomputed) when the failure was
+        a digest mismatch; None when the file simply failed to parse.
+    """
+
+    def __init__(self, message, path=None, expected=None, actual=None):
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+        detail = message
+        where = []
+        if path is not None:
+            where.append("path=%s" % path)
+        if expected is not None:
+            where.append("expected=sha256:%s" % expected)
+        if actual is not None:
+            where.append("actual=sha256:%s" % actual)
+        if where:
+            detail += " [" + ", ".join(where) + "]"
+        super().__init__(detail)
 
 
 class FaultInjected(ResilienceError):

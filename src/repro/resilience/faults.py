@@ -21,6 +21,20 @@ Built-in fault points
 ``sweep.cell``
     Fired at the start of each sweep-cell attempt with ``cell`` and
     ``attempt``.
+``worker.task``
+    Fired inside each pool worker (:mod:`repro.parallel`) before the
+    task body runs, with ``index``, ``task`` (the task label) and
+    ``dispatch`` (0 for the first dispatch, 1.. for watchdog
+    re-dispatches) — the natural place to ``hang`` a worker once.
+``artifact.saved``
+    Fired by :mod:`repro.utils.serialization` after an array artifact
+    (and its digest sidecar) lands on disk, with ``path`` and ``name``
+    (the basename).  The ``"corrupt"`` action flips bytes in the
+    just-written file, which digest verification then catches.
+``artifact.replace``
+    Fired inside :func:`repro.utils.serialization.atomic_write`
+    between the fsynced temp write and ``os.replace`` — the crash
+    window the atomicity guarantee covers.
 
 Actions
 -------
@@ -32,6 +46,13 @@ Actions
 ``"kill"``
     Raises :class:`SimulatedKill` (a ``BaseException`` — degradation
     handlers cannot swallow it).
+``"hang"``
+    Sleeps for ``seconds`` (default: effectively forever) at the fault
+    point, modeling a stuck worker.  Inject it at ``worker.task`` with
+    ``when={"dispatch": 0}`` so the watchdog's re-dispatch runs clean.
+``"corrupt"``
+    :func:`maybe_fire` returns the string ``"corrupt"``; the call site
+    (``artifact.saved``) flips bytes in the artifact it just wrote.
 
 Example::
 
@@ -46,6 +67,7 @@ check — the instrumented hot paths pay essentially nothing.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 
 from .errors import FaultInjected, SimulatedKill
@@ -60,7 +82,10 @@ __all__ = [
     "maybe_fire",
 ]
 
-_ACTIONS = ("nan", "raise", "kill")
+_ACTIONS = ("nan", "raise", "kill", "hang", "corrupt")
+
+#: Default sleep for ``hang`` faults: far past any sane task deadline.
+_HANG_SECONDS = 3600.0
 
 
 class Fault:
@@ -83,13 +108,16 @@ class Fault:
         every one.
     exc:
         Exception instance for ``action="raise"``.
+    seconds:
+        Sleep duration for ``action="hang"`` (default: one hour, i.e.
+        past any reasonable watchdog deadline).
     """
 
     __slots__ = ("point", "action", "when", "after", "times", "exc",
-                 "seen", "fired")
+                 "seconds", "seen", "fired")
 
     def __init__(self, point, action="raise", when=None, after=1, times=1,
-                 exc=None):
+                 exc=None, seconds=None):
         if action not in _ACTIONS:
             raise ValueError("unknown action %r (valid: %s)"
                              % (action, ", ".join(_ACTIONS)))
@@ -101,6 +129,7 @@ class Fault:
         self.after = int(after)
         self.times = None if times is None else int(times)
         self.exc = exc
+        self.seconds = None if seconds is None else float(seconds)
         self.seen = 0
         self.fired = 0
 
@@ -131,10 +160,10 @@ class FaultPlan:
         self.log = []
 
     def inject(self, point, action="raise", when=None, after=1, times=1,
-               exc=None):
+               exc=None, seconds=None):
         """Schedule a fault; returns the :class:`Fault` for inspection."""
         fault = Fault(point, action=action, when=when, after=after,
-                      times=times, exc=exc)
+                      times=times, exc=exc, seconds=seconds)
         self.faults.append(fault)
         return fault
 
@@ -148,6 +177,14 @@ class FaultPlan:
             self.log.append((point, dict(context), fault.action))
             if fault.action == "nan":
                 return "nan"
+            if fault.action == "corrupt":
+                return "corrupt"
+            if fault.action == "hang":
+                # Models a stuck worker: the process sits here until the
+                # watchdog SIGKILLs it (or the sleep expires in tests).
+                time.sleep(fault.seconds if fault.seconds is not None
+                           else _HANG_SECONDS)
+                return None
             if fault.action == "kill":
                 raise SimulatedKill(
                     "simulated kill at %r (%s)"

@@ -71,20 +71,33 @@ class RetryPolicy:
     retry_on:
         Exception types that trigger a retry; anything else propagates
         immediately.  Defaults to divergence and timeout.
+    task_deadline:
+        Optional per-task wall-clock budget in seconds enforced
+        *externally* by the process pool's watchdog
+        (:func:`repro.parallel.parallel_map`): a worker past this
+        deadline is SIGKILLed and its task re-dispatched under the same
+        seed.  Unlike ``trial_timeout`` (which the trial checks
+        cooperatively between batches), the watchdog catches workers
+        that are fully hung and can no longer check anything.
     """
 
     def __init__(self, max_retries=2, seed_bump=1000, lr_backoff=0.5,
                  trial_timeout=None,
-                 retry_on=(DivergenceError, TrialTimeoutError)):
+                 retry_on=(DivergenceError, TrialTimeoutError),
+                 task_deadline=None):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if not (0.0 < lr_backoff <= 1.0):
             raise ValueError("lr_backoff must be in (0, 1]")
+        if task_deadline is not None and task_deadline <= 0:
+            raise ValueError("task_deadline must be positive")
         self.max_retries = int(max_retries)
         self.seed_bump = int(seed_bump)
         self.lr_backoff = float(lr_backoff)
         self.trial_timeout = trial_timeout
         self.retry_on = tuple(retry_on)
+        self.task_deadline = (None if task_deadline is None
+                              else float(task_deadline))
 
     def attempts(self):
         """Yield the deterministic :class:`Attempt` schedule."""

@@ -109,6 +109,36 @@ def summarize_trace(trace):
         if span.get("depth") == 0:
             total += span["dur"]
 
+    guard = {
+        "watchdog_kills": [],
+        "quarantined": [],
+        "breakers_opened": [],
+        "short_circuits": 0,
+    }
+    for event in events:
+        attrs = event.get("attrs", {})
+        if event["name"] == "guard.watchdog_kill":
+            guard["watchdog_kills"].append({
+                "task": attrs.get("task", "?"),
+                "elapsed": attrs.get("elapsed", 0.0),
+                "phase": attrs.get("phase"),
+                "dispatch": attrs.get("dispatch", 0),
+            })
+        elif event["name"] == "guard.quarantined":
+            guard["quarantined"].append({
+                "reason": attrs.get("reason", "?"),
+                "target": attrs.get("target", "?"),
+                "files": attrs.get("files", 0),
+            })
+        elif event["name"] == "guard.breaker_opened":
+            guard["breakers_opened"].append({
+                "key": attrs.get("key", "?"),
+                "signature": attrs.get("signature", "?"),
+                "failures": attrs.get("failures", 0),
+            })
+        elif event["name"] == "guard.breaker_short_circuit":
+            guard["short_circuits"] += 1
+
     return {
         "n_spans": len(spans),
         "n_events": len(events),
@@ -118,6 +148,7 @@ def summarize_trace(trace):
         "cells": cells,
         "samplers": samplers,
         "events": events,
+        "guard": guard,
         "counters": metrics.get("counters", {}),
         "gauges": metrics.get("gauges", {}),
         "histograms": metrics.get("histograms", {}),
@@ -213,6 +244,33 @@ def render_trace_report(summary):
             rows,
             title="Histograms",
         ))
+
+    guard = summary.get("guard") or {}
+    if (guard.get("watchdog_kills") or guard.get("quarantined")
+            or guard.get("breakers_opened") or guard.get("short_circuits")):
+        lines = ["Guard (watchdog / integrity / breakers):"]
+        for kill in guard.get("watchdog_kills", ()):
+            lines.append(
+                "  watchdog killed %s after %.2fs (dispatch %d, phase %s)"
+                % (kill["task"], kill["elapsed"], kill["dispatch"],
+                   kill["phase"] if kill["phase"] is not None else "unknown")
+            )
+        for item in guard.get("quarantined", ()):
+            lines.append(
+                "  quarantined %d file(s) -> %s (%s)"
+                % (item["files"], item["target"], item["reason"])
+            )
+        for opened in guard.get("breakers_opened", ()):
+            lines.append(
+                "  breaker opened for %s after %d failure(s): %s"
+                % (opened["key"], opened["failures"], opened["signature"])
+            )
+        if guard.get("short_circuits"):
+            lines.append(
+                "  %d cell(s) short-circuited by open breakers"
+                % guard["short_circuits"]
+            )
+        sections.append("\n".join(lines))
 
     anomalies = [
         e for e in summary["events"]

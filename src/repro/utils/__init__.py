@@ -4,10 +4,13 @@ from .charts import ascii_chart
 from .serialization import (
     atomic_write,
     atomic_write_json,
+    digest_path,
+    file_sha256,
     load_arrays,
     load_dataset,
     load_embeddings,
     load_model,
+    read_digest,
     save_arrays,
     save_dataset,
     save_embeddings,
@@ -21,6 +24,9 @@ __all__ = [
     "format_float",
     "atomic_write",
     "atomic_write_json",
+    "digest_path",
+    "file_sha256",
+    "read_digest",
     "save_arrays",
     "load_arrays",
     "save_model",

@@ -10,19 +10,37 @@ the target with ``os.replace``.  A crash mid-write therefore leaves
 either the previous checkpoint or no file — never a torn one — which is
 the invariant the resume machinery in :mod:`repro.resilience` relies
 on (lint rule RES001 flags artifact writes that bypass this).
+
+Atomicity protects against *torn* files; it cannot detect silent
+corruption (a flipped bit, a truncated copy, an artifact edited out of
+band).  Array writers therefore also record a sha256 sidecar
+(``<artifact>.sha256``) which the resume machinery verifies before
+trusting an artifact — see :mod:`repro.guard.integrity`.  Readers wrap
+low-level decode failures (``zipfile.BadZipFile``, ``EOFError`` ...) in
+:class:`repro.resilience.CheckpointCorruptError` naming the path and
+the expected digest, so a truncated checkpoint surfaces as one typed,
+quarantine-able failure instead of a raw zip traceback.  Lint rule
+RES003 keeps checkpoint I/O routed through this module so no reader
+bypasses verification.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+import zipfile
+import zlib
 
 import numpy as np
 
 __all__ = [
     "atomic_write",
     "atomic_write_json",
+    "digest_path",
+    "file_sha256",
+    "read_digest",
     "save_arrays",
     "load_arrays",
     "save_model",
@@ -33,6 +51,42 @@ __all__ = [
     "load_dataset",
 ]
 
+#: Exceptions that mean "this file does not decode as a valid npz".
+_DECODE_ERRORS = (zipfile.BadZipFile, zlib.error, EOFError, ValueError)
+
+
+def file_sha256(path, chunk_size=1 << 20):
+    """Hex sha256 digest of a file's contents (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def digest_path(path):
+    """The sidecar path holding ``path``'s recorded sha256 digest."""
+    return os.fspath(path) + ".sha256"
+
+
+def read_digest(path):
+    """The recorded digest for ``path``, or None when no sidecar exists."""
+    sidecar = digest_path(path)
+    if not os.path.exists(sidecar):
+        return None
+    with open(sidecar, "r", encoding="utf-8") as handle:
+        return handle.read().strip() or None
+
+
+def _write_digest(path):
+    """Atomically record ``path``'s current digest in its sidecar."""
+    data = (file_sha256(path) + "\n").encode("ascii")
+    atomic_write(digest_path(path), lambda handle: handle.write(data))
+    return path
+
 
 def atomic_write(path, write):
     """Atomically create/replace ``path`` with the bytes ``write`` emits.
@@ -42,8 +96,15 @@ def atomic_write(path, write):
     atomically renamed onto ``path``.  On any failure the temp file is
     removed and the previous ``path`` (if any) is left untouched.
 
+    The ``artifact.replace`` fault point fires between the fsynced temp
+    write and the rename — exactly the crash window the atomicity
+    guarantee covers — so tests can assert that a kill there leaves the
+    previous artifact intact.
+
     Returns the final path as a string.
     """
+    from ..resilience.faults import maybe_fire
+
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
     fd, tmp = tempfile.mkstemp(
@@ -54,6 +115,8 @@ def atomic_write(path, write):
             write(handle)
             handle.flush()
             os.fsync(handle.fileno())
+        maybe_fire("artifact.replace", path=path,
+                   name=os.path.basename(path))
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -64,10 +127,17 @@ def atomic_write(path, write):
     return path
 
 
-def atomic_write_json(path, payload, indent=2):
-    """Atomically serialize ``payload`` as JSON to ``path``."""
+def atomic_write_json(path, payload, indent=2, digest=False):
+    """Atomically serialize ``payload`` as JSON to ``path``.
+
+    With ``digest=True`` a sha256 sidecar is recorded alongside, making
+    the file verifiable by :func:`repro.guard.verify_artifact`.
+    """
     data = json.dumps(payload, indent=indent, sort_keys=True).encode("utf-8")
-    return atomic_write(path, lambda handle: handle.write(data))
+    atomic_write(path, lambda handle: handle.write(data))
+    if digest:
+        _write_digest(path)
+    return os.fspath(path)
 
 
 def _npz_path(path):
@@ -76,22 +146,75 @@ def _npz_path(path):
     return path if path.endswith(".npz") else path + ".npz"
 
 
+def _flip_bytes(path, count=8):
+    """Deterministically corrupt a file in place (the ``corrupt`` fault).
+
+    XORs ``count`` bytes at the file's midpoint — enough to break the
+    zip member CRC without changing the file's size, which is exactly
+    the silent-corruption shape digest verification exists to catch.
+    """
+    size = os.path.getsize(path)
+    offset = size // 2
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        chunk = handle.read(count)
+        handle.seek(offset)
+        handle.write(bytes(byte ^ 0xFF for byte in chunk))
+    return path
+
+
 def _save_npz(path, arrays):
-    return atomic_write(
+    from ..resilience.faults import maybe_fire
+
+    final = atomic_write(
         _npz_path(path),
-        lambda handle: np.savez_compressed(handle, **arrays),  # repro: noqa[RES001] this lambda runs inside atomic_write's temp handle
+        lambda handle: np.savez_compressed(handle, **arrays),  # repro: noqa[RES001] this lambda writes into atomic_write's temp handle, not the final path
+    )
+    _write_digest(final)
+    if maybe_fire("artifact.saved", path=final,
+                  name=os.path.basename(final)) == "corrupt":
+        _flip_bytes(final)
+    return final
+
+
+def _corrupt_error(path, exc):
+    from ..resilience.errors import CheckpointCorruptError
+
+    return CheckpointCorruptError(
+        "checkpoint artifact %s is corrupt or truncated (%s: %s)"
+        % (path, type(exc).__name__, exc),
+        path=path,
+        expected=read_digest(path),
     )
 
 
+def _load_npz(path, reader):
+    """Open an ``.npz`` and apply ``reader`` to it, typing decode errors."""
+    path = os.fspath(path)
+    try:
+        with np.load(path) as data:
+            return reader(data)
+    except _DECODE_ERRORS as exc:
+        raise _corrupt_error(path, exc) from exc
+
+
 def save_arrays(path, arrays):
-    """Atomically persist a flat ``{name: ndarray}`` mapping as ``.npz``."""
+    """Atomically persist a flat ``{name: ndarray}`` mapping as ``.npz``.
+
+    A sha256 sidecar (``<path>.sha256``) is recorded after the write so
+    resume-time readers can verify the artifact before trusting it.
+    """
     return _save_npz(path, dict(arrays))
 
 
 def load_arrays(path):
-    """Load a ``{name: ndarray}`` mapping saved by :func:`save_arrays`."""
-    with np.load(path) as data:
-        return {key: data[key] for key in data.files}
+    """Load a ``{name: ndarray}`` mapping saved by :func:`save_arrays`.
+
+    A truncated or corrupted file raises
+    :class:`repro.resilience.CheckpointCorruptError` naming the path and
+    the expected digest instead of a raw ``zipfile``/``EOFError``.
+    """
+    return _load_npz(path, lambda data: {key: data[key] for key in data.files})
 
 
 def save_model(model, path):
@@ -106,8 +229,7 @@ def load_model(model, path):
     missing, unexpected, or shape-mismatched entry — not a numpy
     broadcast error from deep inside ``load_state_dict``.
     """
-    with np.load(path) as data:
-        state = {key: data[key] for key in data.files}
+    state = load_arrays(path)
     expected = model.state_dict()
     problems = []
     for name in sorted(set(expected) - set(state)):
@@ -140,8 +262,7 @@ def save_embeddings(path, embeddings, labels):
 
 def load_embeddings(path):
     """Load (embeddings, labels) saved by :func:`save_embeddings`."""
-    with np.load(path) as data:
-        return data["embeddings"], data["labels"]
+    return _load_npz(path, lambda data: (data["embeddings"], data["labels"]))
 
 
 def save_dataset(path, dataset):
@@ -153,5 +274,6 @@ def load_dataset(path):
     """Load an :class:`repro.data.ArrayDataset` saved by :func:`save_dataset`."""
     from ..data import ArrayDataset
 
-    with np.load(path) as data:
-        return ArrayDataset(data["images"], data["labels"])
+    return _load_npz(
+        path, lambda data: ArrayDataset(data["images"], data["labels"])
+    )

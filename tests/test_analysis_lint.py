@@ -463,6 +463,66 @@ class TestRES002SwallowedException:
         assert any(f.rule == "RES002" for f in report.suppressed)
 
 
+class TestRES003RawCheckpointIO:
+    def test_flags_direct_np_load(self):
+        findings = lint(
+            """
+            import numpy as np
+            def restore(path):
+                return np.load(path)
+            """
+        )
+        assert "RES003" in rule_ids(findings)
+
+    def test_flags_direct_np_savez_compressed(self):
+        findings = lint(
+            """
+            import numpy as np
+            def persist(path, x):
+                np.savez_compressed(path, x=x)
+            """
+        )
+        assert "RES003" in rule_ids(findings)
+
+    def test_allows_serialization_helpers(self):
+        findings = lint(
+            """
+            from repro.utils.serialization import load_arrays, save_arrays
+            def roundtrip(path, arrays):
+                save_arrays(path, arrays)
+                return load_arrays(path)
+            """
+        )
+        assert "RES003" not in rule_ids(findings)
+
+    def test_allows_unrelated_np_calls(self):
+        findings = lint(
+            """
+            import numpy as np
+            x = np.zeros(3)
+            y = np.loadtxt
+            """
+        )
+        assert "RES003" not in rule_ids(findings)
+
+    def test_serialization_module_is_exempt(self, tmp_path):
+        pkg = tmp_path / "utils"
+        pkg.mkdir()
+        (pkg / "serialization.py").write_text(
+            "import numpy as np\n\n"
+            "def _load(path):\n    return np.load(path)\n"
+        )
+        report = LintEngine().run([pkg])
+        assert "RES003" not in rule_ids(report.findings)
+
+    def test_other_modules_are_not_exempt(self, tmp_path):
+        (tmp_path / "loader.py").write_text(
+            "import numpy as np\ndata = np.load('x.npz')\n"
+        )
+        report = LintEngine().run([tmp_path])
+        assert "RES003" in rule_ids(report.findings)
+
+
 class TestOBS001RawClock:
     def test_flags_raw_clock_reads(self):
         findings = lint(
@@ -571,9 +631,9 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             LintEngine(select=["NOPE999"])
 
-    def test_registry_has_fourteen_rules(self):
-        assert len(all_rules()) == 14
-        assert len(rule_index()) == 14
+    def test_registry_has_fifteen_rules(self):
+        assert len(all_rules()) == 15
+        assert len(rule_index()) == 15
 
 
 # ----------------------------------------------------------------------
@@ -608,6 +668,10 @@ VIOLATION_FIXTURES = {
     "RES002": (
         "def risky():\n    try:\n        return 1\n"
         "    except ValueError:\n        pass\n"
+    ),
+    "RES003": (
+        "import numpy as np\n"
+        "def restore(path):\n    return np.load(path)\n"
     ),
 }
 

@@ -87,6 +87,29 @@ class TestKillAndResume:
         assert replay_cache.stats()["misses"] == 1
 
 
+class TestAtomicWriteCrashWindow:
+    def test_kill_between_temp_write_and_replace_keeps_old_manifest(
+            self, tmp_path):
+        registry = RunRegistry(tmp_path / "run")
+        registry.record_cell("c/1", {"v": 1})
+
+        # Kill inside atomic_write's crash window: after the temp file
+        # is fsynced, before os.replace swings it over manifest.json.
+        plan = FaultPlan()
+        plan.inject("artifact.replace", action="kill",
+                    when={"name": "manifest.json"})
+        with inject_faults(plan):
+            with pytest.raises(SimulatedKill):
+                registry.record_cell("c/2", {"v": 2})
+
+        # Resume sees the previous intact manifest: c/1 durable, the
+        # in-flight c/2 lost, and no *.tmp debris left behind.
+        resumed = RunRegistry(tmp_path / "run")
+        assert resumed.cell_statuses() == {"c/1": "done"}
+        assert resumed.load_cell("c/1") == {"v": 1}
+        assert list((tmp_path / "run").glob("*.tmp")) == []
+
+
 class TestDivergenceDegradation:
     def test_diverged_cell_fails_after_retry_budget(self, reference):
         plan = FaultPlan()

@@ -1,10 +1,13 @@
 """Tests for model/embedding/dataset checkpointing."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.data import ArrayDataset
 from repro.nn import SmallConvNet, resnet8
+from repro.resilience import CheckpointCorruptError
 from repro.tensor import Tensor
 from repro.utils import (
     load_dataset,
@@ -13,6 +16,14 @@ from repro.utils import (
     save_dataset,
     save_embeddings,
     save_model,
+)
+from repro.utils.serialization import (
+    _flip_bytes,
+    digest_path,
+    file_sha256,
+    load_arrays,
+    read_digest,
+    save_arrays,
 )
 
 
@@ -81,6 +92,57 @@ class TestEmbeddingCheckpoint:
         with pytest.raises(ValueError):
             save_embeddings(tmp_path / "x.npz", rng.normal(size=(5, 2)),
                             np.zeros(4))
+
+
+class TestDigestSidecars:
+    def test_save_arrays_records_matching_digest(self, tmp_path, rng):
+        path = save_arrays(tmp_path / "a.npz", {"x": rng.normal(size=8)})
+        recorded = read_digest(path)
+        assert recorded is not None
+        assert recorded == file_sha256(path)
+
+    def test_model_and_embedding_writers_record_digests(self, tmp_path, rng):
+        model = SmallConvNet(num_classes=2, width=4, rng=rng)
+        model_path = save_model(model, tmp_path / "model.npz")
+        emb_path = save_embeddings(tmp_path / "emb.npz",
+                                   rng.normal(size=(5, 3)), np.zeros(5))
+        for path in (model_path, emb_path):
+            assert read_digest(path) == file_sha256(path)
+
+    def test_missing_sidecar_reads_as_none(self, tmp_path):
+        assert read_digest(tmp_path / "nothing.npz") is None
+
+    def test_digest_path_is_a_sidecar(self):
+        assert digest_path("a/b.npz") == "a/b.npz.sha256"
+
+
+class TestCorruptCheckpoints:
+    def test_flipped_bytes_raise_typed_error(self, tmp_path, rng):
+        path = save_arrays(tmp_path / "a.npz", {"x": rng.normal(size=64)})
+        expected = read_digest(path)
+        _flip_bytes(path)
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            load_arrays(path)
+        # The typed error names the artifact and the digest it should
+        # have had — everything quarantine's reason.json needs.
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.path == str(path)
+        assert excinfo.value.expected == expected
+
+    def test_truncated_file_raises_typed_error(self, tmp_path, rng):
+        path = save_arrays(tmp_path / "a.npz", {"x": rng.normal(size=64)})
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(CheckpointCorruptError):
+            load_arrays(path)
+
+    def test_corrupt_model_checkpoint_raises_typed_error(self, tmp_path, rng):
+        model = SmallConvNet(num_classes=2, width=4, rng=rng)
+        path = save_model(model, tmp_path / "model.npz")
+        _flip_bytes(path)
+        clone = SmallConvNet(num_classes=2, width=4, rng=rng)
+        with pytest.raises(CheckpointCorruptError):
+            load_model(clone, path)
 
 
 class TestDatasetCheckpoint:
