@@ -1,28 +1,50 @@
 """Static analysis and runtime sanitizers for the reproduction.
 
-Two coordinated layers of correctness tooling:
+Three coordinated layers of correctness tooling:
 
 * :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an
-  AST-based lint engine with repro-specific rules (RNG discipline, tape
-  hygiene, sampler validation, export drift...).  Run it as
-  ``python -m repro.analysis [--strict] src/`` or via the
+  AST-based lint engine with repro-specific per-file rules (RNG
+  discipline, tape hygiene, sampler validation, export drift...).
+* :mod:`repro.analysis.flow` — whole-program dataflow analyses (the
+  ``FLOW-RNG`` / ``FLOW-DTYPE`` / ``FLOW-FORK`` families) built on a
+  project-wide symbol table and call graph, with mechanical auto-fixes
+  (:mod:`repro.analysis.fixes`) and a frozen-debt baseline
+  (:mod:`repro.analysis.baseline`).  Run everything as
+  ``python -m repro.analysis [--strict] [--fix] src/`` or via the
   ``repro-lint`` console script.
 * :mod:`repro.analysis.sanitizer` — the opt-in ``detect_anomaly()``
   runtime tape sanitizer for the autograd engine.
 """
 
-from .engine import Finding, LintEngine, LintReport, ModuleContext, Rule
+from .baseline import Baseline, finding_key
+from .engine import (
+    Finding,
+    LintEngine,
+    LintReport,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+)
+from .fixes import Fix, FixResult, apply_fixes
+from .flow import ProjectModel
 from .rules import RULE_CLASSES, all_rules, rule_index
 from .sanitizer import AnomalyError, array_version, detect_anomaly, is_anomaly_enabled
 
 __all__ = [
+    "Baseline",
     "Finding",
+    "Fix",
+    "FixResult",
     "LintEngine",
     "LintReport",
     "ModuleContext",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "RULE_CLASSES",
     "all_rules",
+    "apply_fixes",
+    "finding_key",
     "rule_index",
     "AnomalyError",
     "array_version",

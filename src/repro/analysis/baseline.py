@@ -1,0 +1,105 @@
+"""Finding baselines: freeze pre-existing lint debt, fail only on new.
+
+A baseline file (conventionally ``.repro-lint-baseline.json`` at the
+repo root) records every finding that existed when it was written, as
+``(rule, path, message) → count`` entries — deliberately *line-free*,
+so unrelated edits that shift line numbers do not resurrect frozen
+debt.  ``repro-lint --baseline FILE`` subtracts baselined findings from
+the report; ``--update-baseline`` rewrites the file from the current
+tree.  The committed baseline plus the CI gate test means new
+violations fail the build while historical ones stay visible (and
+shrink as they get fixed — a baseline entry that no longer matches
+anything is dropped on the next ``--update-baseline``).
+
+Paths are stored relative to the baseline file's directory so the file
+is stable across checkouts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["Baseline", "finding_key"]
+
+
+def finding_key(finding, root):
+    """Stable identity of a finding for baseline matching."""
+    path = finding.path
+    try:
+        path = os.path.relpath(path, root)
+    except ValueError:  # repro: noqa[RES002] different drive (windows); the absolute path is the fallback key
+        pass
+    return "%s::%s::%s" % (finding.rule, path.replace(os.sep, "/"),
+                           finding.message)
+
+
+class Baseline:
+    """A frozen set of findings, keyed by :func:`finding_key`."""
+
+    def __init__(self, entries, root):
+        self.entries = dict(entries)   # key -> count
+        self.root = str(root)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings, root):
+        entries = {}
+        for finding in findings:
+            key = finding_key(finding, root)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries, root)
+
+    @classmethod
+    def load(cls, path):
+        path = Path(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != 1:
+            raise ValueError(
+                "unsupported baseline version %r in %s"
+                % (payload.get("version"), path)
+            )
+        entries = {
+            "%s::%s::%s" % (e["rule"], e["path"], e["message"]): int(e["count"])
+            for e in payload.get("entries", ())
+        }
+        return cls(entries, path.parent)
+
+    def save(self, path):
+        """Write the baseline; byte-stable (sorted entries, fixed layout)."""
+        from ..utils.serialization import atomic_write
+
+        entries = []
+        for key in sorted(self.entries):
+            rule, rel_path, message = key.split("::", 2)
+            entries.append(
+                {
+                    "rule": rule,
+                    "path": rel_path,
+                    "message": message,
+                    "count": self.entries[key],
+                }
+            )
+        payload = json.dumps({"version": 1, "entries": entries}, indent=2,
+                             sort_keys=True) + "\n"
+        data = payload.encode("utf-8")
+        atomic_write(path, lambda fh: fh.write(data))
+
+    # -- filtering ------------------------------------------------------
+    def filter(self, findings):
+        """Split ``findings`` into (new, baselined).
+
+        Per key, up to ``count`` findings are absorbed by the baseline;
+        any excess (the same debt duplicated further) counts as new.
+        """
+        remaining = dict(self.entries)
+        new, baselined = [], []
+        for finding in findings:
+            key = finding_key(finding, self.root)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

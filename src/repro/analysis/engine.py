@@ -8,10 +8,24 @@ usual PyTorch safety nets do not apply to a hand-rolled numpy autograd
 stack — RNG discipline, tape hygiene and dtype policy have to be
 enforced by our own tooling.
 
+Two rule shapes plug into the engine:
+
+* :class:`Rule` — per-file rules.  ``check(ctx)`` sees one parsed
+  module at a time.
+* :class:`ProjectRule` — whole-program rules (the ``FLOW-*`` families
+  in :mod:`repro.analysis.flow`).  The engine parses the entire tree
+  first, builds one :class:`repro.analysis.flow.ProjectModel`, and
+  hands it to ``check_project(project)``; findings may be anchored to
+  *any* file in the project.  Suppression is always resolved against
+  the noqa comments of the file a finding is anchored to — a noqa in
+  the file that *triggered* an interprocedural finding does not
+  suppress a finding anchored elsewhere.
+
 Suppression syntax (always on the flagged line)::
 
     something_risky()  # repro: noqa[RNG001] justification text
     other_thing()      # repro: noqa  (blanket, suppresses every rule)
+    third_thing()      # repro: noqa[RNG001,FLOW-RNG] multiple ids
 
 Usage::
 
@@ -32,27 +46,37 @@ __all__ = [
     "Finding",
     "ModuleContext",
     "Rule",
+    "ProjectRule",
     "LintEngine",
     "LintReport",
     "NoqaComment",
     "parse_noqa_comments",
 ]
 
-_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+# Rule ids may contain hyphens (the FLOW-* families), so the id class
+# includes ``-`` — ``noqa[RNG001,FLOW-RNG]`` parses as two ids.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_\-,\s]+)\])?")
 
 
 class Finding:
-    """A single lint finding anchored to a file and line."""
+    """A single lint finding anchored to a file and line.
 
-    __slots__ = ("rule", "path", "line", "col", "message", "severity")
+    ``fix`` optionally carries a :class:`repro.analysis.fixes.Fix`
+    describing a mechanical rewrite that removes the finding;
+    ``repro-lint --fix`` applies it.
+    """
 
-    def __init__(self, rule, path, line, col, message, severity="error"):
+    __slots__ = ("rule", "path", "line", "col", "message", "severity", "fix")
+
+    def __init__(self, rule, path, line, col, message, severity="error",
+                 fix=None):
         self.rule = rule
         self.path = str(path)
         self.line = int(line)
         self.col = int(col)
         self.message = message
         self.severity = severity
+        self.fix = fix
 
     def to_dict(self):
         return {
@@ -62,6 +86,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "severity": self.severity,
+            "fixable": self.fix is not None,
         }
 
     def __repr__(self):
@@ -126,17 +151,17 @@ class ModuleContext:
         self.lines = source.splitlines()
         self.noqa = parse_noqa_comments(source)
 
-    def finding(self, rule, node, message, severity="error"):
+    def finding(self, rule, node, message, severity="error", fix=None):
         """Build a Finding anchored at an AST node (or (line, col) pair)."""
         if isinstance(node, tuple):
             line, col = node
         else:
             line, col = node.lineno, getattr(node, "col_offset", 0)
-        return Finding(rule, self.path, line, col, message, severity)
+        return Finding(rule, self.path, line, col, message, severity, fix=fix)
 
 
 class Rule:
-    """Base class for lint rules.
+    """Base class for per-file lint rules.
 
     Subclasses set ``id`` / ``name`` / ``description`` and implement
     :meth:`check`, yielding :class:`Finding` objects.
@@ -146,21 +171,43 @@ class Rule:
     name = "base-rule"
     description = ""
     severity = "error"
+    requires_project = False
 
     def check(self, ctx):
         raise NotImplementedError
 
-    def finding(self, ctx, node, message):
-        return ctx.finding(self.id, node, message, severity=self.severity)
+    def finding(self, ctx, node, message, fix=None):
+        return ctx.finding(self.id, node, message, severity=self.severity,
+                           fix=fix)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    ``check_project`` receives a :class:`repro.analysis.flow.ProjectModel`
+    covering every parseable file of the run and yields findings that
+    may be anchored to any of them.  ``check(ctx)`` is a no-op so
+    project rules degrade gracefully under :meth:`LintEngine.check_source`
+    (which has no project to offer).
+    """
+
+    requires_project = True
+
+    def check(self, ctx):
+        return ()
+
+    def check_project(self, project):
+        raise NotImplementedError
 
 
 class LintReport:
     """Findings plus bookkeeping from one engine run."""
 
-    def __init__(self, findings, suppressed, files_checked):
+    def __init__(self, findings, suppressed, files_checked, baselined=0):
         self.findings = findings
         self.suppressed = suppressed
         self.files_checked = files_checked
+        self.baselined = baselined
 
     @property
     def error_count(self):
@@ -169,6 +216,10 @@ class LintReport:
     @property
     def warning_count(self):
         return sum(1 for f in self.findings if f.severity == "warning")
+
+    @property
+    def fixable_count(self):
+        return sum(1 for f in self.findings if f.fix is not None)
 
     def exit_code(self, strict=False):
         """0 when clean; 1 when errors (or, under --strict, any finding)."""
@@ -185,15 +236,17 @@ class LintReport:
                 "%s:%d:%d: %s [%s] %s"
                 % (f.path, f.line, f.col, f.severity, f.rule, f.message)
             )
-        lines.append(
-            "%d file(s) checked: %d error(s), %d warning(s), %d suppressed"
-            % (
-                self.files_checked,
-                self.error_count,
-                self.warning_count,
-                len(self.suppressed),
-            )
+        summary = "%d file(s) checked: %d error(s), %d warning(s), %d suppressed" % (
+            self.files_checked,
+            self.error_count,
+            self.warning_count,
+            len(self.suppressed),
         )
+        if self.baselined:
+            summary += ", %d baselined" % self.baselined
+        if self.fixable_count:
+            summary += " (%d fixable with --fix)" % self.fixable_count
+        lines.append(summary)
         return "\n".join(lines)
 
     def format_json(self):
@@ -203,10 +256,124 @@ class LintReport:
                 "errors": self.error_count,
                 "warnings": self.warning_count,
                 "suppressed": len(self.suppressed),
+                "baselined": self.baselined,
                 "findings": [f.to_dict() for f in self.findings],
             },
             indent=2,
         )
+
+    def format_sarif(self, rule_index=None):
+        """SARIF 2.1.0 — the format GitHub code scanning ingests."""
+        seen_rules = []
+        for f in self.findings:
+            if f.rule not in seen_rules:
+                seen_rules.append(f.rule)
+        driver_rules = []
+        for rid in sorted(seen_rules):
+            entry = {"id": rid}
+            if rule_index and rid in rule_index:
+                name, description, _severity = rule_index[rid]
+                entry["name"] = name
+                entry["shortDescription"] = {"text": description}
+            driver_rules.append(entry)
+        results = [
+            {
+                "ruleId": f.rule,
+                "level": "error" if f.severity == "error" else "warning",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": max(1, f.col + 1),
+                            },
+                        }
+                    }
+                ],
+            }
+            for f in self.findings
+        ]
+        payload = {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri":
+                                "https://github.com/repro/repro",
+                            "rules": driver_rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    def format_github(self):
+        """GitHub Actions workflow annotations (``::error file=...``)."""
+        lines = [
+            "::%s file=%s,line=%d,col=%d,title=%s::%s"
+            % (
+                "error" if f.severity == "error" else "warning",
+                f.path,
+                f.line,
+                max(1, f.col + 1),
+                f.rule,
+                f.message.replace("%", "%25").replace("\n", "%0A"),
+            )
+            for f in self.findings
+        ]
+        lines.append(
+            "%d file(s) checked: %d error(s), %d warning(s)"
+            % (self.files_checked, self.error_count, self.warning_count)
+        )
+        return "\n".join(lines)
+
+
+class _FileResult:
+    """Per-file lint output: raw findings + noqa table (+ tree when the
+    pass ran serially, so project rules can reuse the parse)."""
+
+    __slots__ = ("path", "source", "findings", "noqa", "tree", "syntax_error")
+
+    def __init__(self, path, source, findings, noqa, tree=None,
+                 syntax_error=False):
+        self.path = path
+        self.source = source
+        self.findings = findings
+        self.noqa = noqa
+        self.tree = tree
+        self.syntax_error = syntax_error
+
+    def __getstate__(self):
+        # Trees never cross a process boundary: the parent re-parses
+        # from source when project rules need them.
+        return (self.path, self.source, self.findings, self.noqa,
+                self.syntax_error)
+
+    def __setstate__(self, state):
+        self.path, self.source, self.findings, self.noqa, \
+            self.syntax_error = state
+        self.tree = None
+
+
+def _spec_matches(spec, rule_id):
+    """True when a --select/--ignore spec names this rule.
+
+    A spec is either an exact rule id (``RNG001``, ``FLOW-RNG``) or a
+    family prefix: ``FLOW`` matches every ``FLOW-*`` rule, ``RNG``
+    matches ``RNG001``/``RNG002``.
+    """
+    if rule_id == spec:
+        return True
+    if rule_id.startswith(spec + "-"):
+        return True
+    return rule_id.startswith(spec) and rule_id[len(spec):].isdigit()
 
 
 class LintEngine:
@@ -218,8 +385,9 @@ class LintEngine:
         Iterable of Rule instances.  Defaults to the full registry from
         :mod:`repro.analysis.rules`.
     select / ignore:
-        Optional iterables of rule ids enabling or disabling rules.
-        ``select`` wins when both are given.
+        Optional iterables of rule ids or family prefixes enabling or
+        disabling rules (``FLOW`` selects all three ``FLOW-*``
+        analyses).  ``select`` wins when both are given.
     """
 
     def __init__(self, rules=None, select=None, ignore=None):
@@ -231,15 +399,17 @@ class LintEngine:
         known = {r.id for r in rules}
         for spec in (select or ()), (ignore or ()):
             for rid in spec:
-                if rid not in known:
+                if not any(_spec_matches(rid, k) for k in known):
                     raise ValueError("unknown rule id %r (known: %s)"
                                      % (rid, ", ".join(sorted(known))))
         if select:
-            wanted = set(select)
-            rules = [r for r in rules if r.id in wanted]
+            wanted = list(select)
+            rules = [r for r in rules
+                     if any(_spec_matches(s, r.id) for s in wanted)]
         elif ignore:
-            unwanted = set(ignore)
-            rules = [r for r in rules if r.id not in unwanted]
+            unwanted = list(ignore)
+            rules = [r for r in rules
+                     if not any(_spec_matches(s, r.id) for s in unwanted)]
         self.rules = rules
 
     # ------------------------------------------------------------------
@@ -256,44 +426,112 @@ class LintEngine:
                 raise FileNotFoundError("not a python file or directory: %s" % path)
         return files
 
+    @property
+    def file_rules(self):
+        return [r for r in self.rules if not r.requires_project]
+
+    @property
+    def project_rules(self):
+        return [r for r in self.rules if r.requires_project]
+
     def check_source(self, source, path="<string>"):
-        """Lint one in-memory module; returns (findings, noqa_comments)."""
+        """Lint one in-memory module; returns (findings, noqa_comments).
+
+        Only per-file rules run here — project rules need the whole
+        tree and therefore only fire under :meth:`run`.
+        """
         tree = ast.parse(source, filename=str(path))
         ctx = ModuleContext(path, source, tree)
         findings = []
-        for rule in self.rules:
+        for rule in self.file_rules:
             findings.extend(rule.check(ctx))
         return findings, ctx.noqa
 
-    def run(self, paths):
-        """Lint every file under ``paths`` and return a :class:`LintReport`."""
-        findings, suppressed = [], []
+    # ------------------------------------------------------------------
+    def _lint_file(self, path, keep_tree):
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            finding = Finding(
+                "SYNTAX",
+                path,
+                exc.lineno or 1,
+                exc.offset or 0,
+                "syntax error: %s" % exc.msg,
+            )
+            return _FileResult(str(path), source, [finding], {},
+                               syntax_error=True)
+        ctx = ModuleContext(path, source, tree)
+        findings = []
+        for rule in self.file_rules:
+            findings.extend(rule.check(ctx))
+        return _FileResult(str(path), source, findings, ctx.noqa,
+                           tree=tree if keep_tree else None)
+
+    def run(self, paths, jobs=None):
+        """Lint every file under ``paths`` and return a :class:`LintReport`.
+
+        ``jobs`` > 1 fans the per-file pass out through
+        :func:`repro.parallel.parallel_map`; results are assembled in
+        file order, so the report is byte-identical to a serial run.
+        Project rules always run in the parent, over the whole tree.
+        """
         files = self.collect_files(paths)
-        check_unused_noqa = any(r.id == "NOQA001" for r in self.rules)
-        for path in files:
-            source = path.read_text(encoding="utf-8")
-            try:
-                raw, noqa = self.check_source(source, path)
-            except SyntaxError as exc:
-                findings.append(
-                    Finding(
-                        "SYNTAX",
-                        path,
-                        exc.lineno or 1,
-                        exc.offset or 0,
-                        "syntax error: %s" % exc.msg,
-                    )
-                )
-                continue
-            for f in raw:
-                comment = noqa.get(f.line)
-                if comment is not None and comment.suppresses(f.rule):
-                    comment.used = True
-                    suppressed.append(f)
-                else:
-                    findings.append(f)
-            if check_unused_noqa:
-                for comment in noqa.values():
+        jobs = 1 if jobs is None else max(1, int(jobs))
+        project_rules = self.project_rules
+        keep_tree = bool(project_rules)
+
+        if jobs > 1 and len(files) > 1:
+            from ..parallel import parallel_map
+
+            def lint_one(path, _seed):
+                return self._lint_file(path, keep_tree=False)
+
+            results = parallel_map(
+                lint_one, [str(f) for f in files], max_workers=jobs,
+            )
+        else:
+            results = [self._lint_file(f, keep_tree=keep_tree) for f in files]
+
+        raw_findings = []
+        syntax_findings = []
+        noqa_by_path = {}
+        for res in results:
+            noqa_by_path[res.path] = res.noqa
+            if res.syntax_error:
+                syntax_findings.extend(res.findings)
+            else:
+                raw_findings.extend(res.findings)
+
+        if project_rules:
+            from .flow import ProjectModel
+
+            modules = {
+                res.path: (res.source, res.tree)
+                for res in results
+                if not res.syntax_error
+            }
+            project = ProjectModel.build(modules)
+            for rule in project_rules:
+                raw_findings.extend(rule.check_project(project))
+
+        # Suppression is resolved against the *anchored* file's noqa
+        # table: an interprocedural finding in a.py is never silenced
+        # by a noqa comment in b.py, blanket or not.
+        findings, suppressed = list(syntax_findings), []
+        for f in raw_findings:
+            comment = noqa_by_path.get(f.path, {}).get(f.line)
+            if comment is not None and comment.suppresses(f.rule):
+                comment.used = True
+                suppressed.append(f)
+            else:
+                findings.append(f)
+
+        if any(r.id == "NOQA001" for r in self.rules):
+            for path in noqa_by_path:
+                for comment in noqa_by_path[path].values():
                     if not comment.used:
                         findings.append(
                             Finding(

@@ -1,0 +1,167 @@
+"""Mechanical auto-fixes for lint findings (``repro-lint --fix``).
+
+A rule that knows how to repair its own finding attaches a :class:`Fix`
+to it.  A fix is a bundle of same-line textual replacements plus any
+import statements the new code needs; :func:`apply_fixes` groups fixes
+by file, applies them bottom-up (so earlier edits never shift later
+anchors), inserts missing imports after the module's import block, and
+writes the result atomically.
+
+The applier is deliberately conservative — a replacement only happens
+when its ``old`` text occurs exactly once on the anchored line, so a
+stale fix (source drifted since the finding was computed) is skipped
+rather than misapplied.  Applying the same fixes twice is a no-op by
+construction: once rewritten, the finding (and therefore the fix)
+no longer exists, and a replacement whose ``old`` text is gone does
+not match.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+__all__ = ["Fix", "FixResult", "apply_fixes"]
+
+
+class Fix:
+    """A mechanical rewrite that removes one finding.
+
+    Parameters
+    ----------
+    replacements:
+        Iterable of ``(line, old, new)`` triples; ``line`` is 1-based
+        and the edit replaces the single occurrence of ``old`` on that
+        physical line with ``new``.
+    add_imports:
+        Import statements (full source lines, e.g.
+        ``"from repro._rng import fresh_generator"``) the rewritten
+        code requires; inserted once per file, after the existing
+        import block, only when not already present.
+    """
+
+    __slots__ = ("replacements", "add_imports")
+
+    def __init__(self, replacements, add_imports=()):
+        self.replacements = tuple(
+            (int(line), str(old), str(new)) for line, old, new in replacements
+        )
+        self.add_imports = tuple(add_imports)
+
+    def __repr__(self):
+        return "Fix(%r, add_imports=%r)" % (
+            self.replacements, self.add_imports,
+        )
+
+
+class FixResult:
+    """Outcome of one :func:`apply_fixes` pass."""
+
+    __slots__ = ("fixed", "skipped", "files")
+
+    def __init__(self, fixed, skipped, files):
+        self.fixed = fixed          # findings whose fix fully applied
+        self.skipped = skipped      # findings whose fix did not match
+        self.files = files          # sorted list of rewritten paths
+
+    def summary(self):
+        return "fixed %d finding(s) in %d file(s)%s" % (
+            self.fixed,
+            len(self.files),
+            ", skipped %d stale fix(es)" % self.skipped if self.skipped else "",
+        )
+
+
+def _import_insertion_line(source):
+    """1-based line *after* which new imports go.
+
+    After the last top-level import if there is one, else after the
+    module docstring, else at the very top (0 → insert before line 1).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return 0
+    last_import = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last_import = max(last_import, node.end_lineno or node.lineno)
+    if last_import:
+        return last_import
+    if (
+        tree.body
+        and isinstance(tree.body[0], ast.Expr)
+        and isinstance(tree.body[0].value, ast.Constant)
+        and isinstance(tree.body[0].value.value, str)
+    ):
+        return tree.body[0].end_lineno or tree.body[0].lineno
+    return 0
+
+
+def apply_fixes(findings, write=True):
+    """Apply every attached fix; returns a :class:`FixResult`.
+
+    ``write=False`` dry-runs the application (counts what *would*
+    change) without touching the filesystem.
+    """
+    from ..utils.serialization import atomic_write
+
+    by_path = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding)
+
+    fixed = skipped = 0
+    touched = []
+    for path in sorted(by_path):
+        source = Path(path).read_text(encoding="utf-8")
+        lines = source.splitlines(keepends=True)
+        wanted_imports = []
+
+        # Bottom-up, then by rule id for determinism when two fixes
+        # share a line.
+        ordered = sorted(
+            by_path[path],
+            key=lambda f: (-f.line, f.rule, f.col),
+        )
+        changed = False
+        for finding in ordered:
+            applied = True
+            staged = []
+            for line_no, old, new in finding.fix.replacements:
+                index = line_no - 1
+                if index < 0 or index >= len(lines) or \
+                        lines[index].count(old) != 1:
+                    applied = False
+                    break
+                staged.append((index, old, new))
+            if not applied:
+                skipped += 1
+                continue
+            for index, old, new in staged:
+                lines[index] = lines[index].replace(old, new, 1)
+            for statement in finding.fix.add_imports:
+                if statement not in wanted_imports:
+                    wanted_imports.append(statement)
+            fixed += 1
+            changed = True
+
+        if not changed:
+            continue
+        new_source = "".join(lines)
+        missing = [
+            statement for statement in wanted_imports
+            if statement not in new_source
+        ]
+        if missing:
+            insert_after = _import_insertion_line(new_source)
+            lines = new_source.splitlines(keepends=True)
+            block = "".join(statement + "\n" for statement in sorted(missing))
+            lines.insert(insert_after, block)
+            new_source = "".join(lines)
+        if write:
+            payload = new_source.encode("utf-8")
+            atomic_write(path, lambda fh: fh.write(payload))
+        touched.append(path)
+
+    return FixResult(fixed, skipped, touched)

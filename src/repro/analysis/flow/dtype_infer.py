@@ -1,0 +1,328 @@
+"""FLOW-DTYPE: abstract interpretation over the dtype lattice.
+
+The float32 migration of the tensor substrate (ROADMAP: "make the
+tensor substrate fast") needs a pre-flight guarantee: no op on the
+autograd hot path silently promotes to float64, and no allocation
+relies on numpy's implicit float64 default.  Per-file rule DTYPE001
+only sees construction keywords; this analysis abstractly interprets
+every function over the lattice::
+
+    weak  <  int  <  float32  <  float64        (join = promotion)
+                       unknown = top
+
+with interprocedural return summaries (a helper returning
+``x.astype(np.float32)`` in one module taints arithmetic in another).
+
+Two finding shapes:
+
+* **mix promotion** — a binary op joins a ``float32`` value with a
+  ``float64`` value: numpy silently widens, gradients flow back at the
+  wrong width, and the float32 migration will change numerics here.
+* **implicit float64 allocation** — ``np.zeros/ones/empty/full/
+  linspace`` without an explicit ``dtype=`` whose result either feeds
+  a ``Tensor``/``Parameter``/``register_buffer`` construction or is
+  returned from a hot-path module (``repro.tensor``, ``repro.nn``).
+  These are mechanically fixable (``--fix`` appends
+  ``dtype=np.float64``), making every default-width decision explicit
+  before the default flips.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import ProjectRule
+from ..fixes import Fix
+
+__all__ = ["DtypeFlowRule"]
+
+WEAK = "weak"          # python scalar: adopts the other operand's dtype
+INT = "int"
+F32 = "float32"
+F64 = "float64"
+UNKNOWN = "unknown"
+
+_NUMPY_ALIASES = {"np", "numpy"}
+_IMPLICIT_F64_ALLOCS = {"zeros", "ones", "empty", "full", "linspace"}
+_F32_NAMES = {"float32", "float16", "half", "single"}
+_F64_NAMES = {"float64", "double"}
+_INT_NAMES = {"int8", "int16", "int32", "int64", "uint8", "intp", "int_"}
+_TENSOR_SINKS = {"Tensor", "Parameter", "register_buffer"}
+
+
+class _DVal:
+    """Abstract value: a lattice dtype plus the allocation node that
+    made it implicitly float64 (None when the width was explicit)."""
+
+    __slots__ = ("dtype", "implicit")
+
+    def __init__(self, dtype, implicit=None):
+        self.dtype = dtype
+        self.implicit = implicit
+
+
+_UNKNOWN = _DVal(UNKNOWN)
+_WEAK = _DVal(WEAK)
+
+
+def _join(a, b):
+    """Lattice join, mirroring numpy promotion (NEP 50 weak scalars)."""
+    if a.dtype == UNKNOWN or b.dtype == UNKNOWN:
+        return _UNKNOWN
+    if a.dtype == WEAK:
+        return b
+    if b.dtype == WEAK:
+        return a
+    if a.dtype == b.dtype:
+        return _DVal(a.dtype, a.implicit or b.implicit)
+    order = {INT: 0, F32: 1, F64: 2}
+    wider = a if order.get(a.dtype, 2) >= order.get(b.dtype, 2) else b
+    return _DVal(wider.dtype, wider.implicit)
+
+
+def _trailing_name(func):
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _dtype_from_annotation(node):
+    """Lattice dtype named by a dtype expression (np.float32, "float64")."""
+    name = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    if name in _F32_NAMES:
+        return F32
+    if name in _F64_NAMES:
+        return F64
+    if name in _INT_NAMES:
+        return INT
+    return UNKNOWN
+
+
+def _is_numpy_func(func, module, project, names):
+    """True for ``np.<name>`` / ``numpy.<name>`` / ``from numpy import
+    <name>`` calls (and not a same-named project function)."""
+    trailing = _trailing_name(func)
+    if trailing not in names:
+        return False
+    if isinstance(func, ast.Attribute):
+        return (isinstance(func.value, ast.Name)
+                and func.value.id in _NUMPY_ALIASES)
+    resolved = module.dotted_name(func)
+    return resolved == "numpy.%s" % trailing
+
+
+def _is_hot_module(module):
+    """Hot-path scope: the autograd substrate, plus loose (package-less)
+    modules so fixture trees exercise the rule."""
+    return module.name.startswith(("repro.tensor", "repro.nn")) \
+        or "." not in module.name
+
+
+class DtypeFlowRule(ProjectRule):
+    """FLOW-DTYPE: silent float64 promotion / implicit-width allocation."""
+
+    id = "FLOW-DTYPE"
+    name = "dtype-flow"
+    description = ("abstract dtype interpretation: float32/float64 mix "
+                   "promotions and implicit float64 allocations on the "
+                   "autograd hot path")
+    severity = "error"
+
+    # -- abstract evaluation --------------------------------------------
+    def _infer(self, expr, env, module, project, summaries):
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return _UNKNOWN
+            if isinstance(expr.value, (int, float)):
+                return _WEAK
+            return _UNKNOWN
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, _UNKNOWN)
+        if isinstance(expr, ast.UnaryOp):
+            return self._infer(expr.operand, env, module, project, summaries)
+        if isinstance(expr, ast.BinOp):
+            left = self._infer(expr.left, env, module, project, summaries)
+            right = self._infer(expr.right, env, module, project, summaries)
+            return _join(left, right)
+        if isinstance(expr, ast.Subscript):
+            return self._infer(expr.value, env, module, project, summaries)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, env, module, project, summaries)
+        if isinstance(expr, ast.IfExp):
+            return _join(
+                self._infer(expr.body, env, module, project, summaries),
+                self._infer(expr.orelse, env, module, project, summaries),
+            )
+        return _UNKNOWN
+
+    def _infer_call(self, call, env, module, project, summaries):
+        trailing = _trailing_name(call.func)
+        if trailing == "astype":
+            if call.args:
+                return _DVal(_dtype_from_annotation(call.args[0]))
+            for kw in call.keywords:
+                if kw.arg == "dtype":
+                    return _DVal(_dtype_from_annotation(kw.value))
+            return _UNKNOWN
+        if trailing in _F32_NAMES and _is_numpy_func(
+                call.func, module, project, _F32_NAMES):
+            return _DVal(F32)
+        if trailing in _F64_NAMES and _is_numpy_func(
+                call.func, module, project, _F64_NAMES):
+            return _DVal(F64)
+        if _is_numpy_func(call.func, module, project, _IMPLICIT_F64_ALLOCS):
+            for kw in call.keywords:
+                if kw.arg == "dtype":
+                    return _DVal(_dtype_from_annotation(kw.value))
+            return _DVal(F64, implicit=call)
+        if _is_numpy_func(call.func, module, project, {"arange"}):
+            for kw in call.keywords:
+                if kw.arg == "dtype":
+                    return _DVal(_dtype_from_annotation(kw.value))
+            return _DVal(INT)
+        callee = project.resolve_call(module, call)
+        if callee is not None and callee in summaries:
+            return summaries[callee]
+        return _UNKNOWN
+
+    def _local_env(self, fn, module, project, summaries):
+        env = {}
+        for _ in range(3):
+            changed = False
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = self._infer(node.value, env, module, project,
+                                    summaries)
+                if value.dtype == UNKNOWN:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id not in env:
+                        env[target.id] = value
+                        changed = True
+            if not changed:
+                break
+        return env
+
+    def _summaries(self, project):
+        """Canonical name → return _DVal (implicit flag stripped: the
+        finding and fix belong at the allocation site, not the caller)."""
+        summaries = {}
+        for _ in range(len(project.functions) + 1):
+            changed = False
+            for fn in project.iter_functions():
+                if fn.qualname in summaries:
+                    continue
+                env = self._local_env(fn, fn.module, project, summaries)
+                result = None
+                for node in ast.walk(fn.node):
+                    if isinstance(node, ast.Return) and node.value is not None:
+                        value = self._infer(node.value, env, fn.module,
+                                            project, summaries)
+                        result = value if result is None \
+                            else _join(result, value)
+                if result is not None and result.dtype != UNKNOWN:
+                    summaries[fn.qualname] = _DVal(result.dtype)
+                    changed = True
+            if not changed:
+                break
+        return summaries
+
+    # -- fixes -----------------------------------------------------------
+    def _implicit_fix(self, alloc, module):
+        """Append ``dtype=np.float64`` to a single-line allocation call."""
+        if alloc.lineno != getattr(alloc, "end_lineno", None):
+            return None
+        if module.imports.get("np") == "numpy":
+            alias = "np"
+        elif module.imports.get("numpy") == "numpy":
+            alias = "numpy"
+        else:
+            return None
+        segment = ast.get_source_segment(module.source, alloc)
+        if not segment or "\n" in segment or not segment.endswith(")"):
+            return None
+        line_text = module.ctx.lines[alloc.lineno - 1]
+        if line_text.count(segment) != 1:
+            return None
+        replacement = "%s, dtype=%s.float64)" % (segment[:-1], alias)
+        if not alloc.args and not alloc.keywords:
+            replacement = "%sdtype=%s.float64)" % (segment[:-1], alias)
+        return Fix([(alloc.lineno, segment, replacement)])
+
+    # -- rule body -------------------------------------------------------
+    def check_project(self, project):
+        summaries = self._summaries(project)
+        for fn in project.iter_functions():
+            module = fn.module
+            env = self._local_env(fn, module, project, summaries)
+            flagged_allocs = set()
+
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.BinOp, ast.AugAssign)):
+                    if isinstance(node, ast.AugAssign):
+                        left = env.get(node.target.id, _UNKNOWN) \
+                            if isinstance(node.target, ast.Name) else _UNKNOWN
+                        right = self._infer(node.value, env, module,
+                                            project, summaries)
+                    else:
+                        left = self._infer(node.left, env, module, project,
+                                           summaries)
+                        right = self._infer(node.right, env, module, project,
+                                            summaries)
+                    if {left.dtype, right.dtype} == {F32, F64}:
+                        yield module.ctx.finding(
+                            self.id,
+                            node,
+                            "float32 operand meets float64 operand; numpy "
+                            "silently promotes — align dtypes explicitly "
+                            "before the float32 migration flips defaults",
+                            severity=self.severity,
+                        )
+                elif isinstance(node, ast.Call):
+                    trailing = _trailing_name(node.func)
+                    if trailing not in _TENSOR_SINKS:
+                        continue
+                    for value in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        inferred = self._infer(value, env, module, project,
+                                               summaries)
+                        alloc = inferred.implicit
+                        if alloc is None or id(alloc) in flagged_allocs:
+                            continue
+                        flagged_allocs.add(id(alloc))
+                        yield module.ctx.finding(
+                            self.id,
+                            alloc,
+                            "implicit float64 allocation flows into %s(); "
+                            "pass an explicit dtype so the float32 "
+                            "migration can retarget it" % trailing,
+                            severity=self.severity,
+                            fix=self._implicit_fix(alloc, module),
+                        )
+                elif isinstance(node, ast.Return) and node.value is not None \
+                        and _is_hot_module(module):
+                    inferred = self._infer(node.value, env, module, project,
+                                           summaries)
+                    alloc = inferred.implicit
+                    if alloc is None or id(alloc) in flagged_allocs:
+                        continue
+                    flagged_allocs.add(id(alloc))
+                    yield module.ctx.finding(
+                        self.id,
+                        alloc,
+                        "hot-path function %r returns an implicit float64 "
+                        "allocation; pass an explicit dtype" % fn.name,
+                        severity=self.severity,
+                        fix=self._implicit_fix(alloc, module),
+                    )

@@ -1,0 +1,329 @@
+"""Whole-program model: module symbol tables + interprocedural call graph.
+
+The flow analyses (:mod:`repro.analysis.flow`) all start from the same
+question — *who calls whom with what* — so the engine parses the whole
+tree once and builds one :class:`ProjectModel`:
+
+* a :class:`ModuleInfo` per parseable file, with its import table
+  (alias → dotted target, relative imports resolved against the
+  module's package), its top-level functions/methods as
+  :class:`FunctionInfo` records, and its module-level globals;
+* per-function call sites with callees resolved to *canonical* dotted
+  names, following re-export chains (``from .pool import parallel_map``
+  in ``repro.parallel/__init__`` makes ``repro.parallel.parallel_map``
+  canonicalise to ``repro.parallel.pool.parallel_map``).
+
+Module names are derived from the filesystem: a file inside nested
+``__init__.py`` packages gets its real dotted path (``src/repro/nn/
+layers.py`` → ``repro.nn.layers``); a loose file (test fixture trees)
+is just its stem.  Resolution is best-effort and static — dynamic
+dispatch, ``getattr`` and star imports resolve to ``None`` and the
+analyses treat those calls as opaque.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..engine import ModuleContext
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "GlobalVar",
+    "ModuleInfo",
+    "ProjectModel",
+    "module_name_for",
+]
+
+_MUTABLE_CTORS = {"list", "dict", "set", "defaultdict", "OrderedDict",
+                  "Counter", "deque"}
+
+
+def module_name_for(path):
+    """Dotted module name for a file, walking up ``__init__.py`` packages."""
+    p = Path(path).resolve()
+    parts = [] if p.name == "__init__.py" else [p.stem]
+    d = p.parent
+    while (d / "__init__.py").exists():
+        parts.insert(0, d.name)
+        parent = d.parent
+        if parent == d:
+            break
+        d = parent
+    return ".".join(parts) if parts else p.stem
+
+
+class CallSite:
+    """One ``ast.Call`` inside a function, with its resolved callee."""
+
+    __slots__ = ("node", "callee", "function")
+
+    def __init__(self, node, callee, function):
+        self.node = node
+        self.callee = callee        # canonical dotted name or None
+        self.function = function    # enclosing FunctionInfo
+
+    def __repr__(self):
+        return "CallSite(%s -> %s)" % (
+            self.function.qualname if self.function else "<module>",
+            self.callee,
+        )
+
+
+class FunctionInfo:
+    """A function or method definition plus its resolved call sites."""
+
+    __slots__ = ("module", "node", "name", "class_name", "qualname",
+                 "params", "call_sites")
+
+    def __init__(self, module, node, class_name=None):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.class_name = class_name
+        local = "%s.%s" % (class_name, node.name) if class_name else node.name
+        self.qualname = "%s.%s" % (module.name, local)
+        args = node.args
+        self.params = [a.arg for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )]
+        if args.vararg:
+            self.params.append(args.vararg.arg)
+        if args.kwarg:
+            self.params.append(args.kwarg.arg)
+        self.call_sites = []
+
+    def __repr__(self):
+        return "FunctionInfo(%s)" % self.qualname
+
+
+class GlobalVar:
+    """A module-level binding (``NAME = <expr>`` at module scope)."""
+
+    __slots__ = ("name", "node", "value")
+
+    def __init__(self, name, node, value):
+        self.name = name
+        self.node = node      # the assignment statement
+        self.value = value    # the RHS expression (or None)
+
+    def is_mutable_literal(self):
+        value = self.value
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            return name in _MUTABLE_CTORS
+        return False
+
+
+class ModuleInfo:
+    """Symbol table for one parsed module."""
+
+    def __init__(self, name, path, source, tree):
+        self.name = name
+        self.path = str(path)
+        self.source = source
+        self.tree = tree
+        self.ctx = ModuleContext(path, source, tree)
+        self.imports = {}      # local alias -> dotted target
+        self.functions = {}    # "f" / "Cls.m" -> FunctionInfo
+        self.classes = {}      # class name -> ClassDef node
+        self.globals = {}      # name -> GlobalVar
+        self._index_top_level()
+
+    # -- symbol table ---------------------------------------------------
+    def _package(self):
+        """Dotted package containing this module."""
+        if Path(self.path).name == "__init__.py":
+            return self.name
+        return self.name.rpartition(".")[0]
+
+    def _index_top_level(self):
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".", 1)[0]
+                        self.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    target = "%s.%s" % (base, alias.name) if base else alias.name
+                    self.imports[local] = target
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = FunctionInfo(self, node)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        info = FunctionInfo(self, item,
+                                            class_name=node.name)
+                        self.functions["%s.%s" % (node.name, item.name)] = info
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.globals[target.id] = GlobalVar(
+                            target.id, node, getattr(node, "value", None)
+                        )
+
+    def _resolve_from_base(self, node):
+        """Dotted base module of a ``from X import ...`` statement."""
+        if node.level == 0:
+            return node.module
+        package = self._package()
+        parts = package.split(".") if package else []
+        up = node.level - 1
+        if up > len(parts):
+            return None
+        if up:
+            parts = parts[:-up]
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts) if parts else None
+
+    # -- expression resolution ------------------------------------------
+    def dotted_name(self, expr, class_name=None):
+        """Resolve a Name/Attribute chain to a project dotted name.
+
+        ``class_name`` enables ``self.method`` resolution inside a
+        method of that class.  Returns None for locals, calls, and
+        anything dynamic.
+        """
+        parts = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.insert(0, node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base == "self" and class_name is not None and parts:
+            return ".".join([self.name, class_name] + parts)
+        if base in self.imports:
+            return ".".join([self.imports[base]] + parts)
+        if base in self.functions or base in self.classes \
+                or base in self.globals:
+            return ".".join([self.name, base] + parts)
+        return None
+
+
+class ProjectModel:
+    """All modules of a run, with a resolved interprocedural call graph."""
+
+    def __init__(self, modules):
+        self.modules = modules                      # name -> ModuleInfo
+        self.by_path = {m.path: m for m in modules.values()}
+        self.functions = {}                         # canonical -> FunctionInfo
+        for module in modules.values():
+            for info in module.functions.values():
+                self.functions[info.qualname] = info
+        self._canonical_cache = {}
+        for module in modules.values():
+            self._link_calls(module)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(cls, sources):
+        """Build from ``{path: (source, tree_or_None)}``.
+
+        Trees are re-parsed from source when absent (the parallel lint
+        path ships sources, not trees, across the process boundary).
+        Unparseable files are skipped — the engine reports their syntax
+        errors separately.
+        """
+        modules = {}
+        for path in sorted(sources):
+            source, tree = sources[path]
+            if tree is None:
+                try:
+                    tree = ast.parse(source, filename=str(path))
+                except SyntaxError:
+                    continue
+            name = module_name_for(path)
+            if name in modules:
+                # Two files mapping to one dotted name (loose fixture
+                # trees); keep both addressable via a path suffix.
+                name = "%s@%s" % (name, path)
+            modules[name] = ModuleInfo(name, path, source, tree)
+        return cls(modules)
+
+    # -- canonicalisation -----------------------------------------------
+    def canonical(self, dotted):
+        """Follow re-export chains to the defining module's name.
+
+        ``repro.parallel.parallel_map`` → ``repro.parallel.pool.
+        parallel_map`` when ``repro.parallel/__init__`` re-exports it.
+        """
+        if dotted is None:
+            return None
+        if dotted in self._canonical_cache:
+            return self._canonical_cache[dotted]
+        seen, current = set(), dotted
+        while current not in seen:
+            seen.add(current)
+            if current in self.functions:
+                break
+            redirected = self._follow_import(current)
+            if redirected is None:
+                break
+            current = redirected
+        self._canonical_cache[dotted] = current
+        return current
+
+    def _follow_import(self, dotted):
+        """One re-export hop: resolve ``pkg.symbol[.rest]`` through
+        ``pkg``'s import table."""
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module_name = ".".join(parts[:split])
+            module = self.modules.get(module_name)
+            if module is None:
+                continue
+            symbol = parts[split]
+            rest = parts[split + 1:]
+            if symbol in module.imports:
+                return ".".join([module.imports[symbol]] + rest)
+            return None
+        return None
+
+    def resolve_call(self, module, call, class_name=None):
+        """Canonical dotted callee of an ``ast.Call`` (or None)."""
+        return self.canonical(module.dotted_name(call.func, class_name))
+
+    def function(self, dotted):
+        """FunctionInfo for a dotted name, following re-exports."""
+        return self.functions.get(self.canonical(dotted))
+
+    def _link_calls(self, module):
+        for info in module.functions.values():
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    callee = self.resolve_call(module, node,
+                                               class_name=info.class_name)
+                    info.call_sites.append(CallSite(node, callee, info))
+
+    # -- iteration helpers ----------------------------------------------
+    def iter_functions(self):
+        for name in sorted(self.functions):
+            yield self.functions[name]
+
+    def iter_modules(self):
+        for name in sorted(self.modules):
+            yield self.modules[name]

@@ -7,6 +7,7 @@ to ``RULE_CLASSES``.
 
 from __future__ import annotations
 
+from ..flow import DtypeFlowRule, ForkSafetyRule, RngTaintRule
 from .api import AllExportDriftRule, SamplerValidationRule, UnusedNoqaRule
 from .autograd import MissingNoGradRule, TapeDataEscapeRule, TensorDtypeRule
 from .mutation import MutableDefaultRule, ParamInPlaceMutationRule
@@ -38,6 +39,9 @@ __all__ = [
     "DirectMultiprocessingRule",
     "BareNumpyRandomRule",
     "UnseededGeneratorRule",
+    "DtypeFlowRule",
+    "ForkSafetyRule",
+    "RngTaintRule",
 ]
 
 RULE_CLASSES = (
@@ -56,6 +60,9 @@ RULE_CLASSES = (
     RawClockRule,           # OBS001
     DirectMultiprocessingRule,  # PAR001
     UnusedNoqaRule,         # NOQA001
+    RngTaintRule,           # FLOW-RNG (whole-program)
+    DtypeFlowRule,          # FLOW-DTYPE (whole-program)
+    ForkSafetyRule,         # FLOW-FORK (whole-program)
 )
 
 

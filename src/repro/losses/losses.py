@@ -132,7 +132,7 @@ class LDAMLoss(Loss):
         t = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
         t = t.astype(np.int64)
         n, num_classes = logits.shape
-        margin_matrix = np.zeros((n, num_classes))
+        margin_matrix = np.zeros((n, num_classes), dtype=np.float64)
         margin_matrix[np.arange(n), t] = self.margins[t]
         adjusted = (logits - Tensor(margin_matrix)) * self.scale
         log_probs = log_softmax(adjusted, axis=-1)

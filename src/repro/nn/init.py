@@ -52,8 +52,8 @@ def xavier_normal(shape, rng, gain=1.0):
 
 
 def zeros(shape):
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=np.float64)
 
 
 def ones(shape):
-    return np.ones(shape)
+    return np.ones(shape, dtype=np.float64)

@@ -48,7 +48,7 @@ class Linear(Module):
         self.weight = Parameter(
             init.kaiming_uniform((out_features, in_features), rng, gain=1.0)
         )
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float64)) if bias else None
 
     def forward(self, x):
         return F.linear(x, self.weight, self.bias)
@@ -83,7 +83,7 @@ class Conv2d(Module):
         self.padding = padding
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float64)) if bias else None
 
     def forward(self, x):
         return conv_ops.conv2d(
@@ -132,7 +132,7 @@ class ConvTranspose2d(Module):
                 (out_channels, in_channels, kernel_size, kernel_size), rng
             ).transpose(1, 0, 2, 3)
         )
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float64)) if bias else None
 
     def forward(self, x):
         return conv_ops.conv_transpose2d(
@@ -157,10 +157,10 @@ class _BatchNorm(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.weight = Parameter(np.ones(num_features))
-        self.bias = Parameter(np.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.weight = Parameter(np.ones(num_features, dtype=np.float64))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float64))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float64))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float64))
 
     def _normalize(self, x, axes, shape):
         if self.training:

@@ -631,9 +631,11 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             LintEngine(select=["NOPE999"])
 
-    def test_registry_has_fifteen_rules(self):
-        assert len(all_rules()) == 15
-        assert len(rule_index()) == 15
+    def test_registry_has_eighteen_rules(self):
+        assert len(all_rules()) == 18
+        assert len(rule_index()) == 18
+        flow = [r for r in all_rules() if r.requires_project]
+        assert {r.id for r in flow} == {"FLOW-RNG", "FLOW-DTYPE", "FLOW-FORK"}
 
 
 # ----------------------------------------------------------------------
