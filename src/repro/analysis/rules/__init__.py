@@ -19,6 +19,7 @@ from .resilience import (
     SwallowedExceptionRule,
 )
 from .rng import BareNumpyRandomRule, UnseededGeneratorRule
+from .serving import RawSocketServerRule
 
 __all__ = [
     "RULE_CLASSES",
@@ -37,6 +38,7 @@ __all__ = [
     "SwallowedExceptionRule",
     "RawClockRule",
     "DirectMultiprocessingRule",
+    "RawSocketServerRule",
     "BareNumpyRandomRule",
     "UnseededGeneratorRule",
     "DtypeFlowRule",
@@ -59,6 +61,7 @@ RULE_CLASSES = (
     AllExportDriftRule,     # EXP001
     RawClockRule,           # OBS001
     DirectMultiprocessingRule,  # PAR001
+    RawSocketServerRule,    # SRV001
     UnusedNoqaRule,         # NOQA001
     RngTaintRule,           # FLOW-RNG (whole-program)
     DtypeFlowRule,          # FLOW-DTYPE (whole-program)

@@ -1,0 +1,94 @@
+"""Serving discipline rules.
+
+All request/response serving in the library flows through
+:mod:`repro.serve`, whose daemon pairs every accepted request with a
+fsynced journal record before acknowledging it.  A hand-rolled socket
+server (raw ``socket`` listeners, ``http.server``, ``socketserver``)
+accepts work with no write-ahead journal, no admission control and no
+drain semantics: a crash silently loses every in-flight request, which
+is exactly the failure mode the serve subsystem exists to rule out.
+SRV001 pins every module outside the serve package to the journaled
+daemon.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["RawSocketServerRule"]
+
+#: Module roots whose import means a hand-rolled server or client.
+_SERVER_MODULES = {"socket", "socketserver", "http"}
+
+#: ``from http import ...`` is only a problem for the server half;
+#: ``http.HTTPStatus`` style enum use carries no serving machinery.
+_HTTP_SERVER_SUBMODULES = {"server"}
+
+
+def _in_serve_package(path):
+    parts = path.replace("\\", "/").split("/")
+    return "serve" in parts
+
+
+class RawSocketServerRule(Rule):
+    """SRV001: no raw socket/socketserver/http.server outside repro.serve.
+
+    The journaled daemon (:class:`repro.serve.ReproService`) is the
+    single sanctioned serving primitive; a raw listener accepts jobs
+    it cannot recover after a crash and sheds load by stalling instead
+    of answering with a structured ``retry_after``.
+    """
+
+    id = "SRV001"
+    name = "raw-socket-server"
+    description = ("raw socket/socketserver/http.server outside "
+                   "repro.serve; use ReproService / ServeClient")
+
+    def _module_violates(self, module):
+        root = module.split(".")[0]
+        if root not in _SERVER_MODULES:
+            return False
+        if root == "http":
+            # ``import http`` alone (status enums) is fine; only the
+            # server machinery is a parallel serving stack.
+            tail = module.split(".")[1:]
+            return bool(tail) and tail[0] in _HTTP_SERVER_SUBMODULES
+        return True
+
+    def check(self, ctx):
+        if _in_serve_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._module_violates(alias.name):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of %r builds a serving/transport stack "
+                            "outside repro.serve; use ReproService (daemon) "
+                            "or ServeClient (requests)" % alias.name,
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level != 0:
+                    continue
+                if self._module_violates(module):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import from %r builds a serving/transport stack "
+                        "outside repro.serve; use ReproService (daemon) "
+                        "or ServeClient (requests)" % module,
+                    )
+                elif (module == "http"
+                      and any(alias.name in _HTTP_SERVER_SUBMODULES
+                              for alias in node.names)):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import of http.server builds a serving stack "
+                        "outside repro.serve; use ReproService instead",
+                    )

@@ -12,6 +12,7 @@ or interrupted runs reload them from disk instead of retraining.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 
 import numpy as np
@@ -269,6 +270,18 @@ class ExtractorCache:
     retry_policy:
         Optional :class:`repro.resilience.RetryPolicy` applied to each
         phase-1 training run.
+
+    Ownership
+    ---------
+    A cache instance is owned by the process that created it.  The
+    mutating paths (:meth:`get` / :meth:`put`) refuse to run in a forked
+    child: fork copies the cache's memory copy-on-write, so a child's
+    insertions and LRU promotions would silently diverge from the
+    parent's — the entry "lands" in a cache nobody ever reads again and
+    the hit/miss statistics lie.  The correct pattern is the one
+    :func:`prewarm_extractors` uses: workers ship picklable artifacts
+    back and the *parent* calls :meth:`put`.  Read-only probes
+    (:meth:`contains` / :meth:`stats`) stay legal from any process.
     """
 
     def __init__(self, max_entries=8, registry=None, retry_policy=None):
@@ -278,11 +291,24 @@ class ExtractorCache:
         self.max_entries = max_entries
         self.registry = registry
         self.retry_policy = retry_policy
+        self._owner_pid = os.getpid()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
+    def _check_owner(self, method):
+        if os.getpid() != self._owner_pid:
+            raise RuntimeError(
+                "ExtractorCache.%s called from process %d, but the cache "
+                "is owned by process %d: a forked child's mutations are "
+                "invisible to the parent (copy-on-write), so the entry "
+                "would be silently lost.  Return artifacts to the owning "
+                "process and call put() there (see prewarm_extractors)."
+                % (method, os.getpid(), self._owner_pid)
+            )
+
     def get(self, config, loss_name):
+        self._check_owner("get")
         key = _phase1_key(config, loss_name)
         metrics = get_metrics()
         if key in self._cache:
@@ -325,6 +351,7 @@ class ExtractorCache:
         attached and doesn't have them yet) and inserted as the
         most-recently-used entry, honoring the LRU bound.
         """
+        self._check_owner("put")
         key = _phase1_key(config, loss_name)
         if self.registry is not None:
             fingerprint = phase1_fingerprint(config, loss_name)

@@ -15,6 +15,9 @@ Public surface:
   to serial there).
 * :class:`TaskFailure` / :class:`WorkerError` — per-task failure record
   and the exception wrapping it.
+* :class:`PoolInterrupted` — structured SIGINT/SIGTERM interruption
+  (a ``KeyboardInterrupt`` subclass raised only after every worker has
+  been killed and reaped, carrying settled vs pending task indices).
 * :class:`Skip` — sentinel a ``pre_dispatch`` hook returns to settle a
   task without running it (how open circuit breakers short-circuit
   queued cells).
@@ -30,6 +33,7 @@ use elsewhere.
 
 from .cells import run_cells
 from .pool import (
+    PoolInterrupted,
     Skip,
     TaskFailure,
     WorkerError,
@@ -42,6 +46,7 @@ from .pool import (
 )
 
 __all__ = [
+    "PoolInterrupted",
     "Skip",
     "TaskFailure",
     "WorkerError",

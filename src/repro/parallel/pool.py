@@ -60,6 +60,7 @@ import traceback
 from ..telemetry.clock import monotonic
 
 __all__ = [
+    "PoolInterrupted",
     "Skip",
     "TaskFailure",
     "WorkerError",
@@ -118,6 +119,38 @@ class WorkerError(RuntimeError):
         detail = failure.message or failure.reason
         super().__init__(
             "task %d failed in worker: %s" % (failure.index, detail)
+        )
+
+
+class PoolInterrupted(KeyboardInterrupt):
+    """Structured interruption of a :func:`parallel_map` call.
+
+    Raised (instead of a raw ``KeyboardInterrupt``) when SIGINT or
+    SIGTERM unwinds the pool, *after* every outstanding worker has been
+    SIGKILLed and reaped — an interrupted pool never leaks orphan
+    processes.  Subclasses ``KeyboardInterrupt`` so existing
+    ``except KeyboardInterrupt`` handlers (including the serve daemon's
+    requeue path) keep working, while callers that care can read:
+
+    ``signal_name``
+        ``"SIGINT"`` or ``"SIGTERM"``.
+    ``completed``
+        Sorted indices of tasks that settled (result or failure
+        delivered — their ``on_result`` callbacks already ran).
+    ``pending``
+        Sorted indices of tasks that did not settle; any in-flight
+        worker for them was killed.  Re-running them with the same
+        ``seed_root`` reproduces their original seeds exactly.
+    """
+
+    def __init__(self, signal_name, completed, pending):
+        self.signal_name = signal_name
+        self.completed = list(completed)
+        self.pending = list(pending)
+        super().__init__(
+            "parallel_map interrupted by %s: %d task(s) settled, "
+            "%d pending" % (signal_name, len(self.completed),
+                            len(self.pending))
         )
 
 
@@ -462,6 +495,16 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
     -------
     list
         One entry per item, in item order.
+
+    Raises
+    ------
+    PoolInterrupted
+        When SIGINT or SIGTERM arrives mid-map.  A temporary SIGTERM
+        handler (installed only in the main thread, restored on exit)
+        turns termination into the same unwind as Ctrl-C; either way
+        every outstanding worker is SIGKILLed and reaped before the
+        exception escapes, and it carries which task indices settled
+        and which are still pending.
     """
     if on_error not in ("raise", "return"):
         raise ValueError("on_error must be 'raise' or 'return'; got %r"
@@ -470,6 +513,30 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
     workers = resolve_workers(max_workers)
     results = [None] * len(items)
     failures = []
+    settled = set()
+
+    interrupt = {"signal": "SIGINT"}
+
+    def on_interrupt(signum, frame):
+        # SIGTERM takes the exact unwind path SIGINT does; the
+        # except-KeyboardInterrupt below restructures both.
+        interrupt["signal"] = signal.Signals(signum).name
+        raise KeyboardInterrupt()
+
+    try:
+        previous_term = signal.signal(signal.SIGTERM, on_interrupt)
+    except ValueError:  # not the main thread; SIGTERM keeps its disposition
+        previous_term = None
+
+    def interrupted():
+        return PoolInterrupted(
+            interrupt["signal"], sorted(settled),
+            [i for i in range(len(items)) if i not in settled],
+        )
+
+    def restore_sigterm():
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
 
     def settle_skip(index, skip):
         if not isinstance(skip, Skip):
@@ -478,30 +545,37 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
                 % (skip,)
             )
         results[index] = skip.value
+        settled.add(index)
         if on_result is not None:
             on_result(index, skip.value)
 
     if workers <= 1 or len(items) <= 1:
-        for index, item in enumerate(items):
-            if pre_dispatch is not None:
-                skip = pre_dispatch(item, index)
-                if skip is not None:
-                    settle_skip(index, skip)
-                    continue
-            seed = derive_seed(seed_root, index)
-            try:
-                results[index] = fn(item, seed)
-            except Exception as exc:
-                if on_error == "raise":
-                    raise
-                failure = TaskFailure(
-                    index, type(exc).__name__, str(exc),
-                    traceback.format_exc(),
-                )
-                failures.append(failure)
-                results[index] = failure
-            if on_result is not None:
-                on_result(index, results[index])
+        try:
+            for index, item in enumerate(items):
+                if pre_dispatch is not None:
+                    skip = pre_dispatch(item, index)
+                    if skip is not None:
+                        settle_skip(index, skip)
+                        continue
+                seed = derive_seed(seed_root, index)
+                try:
+                    results[index] = fn(item, seed)
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    failure = TaskFailure(
+                        index, type(exc).__name__, str(exc),
+                        traceback.format_exc(),
+                    )
+                    failures.append(failure)
+                    results[index] = failure
+                settled.add(index)
+                if on_result is not None:
+                    on_result(index, results[index])
+        except KeyboardInterrupt:
+            raise interrupted() from None
+        finally:
+            restore_sigterm()
         return results
 
     from ..telemetry.metrics import get_metrics
@@ -545,6 +619,7 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
     def settle_failure(failure):
         failures.append(failure)
         results[failure.index] = failure
+        settled.add(failure.index)
         if on_result is not None:
             on_result(failure.index, failure)
 
@@ -579,6 +654,7 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
             )
             failures.append(failure)
             results[index] = failure
+        settled.add(index)
         if on_result is not None:
             on_result(index, results[index])
 
@@ -616,47 +692,56 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
         return False
 
     try:
-        while live < workers and launch():
-            pass
-        while live:
-            timeout = None
-            if task_deadline is not None:
-                now = monotonic()
-                timeout = max(0.0, min(
-                    child.started + task_deadline - now
-                    for child in (key.data for key in sel.get_map().values())
-                ))
-            for key, _ in sel.select(timeout):
-                child = key.data
-                chunk = os.read(child.read_fd, 1 << 16)
-                if chunk:
-                    child.buffer.extend(chunk)
-                    _drain_frames(child)
-                else:
-                    finish(child)
-                    launch()
-            if task_deadline is not None:
-                now = monotonic()
-                for key in list(sel.get_map().values()):
+        try:
+            while live < workers and launch():
+                pass
+            while live:
+                timeout = None
+                if task_deadline is not None:
+                    now = monotonic()
+                    timeout = max(0.0, min(
+                        child.started + task_deadline - now
+                        for child in (key.data
+                                      for key in sel.get_map().values())
+                    ))
+                for key, _ in sel.select(timeout):
                     child = key.data
-                    if now - child.started >= task_deadline:
-                        if not watchdog_kill(child, now):
-                            launch()
+                    chunk = os.read(child.read_fd, 1 << 16)
+                    if chunk:
+                        child.buffer.extend(chunk)
+                        _drain_frames(child)
+                    else:
+                        finish(child)
+                        launch()
+                if task_deadline is not None:
+                    now = monotonic()
+                    for key in list(sel.get_map().values()):
+                        child = key.data
+                        if now - child.started >= task_deadline:
+                            if not watchdog_kill(child, now):
+                                launch()
+        finally:
+            # On an unexpected parent-side error (including SIGINT /
+            # SIGTERM), don't leak (or block on) children: kill
+            # outstanding workers before reaping them.
+            for key in list(sel.get_map().values()):
+                child = key.data
+                try:
+                    os.close(child.read_fd)
+                except OSError:  # repro: noqa[RES002] fd already closed by the normal finish path
+                    pass
+                _sigkill(child.pid)
+                try:
+                    os.waitpid(child.pid, 0)
+                except ChildProcessError:  # repro: noqa[RES002] child already reaped by the normal finish path
+                    pass
+            sel.close()
+    except KeyboardInterrupt:
+        # Workers are dead and reaped (the finally above ran first);
+        # surface a structured interruption instead of a raw ^C.
+        raise interrupted() from None
     finally:
-        # On an unexpected parent-side error, don't leak (or block on)
-        # children: kill outstanding workers before reaping them.
-        for key in list(sel.get_map().values()):
-            child = key.data
-            try:
-                os.close(child.read_fd)
-            except OSError:  # repro: noqa[RES002] fd already closed by the normal finish path
-                pass
-            _sigkill(child.pid)
-            try:
-                os.waitpid(child.pid, 0)
-            except ChildProcessError:  # repro: noqa[RES002] child already reaped by the normal finish path
-                pass
-        sel.close()
+        restore_sigterm()
 
     if failures and on_error == "raise":
         failures.sort(key=lambda f: f.index)

@@ -35,6 +35,26 @@ Built-in fault points
     Fired inside :func:`repro.utils.serialization.atomic_write`
     between the fsynced temp write and ``os.replace`` — the crash
     window the atomicity guarantee covers.
+``artifact.dirsync``
+    Fired between ``os.replace`` and the parent-directory fsync — the
+    window where the rename is visible but not yet durable.  A kill
+    here must still leave the *new* artifact in place after remount
+    (the rename already happened); the fsync only pins it against
+    power loss.
+``serve.accept``
+    Fired in the daemon's submit path (:mod:`repro.serve.service`)
+    after admission control but *before* the journal write, with
+    ``kind`` and ``client`` — a kill here crashes the daemon before
+    anything was promised to the client.
+``serve.dispatch``
+    Fired inside each job execution with ``job_id`` and ``kind``
+    (worker-side when the daemon runs ``workers > 1``) — a kill here
+    crashes mid-job, the case journal replay must re-execute.
+``serve.journal``
+    Fired at the head of every :meth:`repro.serve.Journal.append` with
+    ``record`` (the record type) and ``job_id``.  The ``"corrupt"``
+    action writes a torn (half) record, which replay's checksum skip
+    must tolerate.
 
 Actions
 -------

@@ -1,0 +1,69 @@
+"""repro.serve — crash-safe resampling-as-a-service.
+
+A long-running daemon (:class:`ReproService`) over a local Unix socket
+speaking a length-prefixed JSON protocol, built on the reliability
+machinery of PRs 2–5:
+
+* **write-ahead journaled job queue** (:mod:`~repro.serve.journal`,
+  :mod:`~repro.serve.queue`) — accept is fsynced before it is ACKed;
+  replay after a SIGKILL recovers every accepted-but-unsettled job
+  exactly once and serves already-settled results without
+  re-execution;
+* **admission control** (:mod:`~repro.serve.admission`) — bounded
+  depth and per-client caps shed overload with a structured
+  ``retry_after`` instead of accepting work the daemon would drop;
+* **supervised dispatch** — jobs run through
+  :func:`repro.parallel.parallel_map` (watchdog deadlines, per-task
+  failure attribution) with a :class:`repro.guard.CircuitBreaker`
+  keyed per job kind;
+* **graceful shutdown** — SIGTERM/SIGINT drain to a deadline, then a
+  clean ``stop`` marker is journaled; anything unfinished stays
+  journaled for the successor.
+
+The ``repro-serve`` CLI (:mod:`~repro.serve.__main__`) wraps
+start/submit/status/result/stop, and the chaos suite in
+``tests/test_serve_chaos.py`` proves the recovery contract by
+SIGKILLing the daemon mid-batch and diffing replayed results against a
+crash-free run.
+"""
+
+from .admission import AdmissionController, ShedDecision
+from .client import LoadShedded, ServeClient, ServeError
+from .journal import Journal, JournalStats, read_journal
+from .protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_message,
+    retry_after_response,
+    write_message,
+)
+from .queue import JobQueue, recover
+from .router import Router, default_router, job_seed
+from .service import ReproService, ServiceAlreadyRunning
+
+__all__ = [
+    "AdmissionController",
+    "ShedDecision",
+    "LoadShedded",
+    "ServeClient",
+    "ServeError",
+    "Journal",
+    "JournalStats",
+    "read_journal",
+    "MAX_FRAME",
+    "ProtocolError",
+    "error_response",
+    "ok_response",
+    "read_message",
+    "retry_after_response",
+    "write_message",
+    "JobQueue",
+    "recover",
+    "Router",
+    "default_router",
+    "job_seed",
+    "ReproService",
+    "ServiceAlreadyRunning",
+]

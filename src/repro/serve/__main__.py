@@ -1,0 +1,190 @@
+"""``repro-serve`` — run and talk to the resampling daemon.
+
+Examples::
+
+    # foreground daemon (socket + journal under ./serve/)
+    repro-serve start --socket serve/repro.sock --journal serve/journal.jsonl
+
+    # submit work and wait for the result
+    repro-serve submit --socket serve/repro.sock --kind echo \\
+        --payload '{"hello": "world"}' --wait
+
+    # liveness / queue / breaker / replay snapshot
+    repro-serve status --socket serve/repro.sock
+
+    # graceful drain + clean stop marker
+    repro-serve stop --socket serve/repro.sock
+
+The hidden ``--chaos`` flag on ``start`` installs a
+:class:`repro.resilience.FaultPlan` from a JSON spec — the chaos test
+suite uses it to crash the daemon at exact fault points
+(``serve.accept`` / ``serve.dispatch`` / ``serve.journal``) and then
+assert that journal replay recovers every accepted job exactly once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def _install_chaos(spec):
+    """Install a FaultPlan from a JSON list of fault dicts."""
+    from ..resilience.faults import FaultPlan, install_faults
+
+    plan = FaultPlan()
+    for fault in json.loads(spec):
+        plan.inject(
+            fault["point"],
+            action=fault.get("action", "raise"),
+            when=fault.get("when"),
+            after=int(fault.get("after", 1)),
+            times=fault.get("times", 1),
+            seconds=fault.get("seconds"),
+        )
+    install_faults(plan)
+    return plan
+
+
+def _cmd_start(args):
+    from .service import ReproService, ServiceAlreadyRunning
+
+    if args.chaos:
+        _install_chaos(args.chaos)
+    telemetry_session = None
+    if args.trace_out:
+        from .. import telemetry
+
+        telemetry_session = telemetry.session(trace_out=args.trace_out)
+        telemetry_session.__enter__()
+    cache = None
+    if args.cache_entries:
+        from ..experiments import ExtractorCache
+
+        cache = ExtractorCache(max_entries=args.cache_entries)
+    service = ReproService(
+        args.socket,
+        args.journal,
+        max_depth=args.max_depth,
+        per_client_limit=args.per_client_limit,
+        workers=args.workers,
+        task_deadline=args.task_deadline,
+        breaker_threshold=args.breaker_threshold,
+        drain_seconds=args.drain_seconds,
+        cache=cache,
+    )
+    print(service.describe(), flush=True)
+    try:
+        final = service.serve_forever()
+    except ServiceAlreadyRunning as exc:
+        print("repro-serve: error: %s" % exc, file=sys.stderr)
+        return 2
+    finally:
+        if telemetry_session is not None:
+            telemetry_session.__exit__(None, None, None)
+    print(json.dumps(final, indent=2, sort_keys=True))
+    return 0
+
+
+def _client(args):
+    from .client import ServeClient
+
+    return ServeClient(args.socket, client_id=args.client)
+
+
+def _cmd_submit(args):
+    from .client import LoadShedded
+
+    client = _client(args)
+    payload = json.loads(args.payload) if args.payload else {}
+    try:
+        if args.no_backoff:
+            job_id = client.submit(args.kind, payload, job_id=args.job_id)
+        else:
+            job_id = client.submit_with_retry(
+                args.kind, payload, job_id=args.job_id
+            )
+    except LoadShedded as shed:
+        print(json.dumps(shed.response, indent=2, sort_keys=True))
+        return 3
+    if args.wait:
+        print(json.dumps(client.wait(job_id, timeout=args.timeout),
+                         indent=2, sort_keys=True))
+    else:
+        print(json.dumps({"status": "ok", "job_id": job_id},
+                         indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_status(args):
+    print(json.dumps(_client(args).status(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_result(args):
+    print(json.dumps(_client(args).result(args.job_id), indent=2,
+                     sort_keys=True))
+    return 0
+
+
+def _cmd_stop(args):
+    print(json.dumps(_client(args).stop(), indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Crash-safe resampling-as-a-service daemon "
+        "(journaled job queue over a local Unix socket).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    start = sub.add_parser("start", help="run the daemon in the foreground")
+    start.add_argument("--socket", required=True)
+    start.add_argument("--journal", required=True)
+    start.add_argument("--max-depth", type=int, default=64)
+    start.add_argument("--per-client-limit", type=int, default=None)
+    start.add_argument("--workers", type=int, default=1)
+    start.add_argument("--task-deadline", type=float, default=None)
+    start.add_argument("--breaker-threshold", type=int, default=3)
+    start.add_argument("--drain-seconds", type=float, default=5.0)
+    start.add_argument("--cache-entries", type=int, default=0,
+                       help="warm ExtractorCache size (0: no cache)")
+    start.add_argument("--trace-out", default=None,
+                       help="flush a telemetry trace here on exit")
+    start.add_argument("--chaos", default=None, help=argparse.SUPPRESS)
+    start.set_defaults(fn=_cmd_start)
+
+    for name, fn in (("submit", _cmd_submit), ("status", _cmd_status),
+                     ("result", _cmd_result), ("stop", _cmd_stop)):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("--socket", required=True)
+        cmd.add_argument("--client", default="cli")
+        cmd.set_defaults(fn=fn)
+        if name == "submit":
+            cmd.add_argument("--kind", required=True)
+            cmd.add_argument("--payload", default="")
+            cmd.add_argument("--job-id", default=None)
+            cmd.add_argument("--wait", action="store_true")
+            cmd.add_argument("--timeout", type=float, default=30.0)
+            cmd.add_argument("--no-backoff", action="store_true",
+                             help="fail immediately on retry_after")
+        if name == "result":
+            cmd.add_argument("job_id")
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # downstream closed the pipe early (e.g. head)
+        return 0
+    except (OSError, json.JSONDecodeError) as exc:
+        print("repro-serve: error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Admission control: bounded queues, per-client caps, honest shedding.
+
+A daemon that accepts everything under overload fails the worst way
+possible — it ACKs work it will drop on the floor when it OOMs or is
+killed.  The admission controller enforces the opposite contract:
+**every accepted job is journaled and will be finished or replayed;
+everything else is refused up front** with a structured ``retry_after``
+response (:func:`repro.serve.protocol.retry_after_response`) telling
+the client when to come back.
+
+Two independent limits, checked before anything touches the journal:
+
+* **queue depth** — total accepted-but-unsettled jobs across clients;
+* **per-client in-flight cap** — one chatty client cannot starve the
+  rest of the queue's capacity.
+
+The suggested ``retry_after`` grows linearly with how far over capacity
+the queue is, scaled by the observed mean service time, so backoff
+tracks the daemon's actual drain rate instead of a magic constant.
+"""
+
+from __future__ import annotations
+
+from ..telemetry import get_metrics
+
+__all__ = ["AdmissionController", "ShedDecision"]
+
+#: Floor for suggested backoff; also the scale when nothing has been
+#: served yet (no drain-rate estimate to extrapolate from).
+_MIN_RETRY_AFTER = 0.05
+
+
+class ShedDecision:
+    """Why a submit was refused, and when to retry."""
+
+    __slots__ = ("reason", "retry_after", "detail")
+
+    def __init__(self, reason, retry_after, detail=""):
+        self.reason = reason
+        self.retry_after = max(_MIN_RETRY_AFTER, float(retry_after))
+        self.detail = detail
+
+    def __repr__(self):
+        return "ShedDecision(reason=%r, retry_after=%.3fs)" % (
+            self.reason, self.retry_after,
+        )
+
+
+class AdmissionController:
+    """Pre-journal gatekeeper for submit requests.
+
+    Parameters
+    ----------
+    max_depth:
+        Accepted-but-unsettled jobs the daemon will hold, total.
+    per_client_limit:
+        Accepted-but-unsettled jobs any one client id may hold;
+        ``None`` disables the per-client cap.
+    """
+
+    def __init__(self, max_depth=64, per_client_limit=None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if per_client_limit is not None and per_client_limit < 1:
+            raise ValueError("per_client_limit must be >= 1 (or None)")
+        self.max_depth = int(max_depth)
+        self.per_client_limit = (
+            None if per_client_limit is None else int(per_client_limit)
+        )
+        self.in_flight = {}
+        self._service_seconds = 0.0
+        self._served = 0
+
+    # ------------------------------------------------------------------
+    def _mean_service(self):
+        if self._served == 0:
+            return _MIN_RETRY_AFTER
+        return self._service_seconds / self._served
+
+    def observe_service(self, seconds):
+        """Feed one settled job's wall time into the backoff estimate."""
+        self._service_seconds += max(0.0, float(seconds))
+        self._served += 1
+
+    def admit(self, client, depth, stopping=False):
+        """Decide one submit: None to accept, else a :class:`ShedDecision`.
+
+        ``depth`` is the current accepted-but-unsettled queue depth; the
+        controller does not track it itself because the queue (backed by
+        the journal) is the source of truth.
+        """
+        metrics = get_metrics()
+        if stopping:
+            metrics.counter("serve.shed_stopping").inc()
+            return ShedDecision(
+                "stopping", self._mean_service() * (depth + 1),
+                "daemon is draining for shutdown",
+            )
+        if depth >= self.max_depth:
+            metrics.counter("serve.shed_depth").inc()
+            overflow = depth - self.max_depth + 1
+            return ShedDecision(
+                "queue_full", self._mean_service() * overflow,
+                "queue depth %d at capacity %d" % (depth, self.max_depth),
+            )
+        held = self.in_flight.get(client, 0)
+        if self.per_client_limit is not None and held >= self.per_client_limit:
+            metrics.counter("serve.shed_client").inc()
+            return ShedDecision(
+                "client_limit", self._mean_service() * held,
+                "client %r holds %d of %d allowed in-flight jobs"
+                % (client, held, self.per_client_limit),
+            )
+        return None
+
+    def register(self, client):
+        """Count one accepted job against ``client``."""
+        self.in_flight[client] = self.in_flight.get(client, 0) + 1
+
+    def release(self, client):
+        """A job from ``client`` settled; free its in-flight slot."""
+        held = self.in_flight.get(client, 0)
+        if held <= 1:
+            self.in_flight.pop(client, None)
+        else:
+            self.in_flight[client] = held - 1
+
+    def snapshot(self):
+        """JSON-safe view for the ``status`` verb."""
+        return {
+            "max_depth": self.max_depth,
+            "per_client_limit": self.per_client_limit,
+            "in_flight": dict(sorted(self.in_flight.items())),
+            "mean_service_seconds": round(self._mean_service(), 6),
+            "served": self._served,
+        }

@@ -1,0 +1,156 @@
+"""Client for the resampling daemon: submit, poll, backoff honestly.
+
+One request per connection (connect → frame → response → close), which
+keeps the daemon's accept loop trivially fair and makes every client
+interaction crash-equivalent: a connection that dies mid-submit either
+left an ``accepted`` record (the job will run) or it did not (the job
+was never promised) — there is no third state.
+
+Load shedding surfaces as :class:`LoadShedded`, carrying the daemon's
+structured ``retry_after``/``reason``; :meth:`ServeClient.submit_with_retry`
+is the well-behaved loop that honors it.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..telemetry.clock import monotonic
+from .protocol import read_message, write_message
+
+__all__ = ["LoadShedded", "ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with ``status: error`` (or spoke garbage)."""
+
+    def __init__(self, response):
+        self.response = dict(response)
+        super().__init__(response.get("message", str(response)))
+
+
+class LoadShedded(RuntimeError):
+    """The daemon refused the submit under admission control.
+
+    Attributes
+    ----------
+    retry_after:
+        Seconds the daemon suggests waiting before resubmitting.
+    reason:
+        ``queue_full`` / ``client_limit`` / ``stopping``.
+    """
+
+    def __init__(self, response):
+        self.response = dict(response)
+        self.retry_after = float(response.get("retry_after", 0.05))
+        self.reason = response.get("reason", "?")
+        super().__init__(
+            "daemon shed the request (%s; retry after %.3fs): %s"
+            % (self.reason, self.retry_after, response.get("detail", ""))
+        )
+
+
+class ServeClient:
+    """Talk to a :class:`repro.serve.ReproService` over its Unix socket."""
+
+    def __init__(self, socket_path, client_id="default", timeout=10.0):
+        self.socket_path = str(socket_path)
+        self.client_id = str(client_id)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def request(self, obj):
+        """One request/response round trip (raw dict in, raw dict out)."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+            write_message(sock, obj)
+            response = read_message(sock)
+        finally:
+            sock.close()
+        if response is None:
+            raise ServeError({"message": "daemon closed without responding"})
+        return response
+
+    # ------------------------------------------------------------------
+    def submit(self, kind, payload=None, job_id=None):
+        """Submit one job; returns its id.
+
+        Raises :class:`LoadShedded` when admission control refuses (the
+        job was NOT accepted) and :class:`ServeError` on malformed or
+        rejected requests.
+        """
+        response = self.request({
+            "verb": "submit",
+            "kind": kind,
+            "payload": payload or {},
+            "client": self.client_id,
+            **({"job_id": job_id} if job_id is not None else {}),
+        })
+        status = response.get("status")
+        if status == "retry_after":
+            raise LoadShedded(response)
+        if status != "ok":
+            raise ServeError(response)
+        return response["job_id"]
+
+    def submit_with_retry(self, kind, payload=None, job_id=None,
+                          max_attempts=8, sleep=time.sleep):
+        """Submit, honoring ``retry_after`` backoff up to ``max_attempts``."""
+        last = None
+        for _ in range(max_attempts):
+            try:
+                return self.submit(kind, payload=payload, job_id=job_id)
+            except LoadShedded as shed:
+                last = shed
+                sleep(shed.retry_after)
+        raise last
+
+    def result(self, job_id):
+        """The raw settlement response (``done``/``failed``/``pending``/
+        ``not_found``)."""
+        return self.request({"verb": "result", "job_id": job_id})
+
+    def wait(self, job_id, timeout=30.0, poll=0.05):
+        """Block until ``job_id`` settles; returns the settlement dict.
+
+        Raises ``TimeoutError`` if it does not settle in time and
+        :class:`ServeError` if the daemon does not know the job.
+        """
+        deadline = monotonic() + timeout
+        while True:
+            response = self.result(job_id)
+            status = response.get("status")
+            if status in ("done", "failed"):
+                return response
+            if status == "not_found":
+                raise ServeError(response)
+            if monotonic() > deadline:
+                raise TimeoutError(
+                    "job %s did not settle within %.1fs" % (job_id, timeout)
+                )
+            time.sleep(poll)
+
+    def status(self):
+        """The daemon's liveness/telemetry snapshot."""
+        response = self.request({"verb": "status"})
+        if response.get("status") != "ok":
+            raise ServeError(response)
+        return response
+
+    def stop(self):
+        """Ask the daemon to drain and exit (the graceful path)."""
+        response = self.request({"verb": "stop"})
+        if response.get("status") != "ok":
+            raise ServeError(response)
+        return response
+
+    def alive(self):
+        """True when something answers ``status`` on the socket."""
+        try:
+            self.status()
+            return True
+        except (OSError, ServeError):
+            return False

@@ -1,0 +1,179 @@
+"""Write-ahead job journal: append-only, checksummed, replayable.
+
+The daemon's exactly-once guarantee rests on this file.  Every state
+transition a job makes is appended as one JSONL record *before* the
+transition is acted on, and the file is fsynced on acceptance — so a
+job the client saw accepted exists on disk even if the daemon is
+SIGKILLed in the very next instruction.
+
+Each line is ``{"sha256": <hex>, "body": {...}}`` where the digest
+covers the canonical (sorted, compact) serialization of ``body`` —
+the same discipline as the artifact sidecars in
+:mod:`repro.utils.serialization`, inlined per record because a journal
+is one growing file, not a set of immutable artifacts.  On replay:
+
+* a *torn tail* (partial final line, or a final line whose checksum
+  does not verify — the shape a crash mid-append leaves) is skipped
+  silently: the transition it described never completed, which is
+  exactly what the write-ahead contract promises;
+* a corrupt record *before* valid ones (bit rot, manual edits) is
+  skipped with a counted warning so a damaged journal still recovers
+  every verifiable job.
+
+Record body types (``body["type"]``):
+
+``accepted``
+    Full job (id, kind, client, payload, seq).  Written + fsynced
+    before the client's ``ok`` response.
+``done`` / ``failed``
+    Settlement, including the result payload (``done``) or the typed
+    reason (``failed``).  Results ride in the journal so a replayed
+    daemon serves them without re-execution.
+``stop``
+    Clean-shutdown marker: a restart after a drained SIGTERM knows the
+    previous life exited on purpose.
+
+The ``serve.journal`` fault point fires at the head of every append:
+``kill`` models a crash before the record lands (the client never sees
+an ACK, so nothing was promised), and ``corrupt`` models a torn append
+— half the record reaches the disk, the exact shape replay's torn-tail
+skip exists for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+__all__ = ["Journal", "JournalStats", "read_journal"]
+
+
+def _canonical(body):
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class JournalStats:
+    """What replay found: verified records plus skipped-line accounting."""
+
+    __slots__ = ("records", "corrupt", "torn_tail", "clean_stop")
+
+    def __init__(self):
+        self.records = []
+        self.corrupt = 0
+        self.torn_tail = False
+        self.clean_stop = False
+
+
+def read_journal(path):
+    """Replay a journal file into a :class:`JournalStats`.
+
+    Missing files replay as empty (a fresh daemon).  Only records whose
+    checksum verifies are returned; an invalid *final* line counts as a
+    torn tail (normal after a crash), invalid earlier lines count in
+    ``corrupt``.
+    """
+    stats = JournalStats()
+    if not os.path.exists(path):
+        return stats
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        lines = handle.read().split("\n")
+    # A well-formed journal ends with a newline, so the final split
+    # element is empty; anything else is a partial append.
+    if lines and lines[-1] == "":
+        lines.pop()
+    else:
+        stats.torn_tail = True
+    bad_lines = []
+    for position, line in enumerate(lines):
+        body = _verify_line(line)
+        if body is None:
+            bad_lines.append(position)
+            continue
+        stats.records.append(body)
+        if body.get("type") == "stop":
+            stats.clean_stop = True
+    if bad_lines:
+        if bad_lines[-1] == len(lines) - 1:
+            stats.torn_tail = True
+            bad_lines.pop()
+        stats.corrupt += len(bad_lines)
+    return stats
+
+
+def _verify_line(line):
+    """Decode + checksum one journal line; None when it does not verify."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        wrapper = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(wrapper, dict):
+        return None
+    body = wrapper.get("body")
+    if not isinstance(body, dict):
+        return None
+    if wrapper.get("sha256") != _digest(_canonical(body)):
+        return None
+    return body
+
+
+class Journal:
+    """Append-only writer half of the write-ahead journal.
+
+    ``append`` buffers + flushes every record; ``fsync=True`` (used for
+    ``accepted`` and ``stop`` records) additionally forces the record to
+    stable storage before returning, which is the moment a job becomes
+    the daemon's responsibility.  Settlement records (``done`` /
+    ``failed``) default to flush-only: losing one to a crash merely
+    re-executes a deterministic job on replay, it never loses or
+    duplicates an acknowledged acceptance.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")  # repro: noqa[RES001] write-ahead journals are append-only by design; every record is checksummed and replay skips a torn tail
+
+    def append(self, record_type, fsync=False, **fields):
+        """Write one checksummed record; returns the body written."""
+        from ..resilience.faults import maybe_fire
+
+        body = {"type": record_type, **fields}
+        line = json.dumps(
+            {"sha256": _digest(_canonical(body)), "body": body},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        fired = maybe_fire("serve.journal", record=record_type,
+                           job_id=fields.get("job_id"))
+        if fired == "corrupt":
+            # Model a torn append: half the record reaches the disk.
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            return body
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if fsync:
+            os.fsync(self._handle.fileno())
+        return body
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -1,0 +1,122 @@
+"""Wire protocol for the resampling service: length-prefixed JSON.
+
+One message is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The framing is deliberately the same shape as the
+pool's result pipes (:mod:`repro.parallel.pool`): length prefixes make
+torn messages detectable (a peer that dies mid-write leaves a short
+read, never a half-parsed object), and JSON keeps every payload
+inspectable from the journal and the trace.
+
+Requests are ``{"verb": ..., ...}`` objects; responses always carry a
+``"status"`` field from :data:`STATUSES`:
+
+``ok``
+    The request succeeded; the rest of the object is verb-specific.
+``retry_after``
+    Admission control shed the request.  ``retry_after`` (seconds) and
+    ``reason`` say when and why to come back — the daemon has *not*
+    accepted the work (see :mod:`repro.serve.admission`).
+``pending``
+    A ``result`` query for a job that is accepted but not yet settled.
+``not_found``
+    A ``result`` query for an unknown job id.
+``error``
+    The request was malformed or the daemon is stopping.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+__all__ = [
+    "MAX_FRAME",
+    "STATUSES",
+    "ProtocolError",
+    "error_response",
+    "ok_response",
+    "read_message",
+    "retry_after_response",
+    "write_message",
+]
+
+#: Length prefix: 4-byte big-endian payload size (same as the pool pipes).
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on one message; a corrupt length prefix must not make the
+#: reader try to allocate gigabytes.
+MAX_FRAME = 64 << 20
+
+STATUSES = ("ok", "retry_after", "pending", "not_found", "error")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame: oversized, torn, or undecodable payload."""
+
+
+def _recv_exact(sock, size):
+    """Read exactly ``size`` bytes, or None on a clean EOF at a frame
+    boundary; a torn frame (EOF mid-payload) raises ProtocolError."""
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if remaining == size:
+                return None
+            raise ProtocolError(
+                "peer closed mid-frame (%d of %d bytes missing)"
+                % (remaining, size)
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock):
+    """Read one JSON message; None when the peer closed cleanly."""
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    (size,) = _FRAME_HEADER.unpack(header)
+    if size > MAX_FRAME:
+        raise ProtocolError(
+            "frame of %d bytes exceeds the %d-byte limit" % (size, MAX_FRAME)
+        )
+    payload = _recv_exact(sock, size)
+    if payload is None:
+        raise ProtocolError("peer closed between header and payload")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("undecodable frame payload: %s" % exc) from exc
+
+
+def write_message(sock, obj):
+    """Serialize ``obj`` as one length-prefixed JSON frame."""
+    payload = json.dumps(obj, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            "refusing to send a %d-byte frame (limit %d)"
+            % (len(payload), MAX_FRAME)
+        )
+    sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+
+
+def ok_response(**fields):
+    """An ``ok`` response with verb-specific fields merged in."""
+    return {"status": "ok", **fields}
+
+
+def retry_after_response(retry_after, reason, **fields):
+    """The structured load-shed response (work was NOT accepted)."""
+    return {
+        "status": "retry_after",
+        "retry_after": round(float(retry_after), 3),
+        "reason": reason,
+        **fields,
+    }
+
+
+def error_response(message, **fields):
+    return {"status": "error", "message": message, **fields}

@@ -1,0 +1,145 @@
+"""Journal-backed job queue with exactly-once recovery.
+
+The queue is the in-memory view of the journal: ``accept`` journals a
+job (fsynced) before queuing it, settlement journals the outcome before
+exposing it, and :func:`recover` rebuilds both maps from a replayed
+journal.  Because every handler is a pure function of ``(payload,
+seed)`` and the seed derives from the job id
+(:func:`repro.serve.router.job_seed`), re-executing an
+accepted-but-unsettled job after a crash yields bytes identical to the
+run that never crashed — replay is *safe* re-execution, and settled
+jobs are never re-executed at all (their results ride in the journal).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..telemetry import get_metrics
+from .journal import Journal, read_journal
+
+__all__ = ["JobQueue", "recover"]
+
+
+class JobQueue:
+    """Pending jobs + settled outcomes, every transition journaled.
+
+    ``pending`` maps job id -> job dict in acceptance order (dispatch
+    order is acceptance order, which keeps replayed executions in the
+    same order the crashed daemon would have used).  ``outcomes`` maps
+    job id -> settlement dict (``{"status": "done", "result": ...}`` or
+    ``{"status": "failed", "reason": ..., "message": ...}``).
+    """
+
+    def __init__(self, journal):
+        if not isinstance(journal, Journal):
+            journal = Journal(journal)
+        self.journal = journal
+        self.pending = OrderedDict()
+        self.outcomes = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def depth(self):
+        return len(self.pending)
+
+    def accept(self, job):
+        """Journal (fsync) then queue one job; returns its id.
+
+        After this returns, the job is recoverable: a SIGKILL at any
+        later point leaves an ``accepted`` record that replay turns
+        back into a pending job.
+        """
+        job_id = job["job_id"]
+        if job_id in self.pending or job_id in self.outcomes:
+            raise ValueError("duplicate job id %r" % job_id)
+        self._seq += 1
+        self.journal.append("accepted", fsync=True, seq=self._seq, **job)
+        self.pending[job_id] = dict(job)
+        get_metrics().counter("serve.accepted").inc()
+        return job_id
+
+    def settle_done(self, job_id, result):
+        """Journal a completed job's result and retire it from pending."""
+        self.journal.append("done", job_id=job_id, result=result)
+        self.pending.pop(job_id, None)
+        self.outcomes[job_id] = {"status": "done", "result": result}
+        get_metrics().counter("serve.completed").inc()
+        return self.outcomes[job_id]
+
+    def settle_failed(self, job_id, reason, message=""):
+        """Journal a failed job (typed reason) and retire it."""
+        self.journal.append("failed", job_id=job_id, reason=reason,
+                            message=message)
+        self.pending.pop(job_id, None)
+        self.outcomes[job_id] = {
+            "status": "failed", "reason": reason, "message": message,
+        }
+        get_metrics().counter("serve.failed").inc()
+        return self.outcomes[job_id]
+
+    def outcome(self, job_id):
+        """The settlement for ``job_id``, or None while pending/unknown."""
+        return self.outcomes.get(job_id)
+
+    def take(self, limit):
+        """Dequeue up to ``limit`` jobs (acceptance order) for dispatch.
+
+        Taken jobs stay the daemon's responsibility: they are only
+        removed from the recovery set by a settlement record, so a
+        crash mid-execution replays them.
+        """
+        batch = []
+        while self.pending and len(batch) < limit:
+            _, job = self.pending.popitem(last=False)
+            batch.append(job)
+        return batch
+
+    def requeue(self, job):
+        """Put an unsettled job back at the *front* (drain interrupted)."""
+        self.pending[job["job_id"]] = job
+        self.pending.move_to_end(job["job_id"], last=False)
+
+    def mark_stop(self):
+        """Journal the clean-shutdown marker (fsynced)."""
+        self.journal.append("stop", fsync=True)
+
+    def close(self):
+        self.journal.close()
+
+
+def recover(journal_path):
+    """Rebuild a :class:`JobQueue` from a journal file.
+
+    Returns ``(queue, stats)`` where ``stats`` is the
+    :class:`repro.serve.journal.JournalStats` of the replay.  Every
+    verified ``accepted`` record without a matching settlement becomes a
+    pending job again — exactly once, in acceptance order; settled jobs
+    come back as outcomes and are never re-executed.
+    """
+    stats = read_journal(journal_path)
+    queue = JobQueue(Journal(journal_path))
+    for body in stats.records:
+        kind = body.get("type")
+        if kind == "accepted":
+            job = {
+                key: value for key, value in body.items()
+                if key not in ("type", "seq")
+            }
+            queue.pending[job["job_id"]] = job
+            queue._seq = max(queue._seq, int(body.get("seq", 0)))
+        elif kind == "done":
+            queue.pending.pop(body.get("job_id"), None)
+            queue.outcomes[body.get("job_id")] = {
+                "status": "done", "result": body.get("result"),
+            }
+        elif kind == "failed":
+            queue.pending.pop(body.get("job_id"), None)
+            queue.outcomes[body.get("job_id")] = {
+                "status": "failed",
+                "reason": body.get("reason", "?"),
+                "message": body.get("message", ""),
+            }
+    if queue.pending:
+        get_metrics().counter("serve.replayed").inc(len(queue.pending))
+    return queue, stats

@@ -1,0 +1,460 @@
+"""The resampling daemon: accept loop, dispatch loop, graceful death.
+
+:class:`ReproService` is a single-process event loop over a Unix
+socket.  Its reliability contract, end to end:
+
+* **No acknowledged job is ever lost.**  ``submit`` journals (fsync)
+  before it ACKs; a SIGKILL at any later instant leaves a record that
+  :func:`repro.serve.queue.recover` turns back into a pending job.
+  Handlers are deterministic in ``(payload, job_seed(job_id))``, so the
+  replayed execution is byte-identical to the one the crash stole.
+* **No job is ever run twice to completion.**  Settlements ride in the
+  journal; replay serves recorded results instead of re-executing.
+* **No job is accepted that the daemon cannot honor.**  Admission
+  control (:mod:`repro.serve.admission`) sheds with a structured
+  ``retry_after`` *before* the journal is touched; a shed job was never
+  promised.
+* **Overload and poison jobs degrade, not crash.**  Dispatch runs
+  through :func:`repro.parallel.parallel_map` (per-job deadlines via
+  the PR-5 watchdog when ``workers > 1``), and a
+  :class:`repro.guard.CircuitBreaker` keyed per job kind settles
+  repeat offenders as ``circuit_open`` failures without dispatching
+  them.
+* **SIGTERM/SIGINT drain.**  The daemon stops accepting (submits shed
+  with ``reason="stopping"``), finishes what it can inside
+  ``drain_seconds``, journals a clean ``stop`` marker, and leaves
+  anything unfinished safely journaled for its successor.
+
+Warm state (an :class:`repro.experiments.ExtractorCache`, optionally
+registry-backed) hangs off the service so repeat ``resample`` jobs
+against the same extractor skip phase-1 — the economics the paper's
+efficiency argument needs from a serving layer.
+
+Fault points (see :class:`repro.resilience.FaultPlan`): ``serve.accept``
+fires between admission and the journal write, ``serve.dispatch``
+inside each job execution, ``serve.journal`` inside every journal
+append.  All three support ``kill``/``hang``/``raise``; ``serve.journal``
+additionally supports ``corrupt`` (a torn append).
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+import socket
+
+from ..guard import CircuitBreaker, failure_signature
+from ..parallel import Skip, TaskFailure, parallel_map
+from ..resilience.faults import maybe_fire
+from ..telemetry import get_metrics, get_tracer
+from ..telemetry.clock import monotonic, wall_time
+from .admission import AdmissionController
+from .protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_message,
+    retry_after_response,
+    write_message,
+)
+from .queue import recover
+from .router import default_router
+
+__all__ = ["ReproService", "ServiceAlreadyRunning"]
+
+#: Selector poll granularity when idle; dispatch latency is bounded by it.
+_POLL_SECONDS = 0.05
+
+#: Per-connection socket timeout: a stalled client cannot wedge the loop.
+_CONN_TIMEOUT = 5.0
+
+
+class ServiceAlreadyRunning(RuntimeError):
+    """The socket path is owned by a live daemon."""
+
+
+def _breaker_key(kind):
+    return "serve/%s" % kind
+
+
+class _CircuitOpen:
+    """Pre-dispatch marker: the job's family breaker is open."""
+
+    __slots__ = ("signature",)
+
+    def __init__(self, signature):
+        self.signature = signature
+
+
+class ReproService:
+    """One daemon instance bound to a socket path and a journal file.
+
+    Parameters
+    ----------
+    socket_path, journal_path:
+        The Unix socket to serve on and the write-ahead journal backing
+        the queue.  The journal's directory is created if needed.
+    max_depth, per_client_limit:
+        Admission bounds (see :class:`~repro.serve.admission.AdmissionController`).
+    workers:
+        Concurrency for job execution (``repro.parallel`` pool).  1 runs
+        jobs inline; >1 forks per job with the watchdog active.
+    batch:
+        Jobs dispatched per loop iteration (default: ``workers``).
+    task_deadline, deadline_retries:
+        Per-job wall-clock budget enforced by the pool watchdog
+        (parallel mode only — the pool documents the same caveat).
+    breaker_threshold:
+        Equivalent failures per job kind before its breaker opens.
+    drain_seconds:
+        Shutdown budget for finishing journaled work before the clean
+        stop marker is written.
+    router:
+        A :class:`repro.serve.Router`; defaults to the built-ins.
+    cache:
+        Optional warm :class:`repro.experiments.ExtractorCache` exposed
+        to handlers via ``service.cache`` (stats surface in ``status``).
+    """
+
+    def __init__(self, socket_path, journal_path, max_depth=64,
+                 per_client_limit=None, workers=1, batch=None,
+                 task_deadline=None, deadline_retries=1,
+                 breaker_threshold=3, drain_seconds=5.0, router=None,
+                 cache=None):
+        self.socket_path = os.fspath(socket_path)
+        self.journal_path = os.fspath(journal_path)
+        self.queue, self.replay_stats = recover(self.journal_path)
+        self.admission = AdmissionController(
+            max_depth=max_depth, per_client_limit=per_client_limit
+        )
+        self.router = router if router is not None else default_router()
+        self.breaker = CircuitBreaker(threshold=breaker_threshold)
+        self.cache = cache
+        self.workers = max(1, int(workers))
+        self.batch = self.workers if batch is None else max(1, int(batch))
+        self.task_deadline = task_deadline
+        self.deadline_retries = int(deadline_retries)
+        self.drain_seconds = float(drain_seconds)
+        self.counters = {
+            "accepted": 0, "completed": 0, "failed": 0, "shed": 0,
+            "replayed": len(self.queue.pending),
+        }
+        self.heartbeats = {}
+        self._stop_requested = None
+        self._listener = None
+        self._started_at = monotonic()
+        self._client_of = {}
+        if self.replay_stats.corrupt:
+            get_tracer().event(
+                "serve.journal_corrupt", lines=self.replay_stats.corrupt
+            )
+
+    # ------------------------------------------------------------------
+    # Socket lifecycle
+
+    def _claim_socket(self):
+        """Bind the Unix socket, reclaiming a stale path from a dead
+        predecessor but refusing to shadow a live one."""
+        if os.path.exists(self.socket_path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(0.5)
+            try:
+                probe.connect(self.socket_path)
+            except OSError:
+                os.unlink(self.socket_path)  # stale: owner died un-drained
+            else:
+                probe.close()
+                raise ServiceAlreadyRunning(
+                    "a daemon already serves %s" % self.socket_path
+                )
+            finally:
+                probe.close()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(16)
+        listener.settimeout(_POLL_SECONDS)
+        self._listener = listener
+
+    # ------------------------------------------------------------------
+    # Request handling
+
+    def _handle_submit(self, request):
+        kind = request.get("kind")
+        client = str(request.get("client", "anonymous"))
+        if kind not in self.router.kinds():
+            return error_response(
+                "unknown job kind %r (registered: %s)"
+                % (kind, ", ".join(self.router.kinds()))
+            )
+        shed = self.admission.admit(
+            client, self.queue.depth(), stopping=self._stop_requested is not None
+        )
+        if shed is not None:
+            self.counters["shed"] += 1
+            get_metrics().counter("serve.shed").inc()
+            get_tracer().event("serve.shed", reason=shed.reason,
+                               client=client, depth=self.queue.depth())
+            return retry_after_response(
+                shed.retry_after, shed.reason, detail=shed.detail
+            )
+        maybe_fire("serve.accept", kind=kind, client=client)
+        job = {
+            "job_id": str(request.get("job_id") or
+                          "job-%08d" % (self.queue._seq + 1)),
+            "kind": kind,
+            "client": client,
+            "payload": request.get("payload") or {},
+        }
+        try:
+            self.queue.accept(job)
+        except ValueError as exc:
+            return error_response(str(exc))
+        self.admission.register(client)
+        self._client_of[job["job_id"]] = client
+        self.counters["accepted"] += 1
+        return ok_response(job_id=job["job_id"], position=self.queue.depth())
+
+    def _handle_result(self, request):
+        job_id = str(request.get("job_id", ""))
+        outcome = self.queue.outcome(job_id)
+        if outcome is not None:
+            return {"job_id": job_id, **outcome}
+        if job_id in self.queue.pending:
+            return {"status": "pending", "job_id": job_id,
+                    "depth": self.queue.depth()}
+        return {"status": "not_found", "job_id": job_id}
+
+    def status(self):
+        """The liveness/readiness + telemetry snapshot (``status`` verb)."""
+        payload = {
+            "pid": os.getpid(),
+            "socket": self.socket_path,
+            "journal": self.journal_path,
+            "uptime_seconds": round(monotonic() - self._started_at, 3),
+            "stopping": self._stop_requested is not None,
+            "queue_depth": self.queue.depth(),
+            "outcomes": len(self.queue.outcomes),
+            "counters": dict(self.counters),
+            "admission": self.admission.snapshot(),
+            "breakers": self.breaker.open_breakers(),
+            "heartbeats": dict(sorted(self.heartbeats.items())),
+            "kinds": self.router.kinds(),
+            "workers": self.workers,
+            "replay": {
+                "recovered": self.counters["replayed"],
+                "corrupt_lines": self.replay_stats.corrupt,
+                "torn_tail": self.replay_stats.torn_tail,
+                "clean_stop": self.replay_stats.clean_stop,
+            },
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
+        return ok_response(**payload)
+
+    def _handle_request(self, request):
+        verb = request.get("verb")
+        if verb == "submit":
+            return self._handle_submit(request)
+        if verb == "result":
+            return self._handle_result(request)
+        if verb == "status":
+            return self.status()
+        if verb == "stop":
+            self._stop_requested = "stop-verb"
+            return ok_response(stopping=True, depth=self.queue.depth())
+        return error_response("unknown verb %r" % (verb,))
+
+    def _serve_one_connection(self, conn):
+        conn.settimeout(_CONN_TIMEOUT)
+        try:
+            request = read_message(conn)
+            if request is None:
+                return
+            if not isinstance(request, dict):
+                write_message(conn, error_response("request must be an object"))
+                return
+            write_message(conn, self._handle_request(request))
+        except (ProtocolError, socket.timeout) as exc:
+            try:
+                write_message(conn, error_response(str(exc)))
+            except OSError:  # repro: noqa[RES002] peer is already gone; nothing left to tell it
+                pass
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    def _dispatch_some(self):
+        """Run up to one batch of pending jobs; settle each as it lands.
+
+        Settlement happens in the ``on_result`` completion hook, so a
+        crash mid-batch journals every finished job and loses none: the
+        unfinished remainder replays on restart.
+        """
+        batch = self.queue.take(self.batch)
+        if not batch:
+            return 0
+        tracer = get_tracer()
+        started = monotonic()
+
+        def run_job(job, _seed):
+            maybe_fire("serve.dispatch", job_id=job["job_id"],
+                       kind=job["kind"])
+            return self.router.dispatch(job)
+
+        def pre_dispatch(job, _index):
+            signature = self.breaker.open_signature(_breaker_key(job["kind"]))
+            if signature is not None:
+                get_metrics().counter("serve.circuit_short_circuit").inc()
+                return Skip(_CircuitOpen(signature))
+            return None
+
+        def on_result(index, outcome):
+            job = batch[index]
+            job_id = job["job_id"]
+            elapsed = (monotonic() - started) / len(batch)
+            self.heartbeats[job["kind"]] = round(wall_time(), 3)
+            self.heartbeats["worker"] = round(wall_time(), 3)
+            if isinstance(outcome, _CircuitOpen):
+                self.queue.settle_failed(
+                    job_id, "circuit_open:%s" % outcome.signature,
+                    "breaker for %r is open" % job["kind"],
+                )
+                self.counters["failed"] += 1
+            elif isinstance(outcome, TaskFailure):
+                self.queue.settle_failed(job_id, outcome.reason,
+                                         outcome.message)
+                self.counters["failed"] += 1
+                opened = self.breaker.record_failure(
+                    _breaker_key(job["kind"]), outcome.reason,
+                    outcome.message,
+                )
+                if opened is not None:
+                    tracer.event("serve.breaker_opened",
+                                 kind=job["kind"], signature=opened)
+            else:
+                self.queue.settle_done(job_id, outcome)
+                self.counters["completed"] += 1
+            self.admission.observe_service(elapsed)
+            client = self._client_of.pop(job_id, job.get("client"))
+            if client is not None:
+                self.admission.release(client)
+
+        with tracer.span("serve.batch", jobs=len(batch)):
+            try:
+                parallel_map(
+                    run_job,
+                    batch,
+                    max_workers=self.workers,
+                    on_error="return",
+                    task_label=lambda job, _i: "serve/%s/%s"
+                    % (job["kind"], job["job_id"]),
+                    on_result=on_result,
+                    task_deadline=self.task_deadline,
+                    deadline_retries=self.deadline_retries,
+                    pre_dispatch=pre_dispatch,
+                )
+            except KeyboardInterrupt:
+                # PoolInterrupted (SIGTERM/SIGINT mid-batch): unsettled
+                # jobs go back to the queue front — still journaled as
+                # accepted, so even a second crash cannot lose them.
+                for job in reversed(batch):
+                    if self.queue.outcome(job["job_id"]) is None:
+                        self.queue.requeue(job)
+                if self._stop_requested is None:
+                    self._stop_requested = "interrupt"
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Main loop
+
+    def _signal_handler(self, signum, _frame):
+        self._stop_requested = signal.Signals(signum).name
+
+    def serve_forever(self):
+        """Bind, recover, serve until stopped; returns the final status.
+
+        The loop alternates between draining the accept socket and
+        dispatching one batch of jobs, so submit/status latency is
+        bounded by the slowest single batch.  On a stop request
+        (SIGTERM, SIGINT, or the ``stop`` verb) it stops accepting,
+        drains journaled work inside ``drain_seconds``, writes the clean
+        ``stop`` marker, and removes the socket.
+        """
+        self._claim_socket()
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, self._signal_handler)
+            except ValueError:  # repro: noqa[RES002] not the main thread (tests); signals stay with the host
+                pass
+        get_tracer().event(
+            "serve.started", pid=os.getpid(), socket=self.socket_path,
+            recovered=self.counters["replayed"],
+        )
+        try:
+            while self._stop_requested is None:
+                self._poll_accept()
+                self._dispatch_some()
+            self._drain()
+            self.queue.mark_stop()
+            get_tracer().event("serve.stopped",
+                               reason=self._stop_requested,
+                               depth=self.queue.depth())
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            if self._listener is not None:
+                self._listener.close()
+                self._listener = None
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+            self.queue.close()
+        return self.status()
+
+    def _poll_accept(self):
+        """Accept and answer every connection currently waiting.
+
+        With work queued, the accept poll is non-blocking so dispatch
+        latency stays at one loop iteration; idle, it blocks for
+        ``_POLL_SECONDS`` so an empty daemon does not spin.
+        """
+        self._listener.settimeout(
+            0.0 if self.queue.pending else _POLL_SECONDS
+        )
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except (socket.timeout, BlockingIOError):
+                return
+            except OSError as exc:
+                if exc.errno in (errno.EBADF, errno.EINVAL):
+                    return
+                raise
+            self._serve_one_connection(conn)
+
+    def _drain(self):
+        """Finish journaled work inside the shutdown budget.
+
+        Jobs still pending at the deadline stay journaled (accepted,
+        unsettled) — the successor daemon replays them; they are *not*
+        marked failed, because nothing about them failed.
+        """
+        deadline = monotonic() + self.drain_seconds
+        while self.queue.pending and monotonic() < deadline:
+            self._dispatch_some()
+        if self.queue.pending:
+            get_tracer().event("serve.drain_deadline",
+                               left=self.queue.depth())
+
+    def describe(self):
+        """One-line startup summary for the CLI."""
+        return (
+            "repro-serve pid=%d socket=%s journal=%s depth=%d "
+            "recovered=%d workers=%d"
+            % (os.getpid(), self.socket_path, self.journal_path,
+               self.queue.depth(), self.counters["replayed"], self.workers)
+        )

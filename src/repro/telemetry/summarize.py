@@ -23,14 +23,31 @@ PHASE_SPANS = {
 }
 
 
-def load_trace(path):
-    """Parse a JSONL trace file into a list of records."""
+def load_trace(path, on_corrupt=None):
+    """Parse a JSONL trace file into a list of records.
+
+    A crashed run leaves a partially written trace (a torn final line,
+    or — when the crash raced the atomic flush — older bytes mixed in).
+    Lines that fail to decode as JSON objects are *skipped*, not fatal:
+    a partial trace is still summarizable, which is exactly when a
+    summary is most needed.  ``on_corrupt(line_number, line)`` is
+    called for each skipped line so callers can count or report them.
+    """
     records = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                record = None
+            if not isinstance(record, dict):
+                if on_corrupt is not None:
+                    on_corrupt(number, line)
+                continue
+            records.append(record)
     return records
 
 
@@ -70,8 +87,17 @@ def _phase_seconds(spans):
 
 
 def summarize_trace(trace):
-    """Aggregate a trace (path or record list) into a summary dict."""
-    records = load_trace(trace) if isinstance(trace, str) else list(trace)
+    """Aggregate a trace (path or record list) into a summary dict.
+
+    Corrupt/truncated lines in a trace *file* are skipped and counted
+    in the summary's ``corrupt_lines`` (the report prints a warning);
+    record lists are assumed already decoded.
+    """
+    corrupt = []
+    if isinstance(trace, str):
+        records = load_trace(trace, on_corrupt=lambda n, _line: corrupt.append(n))
+    else:
+        records = list(trace)
     spans = [r for r in records if r.get("type") == "span"]
     events = [r for r in records if r.get("type") == "event"]
     metrics = {}
@@ -139,9 +165,30 @@ def summarize_trace(trace):
         elif event["name"] == "guard.breaker_short_circuit":
             guard["short_circuits"] += 1
 
+    serve = {"lifecycle": [], "shed": 0, "breakers_opened": [],
+             "journal_corrupt": 0}
+    for event in events:
+        attrs = event.get("attrs", {})
+        if event["name"] in ("serve.started", "serve.stopped",
+                             "serve.drain_deadline"):
+            serve["lifecycle"].append({
+                "event": event["name"], "ts": event.get("ts", 0.0),
+                **{k: attrs[k] for k in sorted(attrs) if k != "forwarded"},
+            })
+        elif event["name"] == "serve.shed":
+            serve["shed"] += 1
+        elif event["name"] == "serve.breaker_opened":
+            serve["breakers_opened"].append({
+                "kind": attrs.get("kind", "?"),
+                "signature": attrs.get("signature", "?"),
+            })
+        elif event["name"] == "serve.journal_corrupt":
+            serve["journal_corrupt"] += int(attrs.get("lines", 0))
+
     return {
         "n_spans": len(spans),
         "n_events": len(events),
+        "corrupt_lines": len(corrupt),
         "total_seconds": total,
         "phases": _phase_seconds(spans),
         "spans": _span_groups(spans),
@@ -149,6 +196,7 @@ def summarize_trace(trace):
         "samplers": samplers,
         "events": events,
         "guard": guard,
+        "serve": serve,
         "counters": metrics.get("counters", {}),
         "gauges": metrics.get("gauges", {}),
         "histograms": metrics.get("histograms", {}),
@@ -163,6 +211,11 @@ def render_trace_report(summary):
         "%d span(s), %d event(s), %.2fs top-level wall time"
         % (summary["n_spans"], summary["n_events"], summary["total_seconds"])
     ]
+    if summary.get("corrupt_lines"):
+        sections[0] += (
+            "\nWARNING: skipped %d corrupt/truncated trace line(s) — "
+            "summary covers the readable remainder" % summary["corrupt_lines"]
+        )
 
     phase_total = sum(p["seconds"] for p in summary["phases"].values())
     rows = []
@@ -270,6 +323,27 @@ def render_trace_report(summary):
                 "  %d cell(s) short-circuited by open breakers"
                 % guard["short_circuits"]
             )
+        sections.append("\n".join(lines))
+
+    serve = summary.get("serve") or {}
+    if (serve.get("lifecycle") or serve.get("shed")
+            or serve.get("breakers_opened") or serve.get("journal_corrupt")):
+        lines = ["Serve (daemon lifecycle / admission / breakers):"]
+        for item in serve.get("lifecycle", ()):
+            attrs = ", ".join(
+                "%s=%s" % (k, v) for k, v in sorted(item.items())
+                if k not in ("event", "ts")
+            )
+            lines.append("  %8.3fs  %s  %s" % (item["ts"], item["event"], attrs))
+        if serve.get("shed"):
+            lines.append("  %d request(s) shed by admission control"
+                         % serve["shed"])
+        for opened in serve.get("breakers_opened", ()):
+            lines.append("  breaker opened for kind %s: %s"
+                         % (opened["kind"], opened["signature"]))
+        if serve.get("journal_corrupt"):
+            lines.append("  %d corrupt journal line(s) skipped on replay"
+                         % serve["journal_corrupt"])
         sections.append("\n".join(lines))
 
     anomalies = [

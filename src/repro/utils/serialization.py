@@ -88,18 +88,46 @@ def _write_digest(path):
     return path
 
 
+def _fsync_directory(directory):
+    """Force a directory's entry table to stable storage.
+
+    ``os.replace`` makes the rename visible immediately, but only an
+    fsync on the *parent directory* makes it durable: without it, a
+    power loss after the rename can replay the directory from its
+    journal and resurrect the old entry — the renamed file vanishes
+    even though the writer saw it land.  Filesystems that refuse
+    directory fsync (some network mounts) degrade to the pre-durability
+    behavior rather than failing the write.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # repro: noqa[RES002] directory fsync unsupported here (e.g. NFS); visibility is still atomic
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write(path, write):
     """Atomically create/replace ``path`` with the bytes ``write`` emits.
 
     ``write`` receives a binary file handle opened on a temp file in the
-    same directory; after it returns, the temp file is fsynced and
-    atomically renamed onto ``path``.  On any failure the temp file is
-    removed and the previous ``path`` (if any) is left untouched.
+    same directory; after it returns, the temp file is fsynced,
+    atomically renamed onto ``path``, and the parent directory is
+    fsynced so the rename itself survives power loss (a renamed-but-
+    unjournaled directory entry can otherwise vanish on replay).  On
+    any failure the temp file is removed and the previous ``path`` (if
+    any) is left untouched.
 
-    The ``artifact.replace`` fault point fires between the fsynced temp
-    write and the rename — exactly the crash window the atomicity
-    guarantee covers — so tests can assert that a kill there leaves the
-    previous artifact intact.
+    Two fault points bracket the crash windows: ``artifact.replace``
+    fires between the fsynced temp write and the rename (a kill there
+    leaves the *previous* artifact intact), and ``artifact.dirsync``
+    fires between the rename and the directory fsync (a kill there
+    leaves the *new* artifact in place — the rename already happened,
+    the fsync only pins it down).
 
     Returns the final path as a string.
     """
@@ -124,6 +152,8 @@ def atomic_write(path, write):
         except OSError:  # repro: noqa[RES002] best-effort temp cleanup while re-raising the real error
             pass
         raise
+    maybe_fire("artifact.dirsync", path=path, name=os.path.basename(path))
+    _fsync_directory(directory)
     return path
 
 

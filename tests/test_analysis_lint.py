@@ -610,6 +610,55 @@ class TestPAR001DirectMultiprocessing:
         assert "PAR001" in rule_ids(report.findings)
 
 
+class TestSRV001RawSocketServer:
+    def test_flags_socket_import(self):
+        findings = lint("import socket\n")
+        assert "SRV001" in rule_ids(findings)
+
+    def test_flags_socketserver_import(self):
+        findings = lint("import socketserver\n")
+        assert "SRV001" in rule_ids(findings)
+
+    def test_flags_http_server_import(self):
+        findings = lint("from http.server import HTTPServer\n")
+        assert "SRV001" in rule_ids(findings)
+        findings = lint("import http.server\n")
+        assert "SRV001" in rule_ids(findings)
+        findings = lint("from http import server\n")
+        assert "SRV001" in rule_ids(findings)
+
+    def test_allows_http_status_enum(self):
+        findings = lint(
+            "import http\nfrom http import HTTPStatus\ncode = HTTPStatus.OK\n"
+        )
+        assert "SRV001" not in rule_ids(findings)
+
+    def test_allows_repro_serve_usage(self):
+        findings = lint(
+            """
+            from repro.serve import ServeClient
+            def ping(path):
+                return ServeClient(path).status()
+            """
+        )
+        assert "SRV001" not in rule_ids(findings)
+
+    def test_serve_package_is_exempt(self, tmp_path):
+        pkg = tmp_path / "serve"
+        pkg.mkdir()
+        (pkg / "service.py").write_text(
+            "import socket\n\ndef listen():\n    return socket.socket()\n"
+        )
+        report = LintEngine().run([pkg])
+        assert "SRV001" not in rule_ids(report.findings)
+
+    def test_other_packages_are_not_exempt(self, tmp_path):
+        mod = tmp_path / "runners.py"
+        mod.write_text("import socketserver\n")
+        report = LintEngine().run([tmp_path])
+        assert "SRV001" in rule_ids(report.findings)
+
+
 class TestEngineConfig:
     def test_select_restricts_rules(self):
         findings = lint(
@@ -631,9 +680,9 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             LintEngine(select=["NOPE999"])
 
-    def test_registry_has_eighteen_rules(self):
-        assert len(all_rules()) == 18
-        assert len(rule_index()) == 18
+    def test_registry_has_nineteen_rules(self):
+        assert len(all_rules()) == 19
+        assert len(rule_index()) == 19
         flow = [r for r in all_rules() if r.requires_project]
         assert {r.id for r in flow} == {"FLOW-RNG", "FLOW-DTYPE", "FLOW-FORK"}
 
@@ -661,6 +710,7 @@ VIOLATION_FIXTURES = {
     "EXP001": '__all__ = ["ghost"]\n',
     "OBS001": "import time\nt0 = time.perf_counter()\n",
     "PAR001": "import multiprocessing\npool = multiprocessing.Pool(4)\n",
+    "SRV001": "import socketserver\n",
     "NOQA001": "x = 1  # repro: noqa[RNG001]\n",
     "RES001": (
         "def dump(path, payload):\n"

@@ -81,6 +81,19 @@ class TestPipeline:
         b = cache.get(config, "focal")
         assert a is not b
 
+    def test_cache_mutation_refused_outside_owner_process(self, config):
+        # Simulate the forked-child view: the pid recorded at
+        # construction is not this process's pid.
+        foreign = ExtractorCache()
+        foreign._owner_pid += 1
+        with pytest.raises(RuntimeError, match="owned by process"):
+            foreign.get(config, "ce")
+        with pytest.raises(RuntimeError, match="prewarm_extractors"):
+            foreign.put(config, "ce", object())
+        # Read-only probes stay legal from any process.
+        assert foreign.contains(config, "ce") is False
+        assert foreign.stats()["size"] == 0
+
     def test_restore_head_resets_weights(self, artifacts):
         original = artifacts.model.classifier.weight.data.copy()
         artifacts.model.classifier.weight.data[...] = 0.0

@@ -99,3 +99,4 @@ def test_console_script_is_registered():
     scripts = payload["project"]["scripts"]
     assert scripts["repro-lint"] == "repro.analysis.__main__:main"
     assert scripts["repro-trace"] == "repro.telemetry.__main__:main"
+    assert scripts["repro-serve"] == "repro.serve.__main__:main"

@@ -1,10 +1,14 @@
 """Tests for the deterministic fork-based process pool (repro.parallel)."""
 
 import os
+import signal
+import threading
+import time
 
 import pytest
 
 from repro.parallel import (
+    PoolInterrupted,
     TaskFailure,
     WorkerError,
     derive_seed,
@@ -148,6 +152,81 @@ class TestParallelMap:
     def test_invalid_on_error(self):
         with pytest.raises(ValueError):
             parallel_map(lambda i, _s: i, [1], on_error="ignore")
+
+
+class TestPoolInterruption:
+    """SIGINT/SIGTERM mid-map must surface as PoolInterrupted — after
+    every worker has been killed and reaped, never as a raw ^C."""
+
+    def _assert_all_dead(self, pids):
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_serial_keyboard_interrupt_is_structured(self):
+        def fn(item, _seed):
+            if item == 1:
+                raise KeyboardInterrupt  # what a ^C mid-call raises
+            return item
+
+        with pytest.raises(PoolInterrupted) as excinfo:
+            parallel_map(fn, range(3), max_workers=1)
+        assert excinfo.value.signal_name == "SIGINT"
+        assert excinfo.value.completed == [0]
+        assert excinfo.value.pending == [1, 2]
+
+    @pytest.mark.parametrize("signum, name", [
+        (signal.SIGTERM, "SIGTERM"),
+        (signal.SIGINT, "SIGINT"),
+    ])
+    def test_signal_mid_parallel_map_leaves_no_orphans(
+            self, tmp_path, signum, name):
+        def fn(_item, _seed):
+            pid_file = tmp_path / ("%d.pid" % os.getpid())
+            pid_file.write_text(str(os.getpid()))
+            time.sleep(30.0)  # far past the test's own lifetime
+            return None
+
+        timer = threading.Timer(
+            0.5, lambda: os.kill(os.getpid(), signum)
+        )
+        timer.start()
+        try:
+            with pytest.raises(PoolInterrupted) as excinfo:
+                parallel_map(fn, range(3), max_workers=2)
+        finally:
+            timer.cancel()
+        assert excinfo.value.signal_name == name
+        assert excinfo.value.completed == []
+        assert excinfo.value.pending == [0, 1, 2]
+        # Every worker that had started was SIGKILLed and reaped before
+        # the exception escaped: no orphan survives the pool.
+        pids = [int(p.read_text()) for p in tmp_path.glob("*.pid")]
+        assert pids, "no worker ever started; the test raced its timer"
+        self._assert_all_dead(pids)
+
+    def test_sigterm_disposition_restored_after_map(self):
+        before = signal.getsignal(signal.SIGTERM)
+        parallel_map(lambda i, _s: i, range(3), max_workers=2)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_sigterm_disposition_restored_after_interrupt(self):
+        before = signal.getsignal(signal.SIGTERM)
+
+        def fn(item, _seed):
+            raise KeyboardInterrupt
+
+        with pytest.raises(PoolInterrupted):
+            parallel_map(fn, [1], max_workers=1)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_pool_interrupted_is_a_keyboard_interrupt(self):
+        # Existing except-KeyboardInterrupt handlers (the serve daemon's
+        # requeue path) must keep catching interruptions.
+        assert issubclass(PoolInterrupted, KeyboardInterrupt)
+        exc = PoolInterrupted("SIGTERM", [0], [1, 2])
+        assert "SIGTERM" in str(exc)
+        assert "2 pending" in str(exc)
 
 
 class TestTelemetryForwarding:

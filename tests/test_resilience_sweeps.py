@@ -109,6 +109,27 @@ class TestAtomicWriteCrashWindow:
         assert resumed.load_cell("c/1") == {"v": 1}
         assert list((tmp_path / "run").glob("*.tmp")) == []
 
+    def test_kill_between_replace_and_dirsync_keeps_new_manifest(
+            self, tmp_path):
+        registry = RunRegistry(tmp_path / "run")
+        registry.record_cell("c/1", {"v": 1})
+
+        # Kill inside the *other* crash window: after os.replace made the
+        # rename visible, before the parent-directory fsync pinned it.
+        plan = FaultPlan()
+        plan.inject("artifact.dirsync", action="kill",
+                    when={"name": "manifest.json"})
+        with inject_faults(plan):
+            with pytest.raises(SimulatedKill):
+                registry.record_cell("c/2", {"v": 2})
+
+        # The rename already happened, so the NEW manifest (with both
+        # cells) is what resume must see — and no temp debris remains.
+        resumed = RunRegistry(tmp_path / "run")
+        assert resumed.cell_statuses() == {"c/1": "done", "c/2": "done"}
+        assert resumed.load_cell("c/2") == {"v": 2}
+        assert list((tmp_path / "run").glob("*.tmp")) == []
+
 
 class TestDivergenceDegradation:
     def test_diverged_cell_fails_after_retry_budget(self, reference):

@@ -1,0 +1,533 @@
+"""Tests for repro.serve: protocol framing, the write-ahead journal,
+queue recovery, admission control, routing determinism, and the daemon
+itself (both handler-level and end-to-end over a real Unix socket)."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.resilience import FaultPlan, SimulatedKill, inject_faults
+from repro.serve import (
+    AdmissionController,
+    JobQueue,
+    Journal,
+    LoadShedded,
+    ProtocolError,
+    ReproService,
+    Router,
+    ServeClient,
+    ServeError,
+    default_router,
+    job_seed,
+    read_journal,
+    read_message,
+    recover,
+    write_message,
+)
+
+
+# ----------------------------------------------------------------------
+# Protocol framing (no real sockets needed: a buffer with the API)
+# ----------------------------------------------------------------------
+class FakeSock:
+    """In-memory stand-in exposing the recv/sendall surface the framing
+    helpers use."""
+
+    def __init__(self, data=b""):
+        self.buffer = bytearray(data)
+        self.sent = bytearray()
+
+    def recv(self, size):
+        chunk = bytes(self.buffer[:size])
+        del self.buffer[:size]
+        return chunk
+
+    def sendall(self, data):
+        self.sent.extend(data)
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        sock = FakeSock()
+        write_message(sock, {"verb": "status", "n": 3})
+        echo = FakeSock(bytes(sock.sent))
+        assert read_message(echo) == {"verb": "status", "n": 3}
+
+    def test_clean_eof_returns_none(self):
+        assert read_message(FakeSock(b"")) is None
+
+    def test_torn_header_raises(self):
+        sock = FakeSock()
+        write_message(sock, {"x": 1})
+        with pytest.raises(ProtocolError):
+            read_message(FakeSock(bytes(sock.sent[:2])))
+
+    def test_torn_payload_raises(self):
+        sock = FakeSock()
+        write_message(sock, {"x": "hello world"})
+        with pytest.raises(ProtocolError):
+            read_message(FakeSock(bytes(sock.sent[:-3])))
+
+    def test_undecodable_payload_raises(self):
+        import struct
+
+        payload = b"not json at all"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            read_message(FakeSock(frame))
+
+    def test_oversized_length_prefix_rejected(self):
+        import struct
+
+        with pytest.raises(ProtocolError):
+            read_message(FakeSock(struct.pack(">I", (64 << 20) + 1)))
+
+
+# ----------------------------------------------------------------------
+# Write-ahead journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_append_and_replay_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+            journal.append("done", job_id="j1", result={"ok": 1})
+            journal.append("stop", fsync=True)
+        stats = read_journal(path)
+        assert [r["type"] for r in stats.records] == [
+            "accepted", "done", "stop",
+        ]
+        assert stats.clean_stop and not stats.torn_tail
+        assert stats.corrupt == 0
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        stats = read_journal(tmp_path / "absent.jsonl")
+        assert stats.records == [] and not stats.clean_stop
+
+    def test_torn_tail_is_skipped_silently(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+        torn = path.read_text() + '{"sha256": "feed", "body": {"type": "acc'
+        path.write_text(torn)
+        stats = read_journal(path)
+        assert [r["job_id"] for r in stats.records] == ["j1"]
+        assert stats.torn_tail
+        assert stats.corrupt == 0  # a torn tail is normal, not damage
+
+    def test_corrupt_middle_line_counted_but_rest_recovers(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+            journal.append("accepted", fsync=True, job_id="j2", kind="echo")
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # bit-rot the first record
+        path.write_text("\n".join(lines) + "\n")
+        stats = read_journal(path)
+        assert [r["job_id"] for r in stats.records] == ["j2"]
+        assert stats.corrupt == 1 and not stats.torn_tail
+
+    def test_checksum_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        body = {"type": "accepted", "job_id": "evil"}
+        path.write_text(
+            json.dumps({"sha256": "0" * 64, "body": body}) + "\n"
+        )
+        stats = read_journal(path)
+        assert stats.records == []
+
+    def test_corrupt_fault_writes_torn_record(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        plan = FaultPlan()
+        plan.inject("serve.journal", action="corrupt",
+                    when={"record": "done"})
+        with inject_faults(plan), Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+            journal.append("done", job_id="j1", result=1)
+        stats = read_journal(path)
+        assert [r["type"] for r in stats.records] == ["accepted"]
+        assert stats.torn_tail
+
+
+# ----------------------------------------------------------------------
+# Queue + recovery (exactly-once)
+# ----------------------------------------------------------------------
+def _job(job_id, kind="echo", payload=None):
+    return {"job_id": job_id, "kind": kind, "client": "t",
+            "payload": payload or {}}
+
+
+class TestQueueRecovery:
+    def test_accept_then_recover_is_pending_again(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        queue.accept(_job("j1"))
+        queue.accept(_job("j2"))
+        queue.close()  # crash: nothing settled
+        recovered, stats = recover(path)
+        assert list(recovered.pending) == ["j1", "j2"]
+        assert recovered.outcomes == {}
+        recovered.close()
+
+    def test_settled_jobs_never_replay_as_pending(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        queue.accept(_job("j1"))
+        queue.accept(_job("j2"))
+        queue.settle_done("j1", {"answer": 42})
+        queue.settle_failed("j2", "RuntimeError", "boom")
+        queue.close()
+        recovered, _ = recover(path)
+        assert recovered.pending == {}
+        assert recovered.outcome("j1") == {
+            "status": "done", "result": {"answer": 42},
+        }
+        assert recovered.outcome("j2")["reason"] == "RuntimeError"
+        recovered.close()
+
+    def test_duplicate_job_id_rejected(self, tmp_path):
+        queue = JobQueue(Journal(tmp_path / "journal.jsonl"))
+        queue.accept(_job("j1"))
+        with pytest.raises(ValueError):
+            queue.accept(_job("j1"))
+        queue.settle_done("j1", 1)
+        with pytest.raises(ValueError):
+            queue.accept(_job("j1"))
+        queue.close()
+
+    def test_take_preserves_acceptance_order(self, tmp_path):
+        queue = JobQueue(Journal(tmp_path / "journal.jsonl"))
+        for name in ("a", "b", "c"):
+            queue.accept(_job(name))
+        batch = queue.take(2)
+        assert [j["job_id"] for j in batch] == ["a", "b"]
+        queue.requeue(batch[0])
+        assert next(iter(queue.pending)) == "a"
+        queue.close()
+
+    def test_seq_survives_recovery_for_unique_generated_ids(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        queue.accept(_job("job-00000001"))
+        queue.close()
+        recovered, _ = recover(path)
+        assert recovered._seq == 1  # the next generated id is job-00000002
+        recovered.close()
+
+    def test_clean_stop_marker_recovered(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        queue.accept(_job("j1"))
+        queue.settle_done("j1", 1)
+        queue.mark_stop()
+        queue.close()
+        _, stats = recover(path)
+        assert stats.clean_stop
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_accepts_under_capacity(self):
+        controller = AdmissionController(max_depth=4)
+        assert controller.admit("c", depth=3) is None
+
+    def test_sheds_at_depth_with_structured_retry(self):
+        controller = AdmissionController(max_depth=2)
+        shed = controller.admit("c", depth=2)
+        assert shed is not None and shed.reason == "queue_full"
+        assert shed.retry_after >= 0.05
+
+    def test_retry_after_tracks_observed_service_time(self):
+        controller = AdmissionController(max_depth=1)
+        for _ in range(4):
+            controller.observe_service(2.0)
+        shed = controller.admit("c", depth=3)
+        # 3 over capacity by 3 - 1 + 1 = 3 jobs at ~2s each.
+        assert shed.retry_after == pytest.approx(6.0)
+
+    def test_per_client_cap(self):
+        controller = AdmissionController(max_depth=64, per_client_limit=1)
+        assert controller.admit("a", depth=0) is None
+        controller.register("a")
+        shed = controller.admit("a", depth=1)
+        assert shed is not None and shed.reason == "client_limit"
+        assert controller.admit("b", depth=1) is None  # other clients fine
+        controller.release("a")
+        assert controller.admit("a", depth=1) is None
+
+    def test_stopping_sheds_everything(self):
+        controller = AdmissionController(max_depth=64)
+        shed = controller.admit("c", depth=0, stopping=True)
+        assert shed is not None and shed.reason == "stopping"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(per_client_limit=0)
+
+
+# ----------------------------------------------------------------------
+# Router determinism
+# ----------------------------------------------------------------------
+class TestRouter:
+    def test_job_seed_is_stable_and_id_dependent(self):
+        assert job_seed("j1") == job_seed("j1")
+        assert job_seed("j1") != job_seed("j2")
+
+    def test_echo_carries_seed(self):
+        result = default_router().dispatch(_job("j1", payload={"k": 1}))
+        assert result == {"echo": {"k": 1}, "seed": job_seed("j1")}
+
+    def test_unknown_kind_is_lookup_error(self):
+        with pytest.raises(LookupError):
+            default_router().dispatch(_job("j1", kind="nope"))
+
+    def test_fail_handler_raises(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            default_router().dispatch(
+                _job("j1", kind="fail", payload={"message": "boom"})
+            )
+
+    def test_resample_is_deterministic_in_job_id(self, blob_data):
+        x, y = blob_data
+        payload = {"x": x.tolist(), "y": y.tolist(), "sampler": "eos"}
+        router = default_router()
+        first = router.dispatch(_job("jA", kind="resample", payload=payload))
+        again = router.dispatch(_job("jA", kind="resample", payload=payload))
+        other = router.dispatch(_job("jB", kind="resample", payload=payload))
+        assert first == again  # same id -> byte-identical replay
+        assert first["n_synthetic"] > 0
+        counts = first["class_counts"]
+        assert counts[0] == counts[1] == counts[2]  # balanced output
+        assert other["y"] == first["y"]  # same plan, different draws
+        assert other["x"] != first["x"]
+
+
+# ----------------------------------------------------------------------
+# Service: handler-level (no socket, no loop)
+# ----------------------------------------------------------------------
+def _service(tmp_path, **kwargs):
+    return ReproService(
+        tmp_path / "repro.sock", tmp_path / "journal.jsonl", **kwargs
+    )
+
+
+class TestServiceHandlers:
+    def test_submit_accepts_and_journals(self, tmp_path):
+        service = _service(tmp_path)
+        response = service._handle_submit(
+            {"kind": "echo", "client": "a", "payload": {"x": 1}}
+        )
+        assert response["status"] == "ok"
+        job_id = response["job_id"]
+        stats = read_journal(service.journal_path)
+        assert [r["type"] for r in stats.records] == ["accepted"]
+        assert stats.records[0]["job_id"] == job_id
+        service.queue.close()
+
+    def test_submit_sheds_at_depth_before_journaling(self, tmp_path):
+        service = _service(tmp_path, max_depth=1)
+        assert service._handle_submit(
+            {"kind": "echo", "client": "a"}
+        )["status"] == "ok"
+        shed = service._handle_submit({"kind": "echo", "client": "a"})
+        assert shed["status"] == "retry_after"
+        assert shed["reason"] == "queue_full"
+        # The shed job was never promised: exactly one journal record.
+        assert len(read_journal(service.journal_path).records) == 1
+        service.queue.close()
+
+    def test_unknown_kind_rejected_without_journaling(self, tmp_path):
+        service = _service(tmp_path)
+        response = service._handle_submit({"kind": "nope", "client": "a"})
+        assert response["status"] == "error"
+        assert read_journal(service.journal_path).records == []
+        service.queue.close()
+
+    def test_dispatch_settles_done_and_failed(self, tmp_path):
+        service = _service(tmp_path, batch=2)
+        ok = service._handle_submit({"kind": "echo", "client": "a"})
+        bad = service._handle_submit(
+            {"kind": "fail", "client": "a", "payload": {"message": "kaput"}}
+        )
+        assert service._dispatch_some() == 2
+        done = service.queue.outcome(ok["job_id"])
+        failed = service.queue.outcome(bad["job_id"])
+        assert done["status"] == "done"
+        assert done["result"]["seed"] == job_seed(ok["job_id"])
+        assert failed["status"] == "failed"
+        assert failed["reason"] == "RuntimeError"
+        assert service.counters["completed"] == 1
+        assert service.counters["failed"] == 1
+        service.queue.close()
+
+    def test_breaker_opens_and_short_circuits_job_family(self, tmp_path):
+        service = _service(tmp_path, breaker_threshold=2)
+        for _ in range(2):
+            service._handle_submit(
+                {"kind": "fail", "client": "a",
+                 "payload": {"message": "same failure"}}
+            )
+            service._dispatch_some()
+        assert service.breaker.open_breakers()
+        response = service._handle_submit(
+            {"kind": "fail", "client": "a",
+             "payload": {"message": "same failure"}}
+        )
+        service._dispatch_some()
+        outcome = service.queue.outcome(response["job_id"])
+        assert outcome["status"] == "failed"
+        assert outcome["reason"].startswith("circuit_open:")
+        # Other kinds are unaffected by the fail family's breaker.
+        ok = service._handle_submit({"kind": "echo", "client": "a"})
+        service._dispatch_some()
+        assert service.queue.outcome(ok["job_id"])["status"] == "done"
+        service.queue.close()
+
+    def test_status_snapshot_shape(self, tmp_path):
+        service = _service(tmp_path)
+        payload = service.status()
+        assert payload["status"] == "ok"
+        assert payload["pid"] == os.getpid()
+        assert payload["queue_depth"] == 0
+        assert payload["replay"]["clean_stop"] is False
+        assert "echo" in payload["kinds"]
+        service.queue.close()
+
+    def test_crash_then_recover_reexecutes_exactly_once(self, tmp_path):
+        calls = []
+        router = Router()
+        router.register(
+            "count", lambda payload, seed: calls.append(seed) or {"seed": seed}
+        )
+        first = _service(tmp_path, router=router)
+        accepted = first._handle_submit(
+            {"kind": "count", "client": "a", "job_id": "j-keep"}
+        )
+        settled = first._handle_submit(
+            {"kind": "count", "client": "a", "job_id": "j-done"}
+        )
+        # Settle only j-keep... dispatch runs both; emulate a crash that
+        # lands between the two settlements instead: settle j-done alone.
+        first.queue.take(2)
+        first.queue.settle_done("j-done", {"seed": job_seed("j-done")})
+        first.queue.close()  # SIGKILL: j-keep accepted but unsettled
+
+        second = _service(tmp_path, router=router)
+        assert second.counters["replayed"] == 1
+        assert list(second.queue.pending) == ["j-keep"]
+        assert second._dispatch_some() == 1
+        # j-keep ran exactly once (now); j-done was served from the
+        # journal and never re-executed.
+        assert calls == [job_seed("j-keep")]
+        assert second.queue.outcome("j-done")["result"] == {
+            "seed": job_seed("j-done")
+        }
+        assert second.queue.outcome("j-keep")["status"] == "done"
+        assert accepted["status"] == settled["status"] == "ok"
+        second.queue.close()
+
+    def test_accept_kill_fault_leaves_no_promise(self, tmp_path):
+        service = _service(tmp_path)
+        plan = FaultPlan()
+        plan.inject("serve.accept", action="kill")
+        with inject_faults(plan):
+            with pytest.raises(SimulatedKill):
+                service._handle_submit({"kind": "echo", "client": "a"})
+        # Crashed before the journal write: nothing was accepted.
+        assert read_journal(service.journal_path).records == []
+        service.queue.close()
+
+
+# ----------------------------------------------------------------------
+# Service: end-to-end over a real Unix socket (daemon in a thread)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def running_service(tmp_path):
+    service = _service(tmp_path, max_depth=8, drain_seconds=2.0)
+    final = {}
+
+    def run():
+        final["status"] = service.serve_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    client = ServeClient(service.socket_path, client_id="test")
+    deadline = 50
+    while not client.alive() and deadline:
+        deadline -= 1
+        threading.Event().wait(0.05)
+    assert deadline, "daemon never came up"
+    yield service, client, final
+    if client.alive():
+        try:
+            client.stop()
+        except (OSError, ServeError):  # repro: noqa[RES002] teardown race: the daemon may finish stopping between alive() and stop()
+            pass
+    thread.join(timeout=10.0)
+    assert not thread.is_alive(), "daemon thread failed to stop"
+
+
+class TestServiceEndToEnd:
+    def test_submit_wait_status_stop_cycle(self, running_service):
+        service, client, final = running_service
+        job_id = client.submit("echo", {"hello": "world"})
+        settled = client.wait(job_id, timeout=10.0)
+        assert settled["status"] == "done"
+        assert settled["result"]["echo"] == {"hello": "world"}
+        status = client.status()
+        assert status["counters"]["completed"] >= 1
+        response = client.stop()
+        assert response["stopping"] is True
+        # The daemon drains, journals the stop marker, unlinks the socket.
+        for _ in range(100):
+            if not os.path.exists(service.socket_path):
+                break
+            threading.Event().wait(0.05)
+        assert not os.path.exists(service.socket_path)
+        stats = read_journal(service.journal_path)
+        assert stats.clean_stop
+        assert final["status"]["stopping"] is True
+
+    def test_unknown_kind_surfaces_as_serve_error(self, running_service):
+        _, client, _ = running_service
+        with pytest.raises(ServeError, match="unknown job kind"):
+            client.submit("nope")
+
+    def test_wait_on_unknown_job_raises(self, running_service):
+        _, client, _ = running_service
+        with pytest.raises(ServeError):
+            client.wait("job-missing", timeout=1.0)
+
+    def test_resample_over_the_wire_matches_local(self, running_service,
+                                                  blob_data):
+        _, client, _ = running_service
+        x, y = blob_data
+        payload = {"x": x.tolist(), "y": y.tolist(), "sampler": "eos"}
+        job_id = client.submit("resample", payload, job_id="wire-1")
+        settled = client.wait(job_id, timeout=30.0)
+        assert settled["status"] == "done"
+        local = default_router().dispatch(
+            _job("wire-1", kind="resample", payload=payload)
+        )
+        assert settled["result"] == local
+        counts = np.asarray(settled["result"]["class_counts"])
+        assert (counts == counts[0]).all()
+
+    def test_second_daemon_refuses_live_socket(self, running_service,
+                                               tmp_path):
+        service, _, _ = running_service
+        from repro.serve import ServiceAlreadyRunning
+
+        rival = ReproService(
+            service.socket_path, tmp_path / "rival.jsonl"
+        )
+        with pytest.raises(ServiceAlreadyRunning):
+            rival._claim_socket()
+        rival.queue.close()

@@ -167,6 +167,59 @@ class TestTraceRoundTrip:
         phases = summarize_trace(spans)["phases"]
         assert phases["phase2"]["count"] == 1
 
+    def test_corrupt_trace_lines_are_skipped_and_counted(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        with telemetry.session(trace_out=str(out)) as tracer:
+            with tracer.span("phase1"):
+                pass
+            tracer.event("divergence", epoch=1)
+        # A crash mid-flush tears the file: garbage line, a non-object
+        # line, and a truncated final record.
+        lines = out.read_text().splitlines()
+        lines.insert(1, "\x00\x00 not json \x00")
+        lines.insert(2, '"a bare string, not a record"')
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        out.write_text("\n".join(lines))
+
+        seen = []
+        records = load_trace(str(out), on_corrupt=lambda n, line: seen.append(n))
+        assert seen == [2, 3, len(lines)]
+        assert all(isinstance(r, dict) for r in records)
+
+        summary = summarize_trace(str(out))
+        assert summary["corrupt_lines"] == 3
+        assert summary["n_spans"] == 1 and summary["n_events"] == 1
+        report = render_trace_report(summary)
+        assert "WARNING: skipped 3 corrupt/truncated trace line(s)" in report
+
+    def test_clean_trace_reports_no_corruption(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        with telemetry.session(trace_out=str(out)) as tracer:
+            with tracer.span("phase1"):
+                pass
+        summary = summarize_trace(str(out))
+        assert summary["corrupt_lines"] == 0
+        assert "WARNING" not in render_trace_report(summary)
+
+    def test_serve_events_render_in_report(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.event("serve.started", pid=1, socket="s.sock", recovered=2)
+        tracer.event("serve.shed", reason="queue_full", client="c", depth=4)
+        tracer.event("serve.breaker_opened", kind="fail", signature="boom")
+        tracer.event("serve.journal_corrupt", lines=2)
+        tracer.event("serve.stopped", reason="SIGTERM", depth=0)
+        summary = summarize_trace(tracer.records)
+        assert summary["serve"]["shed"] == 1
+        assert summary["serve"]["journal_corrupt"] == 2
+        assert [e["event"] for e in summary["serve"]["lifecycle"]] == [
+            "serve.started", "serve.stopped",
+        ]
+        report = render_trace_report(summary)
+        assert "Serve (daemon lifecycle / admission / breakers):" in report
+        assert "1 request(s) shed by admission control" in report
+        assert "breaker opened for kind fail: boom" in report
+        assert "2 corrupt journal line(s) skipped on replay" in report
+
     def test_render_report_lists_every_section(self, tmp_path):
         out = tmp_path / "trace.jsonl"
         with telemetry.session(trace_out=str(out)) as tracer:
