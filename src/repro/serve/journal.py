@@ -16,6 +16,11 @@ is one growing file, not a set of immutable artifacts.  On replay:
   does not verify — the shape a crash mid-append leaves) is skipped
   silently: the transition it described never completed, which is
   exactly what the write-ahead contract promises;
+* opening the journal for append *repairs* a torn tail first: a
+  partial final line (no trailing newline) is truncated away, so the
+  recovered daemon's next record — which may be a fsynced, ACKed
+  ``accepted`` — starts on its own physical line instead of fusing
+  with the garbage and getting skipped on the *next* replay;
 * a corrupt record *before* valid ones (bit rot, manual edits) is
   skipped with a counted warning so a damaged journal still recovers
   every verifiable job.
@@ -124,6 +129,46 @@ def _verify_line(line):
     return body
 
 
+def _repair_torn_tail(path):
+    """Truncate a partial final line so appends start on a fresh line.
+
+    A crash mid-append leaves the file without a trailing newline.  The
+    partial record can never verify, but if the next daemon appended
+    straight onto it, its first record — possibly a fsynced, client-ACKed
+    ``accepted`` — would share that physical line and fail checksum on
+    the *next* replay, silently losing a promised job.  Replay already
+    skips the torn record, so dropping its bytes loses nothing; it is
+    fsynced away before the new handle opens.
+    """
+    try:
+        handle = open(path, "r+b")
+    except FileNotFoundError:
+        return
+    with handle:
+        size = handle.seek(0, os.SEEK_END)
+        if size == 0:
+            return
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return
+        # Walk back to the last newline; everything after it is the torn
+        # record.  Chunked so a huge torn payload does not load the file.
+        keep = 0
+        position = size
+        while position > 0:
+            step = min(4096, position)
+            position -= step
+            handle.seek(position)
+            chunk = handle.read(step)
+            cut = chunk.rfind(b"\n")
+            if cut != -1:
+                keep = position + cut + 1
+                break
+        handle.truncate(keep)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
 class Journal:
     """Append-only writer half of the write-ahead journal.
 
@@ -141,6 +186,7 @@ class Journal:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        _repair_torn_tail(self.path)
         self._handle = open(self.path, "a", encoding="utf-8")  # repro: noqa[RES001] write-ahead journals are append-only by design; every record is checksummed and replay skips a torn tail
 
     def append(self, record_type, fsync=False, **fields):

@@ -18,6 +18,11 @@ Requests are ``{"verb": ..., ...}`` objects; responses always carry a
     accepted the work (see :mod:`repro.serve.admission`).
 ``pending``
     A ``result`` query for a job that is accepted but not yet settled.
+``done`` / ``failed``
+    A ``result`` query for a settled job.  ``done`` carries the
+    handler's ``result``; ``failed`` carries the typed ``reason`` and
+    ``message``.  :meth:`repro.serve.client.ServeClient.wait` treats
+    either as settlement.
 ``not_found``
     A ``result`` query for an unknown job id.
 ``error``
@@ -47,7 +52,9 @@ _FRAME_HEADER = struct.Struct(">I")
 #: reader try to allocate gigabytes.
 MAX_FRAME = 64 << 20
 
-STATUSES = ("ok", "retry_after", "pending", "not_found", "error")
+STATUSES = (
+    "ok", "retry_after", "pending", "done", "failed", "not_found", "error",
+)
 
 
 class ProtocolError(RuntimeError):

@@ -29,6 +29,11 @@ class JobQueue:
     same order the crashed daemon would have used).  ``outcomes`` maps
     job id -> settlement dict (``{"status": "done", "result": ...}`` or
     ``{"status": "failed", "reason": ..., "message": ...}``).
+    ``accepted`` maps every job id ever accepted -> its job spec,
+    regardless of where the job is now (pending, taken into a dispatch
+    batch, or settled) — it is how a retried submit of an id the daemon
+    already holds is recognized as the *same* job instead of a
+    duplicate (see :meth:`ReproService._handle_submit`).
     """
 
     def __init__(self, journal):
@@ -37,6 +42,7 @@ class JobQueue:
         self.journal = journal
         self.pending = OrderedDict()
         self.outcomes = {}
+        self.accepted = {}
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -51,11 +57,12 @@ class JobQueue:
         back into a pending job.
         """
         job_id = job["job_id"]
-        if job_id in self.pending or job_id in self.outcomes:
+        if job_id in self.accepted:
             raise ValueError("duplicate job id %r" % job_id)
         self._seq += 1
         self.journal.append("accepted", fsync=True, seq=self._seq, **job)
         self.pending[job_id] = dict(job)
+        self.accepted[job_id] = dict(job)
         get_metrics().counter("serve.accepted").inc()
         return job_id
 
@@ -127,6 +134,7 @@ def recover(journal_path):
                 if key not in ("type", "seq")
             }
             queue.pending[job["job_id"]] = job
+            queue.accepted[job["job_id"]] = dict(job)
             queue._seq = max(queue._seq, int(body.get("seq", 0)))
         elif kind == "done":
             queue.pending.pop(body.get("job_id"), None)

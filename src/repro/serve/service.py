@@ -9,7 +9,9 @@ socket.  Its reliability contract, end to end:
   Handlers are deterministic in ``(payload, job_seed(job_id))``, so the
   replayed execution is byte-identical to the one the crash stole.
 * **No job is ever run twice to completion.**  Settlements ride in the
-  journal; replay serves recorded results instead of re-executing.
+  journal; replay serves recorded results instead of re-executing, and
+  a client that lost its ACK can re-submit the same ``job_id`` (same
+  kind/payload) for an idempotent ``ok`` instead of a duplicate error.
 * **No job is accepted that the daemon cannot honor.**  Admission
   control (:mod:`repro.serve.admission`) sheds with a structured
   ``retry_after`` *before* the journal is touched; a shed job was never
@@ -188,6 +190,29 @@ class ReproService:
                 "unknown job kind %r (registered: %s)"
                 % (kind, ", ".join(self.router.kinds()))
             )
+        # Idempotent re-submit: a client that lost the ACK (connection
+        # died after the fsynced journal write) retries the same job_id.
+        # The daemon already holds that job, so the retry succeeds —
+        # checked before admission, because the job occupies no *new*
+        # capacity and a shed here would wrongly tell the client its
+        # accepted job was refused.  A reused id with a different
+        # kind/payload is a genuine conflict and stays an error.
+        requested_id = request.get("job_id")
+        if requested_id is not None:
+            prior = self.queue.accepted.get(str(requested_id))
+            if prior is not None:
+                if (prior.get("kind") == kind
+                        and prior.get("payload") == (request.get("payload")
+                                                     or {})):
+                    return ok_response(
+                        job_id=str(requested_id),
+                        position=self.queue.depth(),
+                        duplicate=True,
+                    )
+                return error_response(
+                    "job id %r already used with a different kind/payload"
+                    % str(requested_id)
+                )
         shed = self.admission.admit(
             client, self.queue.depth(), stopping=self._stop_requested is not None
         )
@@ -267,6 +292,14 @@ class ReproService:
         return error_response("unknown verb %r" % (verb,))
 
     def _serve_one_connection(self, conn):
+        """Answer one request; a misbehaving peer never crashes the loop.
+
+        ``OSError`` covers the whole family of routine peer failures —
+        ``socket.timeout`` (stalled mid-frame), ``ConnectionResetError``
+        (peer reset under us), ``BrokenPipeError`` (peer gave up waiting
+        for a slow batch and closed before reading the response).  All of
+        them end this connection, not the daemon: degrade, not crash.
+        """
         conn.settimeout(_CONN_TIMEOUT)
         try:
             request = read_message(conn)
@@ -276,13 +309,18 @@ class ReproService:
                 write_message(conn, error_response("request must be an object"))
                 return
             write_message(conn, self._handle_request(request))
-        except (ProtocolError, socket.timeout) as exc:
+        except (ProtocolError, OSError) as exc:
+            get_tracer().event("serve.conn_error",
+                               error=type(exc).__name__, detail=str(exc))
             try:
                 write_message(conn, error_response(str(exc)))
             except OSError:  # repro: noqa[RES002] peer is already gone; nothing left to tell it
                 pass
         finally:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # repro: noqa[RES002] closing a reset socket can itself raise; the fd is gone either way
+                pass
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -312,10 +350,13 @@ class ReproService:
                 return Skip(_CircuitOpen(signature))
             return None
 
+        settled = 0
+
         def on_result(index, outcome):
+            nonlocal settled
             job = batch[index]
             job_id = job["job_id"]
-            elapsed = (monotonic() - started) / len(batch)
+            settled += 1
             self.heartbeats[job["kind"]] = round(wall_time(), 3)
             self.heartbeats["worker"] = round(wall_time(), 3)
             if isinstance(outcome, _CircuitOpen):
@@ -338,7 +379,6 @@ class ReproService:
             else:
                 self.queue.settle_done(job_id, outcome)
                 self.counters["completed"] += 1
-            self.admission.observe_service(elapsed)
             client = self._client_of.pop(job_id, job.get("client"))
             if client is not None:
                 self.admission.release(client)
@@ -366,6 +406,14 @@ class ReproService:
                         self.queue.requeue(job)
                 if self._stop_requested is None:
                     self._stop_requested = "interrupt"
+        # Mean service time feeds the admission backoff.  Completions in
+        # a concurrent batch share wall-clock, so the honest per-job
+        # figure is the batch duration amortized over what actually
+        # settled — summing per-completion elapsed would double-count.
+        if settled:
+            per_job = (monotonic() - started) / settled
+            for _ in range(settled):
+                self.admission.observe_service(per_job)
         return len(batch)
 
     # ------------------------------------------------------------------

@@ -85,6 +85,15 @@ class TestProtocol:
         with pytest.raises(ProtocolError):
             read_message(FakeSock(struct.pack(">I", (64 << 20) + 1)))
 
+    def test_settlement_statuses_are_part_of_the_contract(self):
+        # client.wait settles on "done"/"failed" from the result verb;
+        # the wire contract must list them.
+        from repro.serve.protocol import STATUSES
+
+        for status in ("ok", "retry_after", "pending", "done", "failed",
+                       "not_found", "error"):
+            assert status in STATUSES
+
 
 # ----------------------------------------------------------------------
 # Write-ahead journal
@@ -138,6 +147,35 @@ class TestJournal:
         )
         stats = read_journal(path)
         assert stats.records == []
+
+    def test_torn_tail_repaired_before_next_append(self, tmp_path):
+        # A crash mid-append leaves a partial final line.  Reopening for
+        # append must truncate it first: otherwise the recovered
+        # daemon's next record — possibly a fsynced, ACKed acceptance —
+        # fuses with the garbage and is lost on the *second* replay.
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+        with open(path, "a", encoding="utf-8") as handle:  # repro: noqa[RES001] deliberately tearing the journal tail: this test simulates the crash shape
+            handle.write('{"sha256": "feed", "body": {"type": "acc')
+        assert read_journal(path).torn_tail
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j2", kind="echo")
+        stats = read_journal(path)
+        assert [r["job_id"] for r in stats.records] == ["j1", "j2"]
+        assert not stats.torn_tail
+        assert stats.corrupt == 0
+
+    def test_repair_of_torn_first_line_empties_the_file(self, tmp_path):
+        # Torn tail with no newline anywhere: the whole file is the
+        # partial record; repair truncates to empty, append starts fresh.
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"sha256": "feed", "body"')
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+        stats = read_journal(path)
+        assert [r["job_id"] for r in stats.records] == ["j1"]
+        assert not stats.torn_tail
 
     def test_corrupt_fault_writes_torn_record(self, tmp_path):
         path = tmp_path / "journal.jsonl"
@@ -197,6 +235,28 @@ class TestQueueRecovery:
         with pytest.raises(ValueError):
             queue.accept(_job("j1"))
         queue.close()
+
+    def test_taken_job_still_counts_as_accepted_for_duplicates(self, tmp_path):
+        queue = JobQueue(Journal(tmp_path / "journal.jsonl"))
+        queue.accept(_job("j1"))
+        queue.take(1)  # in a dispatch batch: neither pending nor settled
+        with pytest.raises(ValueError):
+            queue.accept(_job("j1"))
+        queue.close()
+
+    def test_accepted_specs_survive_recovery(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        queue.accept(_job("j1", payload={"x": 1}))
+        queue.accept(_job("j2"))
+        queue.settle_done("j2", 1)
+        queue.close()
+        recovered, _ = recover(path)
+        # Both the pending and the settled job keep their specs, so a
+        # lost-ACK retry can be recognized across a restart.
+        assert recovered.accepted["j1"]["payload"] == {"x": 1}
+        assert "j2" in recovered.accepted
+        recovered.close()
 
     def test_take_preserves_acceptance_order(self, tmp_path):
         queue = JobQueue(Journal(tmp_path / "journal.jsonl"))
@@ -390,6 +450,82 @@ class TestServiceHandlers:
         assert service.queue.outcome(ok["job_id"])["status"] == "done"
         service.queue.close()
 
+    def test_resubmit_of_held_job_id_is_idempotent(self, tmp_path):
+        # The lost-ACK shape: the daemon journaled + holds the job, the
+        # client never saw the response and retries the same id.
+        service = _service(tmp_path)
+        first = service._handle_submit(
+            {"kind": "echo", "client": "a", "payload": {"x": 1},
+             "job_id": "j-ack"}
+        )
+        assert first["status"] == "ok"
+        retry = service._handle_submit(
+            {"kind": "echo", "client": "a", "payload": {"x": 1},
+             "job_id": "j-ack"}
+        )
+        assert retry["status"] == "ok"
+        assert retry["job_id"] == "j-ack"
+        assert retry["duplicate"] is True
+        # Still idempotent after settlement.
+        service._dispatch_some()
+        settled = service._handle_submit(
+            {"kind": "echo", "client": "a", "payload": {"x": 1},
+             "job_id": "j-ack"}
+        )
+        assert settled["status"] == "ok"
+        # Exactly one acceptance was ever journaled or counted.
+        accepted = [r for r in read_journal(service.journal_path).records
+                    if r["type"] == "accepted"]
+        assert len(accepted) == 1
+        assert service.counters["accepted"] == 1
+        assert service.admission.in_flight == {}
+        # A reused id with different work is a genuine conflict.
+        conflict = service._handle_submit(
+            {"kind": "echo", "client": "a", "payload": {"x": 2},
+             "job_id": "j-ack"}
+        )
+        assert conflict["status"] == "error"
+        assert "different kind/payload" in conflict["message"]
+        service.queue.close()
+
+    def test_peer_reset_and_broken_pipe_do_not_crash(self, tmp_path):
+        # A client that resets the connection or closes before reading
+        # the response (routine when it times out during a slow batch)
+        # must end the connection, not the daemon.
+        service = _service(tmp_path)
+
+        class ResetConn:
+            def settimeout(self, timeout):
+                pass
+
+            def recv(self, size):
+                raise ConnectionResetError(104, "connection reset by peer")
+
+            def sendall(self, data):
+                raise BrokenPipeError(32, "broken pipe")
+
+            def close(self):
+                pass
+
+        service._serve_one_connection(ResetConn())  # must not raise
+
+        class ImpatientConn(FakeSock):
+            """Sends a full request, closes before reading the answer."""
+
+            def settimeout(self, timeout):
+                pass
+
+            def sendall(self, data):
+                raise BrokenPipeError(32, "broken pipe")
+
+            def close(self):
+                pass
+
+        request = FakeSock()
+        write_message(request, {"verb": "status"})
+        service._serve_one_connection(ImpatientConn(bytes(request.sent)))
+        service.queue.close()
+
     def test_status_snapshot_shape(self, tmp_path):
         service = _service(tmp_path)
         payload = service.status()
@@ -494,6 +630,17 @@ class TestServiceEndToEnd:
         stats = read_journal(service.journal_path)
         assert stats.clean_stop
         assert final["status"]["stopping"] is True
+
+    def test_resubmitted_job_id_is_idempotent_over_the_wire(
+            self, running_service):
+        _, client, _ = running_service
+        assert client.submit("echo", {"x": 1}, job_id="dup-1") == "dup-1"
+        assert client.submit("echo", {"x": 1}, job_id="dup-1") == "dup-1"
+        assert client.wait("dup-1", timeout=10.0)["status"] == "done"
+        # Settled jobs answer resubmits too; conflicting reuse errors.
+        assert client.submit("echo", {"x": 1}, job_id="dup-1") == "dup-1"
+        with pytest.raises(ServeError, match="different kind/payload"):
+            client.submit("echo", {"x": 2}, job_id="dup-1")
 
     def test_unknown_kind_surfaces_as_serve_error(self, running_service):
         _, client, _ = running_service

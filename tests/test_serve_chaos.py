@@ -286,6 +286,41 @@ class TestJournalChaos:
         assert replayed["result"] == first["result"]
         assert _stop_and_reap(process, client) == 0
 
+    def test_ack_appended_after_torn_tail_survives_second_replay(
+            self, tmp_path):
+        # The append-after-torn-tail sequence: life 1 crashes mid-append
+        # (torn tail), life 2 ACKs a new job whose fsynced acceptance is
+        # the first append after the tear, life 2 is SIGKILLed, and life
+        # 3 must still recover that ACKed job.  Without tail repair on
+        # reopen, life 2's acceptance record fuses onto the partial line,
+        # fails checksum on life 3's replay, and the promised job
+        # silently vanishes.
+        journal_path = tmp_path / "journal.jsonl"
+        process, client = _start_daemon(tmp_path)
+        client.submit("echo", {"x": 1}, job_id="pre-tear")
+        assert client.wait("pre-tear", timeout=30.0)["status"] == "done"
+        _sigkill(process)
+        # Tear the tail the way a crash mid-append does: a partial
+        # record with no trailing newline.
+        with open(journal_path, "a", encoding="utf-8") as handle:  # repro: noqa[RES001] deliberately tearing the journal tail: this test simulates the crash shape
+            handle.write('{"sha256": "dead", "body": {"type": "acc')
+        assert read_journal(journal_path).torn_tail
+
+        process, client = _start_daemon(tmp_path)
+        assert client.status()["replay"]["torn_tail"] is True
+        assert client.submit(
+            "sleep", {"seconds": 2.0}, job_id="acked-after-tear"
+        ) == "acked-after-tear"
+        _sigkill(process)
+
+        process, client = _start_daemon(tmp_path)
+        assert client.status()["replay"]["recovered"] >= 1
+        assert client.wait(
+            "acked-after-tear", timeout=60.0
+        )["status"] == "done"
+        assert client.result("pre-tear")["status"] == "done"
+        assert _stop_and_reap(process, client) == 0
+
     def test_kill_fault_at_accept_means_no_promise(self, tmp_path):
         # A daemon killed between admission and the journal write dies
         # before ACKing: the client sees a dead connection, the journal
