@@ -10,6 +10,7 @@ from __future__ import annotations
 from ..flow import DtypeFlowRule, ForkSafetyRule, RngTaintRule
 from .api import AllExportDriftRule, SamplerValidationRule, UnusedNoqaRule
 from .autograd import MissingNoGradRule, TapeDataEscapeRule, TensorDtypeRule
+from .evals import DirectSqliteRule
 from .mutation import MutableDefaultRule, ParamInPlaceMutationRule
 from .observability import RawClockRule
 from .parallelism import DirectMultiprocessingRule
@@ -38,6 +39,7 @@ __all__ = [
     "SwallowedExceptionRule",
     "RawClockRule",
     "DirectMultiprocessingRule",
+    "DirectSqliteRule",
     "RawSocketServerRule",
     "BareNumpyRandomRule",
     "UnseededGeneratorRule",
@@ -62,6 +64,7 @@ RULE_CLASSES = (
     RawClockRule,           # OBS001
     DirectMultiprocessingRule,  # PAR001
     RawSocketServerRule,    # SRV001
+    DirectSqliteRule,       # EVAL001
     UnusedNoqaRule,         # NOQA001
     RngTaintRule,           # FLOW-RNG (whole-program)
     DtypeFlowRule,          # FLOW-DTYPE (whole-program)

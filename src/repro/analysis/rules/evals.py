@@ -1,0 +1,75 @@
+"""Result-store discipline rules.
+
+All result persistence flows through
+:class:`repro.evals.store.ResultStore`: one schema-versioned,
+WAL-mode, append-only sqlite database written from the parent process
+only.  A direct ``sqlite3.connect`` elsewhere opens a database with no
+schema version to check, no idempotent-insert discipline, and no
+append-only guarantee — exactly the drift the store exists to rule
+out.  EVAL001 pins every module outside ``repro/evals/store.py`` to
+the store API.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["DirectSqliteRule"]
+
+
+def _in_store_module(path):
+    normalized = path.replace("\\", "/")
+    return normalized.endswith("evals/store.py")
+
+
+class DirectSqliteRule(Rule):
+    """EVAL001: no ``sqlite3`` use outside ``repro.evals.store``.
+
+    The :class:`~repro.evals.store.ResultStore` is the single
+    sanctioned sqlite surface; a raw connection bypasses schema
+    versioning and the idempotent append-only write discipline that
+    makes killed-and-resumed runs duplicate-free.
+    """
+
+    id = "EVAL001"
+    name = "direct-sqlite"
+    description = ("direct sqlite3 use outside repro.evals.store "
+                   "bypasses the schema-versioned ResultStore")
+
+    def check(self, ctx):
+        if _in_store_module(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "sqlite3":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of sqlite3 outside repro.evals.store; "
+                            "query results through ResultStore",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (node.module or "").split(".")[0] == "sqlite3":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import from sqlite3 outside repro.evals.store; "
+                        "query results through ResultStore",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "connect"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "sqlite3"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "sqlite3.connect outside repro.evals.store opens "
+                        "an unversioned database; use ResultStore",
+                    )

@@ -1,0 +1,106 @@
+"""Command-line entry point: ``repro-report`` (``python -m repro.evals``).
+
+Regenerates paper tables and figures as views over the sqlite result
+store — no retraining — and reports cross-run history::
+
+    repro-report table2                  # regenerate Table II from the store
+    repro-report t2 --run-id 3           # a specific recorded run
+    repro-report runs                    # list every recorded run
+    repro-report perf                    # run durations + BENCH diffs
+    repro-report ingest-bench BENCH_*.json   # append BENCH history
+
+The store (``--store``, default ``evals.sqlite``) is populated by
+``run_matrix(spec, store=...)`` or ``python -m repro.experiments
+--store``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .matrix import ALL_VIEWS
+from .report import perf_report, regenerate, runs_report
+from .store import EvalsStoreError, ResultStore
+
+__all__ = ["main"]
+
+_ALIASES = {
+    "t1": "table1", "t2": "table2", "t3": "table3", "t4": "table4",
+    "t5": "table5",
+    "f3": "figure3", "f4": "figure4", "f5": "figure5", "f6": "figure6",
+    "f7": "figure7",
+    "rt": "runtime_comparison", "px": "eos_pixel_vs_embedding",
+}
+
+
+def _ingest_bench(store, paths):
+    if not paths:
+        raise EvalsStoreError("ingest-bench needs at least one JSON path")
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        name = (payload.get("benchmark") if isinstance(payload, dict)
+                else None) or os.path.basename(path)
+        store.record_bench(name, payload, source=os.path.abspath(path))
+        print("ingested %s as %r" % (path, name))
+    print(store.summary())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "target",
+        help="view name (table1..table5, figure3..figure7, "
+             "runtime_comparison, eos_pixel_vs_embedding; aliases "
+             "t1-t5/f3-f7/rt/px), or runs | perf | ingest-bench",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="BENCH json files (ingest-bench only)")
+    parser.add_argument("--store", default="evals.sqlite", metavar="PATH",
+                        help="sqlite result store (default: evals.sqlite)")
+    parser.add_argument("--run-id", type=int, default=None, metavar="N",
+                        help="regenerate a specific recorded run "
+                             "(default: newest complete run of the view)")
+    args = parser.parse_args(argv)
+
+    target = _ALIASES.get(args.target, args.target)
+    if target not in ALL_VIEWS + ("runs", "perf", "ingest-bench"):
+        parser.error(
+            "unknown target %r (views: %s; or runs, perf, ingest-bench)"
+            % (args.target, ", ".join(ALL_VIEWS))
+        )
+    if target != "ingest-bench" and args.paths:
+        parser.error("positional paths are only valid with ingest-bench")
+    if target == "runs" or target == "perf":
+        if args.run_id is not None:
+            parser.error("--run-id only applies to view targets")
+
+    if target != "ingest-bench" and not os.path.exists(args.store):
+        print("store %s does not exist; run a matrix with --store first"
+              % args.store, file=sys.stderr)
+        return 1
+
+    with ResultStore(args.store) as store:
+        try:
+            if target == "runs":
+                print(runs_report(store))
+            elif target == "perf":
+                print(perf_report(store))
+            elif target == "ingest-bench":
+                _ingest_bench(store, args.paths)
+            else:
+                print(regenerate(store, target, run_id=args.run_id))
+        except EvalsStoreError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

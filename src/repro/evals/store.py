@@ -1,0 +1,322 @@
+"""Append-only sqlite result store: every cell result, across runs.
+
+One :class:`ResultStore` owns one sqlite database (WAL mode,
+schema-versioned) accumulating experiment history:
+
+* ``runs`` — one row per ``run_matrix`` invocation: view, spec/plan
+  snapshots, config + git fingerprint, final report, wall time;
+* ``cells`` — one row per recorded cell outcome.  The
+  ``(run_id, cell_id, status)`` unique index plus ``INSERT OR IGNORE``
+  makes recording idempotent: a resumed run may replay every
+  checkpointed cell without creating duplicate rows;
+* ``telemetry`` — the metrics snapshot captured as a run finished;
+* ``bench`` — ingested ``BENCH_*.json`` entries, so the perf-trajectory
+  view can diff speed against prior recorded runs.
+
+Writes happen from the parent process only: ``run_matrix`` records
+cells through the :class:`~repro.resilience.RunRegistry` cell sink,
+which :mod:`repro.parallel.run_cells` invokes in the parent as worker
+results arrive.  Rows are never updated or deleted once written — the
+only mutation is flipping a run's ``status`` from ``running`` to
+``complete`` when it finishes.
+
+EVAL001 pins every other module to this file: direct
+``sqlite3.connect`` elsewhere would bypass the schema versioning and
+the append-only discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+
+from ..telemetry import wall_time
+
+__all__ = ["EvalsStoreError", "ResultStore", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id        INTEGER PRIMARY KEY,
+    view          TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'running',
+    fingerprint   TEXT,
+    git_sha       TEXT,
+    config_json   TEXT,
+    spec_json     TEXT,
+    plan_json     TEXT,
+    extras_json   TEXT,
+    report        TEXT,
+    seconds       REAL,
+    created_wall  REAL NOT NULL,
+    finished_wall REAL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    id            INTEGER PRIMARY KEY,
+    run_id        INTEGER NOT NULL REFERENCES runs(run_id),
+    position      INTEGER NOT NULL,
+    cell_id       TEXT NOT NULL,
+    key_json      TEXT NOT NULL,
+    status        TEXT NOT NULL,
+    payload_json  TEXT NOT NULL,
+    recorded_wall REAL NOT NULL
+);
+CREATE UNIQUE INDEX IF NOT EXISTS cells_run_cell_status
+    ON cells(run_id, cell_id, status);
+CREATE TABLE IF NOT EXISTS telemetry (
+    id            INTEGER PRIMARY KEY,
+    run_id        INTEGER NOT NULL REFERENCES runs(run_id),
+    snapshot_json TEXT NOT NULL,
+    recorded_wall REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS bench (
+    id            INTEGER PRIMARY KEY,
+    name          TEXT NOT NULL,
+    source        TEXT,
+    payload_json  TEXT NOT NULL,
+    ingested_wall REAL NOT NULL
+);
+"""
+
+
+class EvalsStoreError(RuntimeError):
+    """Schema mismatch or an impossible store operation."""
+
+
+def _json(value):
+    return json.dumps(value, sort_keys=True, default=_coerce)
+
+
+def _coerce(value):
+    # numpy scalars reach payloads from metric dicts; their float/int
+    # conversion is exact for the dtypes the metrics layer produces.
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError("not JSON serializable: %r" % (value,))
+
+
+class ResultStore:
+    """Queryable append-only archive of experiment-matrix runs."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=5000")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta(key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+            elif int(row["value"]) != SCHEMA_VERSION:
+                raise EvalsStoreError(
+                    "store %s has schema version %s; this code reads "
+                    "version %d" % (self.path, row["value"], SCHEMA_VERSION)
+                )
+
+    def close(self):
+        self._conn.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def begin_run(self, view, fingerprint=None, spec=None, plan=None,
+                  config=None, git_sha=None):
+        """Open a run row (status ``running``) and return its id."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs(view, status, fingerprint, git_sha, "
+                "config_json, spec_json, plan_json, created_wall) "
+                "VALUES (?, 'running', ?, ?, ?, ?, ?, ?)",
+                (view, fingerprint, git_sha,
+                 _json(config) if config is not None else None,
+                 _json(spec) if spec is not None else None,
+                 _json(plan) if plan is not None else None,
+                 wall_time()),
+            )
+        return cursor.lastrowid
+
+    def is_resumable_run(self, run_id, fingerprint):
+        """True when ``run_id`` is still open under the same fingerprint.
+
+        A resumed sweep re-binds to its original run row only when the
+        spec fingerprint matches — resuming under a different
+        configuration must open a fresh run, never mix rows.
+        """
+        row = self._conn.execute(
+            "SELECT status, fingerprint FROM runs WHERE run_id=?",
+            (run_id,),
+        ).fetchone()
+        return (row is not None and row["status"] == "running"
+                and row["fingerprint"] == fingerprint)
+
+    def finish_run(self, run_id, report=None, extras=None, cells=(),
+                   telemetry=None, seconds=None):
+        """Seal a run: replay any unrecorded cells, stamp the report.
+
+        The cell replay is idempotent (``INSERT OR IGNORE`` against the
+        unique index), so finishing a resumed run re-presents every
+        checkpointed cell without duplicating the rows the interrupted
+        run already wrote.
+        """
+        now = wall_time()
+        with self._conn:
+            for row in cells:
+                self._insert_cell(run_id, row, now)
+            if telemetry is not None:
+                self._conn.execute(
+                    "INSERT INTO telemetry(run_id, snapshot_json, "
+                    "recorded_wall) VALUES (?, ?, ?)",
+                    (run_id, _json(telemetry), now),
+                )
+            self._conn.execute(
+                "UPDATE runs SET status='complete', report=?, "
+                "extras_json=?, seconds=?, finished_wall=? WHERE run_id=?",
+                (report, _json(extras) if extras is not None else None,
+                 seconds, now, run_id),
+            )
+
+    def run_row(self, run_id):
+        """The full ``runs`` row, or None."""
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE run_id=?", (run_id,)
+        ).fetchone()
+        return dict(row) if row is not None else None
+
+    def runs(self, view=None):
+        """All run rows (optionally one view), oldest first."""
+        if view is None:
+            rows = self._conn.execute(
+                "SELECT * FROM runs ORDER BY run_id"
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM runs WHERE view=? ORDER BY run_id", (view,)
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def latest_run_id(self, view, status=None):
+        """Newest run id for a view (optionally restricted by status)."""
+        query = "SELECT run_id FROM runs WHERE view=?"
+        params = [view]
+        if status is not None:
+            query += " AND status=?"
+            params.append(status)
+        row = self._conn.execute(
+            query + " ORDER BY run_id DESC LIMIT 1", params
+        ).fetchone()
+        return row["run_id"] if row is not None else None
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def _insert_cell(self, run_id, row, now):
+        self._conn.execute(
+            "INSERT OR IGNORE INTO cells(run_id, position, cell_id, "
+            "key_json, status, payload_json, recorded_wall) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (run_id, row["position"], row["cell_id"],
+             _json(list(row["key"])), row["status"],
+             _json(row["payload"]), now),
+        )
+
+    def record_cell(self, run_id, cell_id, position, key, status, payload):
+        """Record one cell outcome (idempotent)."""
+        with self._conn:
+            self._insert_cell(
+                run_id,
+                {"position": position, "cell_id": cell_id, "key": key,
+                 "status": status, "payload": payload},
+                wall_time(),
+            )
+
+    def cell_rows(self, run_id):
+        """Every raw cell row of a run, in insertion order."""
+        rows = self._conn.execute(
+            "SELECT * FROM cells WHERE run_id=? ORDER BY id", (run_id,)
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def cell_results(self, run_id):
+        """Best outcome per cell id: a ``done`` row wins over ``failed``.
+
+        Returns ``{cell_id: {"status", "key", "payload", "position"}}``.
+        """
+        chosen = {}
+        for row in self.cell_rows(run_id):
+            prior = chosen.get(row["cell_id"])
+            if prior is not None and prior["status"] == "done":
+                continue
+            chosen[row["cell_id"]] = {
+                "status": row["status"],
+                "position": row["position"],
+                "key": tuple(json.loads(row["key_json"])),
+                "payload": json.loads(row["payload_json"]),
+            }
+        return chosen
+
+    # ------------------------------------------------------------------
+    # BENCH history
+    # ------------------------------------------------------------------
+    def record_bench(self, name, payload, source=None):
+        """Append one BENCH entry (a parsed ``BENCH_*.json`` payload)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO bench(name, source, payload_json, "
+                "ingested_wall) VALUES (?, ?, ?, ?)",
+                (name, source, _json(payload), wall_time()),
+            )
+
+    def bench_rows(self, name=None):
+        """Ingested BENCH entries, oldest first."""
+        if name is None:
+            rows = self._conn.execute(
+                "SELECT * FROM bench ORDER BY id"
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM bench WHERE name=? ORDER BY id", (name,)
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    def telemetry_rows(self, run_id):
+        """Telemetry snapshots recorded for a run."""
+        rows = self._conn.execute(
+            "SELECT * FROM telemetry WHERE run_id=? ORDER BY id", (run_id,)
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def summary(self):
+        """One-line human summary of the store's contents."""
+        runs = self._conn.execute("SELECT COUNT(*) AS n FROM runs").fetchone()
+        cells = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM cells"
+        ).fetchone()
+        bench = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM bench"
+        ).fetchone()
+        return "%d run(s), %d cell row(s), %d bench entr(ies) in %s" % (
+            runs["n"], cells["n"], bench["n"], self.path,
+        )

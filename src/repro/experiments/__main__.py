@@ -15,6 +15,11 @@ Parallelism: ``--workers N`` evaluates sweep cells and phase-1
 trainings across N worker processes (``repro.parallel``); results and
 reports are bit-identical to ``--workers 1`` for any N.
 
+Result store: ``--store PATH`` appends every run — cell results,
+telemetry snapshot, config/git fingerprint — to the sqlite store at
+PATH (``repro.evals``).  Tables regenerate from it without retraining:
+``repro-report t2 --store PATH``.
+
 Hardening (``repro.guard``): ``--task-deadline`` arms the pool's
 hung-worker watchdog (SIGKILL + same-seed re-dispatch past the
 deadline), ``--strict-resume`` makes a corrupted checkpoint artifact
@@ -38,71 +43,63 @@ import argparse
 import sys
 
 from .. import telemetry
+from ..evals import MatrixSpec, run_matrix
 from ..guard import CircuitBreaker
 from ..resilience import RetryPolicy, RunRegistry, fingerprint_of
-from . import (
-    ExtractorCache,
-    bench_config,
-    run_eos_pixel_vs_embedding,
-    run_figure3,
-    run_figure4,
-    run_figure5,
-    run_figure6,
-    run_figure7,
-    run_runtime_comparison,
-    run_table1,
-    run_table2,
-    run_table3,
-    run_table4,
-    run_table5,
-)
+from . import ExtractorCache, bench_config
 
 __all__ = ["build_registry", "main"]
 
 
 def build_registry(config, datasets, cache, run_registry=None,
                    retry_policy=None, fail_soft=True, workers=None,
-                   breaker=None):
+                   breaker=None, store=None):
     """Map experiment keys to (title, runner-thunk).
 
+    Every key routes through :func:`repro.evals.run_matrix`.
     ``run_registry`` / ``retry_policy`` / ``fail_soft`` / ``workers`` /
-    ``breaker`` apply to the table runners (the sweeps worth
-    checkpointing, parallelizing and guarding); figures keep their
-    direct execution path.
+    ``breaker`` apply to the table views (the sweeps worth
+    checkpointing, parallelizing and guarding); figure views execute
+    directly.  ``store`` records every run in the sqlite result store.
     """
-    resilience = {
+    run_kwargs = {
+        "store": store,
+        "cache": cache,
         "registry": run_registry,
         "retry_policy": retry_policy,
         "fail_soft": fail_soft,
         "workers": workers,
         "breaker": breaker,
     }
+
+    def entry(title, spec):
+        return (title, lambda: run_matrix(spec, **run_kwargs))
+
     return {
-        "t1": ("Table I (pre vs post over-sampling)",
-               lambda: run_table1(config, datasets=datasets, cache=cache,
-                                  **resilience)),
-        "t2": ("Table II (losses x samplers)",
-               lambda: run_table2(config, datasets=datasets, cache=cache,
-                                  **resilience)),
-        "t3": ("Table III (GAN comparison)",
-               lambda: run_table3(config, datasets=datasets, cache=cache,
-                                  **resilience)),
-        "t4": ("Table IV (EOS K sweep)",
-               lambda: run_table4(config, datasets=datasets, cache=cache,
-                                  **resilience)),
-        "t5": ("Table V (architectures)",
-               lambda: run_table5(config, cache=cache, **resilience)),
-        "f3": ("Figure 3 (gap curves)", lambda: run_figure3(config, cache=cache)),
-        "f4": ("Figure 4 (TP vs FP gap)",
-               lambda: run_figure4(config, datasets=datasets, cache=cache)),
-        "f5": ("Figure 5 (weight norms)", lambda: run_figure5(config, cache=cache)),
-        "f6": ("Figure 6 (t-SNE boundary)", lambda: run_figure6(config, cache=cache)),
-        "f7": ("Figure 7 (fine-tune epochs)",
-               lambda: run_figure7(config, cache=cache)),
-        "rt": ("Runtime comparison (V-E2)",
-               lambda: run_runtime_comparison(config)),
-        "px": ("EOS pixel vs embedding (V-E3)",
-               lambda: run_eos_pixel_vs_embedding(config, cache=cache)),
+        "t1": entry("Table I (pre vs post over-sampling)",
+                    MatrixSpec("table1", config=config, datasets=datasets)),
+        "t2": entry("Table II (losses x samplers)",
+                    MatrixSpec("table2", config=config, datasets=datasets)),
+        "t3": entry("Table III (GAN comparison)",
+                    MatrixSpec("table3", config=config, datasets=datasets)),
+        "t4": entry("Table IV (EOS K sweep)",
+                    MatrixSpec("table4", config=config, datasets=datasets)),
+        "t5": entry("Table V (architectures)",
+                    MatrixSpec("table5", config=config)),
+        "f3": entry("Figure 3 (gap curves)",
+                    MatrixSpec("figure3", config=config)),
+        "f4": entry("Figure 4 (TP vs FP gap)",
+                    MatrixSpec("figure4", config=config, datasets=datasets)),
+        "f5": entry("Figure 5 (weight norms)",
+                    MatrixSpec("figure5", config=config)),
+        "f6": entry("Figure 6 (t-SNE boundary)",
+                    MatrixSpec("figure6", config=config)),
+        "f7": entry("Figure 7 (fine-tune epochs)",
+                    MatrixSpec("figure7", config=config)),
+        "rt": entry("Runtime comparison (V-E2)",
+                    MatrixSpec("runtime_comparison", config=config)),
+        "px": entry("EOS pixel vs embedding (V-E3)",
+                    MatrixSpec("eos_pixel_vs_embedding", config=config)),
     }
 
 
@@ -186,6 +183,12 @@ def main(argv=None):
              "processes; results are bit-identical to --workers 1 "
              "(default: 1, exact serial execution)",
     )
+    parser.add_argument(
+        "--store", metavar="PATH",
+        help="record every run (cells, telemetry, config/git fingerprint) "
+             "in the sqlite result store at PATH; regenerate tables later "
+             "with `repro-report <view> --store PATH`",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
@@ -237,6 +240,11 @@ def main(argv=None):
 
     config = bench_config(scale=args.scale, seed=args.seed)
     cache = ExtractorCache(registry=run_registry, retry_policy=retry_policy)
+    store = None
+    if args.store:
+        from ..evals import ResultStore
+
+        store = ResultStore(args.store)
     registry = build_registry(
         config,
         tuple(args.datasets),
@@ -246,6 +254,7 @@ def main(argv=None):
         fail_soft=not args.fail_fast,
         workers=args.workers,
         breaker=breaker,
+        store=store,
     )
 
     keys = list(args.keys)
@@ -272,13 +281,16 @@ def main(argv=None):
             print("=" * 72)
             start = telemetry.monotonic()
             out = runner()
-            print(out["report"])
+            print(out.report)
             print("(%.1fs)\n" % (telemetry.monotonic() - start))
     finally:
         if trace_out is not None:
             telemetry.disable(trace_out)
             print("trace: %s (summarize with `repro-trace %s`)"
                   % (trace_out, trace_out))
+        if store is not None:
+            print("store: %s" % store.summary())
+            store.close()
     if run_registry is not None:
         print("checkpoint: %s" % run_registry.summary())
     if breaker is not None:

@@ -1,24 +1,32 @@
 """Structured runner results: :class:`RunResult` + the tracing wrapper.
 
-Every ``run_table*`` / ``run_figure*`` runner historically returned a
-plain dict (``results``, ``report``, extras like ``post_wins``).
-:class:`RunResult` keeps that contract — it is a
-:class:`collections.abc.Mapping` over the same keys, so ``out["report"]``
-and ``dict(out)`` behave exactly as before — while adding attribute
-access and two derived fields:
+:class:`RunResult` is the typed record every runner —
+:func:`repro.evals.run_matrix` and the legacy deprecated wrappers —
+returns.  The structured fields are attributes:
 
+* ``cells`` (alias ``results``) — the per-cell results mapping;
+* ``report`` — the rendered table/figure text;
 * ``telemetry`` — the runner's wall time plus, when telemetry is
   enabled, the metrics snapshot captured as the runner finished;
 * ``degraded`` — the cell keys whose value is a
-  :class:`~repro.resilience.CellFailure` (empty for clean runs).
+  :class:`~repro.resilience.CellFailure` (empty for clean runs);
+* ``store_run_id`` — the :class:`repro.evals.ResultStore` run this
+  invocation recorded into (None when no store was attached).
 
-:func:`traced_runner` is the decorator that wraps each runner in a
-``runner`` span and converts its dict into a :class:`RunResult`.
+Dict-style access (``out["report"]``, ``dict(out)``) still works — the
+record stays a :class:`collections.abc.Mapping` over the original
+runner output keys — but is deprecated in favor of the attributes and
+emits a :class:`DeprecationWarning` for one release.
+
+:func:`traced_runner` is the decorator that wraps a plain-dict runner
+in a ``runner`` span and converts its dict into a :class:`RunResult`;
+``run_matrix`` inlines the same span/telemetry protocol.
 """
 
 from __future__ import annotations
 
 import functools
+import warnings
 from collections.abc import Mapping
 
 from ..resilience import CellFailure
@@ -27,26 +35,37 @@ from ..telemetry import get_metrics, get_tracer, monotonic
 __all__ = ["RunResult", "traced_runner"]
 
 
+_DICT_ACCESS_MESSAGE = (
+    "dict-style access to RunResult is deprecated; use the attributes "
+    "(.cells, .report, .telemetry, .degraded, .store_run_id)"
+)
+
+
 class RunResult(Mapping):
-    """Mapping-compatible view of a runner's output dict.
+    """Typed runner result with a deprecated Mapping compatibility shim.
 
     Dict-style consumers (``out["report"]``, ``"results" in out``,
     ``dict(out)``) see every original key plus ``telemetry`` and
-    ``degraded``; attribute access covers the four structured fields.
+    ``degraded`` (and ``store_run_id`` when a result store recorded the
+    run), exactly as before — behind a :class:`DeprecationWarning`.
     """
 
-    def __init__(self, data, telemetry=None):
+    def __init__(self, data, telemetry=None, store_run_id=None):
         self._data = dict(data)
         if "telemetry" not in self._data:
             self._data["telemetry"] = telemetry if telemetry is not None else {}
         if "degraded" not in self._data:
             self._data["degraded"] = _failed_cells(self._data.get("results"))
+        if store_run_id is not None and "store_run_id" not in self._data:
+            self._data["store_run_id"] = store_run_id
 
-    # -- mapping protocol ------------------------------------------------
+    # -- deprecated mapping shim -----------------------------------------
     def __getitem__(self, key):
+        warnings.warn(_DICT_ACCESS_MESSAGE, DeprecationWarning, stacklevel=2)
         return self._data[key]
 
     def __iter__(self):
+        warnings.warn(_DICT_ACCESS_MESSAGE, DeprecationWarning, stacklevel=2)
         return iter(self._data)
 
     def __len__(self):
@@ -54,9 +73,14 @@ class RunResult(Mapping):
 
     # -- structured fields -----------------------------------------------
     @property
-    def results(self):
+    def cells(self):
         """Per-cell results mapping (empty for figure-style runners)."""
         return self._data.get("results", {})
+
+    @property
+    def results(self):
+        """Alias of :attr:`cells` (the historical name)."""
+        return self.cells
 
     @property
     def report(self):
@@ -72,6 +96,11 @@ class RunResult(Mapping):
     def degraded(self):
         """Cell keys that degraded to :class:`CellFailure` outcomes."""
         return self._data["degraded"]
+
+    @property
+    def store_run_id(self):
+        """The result-store run id this run recorded into, or None."""
+        return self._data.get("store_run_id")
 
     def __repr__(self):
         return "RunResult(keys=%s, degraded=%d)" % (

@@ -1,29 +1,35 @@
-"""Runners that regenerate each of the paper's tables and figures.
+"""Legacy runner entry points + the figure/study implementations.
 
-Every ``run_*`` function returns a dict with structured ``results`` plus
-a ``report`` string whose rows mirror the corresponding paper table or
-figure series.  The benchmark suite invokes these with the tiny bench
-configuration; ``examples/reproduce_paper.py`` runs them at a larger
-scale.
+The table and figure runners (``run_table1`` … ``run_figure7``,
+``run_runtime_comparison``, ``run_eos_pixel_vs_embedding``) are now
+thin deprecated wrappers: each builds a
+:class:`repro.evals.MatrixSpec` and delegates to
+:func:`repro.evals.run_matrix`, which compiles the spec to the same
+cell grid, runs it through the resilience layer
+(:func:`repro.parallel.run_cells` — resume, retry with seed-bump +
+LR-backoff, FAILED-cell degradation, circuit breakers, bit-identical
+parallel results), renders the report through
+:mod:`repro.evals.views`, and optionally records every cell in the
+sqlite :class:`~repro.evals.ResultStore`.  Their output is
+byte-identical to calling ``run_matrix`` directly; new code should use
+``run_matrix``.
 
-The table runners (``run_table1`` … ``run_table5``) execute every
-dataset × loss × sampler cell through the resilience layer
-(:func:`repro.parallel.run_cells`, the batched form of
-:func:`repro.resilience.run_cell`; pass ``workers=N`` to fan cells out
-across processes with bit-identical results): a failing cell is recorded as
-``FAILED(reason)`` in the emitted table instead of aborting the sweep,
-an optional :class:`~repro.resilience.RetryPolicy` re-runs diverged
-cells with seed-bump + LR-backoff, and an optional
-:class:`~repro.resilience.RunRegistry` checkpoints each finished cell so
-an interrupted sweep resumes where it stopped.
+What stays here: the cell-thunk helpers ``run_matrix`` executes
+(``_sampler_cell`` / ``_timed_sampler_cell`` / ``_preprocessed_cell``
+/ ``_CellGrid``) and the figure/study implementations
+(``_figure3_impl`` …), whose row data is not cell-structured.
 """
 
 from __future__ import annotations
+
+import functools
+import warnings
 
 import numpy as np
 
 from ..core import classifier_weight_norms, norm_imbalance
 from ..core.gap import generalization_gap, tp_fp_gap
+from ..evals.views import metric_cells as _metric_cells
 from ..manifold import TSNE
 from ..metrics import evaluate_predictions
 from ..resilience import CellFailure
@@ -33,10 +39,8 @@ from .config import bench_config, build_sampler
 from .pipeline import (
     ExtractorCache,
     evaluate_sampler,
-    prewarm_extractors,
     train_preprocessed,
 )
-from .result import traced_runner
 
 __all__ = [
     "run_table1",
@@ -53,21 +57,6 @@ __all__ = [
     "run_eos_pixel_vs_embedding",
 ]
 
-_METRICS = ("bac", "gm", "fm")
-
-
-def _metric_cells(metrics):
-    if isinstance(metrics, CellFailure):
-        return [metrics.label()] + ["-"] * (len(_METRICS) - 1)
-    return [format_float(metrics[m]) for m in _METRICS]
-
-
-def _bac(metrics):
-    """A cell's BAC, or None when the cell failed (degraded)."""
-    if isinstance(metrics, CellFailure):
-        return None
-    return metrics["bac"]
-
 
 def _make_cache(cache, registry, retry_policy):
     if cache is not None:
@@ -79,7 +68,7 @@ def _get_artifacts(cache, cfg, loss_name, fail_soft):
     """Phase-1 artifacts, or a CellFailure when training itself fails.
 
     A failed extractor degrades every cell that depends on it; the
-    runner stamps the same failure into each of those cells.
+    executor stamps the same failure into each of those cells.
     """
     try:
         return cache.get(cfg, loss_name)
@@ -140,7 +129,7 @@ def _preprocessed_cell(config, loss_name, sampler_name):
 
 
 class _CellGrid:
-    """Batch of sweep cells a runner collects, then runs as one unit.
+    """Batch of sweep cells an executor collects, then runs as one unit.
 
     Each cell is registered with its results-dict ``key``, checkpoint
     ``cell_id`` and thunk; cells whose outcome is already decided (a
@@ -186,107 +175,45 @@ class _CellGrid:
         return results
 
 
-def _degraded_summary(results):
-    """Trailer listing every FAILED cell, or an empty string."""
-    failures = [
-        (key, value)
-        for key, value in results.items()
-        if isinstance(value, CellFailure)
-    ]
-    if not failures:
-        return ""
-    lines = [
-        "",
-        "DEGRADED: %d / %d cell(s) failed and were excluded from summaries:"
-        % (len(failures), len(results)),
-    ]
-    for key, failure in failures:
-        cell = "/".join(str(part) for part in key)
-        lines.append(
-            "  %s -> %s after %d attempt(s)"
-            % (cell, failure.label(width=60), failure.attempts)
+def _deprecated_runner(fn):
+    """Legacy entry point: warn once, then delegate to ``run_matrix``."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            "%s() is deprecated; build a repro.evals.MatrixSpec and call "
+            "repro.evals.run_matrix() instead" % fn.__name__,
+            DeprecationWarning, stacklevel=2,
         )
-    return "\n".join(lines)
+        return fn(*args, **kwargs)
+
+    return wrapper
 
 
 # ----------------------------------------------------------------------
-# Table I — pre-processing (pixel) vs embedding-space over-sampling (CE)
+# Table I-V — deprecated wrappers over run_matrix
 # ----------------------------------------------------------------------
-@traced_runner("table1")
+@_deprecated_runner
 def run_table1(config=None, datasets=("cifar10_like",), cache=None,
                registry=None, retry_policy=None, fail_soft=True,
-               workers=None, breaker=None):
+               workers=None, breaker=None, store=None):
     """Pre- vs post- (embedding-space) over-sampling under CE loss.
 
     Paper shape: in most dataset x sampler cells, the *Post-* variant
     (over-sampling on feature embeddings + head fine-tuning) beats the
     *Pre-* variant (pixel-space over-sampling + full retraining).
     """
-    config = config if config is not None else bench_config()
-    cache = _make_cache(cache, registry, retry_policy)
-    samplers = ("smote", "bsmote", "balsvm")
-    prewarm_extractors(
-        cache,
-        [(config.with_overrides(dataset=d), "ce") for d in datasets],
-        max_workers=workers,
-    )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
-    row_specs = []
-    for dataset in datasets:
-        cfg = config.with_overrides(dataset=dataset)
-        for name in samplers + ("remix",):
-            key = (dataset, "pre", name)
-            grid.add(key, "t1/%s/pre/%s" % (dataset, name),
-                     _preprocessed_cell(cfg, "ce", name))
-            row_specs.append((key, [dataset, "Pre-%s" % name], True))
-        artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
-        for name in samplers:
-            key = (dataset, "post", name)
-            if isinstance(artifacts, CellFailure):
-                grid.stamp(key, artifacts)
-            else:
-                grid.add(key, "t1/%s/post/%s" % (dataset, name),
-                         _sampler_cell(artifacts, name))
-            row_specs.append((key, [dataset, "Post-%s" % name], False))
-    outcomes = grid.run()
-    results = {}
-    rows = []
-    for key, prefix, timed in row_specs:
-        out = outcomes[key]
-        if timed and not isinstance(out, CellFailure):
-            metrics = out["metrics"]
-        else:
-            metrics = out
-        results[key] = metrics
-        rows.append(prefix + _metric_cells(metrics))
+    from ..evals import MatrixSpec, run_matrix
 
-    post_wins = sum(
-        1
-        for dataset in datasets
-        for name in samplers
-        if _bac(results[(dataset, "post", name)]) is not None
-        and _bac(results[(dataset, "pre", name)]) is not None
-        and _bac(results[(dataset, "post", name)])
-        > _bac(results[(dataset, "pre", name)])
+    return run_matrix(
+        MatrixSpec("table1", config=config, datasets=tuple(datasets)),
+        store=store, cache=cache, registry=registry,
+        retry_policy=retry_policy, fail_soft=fail_soft, workers=workers,
+        breaker=breaker,
     )
-    report = format_table(
-        ["dataset", "method", "BAC", "GM", "FM"],
-        rows,
-        title="Table I: pre-processing vs feature-embedding over-sampling (CE)",
-    )
-    report += "\npost beats pre in %d / %d cells (paper: 7/9)" % (
-        post_wins,
-        len(datasets) * len(samplers),
-    )
-    report += _degraded_summary(results)
-    return {"results": results, "post_wins": post_wins,
-            "cells": len(datasets) * len(samplers), "report": report}
 
 
-# ----------------------------------------------------------------------
-# Table II — losses x {baseline, SMOTE, BSMOTE, BalSVM, EOS}
-# ----------------------------------------------------------------------
-@traced_runner("table2")
+@_deprecated_runner
 def run_table2(
     config=None,
     datasets=("cifar10_like",),
@@ -298,73 +225,25 @@ def run_table2(
     fail_soft=True,
     workers=None,
     breaker=None,
+    store=None,
 ):
     """The paper's main accuracy table.
 
     Paper shape: EOS is the best sampler in nearly every dataset x loss
     row; every embedding-space sampler beats the raw baseline.
     """
-    config = config if config is not None else bench_config()
-    cache = _make_cache(cache, registry, retry_policy)
-    prewarm_extractors(
-        cache,
-        [
-            (config.with_overrides(dataset=dataset), loss)
-            for dataset in datasets
-            for loss in losses
-        ],
-        max_workers=workers,
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("table2", config=config, datasets=tuple(datasets),
+                   losses=tuple(losses), samplers=tuple(samplers)),
+        store=store, cache=cache, registry=registry,
+        retry_policy=retry_policy, fail_soft=fail_soft, workers=workers,
+        breaker=breaker,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
-    keys = []
-    for dataset in datasets:
-        cfg = config.with_overrides(dataset=dataset)
-        for loss in losses:
-            artifacts = _get_artifacts(cache, cfg, loss, fail_soft)
-            for name in samplers:
-                key = (dataset, loss, name)
-                keys.append(key)
-                if isinstance(artifacts, CellFailure):
-                    grid.stamp(key, artifacts)
-                else:
-                    grid.add(key, "t2/%s/%s/%s" % (dataset, loss, name),
-                             _sampler_cell(artifacts, name))
-    results = grid.run()
-    rows = [
-        list(key) + _metric_cells(results[key]) for key in keys
-    ]
-
-    eos_wins = 0
-    comparisons = 0
-    if "eos" in samplers:
-        for dataset in datasets:
-            for loss in losses:
-                rivals = [
-                    _bac(results[(dataset, loss, s)])
-                    for s in samplers
-                    if s not in ("eos", "none")
-                ]
-                rivals = [bac for bac in rivals if bac is not None]
-                eos_bac = _bac(results[(dataset, loss, "eos")])
-                if rivals and eos_bac is not None:
-                    comparisons += 1
-                    if eos_bac >= max(rivals):
-                        eos_wins += 1
-    report = format_table(
-        ["dataset", "loss", "sampler", "BAC", "GM", "FM"],
-        rows,
-        title="Table II: baselines & over-sampling in embedding space",
-    )
-    report += "\nEOS best-of-samplers in %d / %d rows" % (eos_wins, comparisons)
-    report += _degraded_summary(results)
-    return {"results": results, "eos_wins": eos_wins,
-            "comparisons": comparisons, "report": report}
 
 
-# ----------------------------------------------------------------------
-# Table III — EOS vs GAN-based over-sampling
-# ----------------------------------------------------------------------
-@traced_runner("table3")
+@_deprecated_runner
 def run_table3(
     config=None,
     datasets=("cifar10_like",),
@@ -377,6 +256,7 @@ def run_table3(
     fail_soft=True,
     workers=None,
     breaker=None,
+    store=None,
 ):
     """GAN over-samplers vs EOS.
 
@@ -391,65 +271,19 @@ def run_table3(
     re-training, while EOS still runs in embedding space).  Pixel mode
     is several times slower since each GAN row retrains the CNN.
     """
-    if mode not in ("embedding", "pixel"):
-        raise ValueError("mode must be 'embedding' or 'pixel'")
-    config = config if config is not None else bench_config()
-    cache = _make_cache(cache, registry, retry_policy)
-    prewarm_extractors(
-        cache,
-        [
-            (config.with_overrides(dataset=dataset), loss)
-            for dataset in datasets
-            for loss in losses
-        ],
-        max_workers=workers,
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("table3", config=config, datasets=tuple(datasets),
+                   losses=tuple(losses), samplers=tuple(samplers),
+                   mode=mode),
+        store=store, cache=cache, registry=registry,
+        retry_policy=retry_policy, fail_soft=fail_soft, workers=workers,
+        breaker=breaker,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
-    keys = []
-    for dataset in datasets:
-        cfg = config.with_overrides(dataset=dataset)
-        for loss in losses:
-            artifacts = _get_artifacts(cache, cfg, loss, fail_soft)
-            for name in samplers:
-                key = (dataset, loss, name)
-                keys.append(key)
-                cell_id = "t3/%s/%s/%s/%s" % (mode, dataset, loss, name)
-                if mode == "pixel" and name != "eos":
-                    grid.add(key, cell_id, _preprocessed_cell(cfg, loss, name))
-                elif isinstance(artifacts, CellFailure):
-                    grid.stamp(key, artifacts)
-                else:
-                    grid.add(key, cell_id, _timed_sampler_cell(artifacts, name))
-    outcomes = grid.run()
-    results = {}
-    timing = {}
-    rows = []
-    for key in keys:
-        out = outcomes[key]
-        if isinstance(out, CellFailure):
-            metrics, seconds = out, None
-        else:
-            metrics, seconds = out["metrics"], out["seconds"]
-        results[key] = metrics
-        timing[key] = seconds
-        rows.append(
-            list(key)
-            + _metric_cells(metrics)
-            + ["%.2fs" % seconds if seconds is not None else "-"]
-        )
-    report = format_table(
-        ["dataset", "loss", "sampler", "BAC", "GM", "FM", "resample+tune"],
-        rows,
-        title="Table III: GAN-based over-sampling vs EOS (%s space)" % mode,
-    )
-    report += _degraded_summary(results)
-    return {"results": results, "timing": timing, "mode": mode, "report": report}
 
 
-# ----------------------------------------------------------------------
-# Table IV — EOS neighborhood-size sweep
-# ----------------------------------------------------------------------
-@traced_runner("table4")
+@_deprecated_runner
 def run_table4(
     config=None,
     datasets=("cifar10_like",),
@@ -460,101 +294,44 @@ def run_table4(
     fail_soft=True,
     workers=None,
     breaker=None,
+    store=None,
 ):
     """EOS K-nearest-neighbor sweep (paper: K in {10..300}, BAC rises
     with K then plateaus).  ``k_values`` defaults scale the sweep to the
     bench dataset size; pass the paper's values at larger scales.
     """
-    config = config if config is not None else bench_config()
-    cache = _make_cache(cache, registry, retry_policy)
-    prewarm_extractors(
-        cache,
-        [(config.with_overrides(dataset=d), "ce") for d in datasets],
-        max_workers=workers,
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("table4", config=config, datasets=tuple(datasets),
+                   k_values=tuple(k_values)),
+        store=store, cache=cache, registry=registry,
+        retry_policy=retry_policy, fail_soft=fail_soft, workers=workers,
+        breaker=breaker,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
-    keys = []
-    for dataset in datasets:
-        cfg = config.with_overrides(dataset=dataset)
-        artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
-        for k in k_values:
-            key = (dataset, k)
-            keys.append(key)
-            if isinstance(artifacts, CellFailure):
-                grid.stamp(key, artifacts)
-            else:
-                grid.add(key, "t4/%s/k=%d" % (dataset, k),
-                         _sampler_cell(artifacts, "eos", k_neighbors=k))
-    results = grid.run()
-    rows = [
-        [dataset, str(k)] + _metric_cells(results[(dataset, k)])
-        for dataset, k in keys
-    ]
-    report = format_table(
-        ["dataset", "K", "BAC", "GM", "FM"],
-        rows,
-        title="Table IV: EOS nearest-neighbor size analysis",
-    )
-    report += _degraded_summary(results)
-    return {"results": results, "k_values": tuple(k_values), "report": report}
 
 
-# ----------------------------------------------------------------------
-# Table V — architectures with & without EOS
-# ----------------------------------------------------------------------
-@traced_runner("table5")
+@_deprecated_runner
 def run_table5(config=None, architectures=None, cache=None,
                registry=None, retry_policy=None, fail_soft=True,
-               workers=None, breaker=None):
+               workers=None, breaker=None, store=None):
     """EOS across CNN architectures (paper: EOS helps every backbone)."""
-    config = config if config is not None else bench_config()
-    cache = _make_cache(cache, registry, retry_policy)
-    if architectures is None:
-        architectures = (
-            ("resnet8", {"width_multiplier": 0.5}),
-            ("wideresnet", {"depth": 10, "widen_factor": 2, "width_multiplier": 0.5}),
-            ("densenet", {"growth_rate": 6, "block_layers": (2, 2, 2)}),
-        )
-    prewarm_extractors(
-        cache,
-        [
-            (config.with_overrides(model=name, model_kwargs=dict(kwargs)),
-             "ce")
-            for name, kwargs in architectures
-        ],
-        max_workers=workers,
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("table5", config=config,
+                   architectures=(tuple(architectures)
+                                  if architectures is not None else None)),
+        store=store, cache=cache, registry=registry,
+        retry_policy=retry_policy, fail_soft=fail_soft, workers=workers,
+        breaker=breaker,
     )
-    grid = _CellGrid(registry, retry_policy, fail_soft, workers, breaker)
-    keys = []
-    for model_name, kwargs in architectures:
-        cfg = config.with_overrides(model=model_name, model_kwargs=dict(kwargs))
-        artifacts = _get_artifacts(cache, cfg, "ce", fail_soft)
-        for sampler_name, label in (("none", "baseline"), ("eos", "eos")):
-            key = (model_name, label)
-            keys.append(key)
-            if isinstance(artifacts, CellFailure):
-                grid.stamp(key, artifacts)
-            else:
-                grid.add(key, "t5/%s/%s" % (model_name, label),
-                         _sampler_cell(artifacts, sampler_name))
-    results = grid.run()
-    rows = []
-    for model_name, label in keys:
-        prefix = model_name if label == "baseline" else "EOS: %s" % model_name
-        rows.append([prefix] + _metric_cells(results[(model_name, label)]))
-    report = format_table(
-        ["network", "BAC", "GM", "FM"],
-        rows,
-        title="Table V: CNN architectures with & without EOS",
-    )
-    report += _degraded_summary(results)
-    return {"results": results, "report": report}
 
 
 # ----------------------------------------------------------------------
 # Figure 3 — per-class generalization-gap curves
 # ----------------------------------------------------------------------
-@traced_runner("figure3")
+@_deprecated_runner
 def run_figure3(
     config=None,
     losses=("ce", "asl", "focal", "ldam"),
@@ -567,6 +344,16 @@ def run_figure3(
     curves overlap the baseline (no range change); only EOS flattens the
     tail-class gap.
     """
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("figure3", config=config, losses=tuple(losses),
+                   samplers=tuple(samplers)),
+        cache=cache,
+    )
+
+
+def _figure3_impl(config, losses, samplers, cache):
     config = config if config is not None else bench_config()
     cache = cache if cache is not None else ExtractorCache()
     curves = {}
@@ -625,9 +412,18 @@ def run_figure3(
 # ----------------------------------------------------------------------
 # Figure 4 — gap for true positives vs false positives
 # ----------------------------------------------------------------------
-@traced_runner("figure4")
+@_deprecated_runner
 def run_figure4(config=None, datasets=("cifar10_like",), cache=None):
     """TP vs FP generalization gap (paper: FP gap is ~2-4x the TP gap)."""
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("figure4", config=config, datasets=tuple(datasets)),
+        cache=cache,
+    )
+
+
+def _figure4_impl(config, datasets, cache):
     config = config if config is not None else bench_config()
     cache = cache if cache is not None else ExtractorCache()
     results = {}
@@ -671,7 +467,7 @@ def run_figure4(config=None, datasets=("cifar10_like",), cache=None):
 # ----------------------------------------------------------------------
 # Figure 5 — classifier weight norms per class
 # ----------------------------------------------------------------------
-@traced_runner("figure5")
+@_deprecated_runner
 def run_figure5(
     config=None,
     losses=("ce", "asl", "focal", "ldam"),
@@ -683,6 +479,16 @@ def run_figure5(
     Paper shape: baseline norms decay from majority to minority classes;
     EOS yields the largest and most-even norms.
     """
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("figure5", config=config, losses=tuple(losses),
+                   samplers=tuple(samplers)),
+        cache=cache,
+    )
+
+
+def _figure5_impl(config, losses, samplers, cache):
     config = config if config is not None else bench_config()
     cache = cache if cache is not None else ExtractorCache()
     profiles = {}
@@ -710,7 +516,7 @@ def run_figure5(
 # ----------------------------------------------------------------------
 # Figure 6 — t-SNE of a 2-class decision boundary
 # ----------------------------------------------------------------------
-@traced_runner("figure6")
+@_deprecated_runner
 def run_figure6(
     config=None,
     majority_class=1,
@@ -729,6 +535,19 @@ def run_figure6(
     synthesis targets the class boundary, while SMOTE-family points stay
     interior).
     """
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("figure6", config=config, samplers=tuple(samplers),
+                   options={"majority_class": majority_class,
+                            "minority_class": minority_class,
+                            "max_points": max_points}),
+        cache=cache,
+    )
+
+
+def _figure6_impl(config, samplers, cache, majority_class=1,
+                  minority_class=9, max_points=150):
     config = config if config is not None else bench_config()
     cache = cache if cache is not None else ExtractorCache()
     artifacts = cache.get(config, "ce")
@@ -801,10 +620,20 @@ def _class_margin(coords, labels, minority_class):
 # ----------------------------------------------------------------------
 # Figure 7 — BAC vs fine-tuning epochs
 # ----------------------------------------------------------------------
-@traced_runner("figure7")
+@_deprecated_runner
 def run_figure7(config=None, epochs=30, samplers=("smote", "eos"), cache=None):
     """Fine-tuning length study (paper: both EOS and SMOTE plateau by
     ~epoch 10; EOS keeps a small edge afterwards)."""
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("figure7", config=config, samplers=tuple(samplers),
+                   options={"epochs": epochs}),
+        cache=cache,
+    )
+
+
+def _figure7_impl(config, samplers, cache, epochs=30):
     config = config if config is not None else bench_config()
     cache = cache if cache is not None else ExtractorCache()
     artifacts = cache.get(config, "ce")
@@ -881,13 +710,22 @@ def run_figure7(config=None, epochs=30, samplers=("smote", "eos"), cache=None):
 # ----------------------------------------------------------------------
 # §V-E2 — runtime comparison
 # ----------------------------------------------------------------------
-@traced_runner("runtime_comparison")
+@_deprecated_runner
 def run_runtime_comparison(config=None, samplers=("smote", "bsmote", "balsvm")):
     """Wall-clock cost: pixel-space pre-processing vs the EOS framework.
 
     Paper shape: pre-processed full training costs ~3x the EOS pipeline
     (train on imbalanced data + embed + fine-tune 10 epochs).
     """
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("runtime_comparison", config=config,
+                   samplers=tuple(samplers)),
+    )
+
+
+def _runtime_comparison_impl(config, samplers):
     config = config if config is not None else bench_config()
     pre_seconds = []
     rows = []
@@ -922,13 +760,22 @@ def run_runtime_comparison(config=None, samplers=("smote", "bsmote", "balsvm")):
 # ----------------------------------------------------------------------
 # §V-E3 — EOS in pixel space vs embedding space
 # ----------------------------------------------------------------------
-@traced_runner("eos_pixel_vs_embedding")
+@_deprecated_runner
 def run_eos_pixel_vs_embedding(config=None, cache=None):
     """EOS applied as pixel-space pre-processing vs in embedding space.
 
     Paper shape: pixel-space EOS loses ~7 BAC points vs embedding-space
     EOS on CIFAR-10.
     """
+    from ..evals import MatrixSpec, run_matrix
+
+    return run_matrix(
+        MatrixSpec("eos_pixel_vs_embedding", config=config),
+        cache=cache,
+    )
+
+
+def _eos_pixel_vs_embedding_impl(config, cache):
     config = config if config is not None else bench_config()
     cache = cache if cache is not None else ExtractorCache()
     pixel_metrics, _ = train_preprocessed(config, "ce", "eos")

@@ -10,9 +10,8 @@ paper reports.
 from __future__ import annotations
 
 import itertools
-import math
 
-from ..utils import format_float, format_table
+from ..evals.views import ranked_metric_table
 
 __all__ = ["grid_sweep", "sweep_report"]
 
@@ -63,53 +62,17 @@ def grid_sweep(config, param_grid, evaluate, max_workers=1):
     ]
 
 
-def _rank_key(value, descending):
-    """Sort key placing NaN (degraded/failed cells) last, always."""
-    try:
-        value = float(value)
-    except (TypeError, ValueError):
-        return (1, 0.0)
-    if math.isnan(value):
-        return (1, 0.0)
-    return (0, -value if descending else value)
-
-
 def sweep_report(results, sort_by="bac", descending=True, title=None):
     """Render sweep results as a ranked text table.
 
     NaN metrics (degraded or FAILED cells) always sort below every
     finite value — regardless of ``descending`` — keeping grid order
     among themselves, and their cells are marked with a ``*``.
+
+    Rendering delegates to
+    :func:`repro.evals.views.ranked_metric_table` — the same view
+    function the result store uses — so serial sweeps and store-backed
+    reports cannot drift apart.
     """
-    if not results:
-        raise ValueError("no sweep results to report")
-    param_names = list(results[0]["params"])
-    metric_names = list(results[0]["metrics"])
-    if sort_by not in metric_names:
-        raise KeyError("unknown metric %r" % sort_by)
-    ordered = sorted(
-        results, key=lambda r: _rank_key(r["metrics"][sort_by], descending)
-    )
-    rows = []
-    flagged = False
-    for record in ordered:
-        cells = [str(record["params"][name]) for name in param_names]
-        for name in metric_names:
-            value = record["metrics"][name]
-            text = format_float(value)
-            try:
-                if math.isnan(float(value)):
-                    text += "*"
-                    flagged = True
-            except (TypeError, ValueError):  # repro: noqa[RES002] non-numeric metric cells render as-is; only NaN needs flagging
-                pass
-            cells.append(text)
-        rows.append(cells)
-    table = format_table(
-        param_names + metric_names,
-        rows,
-        title=title or ("Sweep ranked by %s" % sort_by),
-    )
-    if flagged:
-        table += "\n* nan metric (degraded/failed evaluation); ranked last"
-    return table
+    return ranked_metric_table(results, sort_by=sort_by,
+                               descending=descending, title=title)

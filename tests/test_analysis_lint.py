@@ -680,9 +680,9 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             LintEngine(select=["NOPE999"])
 
-    def test_registry_has_nineteen_rules(self):
-        assert len(all_rules()) == 19
-        assert len(rule_index()) == 19
+    def test_registry_has_twenty_rules(self):
+        assert len(all_rules()) == 20
+        assert len(rule_index()) == 20
         flow = [r for r in all_rules() if r.requires_project]
         assert {r.id for r in flow} == {"FLOW-RNG", "FLOW-DTYPE", "FLOW-FORK"}
 
@@ -711,6 +711,7 @@ VIOLATION_FIXTURES = {
     "OBS001": "import time\nt0 = time.perf_counter()\n",
     "PAR001": "import multiprocessing\npool = multiprocessing.Pool(4)\n",
     "SRV001": "import socketserver\n",
+    "EVAL001": 'import sqlite3\nconn = sqlite3.connect("x.db")\n',
     "NOQA001": "x = 1  # repro: noqa[RNG001]\n",
     "RES001": (
         "def dump(path, payload):\n"
