@@ -13,7 +13,7 @@ every function over the lattice::
 with interprocedural return summaries (a helper returning
 ``x.astype(np.float32)`` in one module taints arithmetic in another).
 
-Two finding shapes:
+Three finding shapes:
 
 * **mix promotion** — a binary op joins a ``float32`` value with a
   ``float64`` value: numpy silently widens, gradients flow back at the
@@ -25,6 +25,13 @@ Two finding shapes:
   These are mechanically fixable (``--fix`` appends
   ``dtype=np.float64``), making every default-width decision explicit
   before the default flips.
+* **float64 signature default** — a hot-path function signature pins
+  ``dtype=np.float64`` (or ``"float64"`` / ``np.double``) as a
+  parameter default.  Such defaults bypass the switchable substrate
+  default entirely: callers keep allocating wide even after the
+  float32 migration.  The fix is ``dtype=None`` resolved against
+  ``repro.tensor.default_dtype()`` in the body (the ``one_hot``
+  float64 default hid exactly this way until the migration).
 """
 
 from __future__ import annotations
@@ -259,6 +266,33 @@ class DtypeFlowRule(ProjectRule):
             replacement = "%sdtype=%s.float64)" % (segment[:-1], alias)
         return Fix([(alloc.lineno, segment, replacement)])
 
+    def _signature_defaults(self, fn, module):
+        """Findings for float64-pinned parameter defaults in hot modules."""
+        args = fn.node.args
+        positional = args.posonlyargs + args.args
+        paired = list(
+            zip(positional[len(positional) - len(args.defaults):],
+                args.defaults)
+        )
+        paired += [
+            (arg, default)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None
+        ]
+        for arg, default in paired:
+            if not isinstance(default, (ast.Attribute, ast.Name, ast.Constant)):
+                continue
+            if _dtype_from_annotation(default) != F64:
+                continue
+            yield module.ctx.finding(
+                self.id,
+                default,
+                "signature default pins %r to float64, bypassing the "
+                "switchable substrate default; use None and resolve "
+                "default_dtype() in the body" % arg.arg,
+                severity=self.severity,
+            )
+
     # -- rule body -------------------------------------------------------
     def check_project(self, project):
         summaries = self._summaries(project)
@@ -266,6 +300,9 @@ class DtypeFlowRule(ProjectRule):
             module = fn.module
             env = self._local_env(fn, module, project, summaries)
             flagged_allocs = set()
+
+            if _is_hot_module(module):
+                yield from self._signature_defaults(fn, module)
 
             for node in ast.walk(fn.node):
                 if isinstance(node, (ast.BinOp, ast.AugAssign)):

@@ -21,7 +21,7 @@ import numpy as np
 from .._validation import validate_xy
 from ..losses import CrossEntropyLoss
 from ..optim import SGD
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, default_dtype, no_grad
 
 __all__ = ["DualBranchHead", "reverse_sampling_probabilities"]
 
@@ -107,7 +107,7 @@ class DualBranchHead:
 
     def predict_logits(self, embeddings):
         """Equal-weight blend of the two branches (BBN inference)."""
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        embeddings = np.asarray(embeddings, dtype=default_dtype())
         with no_grad():
             logits_u = self.uniform_head(Tensor(embeddings)).data
             logits_r = self.rebalance_head(Tensor(embeddings)).data

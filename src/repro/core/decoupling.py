@@ -22,6 +22,7 @@ import numpy as np
 
 from .._validation import validate_xy
 from ..sampling import RandomOverSampler
+from ..tensor import default_dtype
 from .framework import finetune_classifier
 
 __all__ = ["crt_retrain", "tau_normalize", "NearestClassMean"]
@@ -101,7 +102,7 @@ class NearestClassMean:
         """Predict the class whose mean is nearest."""
         if self.means is None:
             raise RuntimeError("call fit() before predict()")
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        embeddings = np.asarray(embeddings, dtype=default_dtype())
         if self.normalize:
             embeddings = self._unit(embeddings)
         d = (

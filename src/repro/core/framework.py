@@ -28,7 +28,7 @@ from ..optim import SGD
 from ..resilience.errors import DivergenceError
 from ..resilience.faults import maybe_fire
 from ..telemetry import get_metrics, get_tracer, monotonic
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, default_dtype, no_grad
 from .training import Trainer, extract_features
 
 __all__ = ["ThreePhaseTrainer", "finetune_classifier"]
@@ -84,7 +84,7 @@ def finetune_classifier(
     optimizer = SGD(
         head.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
     )
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = np.asarray(embeddings, dtype=default_dtype())
     labels = np.asarray(labels, dtype=np.int64)
     n = embeddings.shape[0]
     tracer = get_tracer()

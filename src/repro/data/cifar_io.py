@@ -19,6 +19,8 @@ import os
 
 import numpy as np
 
+from ..tensor._dtype import default_dtype
+
 from .dataset import ArrayDataset
 
 __all__ = ["load_cifar10_binary", "load_cifar100_binary"]
@@ -35,7 +37,7 @@ def _parse_records(raw, label_bytes):
         )
     data = np.frombuffer(raw, dtype=np.uint8).reshape(-1, record)
     labels = data[:, label_bytes - 1].astype(np.int64)
-    images = data[:, label_bytes:].reshape(-1, 3, 32, 32).astype(np.float64)
+    images = data[:, label_bytes:].reshape(-1, 3, 32, 32).astype(default_dtype())
     return images / 255.0, labels
 
 
@@ -82,5 +84,5 @@ def load_cifar100_binary(path, label_kind="fine"):
     data = np.frombuffer(raw, dtype=np.uint8).reshape(-1, record)
     column = 1 if label_kind == "fine" else 0
     labels = data[:, column].astype(np.int64)
-    images = data[:, 2:].reshape(-1, 3, 32, 32).astype(np.float64) / 255.0
+    images = data[:, 2:].reshape(-1, 3, 32, 32).astype(default_dtype()) / 255.0
     return ArrayDataset(images, labels)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._rng import fresh_generator
+from ..tensor._dtype import default_dtype
 
 __all__ = ["ArrayDataset", "DataLoader"]
 
@@ -26,7 +27,9 @@ class ArrayDataset:
     """
 
     def __init__(self, images, labels):
-        images = np.asarray(images, dtype=np.float64)
+        # The single choke point for image dtype: everything downstream
+        # (loaders, trainers, extractors) inherits the substrate default.
+        images = np.asarray(images, dtype=default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
         if images.ndim != 4:
             raise ValueError("images must be (N, C, H, W), got %s" % (images.shape,))

@@ -88,8 +88,10 @@ class Normalize:
     """Standardize with per-channel mean/std (channel-first layout)."""
 
     def __init__(self, mean, std):
-        self.mean = np.asarray(mean, dtype=np.float64).reshape(1, -1, 1, 1)
-        self.std = np.asarray(std, dtype=np.float64).reshape(1, -1, 1, 1)
+        from ..tensor._dtype import default_dtype
+
+        self.mean = np.asarray(mean, dtype=default_dtype()).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=default_dtype()).reshape(1, -1, 1, 1)
         if np.any(self.std <= 0):
             raise ValueError("std values must be positive")
 

@@ -20,7 +20,7 @@ import numpy as np
 from .._validation import validate_xy
 from ..losses import CrossEntropyLoss
 from ..optim import SGD
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, default_dtype, no_grad
 
 __all__ = ["BalancedHeadEnsemble"]
 
@@ -122,7 +122,7 @@ class BalancedHeadEnsemble:
         """Average member logits over the ensemble."""
         if not self.heads:
             raise RuntimeError("call fit() before predict()")
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        embeddings = np.asarray(embeddings, dtype=default_dtype())
         total = None
         with no_grad():
             for head in self.heads:

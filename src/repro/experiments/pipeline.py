@@ -27,6 +27,7 @@ from ..optim import SGD
 from ..guard import report_phase
 from ..resilience import fingerprint_of, maybe_fire
 from ..telemetry import get_metrics, get_tracer, monotonic
+from ..tensor import default_dtype
 from .config import build_sampler
 
 __all__ = [
@@ -503,6 +504,11 @@ def evaluate_sampler(
         emb, labels = sampler.fit_resample(
             artifacts.train_embeddings, artifacts.train.labels
         )
+        # Samplers interpolate with float64 coefficients and so widen
+        # float32 embeddings; narrow once at the phase boundary so the
+        # fine-tune loop (and the returned details) stay in the
+        # substrate default instead of re-casting every epoch.
+        emb = np.asarray(emb, dtype=default_dtype())
         with get_tracer().span("finetune", sampler=sampler_name):
             finetune_classifier(
                 artifacts.model,

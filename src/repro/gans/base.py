@@ -16,7 +16,7 @@ import numpy as np
 
 from ..nn import LeakyReLU, Linear, ReLU, Sequential, Sigmoid, Tanh
 from ..optim import Adam
-from ..tensor import Tensor
+from ..tensor import Tensor, default_dtype
 
 __all__ = ["MLP", "bce_loss", "GanCore", "fit_feature_scaler", "FeatureScaler"]
 
@@ -45,7 +45,7 @@ def MLP(sizes, hidden_activation="leaky_relu", out_activation=None, rng=None):
 
 def bce_loss(probs, targets, eps=1e-7):
     """Binary cross-entropy over probabilities in (0, 1)."""
-    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    targets = Tensor(np.asarray(targets, dtype=default_dtype()))
     p = probs.clip(eps, 1.0 - eps)
     losses = -(targets * p.log() + (1.0 - targets) * (1.0 - p).log())
     return losses.mean()
@@ -60,8 +60,8 @@ class FeatureScaler:
     """
 
     def __init__(self, low, high):
-        self.low = np.asarray(low, dtype=np.float64)
-        self.high = np.asarray(high, dtype=np.float64)
+        self.low = np.asarray(low, dtype=default_dtype())
+        self.high = np.asarray(high, dtype=default_dtype())
         span = self.high - self.low
         self.span = np.where(span > 1e-12, span, 1.0)
 
@@ -74,7 +74,7 @@ class FeatureScaler:
 
 def fit_feature_scaler(x):
     """Fit a :class:`FeatureScaler` to a feature matrix."""
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=default_dtype())
     return FeatureScaler(x.min(axis=0), x.max(axis=0))
 
 
@@ -151,5 +151,5 @@ class GanCore:
 def _concat(tensor, cond):
     from ..tensor import concatenate
 
-    cond_t = Tensor(np.asarray(cond, dtype=np.float64))
+    cond_t = Tensor(np.asarray(cond, dtype=default_dtype()))
     return concatenate([tensor, cond_t], axis=1)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, log_softmax, nll_loss, one_hot
+from ..tensor import Tensor, default_dtype, log_softmax, nll_loss, one_hot
 
 __all__ = [
     "Loss",
@@ -37,7 +37,9 @@ def class_balanced_weights(class_counts, beta=0.9999):
     """Per-class weights from the effective number of samples.
 
     ``w_c = (1 - beta) / (1 - beta^{n_c})``, normalized to sum to the
-    number of classes (Cui et al. 2019).
+    number of classes (Cui et al. 2019).  Computed in float64 —
+    ``beta^{n_c}`` underflows fast — and returned as float64; losses
+    cast to the substrate default at their boundary.
     """
     counts = np.asarray(class_counts, dtype=np.float64)
     if np.any(counts <= 0):
@@ -61,7 +63,10 @@ class CrossEntropyLoss(Loss):
     """Softmax cross-entropy with optional per-class weights."""
 
     def __init__(self, weight=None):
-        self.weight = None if weight is None else np.asarray(weight, dtype=np.float64)
+        self.weight = (
+            None if weight is None
+            else np.asarray(weight, dtype=default_dtype())
+        )
 
     def __call__(self, logits, targets):
         log_probs = log_softmax(logits, axis=-1)
@@ -75,7 +80,10 @@ class FocalLoss(Loss):
         if gamma < 0:
             raise ValueError("gamma must be non-negative")
         self.gamma = gamma
-        self.weight = None if weight is None else np.asarray(weight, dtype=np.float64)
+        self.weight = (
+            None if weight is None
+            else np.asarray(weight, dtype=default_dtype())
+        )
 
     def __call__(self, logits, targets):
         t = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
@@ -119,7 +127,9 @@ class LDAMLoss(Loss):
         self.margins = margins * (max_margin / margins.max())
         self.scale = scale
         self.drw_epoch = drw_epoch
-        self._drw_weights = class_balanced_weights(counts, beta=drw_beta)
+        self._drw_weights = class_balanced_weights(counts, beta=drw_beta).astype(
+            default_dtype()
+        )
         self._active_weight = None
 
     def set_epoch(self, epoch):
@@ -132,7 +142,7 @@ class LDAMLoss(Loss):
         t = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
         t = t.astype(np.int64)
         n, num_classes = logits.shape
-        margin_matrix = np.zeros((n, num_classes), dtype=np.float64)
+        margin_matrix = np.zeros((n, num_classes), dtype=logits.dtype)
         margin_matrix[np.arange(n), t] = self.margins[t]
         adjusted = (logits - Tensor(margin_matrix)) * self.scale
         log_probs = log_softmax(adjusted, axis=-1)

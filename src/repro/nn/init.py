@@ -1,8 +1,17 @@
-"""Weight initialization schemes (Kaiming, Xavier, constant)."""
+"""Weight initialization schemes (Kaiming, Xavier, constant).
+
+All initializers return arrays in the substrate's default dtype
+(float32 unless :func:`repro.tensor.set_default_dtype` says otherwise);
+the random draws themselves happen in float64 — numpy generators have
+no float32 sampling path for normal/uniform — and are cast once, so two
+runs differing only in default dtype sample identical values.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..tensor._dtype import default_dtype
 
 __all__ = [
     "kaiming_normal",
@@ -29,31 +38,35 @@ def _fan(shape, mode):
 def kaiming_normal(shape, rng, mode="fan_in", gain=np.sqrt(2.0)):
     """He-normal init, the standard choice for ReLU networks."""
     std = gain / np.sqrt(_fan(shape, mode))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape, rng, mode="fan_in", gain=np.sqrt(2.0)):
     bound = gain * np.sqrt(3.0 / _fan(shape, mode))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(
+        default_dtype(), copy=False
+    )
 
 
 def xavier_uniform(shape, rng, gain=1.0):
     fan_in = _fan(shape, "fan_in")
     fan_out = _fan(shape, "fan_out")
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(
+        default_dtype(), copy=False
+    )
 
 
 def xavier_normal(shape, rng, gain=1.0):
     fan_in = _fan(shape, "fan_in")
     fan_out = _fan(shape, "fan_out")
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(default_dtype(), copy=False)
 
 
 def zeros(shape):
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=default_dtype())
 
 
 def ones(shape):
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=default_dtype())

@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from .._rng import fresh_generator
-from ..tensor import Tensor
 from ..tensor import conv as conv_ops
 from ..tensor import functional as F
 from . import init
@@ -20,6 +19,7 @@ from .module import Module, Parameter
 
 __all__ = [
     "Linear",
+    "LinearReLU",
     "Conv2d",
     "ConvTranspose2d",
     "BatchNorm2d",
@@ -40,6 +40,9 @@ __all__ = [
 class Linear(Module):
     """Affine layer: ``y = x W^T + b``."""
 
+    #: ``Sequential`` fuses this layer with a directly following ReLU.
+    _fuses_into_relu = True
+
     def __init__(self, in_features, out_features, bias=True, rng=None):
         super().__init__()
         rng = rng if rng is not None else fresh_generator()
@@ -48,10 +51,14 @@ class Linear(Module):
         self.weight = Parameter(
             init.kaiming_uniform((out_features, in_features), rng, gain=1.0)
         )
-        self.bias = Parameter(np.zeros(out_features, dtype=np.float64)) if bias else None
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
 
     def forward(self, x):
         return F.linear(x, self.weight, self.bias)
+
+    def forward_relu(self, x):
+        """Fused ``relu(linear(x))`` — one tape node instead of three."""
+        return F.linear_relu(x, self.weight, self.bias)
 
     def __repr__(self):
         return "Linear(in=%d, out=%d, bias=%s)" % (
@@ -83,7 +90,7 @@ class Conv2d(Module):
         self.padding = padding
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
-        self.bias = Parameter(np.zeros(out_channels, dtype=np.float64)) if bias else None
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
 
     def forward(self, x):
         return conv_ops.conv2d(
@@ -132,7 +139,7 @@ class ConvTranspose2d(Module):
                 (out_channels, in_channels, kernel_size, kernel_size), rng
             ).transpose(1, 0, 2, 3)
         )
-        self.bias = Parameter(np.zeros(out_channels, dtype=np.float64)) if bias else None
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
 
     def forward(self, x):
         return conv_ops.conv_transpose2d(
@@ -157,39 +164,74 @@ class _BatchNorm(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.weight = Parameter(np.ones(num_features, dtype=np.float64))
-        self.bias = Parameter(np.zeros(num_features, dtype=np.float64))
-        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float64))
-        self.register_buffer("running_var", np.ones(num_features, dtype=np.float64))
+        self.weight = Parameter(init.ones(num_features))
+        self.bias = Parameter(init.zeros(num_features))
+        self.register_buffer("running_mean", init.zeros(num_features))
+        self.register_buffer("running_var", init.ones(num_features))
+        self._folded = None  # cached eval-mode folded affine (see below)
+
+    def _folded_affine(self, shape):
+        """Eval-mode scale/shift folded from running stats + weight/bias.
+
+        ``out = x * scale + shift`` with ``scale = w / sqrt(var + eps)``
+        and ``shift = b - mean * scale``.  The fold is cached; validity
+        is checked by comparing snapshots of the four C-length source
+        arrays, which stays correct under *any* mutation path (in-place
+        optimizer steps, ``load_state_dict``, manual buffer writes) at
+        O(C) cost per call.
+        """
+        cached = self._folded
+        if cached is not None:
+            snaps, arrays = cached
+            if (
+                np.array_equal(snaps[0], self.running_mean)
+                and np.array_equal(snaps[1], self.running_var)
+                and np.array_equal(snaps[2], self.weight.data)
+                and np.array_equal(snaps[3], self.bias.data)
+                and arrays[0].shape == shape
+            ):
+                return arrays
+        inv = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = self.weight.data * inv
+        shift = self.bias.data - self.running_mean * scale
+        arrays = (
+            scale.reshape(shape),
+            shift.reshape(shape),
+            self.running_mean.reshape(shape).copy(),
+            inv.reshape(shape),
+        )
+        snaps = (
+            self.running_mean.copy(),
+            self.running_var.copy(),
+            self.weight.data.copy(),
+            self.bias.data.copy(),
+        )
+        self._folded = (snaps, arrays)
+        return arrays
 
     def _normalize(self, x, axes, shape):
-        if self.training:
-            mean = x.data.mean(axis=axes)
-            var = x.data.var(axis=axes)
-            # Update running stats with exponential moving average.
-            self.running_mean[...] = (
-                (1 - self.momentum) * self.running_mean + self.momentum * mean
+        if not self.training:
+            scale, shift, mean, inv = self._folded_affine(shape)
+            return F.folded_batchnorm(
+                x, self.weight, self.bias, scale, shift, mean, inv, axes
             )
-            n = x.data.size / self.num_features
-            unbiased = var * n / max(n - 1, 1)
-            self.running_var[...] = (
-                (1 - self.momentum) * self.running_var + self.momentum * unbiased
-            )
-            # Differentiate through batch statistics: recompute as graph ops.
-            mu = x.mean(axis=axes, keepdims=True)
-            centered = x - mu
-            variance = (centered * centered).mean(axis=axes, keepdims=True)
-            inv_std = (variance + self.eps) ** -0.5
-            x_hat = centered * inv_std
-        else:
-            mean_arr = self.running_mean.reshape(shape)
-            var_arr = self.running_var.reshape(shape)
-            x_hat = (x - Tensor(mean_arr)) * Tensor(
-                1.0 / np.sqrt(var_arr + self.eps)
-            )
-        w = self.weight.reshape(shape)
-        b = self.bias.reshape(shape)
-        return x_hat * w + b
+        # Fused kernel: normalizes, differentiates through the batch
+        # statistics, and hands back mean/var so the running-stat
+        # update below reuses the same reductions.
+        out, mean, var = F.batchnorm_train(
+            x, self.weight, self.bias, axes, shape, self.eps
+        )
+        mean = mean.reshape(self.num_features)
+        var = var.reshape(self.num_features)
+        self.running_mean[...] = (
+            (1 - self.momentum) * self.running_mean + self.momentum * mean
+        )
+        n = x.data.size / self.num_features
+        unbiased = var * n / max(n - 1, 1)
+        self.running_var[...] = (
+            (1 - self.momentum) * self.running_var + self.momentum * unbiased
+        )
+        return out
 
 
 class BatchNorm2d(_BatchNorm):
@@ -217,11 +259,44 @@ class BatchNorm1d(_BatchNorm):
 
 
 class ReLU(Module):
+    #: Marks this activation as consumable by a preceding fusable layer.
+    _is_relu = True
+
     def forward(self, x):
         return x.relu()
 
     def __repr__(self):
         return "ReLU()"
+
+
+class LinearReLU(Module):
+    """Explicitly fused ``relu(linear(x))`` block.
+
+    Same parameters (and state-dict keys ``weight``/``bias``) as
+    :class:`Linear`; the forward pass runs the single-node fused kernel.
+    ``Sequential`` fuses adjacent ``(Linear, ReLU)`` pairs automatically,
+    so this class is for hand-built ``forward`` methods.
+    """
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else fresh_generator()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng, gain=1.0)
+        )
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x):
+        return F.linear_relu(x, self.weight, self.bias)
+
+    def __repr__(self):
+        return "LinearReLU(in=%d, out=%d, bias=%s)" % (
+            self.in_features,
+            self.out_features,
+            self.bias is not None,
+        )
 
 
 class LeakyReLU(Module):

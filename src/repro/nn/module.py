@@ -15,16 +15,23 @@ import numpy as np
 from ..telemetry import profiler as _profiler
 from ..telemetry.clock import monotonic as _monotonic
 from ..telemetry.profiler import _STATE as _PROFILE
-from ..tensor import Tensor
+from ..tensor import Tensor, default_dtype
 
 __all__ = ["Parameter", "Module", "Sequential"]
 
 
 class Parameter(Tensor):
-    """A Tensor that is registered as a trainable parameter."""
+    """A Tensor that is registered as a trainable parameter.
+
+    Parameters are stored in the substrate's default dtype (float32
+    unless :func:`repro.tensor.set_default_dtype` says otherwise), so
+    the whole optimizer/autograd hot path runs at one precision.
+    """
 
     def __init__(self, data, requires_grad=True):
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=requires_grad)
+        super().__init__(
+            np.asarray(data, dtype=default_dtype()), requires_grad=requires_grad
+        )
 
 
 class Module:
@@ -48,12 +55,12 @@ class Module:
 
     def register_buffer(self, name, array):
         """Register a non-trainable numpy array (e.g. BN running stats)."""
-        self._buffers[name] = np.asarray(array, dtype=np.float64)
+        self._buffers[name] = np.asarray(array, dtype=default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def _set_buffer(self, name, array):
         """Update a registered buffer in place, keeping the attribute alias."""
-        self._buffers[name] = np.asarray(array, dtype=np.float64)
+        self._buffers[name] = np.asarray(array, dtype=default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------
@@ -175,7 +182,14 @@ class Module:
 
 
 class Sequential(Module):
-    """Chain modules in order; supports indexing and iteration."""
+    """Chain modules in order; supports indexing and iteration.
+
+    Adjacent ``(Linear, ReLU)`` pairs are executed through the fused
+    ``linear_relu`` kernel (one tape node instead of three); both
+    modules stay registered, so state dicts, repr and indexing are
+    unchanged.  A layer advertises fusability via ``_fuses_into_relu``
+    and an activation marks itself consumable via ``_is_relu``.
+    """
 
     def __init__(self, *layers):
         super().__init__()
@@ -185,8 +199,21 @@ class Sequential(Module):
             self._layers.append(layer)
 
     def forward(self, x):
-        for layer in self._layers:
+        layers = self._layers
+        n = len(layers)
+        i = 0
+        while i < n:
+            layer = layers[i]
+            if (
+                i + 1 < n
+                and getattr(layer, "_fuses_into_relu", False)
+                and getattr(layers[i + 1], "_is_relu", False)
+            ):
+                x = layer.forward_relu(x)
+                i += 2
+                continue
             x = layer(x)
+            i += 1
         return x
 
     def __len__(self):

@@ -44,6 +44,9 @@ class SGD(Optimizer):
         self._buffers = [None] * len(self.params)
 
     def step(self):
+        # Updates run in place: parameters keep their dtype (no float64
+        # round-trip) and the only per-step allocations are the decayed/
+        # scaled gradient temporaries.
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
@@ -53,15 +56,16 @@ class SGD(Optimizer):
             if self.momentum:
                 buf = self._buffers[i]
                 if buf is None:
-                    buf = grad.copy()
+                    buf = grad.astype(p.data.dtype, copy=True)
+                    self._buffers[i] = buf
                 else:
-                    buf = self.momentum * buf + grad
-                self._buffers[i] = buf
+                    buf *= self.momentum
+                    buf += grad
                 if self.nesterov:
                     grad = grad + self.momentum * buf
                 else:
                     grad = buf
-            p.data[...] = p.data - self.lr * grad
+            p.data -= self.lr * grad
 
 
 class Adam(Optimizer):
@@ -89,11 +93,12 @@ class Adam(Optimizer):
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
-            self._m[i] = b1 * self._m[i] + (1 - b1) * grad
-            self._v[i] = b2 * self._v[i] + (1 - b2) * grad * grad
-            m_hat = self._m[i] / bias1
-            v_hat = self._v[i] / bias2
-            p.data[...] = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            m, v = self._m[i], self._v[i]
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
 
 
 def clip_grad_norm(params, max_norm):

@@ -1,6 +1,8 @@
 """Autograd tensor engine (numpy-backed reverse-mode differentiation)."""
 
 from ..analysis.sanitizer import AnomalyError, detect_anomaly, is_anomaly_enabled
+from ._dtype import default_dtype, set_default_dtype, using_default_dtype
+from .pool import clear_pool, pool_stats
 from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
 from .conv import (
     avg_pool2d,
@@ -13,7 +15,10 @@ from .conv import (
 )
 from .functional import (
     dropout,
+    batchnorm_train,
+    folded_batchnorm,
     linear,
+    linear_relu,
     log_softmax,
     nll_loss,
     one_hot,
@@ -32,6 +37,11 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "set_default_dtype",
+    "using_default_dtype",
+    "clear_pool",
+    "pool_stats",
     "AnomalyError",
     "detect_anomaly",
     "is_anomaly_enabled",
@@ -50,6 +60,9 @@ __all__ = [
     "one_hot",
     "dropout",
     "linear",
+    "linear_relu",
+    "folded_batchnorm",
+    "batchnorm_train",
     "nll_loss",
     "check_gradients",
     "numeric_grad",

@@ -1,0 +1,68 @@
+"""Process-wide default floating dtype for the tensor substrate.
+
+The substrate is float32-by-default: every tensor, parameter, buffer and
+loss-weight allocation that does not receive an explicit dtype uses
+:func:`default_dtype`.  float32 halves memory traffic on every hot
+kernel (im2col, matmul, batch-norm) without measurably moving the
+paper's metrics — the float32-vs-float64 equivalence test asserts BAC
+deltas stay within tolerance on the tiny Table-II run.
+
+Promotion rules (documented here, implemented in ``tensor._as_array``):
+
+* Python floats / lists → ``default_dtype()``.
+* numpy floating arrays keep their dtype — callers that built a float64
+  array on purpose (gradchecks, analysis code) are not silently
+  truncated.
+* float16 arrays are promoted to float32 (the substrate has no half
+  kernels); a one-time ``dtype.float16_promoted`` telemetry event
+  records the promotion.
+* integer arrays are untouched (labels, indices).
+
+Use :func:`using_default_dtype` to run a block under a different
+default, e.g. ``with using_default_dtype(np.float64): ...`` for
+high-precision gradchecks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = ["default_dtype", "set_default_dtype", "using_default_dtype"]
+
+_ALLOWED = (np.float32, np.float64)
+
+_DEFAULT = np.dtype(np.float32)
+
+
+def default_dtype():
+    """The dtype used for tensors/parameters created without an explicit one."""
+    return _DEFAULT
+
+
+def set_default_dtype(dtype):
+    """Set the process-wide default floating dtype (float32 or float64).
+
+    Returns the previous default so callers can restore it; prefer
+    :func:`using_default_dtype` for scoped switches.
+    """
+    global _DEFAULT
+    dtype = np.dtype(dtype)
+    if dtype not in [np.dtype(d) for d in _ALLOWED]:
+        raise ValueError(
+            "default dtype must be float32 or float64, got %s" % dtype
+        )
+    previous = _DEFAULT
+    _DEFAULT = dtype
+    return previous
+
+
+@contextlib.contextmanager
+def using_default_dtype(dtype):
+    """Context manager: run the block with ``dtype`` as the default."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield np.dtype(dtype)
+    finally:
+        set_default_dtype(previous)

@@ -5,13 +5,24 @@ the input is unfolded into a matrix of receptive-field columns so that
 the convolution becomes a single matrix multiply.  On CPU with numpy this
 is by far the fastest formulation, and its backward pass (col2im) is an
 exact transpose of the unfolding.
+
+Hot-path buffer reuse: the per-batch intermediates (padded inputs,
+column matrices, backward gradient columns) come from the per-shape
+scratch pool in :mod:`repro.tensor.pool`.  Only buffers whose lifetime
+provably ends inside the op call are pooled — training-mode forward
+columns escape into backward closures and stay heap-allocated, while
+the no-grad forward path and the (serially executed) backward closures
+reuse scratch freely.  Backward passes also skip whole gradient
+computations for parents that don't require grad: the first conv layer
+of a network never pays for col2im, since image batches are constants.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .pool import scratch
+from .tensor import Tensor, _tape1, _tape_many
 
 __all__ = [
     "im2col",
@@ -28,18 +39,26 @@ def _out_size(size, kernel, stride, padding):
     return (size + 2 * padding - kernel) // stride + 1
 
 
-def im2col(x, kernel, stride=1, padding=0):
+def im2col(x, kernel, stride=1, padding=0, out=None):
     """Unfold an (N, C, H, W) array into (N*OH*OW, C*KH*KW) columns.
 
     Pure numpy helper; used by both the forward and (via its transpose,
-    :func:`col2im`) the backward pass of :func:`conv2d`.
+    :func:`col2im`) the backward pass of :func:`conv2d`.  ``out``, when
+    given, must be a C-contiguous (N*OH*OW, C*KH*KW) buffer the columns
+    are written into (callers pass pool scratch on paths where the
+    columns don't outlive the op).  Padding always uses pool scratch —
+    the padded copy never escapes this function.
     """
     n, c, h, w = x.shape
     kh, kw = kernel
     oh = _out_size(h, kh, stride, padding)
     ow = _out_size(w, kw, stride, padding)
     if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        hp, wp = h + 2 * padding, w + 2 * padding
+        padded = scratch("im2col.pad", (n, c, hp, wp), x.dtype)
+        padded.fill(0.0)
+        padded[:, :, padding:padding + h, padding:padding + w] = x
+        x = padded
 
     strides = x.strides
     shape = (n, c, oh, ow, kh, kw)
@@ -53,14 +72,22 @@ def im2col(x, kernel, stride=1, padding=0):
     )
     windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=new_strides)
     # (N, OH, OW, C, KH, KW) -> (N*OH*OW, C*KH*KW)
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols), oh, ow
+    transposed = windows.transpose(0, 2, 3, 1, 4, 5)
+    if out is None:
+        cols = np.ascontiguousarray(transposed).reshape(
+            n * oh * ow, c * kh * kw
+        )
+    else:
+        np.copyto(out.reshape(n, oh, ow, c, kh, kw), transposed)
+        cols = out
+    return cols, oh, ow
 
 
 def col2im(cols, x_shape, kernel, stride=1, padding=0):
     """Fold gradient columns back to an (N, C, H, W) array.
 
     Exact adjoint of :func:`im2col`: overlapping windows accumulate.
+    The result is freshly allocated (it escapes to the caller).
     """
     n, c, h, w = x_shape
     kh, kw = kernel
@@ -98,24 +125,47 @@ def conv2d(x, weight, bias=None, stride=1, padding=0):
         raise ValueError(
             "input channels %d do not match weight channels %d" % (c_in, c_in_w)
         )
-    cols, oh, ow = im2col(x.data, (kh, kw), stride, padding)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    tape = _tape_many(parents)
+    oh = _out_size(h, kh, stride, padding)
+    ow = _out_size(w, kw, stride, padding)
+    cols_shape = (n * oh * ow, c_in * kh * kw)
+    if tape:
+        # Columns are captured by the backward closure (grad_w needs them).
+        cols, _, _ = im2col(x.data, (kh, kw), stride, padding)
+    else:
+        cols, _, _ = im2col(
+            x.data, (kh, kw), stride, padding,
+            out=scratch("conv2d.fwd.cols", cols_shape, x.data.dtype),
+        )
     w_mat = weight.data.reshape(c_out, -1)
     out = cols @ w_mat.T  # (N*OH*OW, C_out)
     if bias is not None:
-        out = out + bias.data
+        out += bias.data
     out = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not tape:
+        return Tensor(out)
 
     def backward(g):
-        # g: (N, C_out, OH, OW) -> (N*OH*OW, C_out)
-        g_mat = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
-        grad_w = (g_mat.T @ cols).reshape(weight.shape)
-        grad_cols = g_mat @ w_mat
-        grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+        # g: (N, C_out, OH, OW) -> (N*OH*OW, C_out); backward closures run
+        # serially, so per-site scratch cannot alias a live buffer.
+        g_mat = scratch("conv2d.bwd.gmat", (n * oh * ow, c_out), g.dtype)
+        np.copyto(g_mat.reshape(n, oh, ow, c_out), g.transpose(0, 2, 3, 1))
+        grad_w = (
+            (g_mat.T @ cols).reshape(weight.shape)
+            if weight.requires_grad else None
+        )
+        if x.requires_grad:
+            grad_cols = np.matmul(
+                g_mat, w_mat,
+                out=scratch("conv2d.bwd.gcols", cols_shape, g.dtype),
+            )
+            grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+        else:
+            grad_x = None
         if bias is None:
             return (grad_x, grad_w)
-        grad_b = g_mat.sum(axis=0)
+        grad_b = g_mat.sum(axis=0) if bias.requires_grad else None
         return (grad_x, grad_w, grad_b)
 
     return Tensor._from_op(out, parents, backward)
@@ -145,26 +195,48 @@ def conv_transpose2d(x, weight, bias=None, stride=1, padding=0):
     if oh <= 0 or ow <= 0:
         raise ValueError("output size would be non-positive")
 
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    tape = _tape_many(parents)
+
     # Treat x as the "gradient" flowing into a conv2d with the transposed
     # weight: cols = x @ w, then fold back to the (larger) output.
-    x_mat = x.data.transpose(0, 2, 3, 1).reshape(-1, c_in)  # (N*H*W, C_in)
     w_mat = weight.data.reshape(c_in, -1)  # (C_in, C_out*KH*KW)
-    cols = x_mat @ w_mat  # (N*H*W, C_out*KH*KW)
+    if tape:
+        # x_mat is captured by the backward closure (grad_w needs it).
+        x_mat = np.ascontiguousarray(
+            x.data.transpose(0, 2, 3, 1)
+        ).reshape(-1, c_in)  # (N*H*W, C_in)
+        cols = x_mat @ w_mat  # (N*H*W, C_out*KH*KW)
+    else:
+        x_mat = scratch("convT.fwd.xmat", (n * h * w, c_in), x.data.dtype)
+        np.copyto(x_mat.reshape(n, h, w, c_in), x.data.transpose(0, 2, 3, 1))
+        cols = np.matmul(
+            x_mat, w_mat,
+            out=scratch(
+                "convT.fwd.cols", (n * h * w, c_out * kh * kw), x.data.dtype
+            ),
+        )
     out = col2im(cols, (n, c_out, oh, ow), (kh, kw), stride, padding)
     if bias is not None:
-        out = out + bias.data[None, :, None, None]
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
+        out += bias.data[None, :, None, None]
+    if not tape:
+        return Tensor(out)
 
     def backward(g):
         # dL/dx: run the adjoint (a plain convolution) over g.
         g_cols, _, _ = im2col(g, (kh, kw), stride, padding)
-        grad_x_mat = g_cols @ w_mat.T  # (N*H*W, C_in)
-        grad_x = grad_x_mat.reshape(n, h, w, c_in).transpose(0, 3, 1, 2)
-        grad_w = (x_mat.T @ g_cols).reshape(weight.shape)
+        if x.requires_grad:
+            grad_x_mat = g_cols @ w_mat.T  # (N*H*W, C_in)
+            grad_x = grad_x_mat.reshape(n, h, w, c_in).transpose(0, 3, 1, 2)
+        else:
+            grad_x = None
+        grad_w = (
+            (x_mat.T @ g_cols).reshape(weight.shape)
+            if weight.requires_grad else None
+        )
         if bias is None:
             return (grad_x, grad_w)
-        grad_b = g.sum(axis=(0, 2, 3))
+        grad_b = g.sum(axis=(0, 2, 3)) if bias.requires_grad else None
         return (grad_x, grad_w, grad_b)
 
     return Tensor._from_op(out, parents, backward)
@@ -175,18 +247,29 @@ def max_pool2d(x, kernel=2, stride=None):
     if stride is None:
         stride = kernel
     n, c, h, w = x.shape
-    cols, oh, ow = im2col(
-        x.data.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0
+    tape = _tape1(x)
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    rows = n * c * oh * ow
+    # Columns are consumed inside this call (argmax + gather); the
+    # backward closure only needs the argmax indices, so scratch is safe
+    # on both paths.
+    cols, _, _ = im2col(
+        x.data.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0,
+        out=scratch("pool.fwd.cols", (rows, kernel * kernel), x.data.dtype),
     )
-    # cols: (N*C*OH*OW, K*K)
     arg = cols.argmax(axis=1)
-    out = cols[np.arange(cols.shape[0]), arg]
+    out = cols[np.arange(rows), arg]
     out = out.reshape(n, c, oh, ow)
+    if not tape:
+        return Tensor(out)
 
     def backward(g):
-        g_flat = g.reshape(-1)
-        grad_cols = np.zeros_like(cols)
-        grad_cols[np.arange(cols.shape[0]), arg] = g_flat
+        grad_cols = scratch(
+            "pool.bwd.gcols", (rows, kernel * kernel), g.dtype
+        )
+        grad_cols.fill(0.0)
+        grad_cols[np.arange(rows), arg] = g.reshape(-1)
         grad_x = col2im(
             grad_cols, (n * c, 1, h, w), (kernel, kernel), stride, 0
         )
@@ -200,15 +283,23 @@ def avg_pool2d(x, kernel=2, stride=None):
     if stride is None:
         stride = kernel
     n, c, h, w = x.shape
-    cols, oh, ow = im2col(
-        x.data.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0
+    tape = _tape1(x)
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    rows = n * c * oh * ow
+    k2 = kernel * kernel
+    cols, _, _ = im2col(
+        x.data.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0,
+        out=scratch("pool.fwd.cols", (rows, k2), x.data.dtype),
     )
     out = cols.mean(axis=1).reshape(n, c, oh, ow)
-    k2 = kernel * kernel
+    if not tape:
+        return Tensor(out)
 
     def backward(g):
         g_flat = g.reshape(-1, 1)
-        grad_cols = np.broadcast_to(g_flat / k2, cols.shape).copy()
+        grad_cols = scratch("pool.bwd.gcols", (rows, k2), g.dtype)
+        np.copyto(grad_cols, g_flat / k2)
         grad_x = col2im(
             grad_cols, (n * c, 1, h, w), (kernel, kernel), stride, 0
         )
@@ -225,9 +316,13 @@ def global_avg_pool2d(x):
     """
     n, c, h, w = x.shape
     out = x.data.mean(axis=(2, 3))
+    if not _tape1(x):
+        return Tensor(out)
     scale = 1.0 / (h * w)
 
     def backward(g):
-        return (np.broadcast_to(g[:, :, None, None] * scale, x.shape).copy(),)
+        # Read-only broadcast view: downstream closures never mutate
+        # upstream gradients in place, so skipping the copy is safe.
+        return (np.broadcast_to(g[:, :, None, None] * scale, x.shape),)
 
     return Tensor._from_op(out, (x,), backward)

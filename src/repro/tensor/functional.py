@@ -2,7 +2,9 @@
 
 These are implemented either as numerically-stable primitives with
 hand-written backward passes (softmax, log_softmax) or as graph
-compositions of `Tensor` primitives.
+compositions of `Tensor` primitives.  The fused kernels at the bottom
+(:func:`linear_relu`, :func:`folded_batchnorm`) collapse multi-op
+graph fragments from the training hot path into single tape nodes.
 """
 
 from __future__ import annotations
@@ -10,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from .._rng import fresh_generator
-from .tensor import Tensor, is_grad_enabled
+from ._dtype import default_dtype
+from .tensor import Tensor, _tape1, _tape_many
 
 __all__ = [
     "softmax",
@@ -18,6 +21,9 @@ __all__ = [
     "one_hot",
     "dropout",
     "linear",
+    "linear_relu",
+    "folded_batchnorm",
+    "batchnorm_train",
     "nll_loss",
 ]
 
@@ -27,6 +33,8 @@ def softmax(x, axis=-1):
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
     out = e / e.sum(axis=axis, keepdims=True)
+    if not _tape1(x):
+        return Tensor(out)
 
     def backward(g):
         # dL/dx = s * (g - sum(g * s))
@@ -41,6 +49,8 @@ def log_softmax(x, axis=-1):
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - log_norm
+    if not _tape1(x):
+        return Tensor(out)
     soft = np.exp(out)
 
     def backward(g):
@@ -49,11 +59,18 @@ def log_softmax(x, axis=-1):
     return Tensor._from_op(out, (x,), backward)
 
 
-def one_hot(labels, num_classes, dtype=np.float64):
-    """Return a detached one-hot (N, num_classes) Tensor for integer labels."""
+def one_hot(labels, num_classes, dtype=None):
+    """Return a detached one-hot (N, num_classes) Tensor for integer labels.
+
+    ``dtype`` defaults to the substrate :func:`default_dtype` — a fixed
+    float64 default here used to silently promote every loss computation.
+    """
     labels = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
     labels = labels.astype(np.int64)
-    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out = np.zeros(
+        (labels.shape[0], num_classes),
+        dtype=default_dtype() if dtype is None else dtype,
+    )
     out[np.arange(labels.shape[0]), labels] = 1.0
     return Tensor(out)
 
@@ -65,12 +82,16 @@ def dropout(x, p=0.5, training=True, rng=None):
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     rng = rng if rng is not None else fresh_generator()
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype)
+    mask *= 1.0 / (1.0 - p)
+    out = x.data * mask
+    if not _tape1(x):
+        return Tensor(out)
 
     def backward(g):
         return (g * mask,)
 
-    return Tensor._from_op(x.data * mask, (x,), backward)
+    return Tensor._from_op(out, (x,), backward)
 
 
 def linear(x, weight, bias=None):
@@ -79,6 +100,114 @@ def linear(x, weight, bias=None):
     if bias is not None:
         out = out + bias
     return out
+
+
+def linear_relu(x, weight, bias=None):
+    """Fused ``relu(x @ weight.T + bias)`` as a single tape node.
+
+    Numerically identical to the unfused composition (same kernels in
+    the same order) but allocates one output and one backward closure
+    instead of three of each.  ``x`` must be 2D (N, in_features);
+    higher-rank inputs fall back to the unfused composition.
+    """
+    if x.ndim != 2:
+        return linear(x, weight, bias).relu()
+    pre = x.data @ weight.data.T
+    if bias is not None:
+        pre += bias.data
+    mask = pre > 0
+    out = pre * mask
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _tape_many(parents):
+        return Tensor(out)
+
+    def backward(g):
+        gh = g * mask
+        grad_x = gh @ weight.data if x.requires_grad else None
+        grad_w = gh.T @ x.data if weight.requires_grad else None
+        if bias is None:
+            return (grad_x, grad_w)
+        grad_b = gh.sum(axis=0) if bias.requires_grad else None
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor._from_op(out, parents, backward)
+
+
+def folded_batchnorm(x, weight, bias, scale, shift, mean, inv_var_sqrt, axes):
+    """Eval-mode batch norm with the affine transform pre-folded.
+
+    Computes ``x * scale + shift`` in two kernels, where ``scale = w /
+    sqrt(running_var + eps)`` and ``shift = b - running_mean * scale``
+    are precomputed (and cached by the layer).  ``mean``/``inv_var_sqrt``
+    are the broadcast-shaped running statistics, needed only for the
+    weight gradient; ``axes`` are the reduction axes for the affine
+    parameter gradients.
+
+    Gradients match the unfused eval path exactly:
+    ``dx = g * scale``, ``dw = sum(g * (x - mean) * inv_std)``,
+    ``db = sum(g)``.
+    """
+    out = x.data * scale
+    out += shift
+    parents = (x, weight, bias)
+    if not _tape_many(parents):
+        return Tensor(out)
+
+    def backward(g):
+        grad_x = g * scale if x.requires_grad else None
+        grad_w = (
+            (g * (x.data - mean) * inv_var_sqrt).sum(axis=axes)
+            if weight.requires_grad else None
+        )
+        grad_b = g.sum(axis=axes) if bias.requires_grad else None
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor._from_op(out, parents, backward)
+
+
+def batchnorm_train(x, weight, bias, axes, shape, eps):
+    """Training-mode batch norm fused into one tape node.
+
+    Normalizes with the batch statistics and differentiates *through*
+    them — the hand-written backward is the classic three-term
+    batch-norm gradient — replacing the ~10-node graph the unfused
+    formulation records per call.  Returns ``(out, mean, var)`` where
+    ``mean``/``var`` are the keepdims-shaped batch statistics as plain
+    arrays (biased variance), so the layer can update its running
+    buffers without recomputing the reductions.
+    """
+    xd = x.data
+    mean = xd.mean(axis=axes, keepdims=True)
+    centered = xd - mean
+    var = np.mean(centered * centered, axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = centered * inv_std
+    w = weight.data.reshape(shape)
+    out = x_hat * w
+    out += bias.data.reshape(shape)
+    parents = (x, weight, bias)
+    if not _tape_many(parents):
+        return Tensor(out), mean, var
+
+    m = xd.size // weight.data.size  # elements reduced per channel
+
+    def backward(g):
+        if x.requires_grad:
+            dxhat = g * w
+            grad_x = (inv_std / m) * (
+                m * dxhat
+                - dxhat.sum(axis=axes, keepdims=True)
+                - x_hat * (dxhat * x_hat).sum(axis=axes, keepdims=True)
+            )
+        else:
+            grad_x = None
+        grad_w = (
+            (g * x_hat).sum(axis=axes) if weight.requires_grad else None
+        )
+        grad_b = g.sum(axis=axes) if bias.requires_grad else None
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor._from_op(out, parents, backward), mean, var
 
 
 def nll_loss(log_probs, targets, weight=None, reduction="mean"):
@@ -130,6 +259,6 @@ def nll_loss(log_probs, targets, weight=None, reduction="mean"):
             grad[np.arange(n), t] = -sample_w * (g / denom)
         return (grad,)
 
-    if is_grad_enabled() and log_probs.requires_grad:
+    if _tape1(log_probs):
         return Tensor._from_op(out_data, (log_probs,), backward)
     return Tensor(out_data)

@@ -13,6 +13,8 @@ __all__ = [
     "check_gradients",
     "gradcheck_conv2d_nonsquare",
     "gradcheck_batchnorm_eval",
+    "gradcheck_linear_relu",
+    "gradcheck_astype_cast",
     "check_inplace_mutation_detected",
     "run_extended_checks",
 ]
@@ -92,29 +94,89 @@ def gradcheck_conv2d_nonsquare(seed=0):
 
 
 def gradcheck_batchnorm_eval(seed=0):
-    """BatchNorm2d in eval mode (running-stats path) under the sanitizer.
+    """BatchNorm2d in eval mode (folded running-stats path) under the sanitizer.
 
-    Eval-mode batchnorm normalizes with *constant* running statistics,
-    so d out / d x must be exactly gamma / sqrt(running_var + eps) —
-    a path the training-mode gradcheck never touches.
+    Eval-mode batchnorm runs the fused folded-affine kernel: ``out =
+    x * scale + shift`` with scale/shift cached from running stats, so
+    d out / d x must be exactly gamma / sqrt(running_var + eps).  The
+    affine parameters are perturbed in place by the numeric check,
+    which also exercises the folded cache's snapshot invalidation.
+
+    Runs under a float64 default dtype: float32 parameters round the
+    1e-5 central-difference perturbations into the noise floor.
     """
     from ..analysis.sanitizer import detect_anomaly
     from ..nn.layers import BatchNorm2d
+    from ._dtype import using_default_dtype
     from .tensor import Tensor
 
     rng = np.random.default_rng(seed)
-    bn = BatchNorm2d(3)
-    # Warm up the running statistics with a couple of training batches.
-    for _ in range(2):
-        bn(Tensor(rng.standard_normal((4, 3, 2, 2)) * 2.0 + 1.0))
-    bn.eval()
-    x = Tensor(rng.standard_normal((2, 3, 2, 2)), requires_grad=True)
+    with using_default_dtype(np.float64):
+        bn = BatchNorm2d(3)
+        # Warm up the running statistics with a couple of training batches.
+        for _ in range(2):
+            bn(Tensor(rng.standard_normal((4, 3, 2, 2)) * 2.0 + 1.0))
+        bn.eval()
+        x = Tensor(rng.standard_normal((2, 3, 2, 2)), requires_grad=True)
 
-    def fn(x):
-        return (bn(x) * bn(x)).sum()
+        def fn(x, w, b):
+            return (bn(x) * bn(x)).sum()
 
+        with detect_anomaly():
+            return check_gradients(fn, [x, bn.weight, bn.bias])
+
+
+def gradcheck_linear_relu(seed=0):
+    """Fused ``linear_relu`` against central differences, for all inputs.
+
+    The fused kernel writes its own backward (mask-gated matmuls); this
+    validates it against finite differences of the scalar loss
+    ``sum(linear_relu(x, w, b)^2)`` for x, w and b, under the sanitizer.
+    """
+    from ..analysis.sanitizer import detect_anomaly
+    from ._dtype import using_default_dtype
+    from .functional import linear_relu
+    from .tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    with using_default_dtype(np.float64):
+        x = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        w = Tensor(0.5 * rng.standard_normal((3, 5)), requires_grad=True)
+        b = Tensor(0.3 * rng.standard_normal(3), requires_grad=True)
+
+        def fn(x, w, b):
+            out = linear_relu(x, w, b)
+            return (out * out).sum()
+
+        with detect_anomaly():
+            return check_gradients(fn, [x, w, b])
+
+
+def gradcheck_astype_cast(seed=0):
+    """Differentiable dtype cast: gradient flows through a float32 cast.
+
+    ``astype`` used to return a detached tensor, silently cutting the
+    tape; this asserts the cast node backpropagates (with the gradient
+    cast back to the source dtype) and produces the analytic value.
+    """
+    from ..analysis.sanitizer import detect_anomaly
+    from .tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
     with detect_anomaly():
-        return check_gradients(fn, [x])
+        y = x.astype(np.float32)
+        (y * y).sum().backward()
+    if x.grad is None:
+        raise AssertionError("astype detached the tape: no gradient reached x")
+    if x.grad.dtype != np.float64:
+        raise AssertionError(
+            "astype backward did not cast the gradient back to float64"
+        )
+    expected = (2.0 * x.data.astype(np.float32)).astype(np.float64)
+    if not np.allclose(x.grad, expected, atol=1e-6):
+        raise AssertionError("astype gradient mismatch")
+    return True
 
 
 def check_inplace_mutation_detected(seed=0):
@@ -146,9 +208,13 @@ def run_extended_checks(seed=0):
     """Run every extended check; returns the list of check names run."""
     gradcheck_conv2d_nonsquare(seed)
     gradcheck_batchnorm_eval(seed)
+    gradcheck_linear_relu(seed)
+    gradcheck_astype_cast(seed)
     check_inplace_mutation_detected(seed)
     return [
         "gradcheck_conv2d_nonsquare",
         "gradcheck_batchnorm_eval",
+        "gradcheck_linear_relu",
+        "gradcheck_astype_cast",
         "check_inplace_mutation_detected",
     ]

@@ -1,0 +1,77 @@
+"""Per-shape scratch-buffer pool for hot-path kernels.
+
+``conv2d``/``max_pool2d``/``avg_pool2d`` allocate the same large
+intermediate arrays (padded inputs, im2col column matrices, backward
+gradient columns) on every batch.  Training loops call them thousands of
+times with identical shapes, so those allocations are pure overhead —
+this module hands out reusable buffers keyed by (site, shape, dtype).
+
+Lifetime contract
+-----------------
+A scratch buffer is only valid until the *next* ``scratch`` call with
+the same key — callers must fully consume it (or copy out of it) inside
+the op invocation that requested it, and must never let it escape into
+the autograd tape or a backward closure.  The conv/pool kernels honor
+this by pooling only buffers whose lifetime provably ends inside the
+call: padded im2col inputs always, column matrices only on the no-grad
+path or inside backward closures (backward runs serially per tape, so a
+per-site buffer cannot be reused while still live).
+
+The pool is per-process: forked workers inherit the parent's buffers
+copy-on-write and then diverge, so parallel runs stay byte-identical to
+serial ones.  It is not thread-safe — the substrate is single-threaded
+by design.  The pool is bounded (LRU eviction) so sweeps over many
+input geometries cannot grow memory without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["scratch", "clear_pool", "pool_stats"]
+
+#: Maximum number of distinct (site, shape, dtype) buffers kept alive.
+MAX_ENTRIES = 64
+
+_POOL = OrderedDict()
+_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def scratch(site, shape, dtype):
+    """Return a reusable uninitialized buffer for ``site`` with this geometry.
+
+    ``site`` names the call site (e.g. ``"conv2d.bwd.gcols"``) so two ops
+    alive at the same time never share a buffer.  Contents are garbage —
+    callers must overwrite (or ``fill``) before reading.
+    """
+    key = (site, shape, np.dtype(dtype).str)
+    buf = _POOL.get(key)
+    if buf is not None:
+        _STATS["hits"] += 1
+        _POOL.move_to_end(key)
+        return buf
+    _STATS["misses"] += 1
+    buf = np.empty(shape, dtype=dtype)
+    _POOL[key] = buf
+    if len(_POOL) > MAX_ENTRIES:
+        _POOL.popitem(last=False)
+        _STATS["evictions"] += 1
+    return buf
+
+
+def clear_pool():
+    """Drop every pooled buffer (tests; or to release memory after a sweep)."""
+    _POOL.clear()
+
+
+def pool_stats():
+    """Return {hits, misses, evictions, entries, bytes} for introspection."""
+    return {
+        "hits": _STATS["hits"],
+        "misses": _STATS["misses"],
+        "evictions": _STATS["evictions"],
+        "entries": len(_POOL),
+        "bytes": int(sum(b.nbytes for b in _POOL.values())),
+    }

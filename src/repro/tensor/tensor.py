@@ -12,6 +12,27 @@ broadcast operand are reduced back to the operand's shape by
 
 Only float64/float32 data participates in differentiation; integer tensors
 (labels, indices) can be wrapped but must not require gradients.
+
+Dtype policy
+------------
+Tensors are float32-by-default (see :mod:`repro.tensor._dtype`):
+
+* Python scalars and lists become :func:`default_dtype` arrays.
+* numpy floating arrays keep their dtype — a float64 array wrapped on
+  purpose stays float64.
+* float16 arrays are promoted to float32 (no half-precision kernels);
+  the first promotion in a process emits a ``dtype.float16_promoted``
+  telemetry event so traced runs record that it happened.
+* an explicit ``dtype=`` argument always wins.
+
+Fast path
+---------
+When no gradient can flow — ``no_grad()``, or no operand requires grad —
+ops skip the tape entirely: no backward closure is allocated and no
+graph edges are recorded.  The numerical result is byte-identical to the
+taped path (same kernels, same order).  The fast path is disabled while
+``detect_anomaly()`` or the tape profiler is active, since both hook op
+creation.
 """
 
 from __future__ import annotations
@@ -23,8 +44,19 @@ from ..analysis.sanitizer import _STATE as _ANOMALY
 from ..telemetry import profiler as _profiler
 from ..telemetry.clock import monotonic as _monotonic
 from ..telemetry.profiler import _STATE as _PROFILE
+from ._dtype import default_dtype, set_default_dtype, using_default_dtype
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "concatenate", "stack", "where"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "where",
+    "default_dtype",
+    "set_default_dtype",
+    "using_default_dtype",
+]
 
 _GRAD_ENABLED = True
 
@@ -33,7 +65,9 @@ class no_grad:
     """Context manager that disables gradient tracking.
 
     Mirrors ``torch.no_grad``: inside the block, newly created tensors do
-    not record backward functions, which makes inference cheap.
+    not record backward functions, which makes inference cheap.  Ops take
+    the no-tape fast path — no backward closures, no graph edges — and
+    produce byte-identical values to the taped path.
     """
 
     def __enter__(self):
@@ -51,6 +85,27 @@ class no_grad:
 def is_grad_enabled():
     """Return True when operations should record backward functions."""
     return _GRAD_ENABLED
+
+
+def _tape1(a):
+    """Should a one-operand op record itself on the tape?"""
+    if _ANOMALY.enabled or _PROFILE.enabled:
+        return True
+    return _GRAD_ENABLED and a.requires_grad
+
+
+def _tape2(a, b):
+    """Should a two-operand op record itself on the tape?"""
+    if _ANOMALY.enabled or _PROFILE.enabled:
+        return True
+    return _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+
+
+def _tape_many(tensors):
+    """Should an n-ary op record itself on the tape?"""
+    if _ANOMALY.enabled or _PROFILE.enabled:
+        return True
+    return _GRAD_ENABLED and any(t.requires_grad for t in tensors)
 
 
 def _unbroadcast(grad, shape):
@@ -74,14 +129,45 @@ def _unbroadcast(grad, shape):
     return grad.reshape(shape)
 
 
+_FLOAT16_PROMOTED = False
+
+
+def _note_float16_promotion(arr):
+    """Record (once per process) that a float16 input was widened."""
+    global _FLOAT16_PROMOTED
+    if _FLOAT16_PROMOTED:
+        return
+    _FLOAT16_PROMOTED = True
+    from ..telemetry import get_tracer
+
+    get_tracer().event(
+        "dtype.float16_promoted",
+        to=str(np.dtype(np.float32)),
+        shape=list(arr.shape),
+    )
+
+
 def _as_array(data, dtype=None):
     if isinstance(data, Tensor):
         raise TypeError("cannot build a Tensor from a Tensor; use .detach()")
-    arr = np.asarray(data)
     if dtype is not None:
-        arr = arr.astype(dtype, copy=False)
-    elif arr.dtype == np.float16:
-        arr = arr.astype(np.float32)
+        return np.asarray(data, dtype=dtype)
+    if isinstance(data, (np.ndarray, np.generic)):
+        # ndarrays and numpy scalars carry a dtype: honor it (a float64
+        # reduction of a float64 tensor must stay float64), except for
+        # float16, which the substrate silently widens.
+        arr = np.asarray(data)
+        if arr.dtype == np.float16:
+            _note_float16_promotion(arr)
+            return arr.astype(np.float32)
+        return arr
+    arr = np.asarray(data)
+    if arr.dtype == np.float64:
+        # Python floats / lists land here; honor the substrate default.
+        return arr.astype(default_dtype(), copy=False)
+    if arr.dtype == np.float16:
+        _note_float16_promotion(arr)
+        return arr.astype(np.float32)
     return arr
 
 
@@ -161,7 +247,24 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=False)
 
     def astype(self, dtype):
-        return Tensor(self.data.astype(dtype), requires_grad=False)
+        """Differentiable dtype cast.
+
+        Casts to a floating dtype stay on the tape: backward casts the
+        gradient back to the source dtype, so a mid-graph float64 ↔
+        float32 cast no longer silently detaches everything upstream.
+        Casts to non-float dtypes (ints, bool) cannot carry gradients
+        and return a detached tensor.
+        """
+        dtype = np.dtype(dtype)
+        out_data = self.data.astype(dtype)
+        if dtype.kind != "f" or not _tape1(self):
+            return Tensor(out_data)
+        src_dtype = self.data.dtype
+
+        def backward(g):
+            return (g.astype(src_dtype, copy=False),)
+
+        return Tensor._from_op(out_data, (self,), backward)
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -268,6 +371,8 @@ class Tensor:
     def __add__(self, other):
         other = self._coerce(other)
         out_data = self.data + other.data
+        if not _tape2(self, other):
+            return Tensor(out_data)
 
         def backward(g):
             return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
@@ -279,11 +384,15 @@ class Tensor:
     def __mul__(self, other):
         other = self._coerce(other)
         out_data = self.data * other.data
+        if not _tape2(self, other):
+            return Tensor(out_data)
 
         def backward(g):
             return (
-                _unbroadcast(g * other.data, self.shape),
-                _unbroadcast(g * self.data, other.shape),
+                _unbroadcast(g * other.data, self.shape)
+                if self.requires_grad else None,
+                _unbroadcast(g * self.data, other.shape)
+                if other.requires_grad else None,
             )
 
         return Tensor._from_op(out_data, (self, other), backward)
@@ -293,6 +402,8 @@ class Tensor:
     def __sub__(self, other):
         other = self._coerce(other)
         out_data = self.data - other.data
+        if not _tape2(self, other):
+            return Tensor(out_data)
 
         def backward(g):
             return (_unbroadcast(g, self.shape), _unbroadcast(-g, other.shape))
@@ -303,19 +414,27 @@ class Tensor:
         return self._coerce(other) - self
 
     def __neg__(self):
+        out_data = -self.data
+        if not _tape1(self):
+            return Tensor(out_data)
+
         def backward(g):
             return (-g,)
 
-        return Tensor._from_op(-self.data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward)
 
     def __truediv__(self, other):
         other = self._coerce(other)
         out_data = self.data / other.data
+        if not _tape2(self, other):
+            return Tensor(out_data)
 
         def backward(g):
             return (
-                _unbroadcast(g / other.data, self.shape),
-                _unbroadcast(-g * self.data / (other.data ** 2), other.shape),
+                _unbroadcast(g / other.data, self.shape)
+                if self.requires_grad else None,
+                _unbroadcast(-g * self.data / (other.data ** 2), other.shape)
+                if other.requires_grad else None,
             )
 
         return Tensor._from_op(out_data, (self, other), backward)
@@ -327,6 +446,8 @@ class Tensor:
         if isinstance(exponent, Tensor):
             base, expo = self, exponent
             out_data = base.data ** expo.data
+            if not _tape2(base, expo):
+                return Tensor(out_data)
 
             def backward(g):
                 grad_base = g * expo.data * base.data ** (expo.data - 1)
@@ -341,6 +462,8 @@ class Tensor:
             return Tensor._from_op(out_data, (base, expo), backward)
 
         out_data = self.data ** exponent
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             return (g * exponent * self.data ** (exponent - 1),)
@@ -350,19 +473,29 @@ class Tensor:
     def __matmul__(self, other):
         other = self._coerce(other)
         out_data = self.data @ other.data
+        if not _tape2(self, other):
+            return Tensor(out_data)
 
         def backward(g):
+            need_a = self.requires_grad
+            need_b = other.requires_grad
             if self.ndim == 1 and other.ndim == 1:
-                return (g * other.data, g * self.data)
+                return (g * other.data if need_a else None,
+                        g * self.data if need_b else None)
             if self.ndim == 1:
                 # (k,) @ (k, n) -> (n,)
-                return (g @ other.data.T, np.outer(self.data, g))
+                return (g @ other.data.T if need_a else None,
+                        np.outer(self.data, g) if need_b else None)
             if other.ndim == 1:
                 # (m, k) @ (k,) -> (m,)
-                return (np.outer(g, other.data), self.data.T @ g)
-            ga = g @ np.swapaxes(other.data, -1, -2)
-            gb = np.swapaxes(self.data, -1, -2) @ g
-            return (_unbroadcast(ga, self.shape), _unbroadcast(gb, other.shape))
+                return (np.outer(g, other.data) if need_a else None,
+                        self.data.T @ g if need_b else None)
+            ga = gb = None
+            if need_a:
+                ga = _unbroadcast(g @ np.swapaxes(other.data, -1, -2), self.shape)
+            if need_b:
+                gb = _unbroadcast(np.swapaxes(self.data, -1, -2) @ g, other.shape)
+            return (ga, gb)
 
         return Tensor._from_op(out_data, (self, other), backward)
 
@@ -388,6 +521,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self):
         out_data = np.exp(self.data)
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             return (g * out_data,)
@@ -395,13 +530,19 @@ class Tensor:
         return Tensor._from_op(out_data, (self,), backward)
 
     def log(self):
+        out_data = np.log(self.data)
+        if not _tape1(self):
+            return Tensor(out_data)
+
         def backward(g):
             return (g / self.data,)
 
-        return Tensor._from_op(np.log(self.data), (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward)
 
     def sqrt(self):
         out_data = np.sqrt(self.data)
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             return (g * 0.5 / out_data,)
@@ -409,12 +550,18 @@ class Tensor:
         return Tensor._from_op(out_data, (self,), backward)
 
     def abs(self):
+        out_data = np.abs(self.data)
+        if not _tape1(self):
+            return Tensor(out_data)
+
         def backward(g):
             return (g * np.sign(self.data),)
 
-        return Tensor._from_op(np.abs(self.data), (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward)
 
     def relu(self):
+        if not _tape1(self):
+            return Tensor(self.data * (self.data > 0))
         mask = self.data > 0
         out_data = self.data * mask
 
@@ -425,6 +572,8 @@ class Tensor:
 
     def sigmoid(self):
         out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             return (g * out_data * (1.0 - out_data),)
@@ -433,6 +582,8 @@ class Tensor:
 
     def tanh(self):
         out_data = np.tanh(self.data)
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             return (g * (1.0 - out_data ** 2),)
@@ -443,6 +594,8 @@ class Tensor:
         mask = self.data > 0
         scale = np.where(mask, 1.0, negative_slope)
         out_data = self.data * scale
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             return (g * scale,)
@@ -452,6 +605,8 @@ class Tensor:
     def clip(self, low, high):
         """Clamp values; gradient is passed only where values were inside."""
         out_data = np.clip(self.data, low, high)
+        if not _tape1(self):
+            return Tensor(out_data)
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(g):
@@ -462,6 +617,8 @@ class Tensor:
     def maximum(self, other):
         other = self._coerce(other)
         out_data = np.maximum(self.data, other.data)
+        if not _tape2(self, other):
+            return Tensor(out_data)
         pick_self = self.data >= other.data
 
         def backward(g):
@@ -477,14 +634,19 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims=False):
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             if axis is None:
-                return (np.broadcast_to(g, self.shape).astype(self.data.dtype),)
+                grad = np.broadcast_to(g, self.shape)
+                if grad.dtype != self.data.dtype:
+                    grad = grad.astype(self.data.dtype)
+                return (grad,)
             g_exp = g
             if not keepdims:
                 g_exp = np.expand_dims(g, axis)
-            return (np.broadcast_to(g_exp, self.shape).copy(),)
+            return (np.broadcast_to(g_exp, self.shape),)
 
         return Tensor._from_op(out_data, (self,), backward)
 
@@ -505,6 +667,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims=False):
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             if axis is None:
@@ -528,8 +692,10 @@ class Tensor:
     def reshape(self, *shape):
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        orig_shape = self.shape
         out_data = self.data.reshape(shape)
+        if not _tape1(self):
+            return Tensor(out_data)
+        orig_shape = self.shape
 
         def backward(g):
             return (g.reshape(orig_shape),)
@@ -545,8 +711,10 @@ class Tensor:
             axes = tuple(reversed(range(self.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
-        inverse = np.argsort(axes)
         out_data = self.data.transpose(axes)
+        if not _tape1(self):
+            return Tensor(out_data)
+        inverse = np.argsort(axes)
 
         def backward(g):
             return (g.transpose(inverse),)
@@ -557,6 +725,8 @@ class Tensor:
         if isinstance(idx, Tensor):
             idx = idx.data
         out_data = self.data[idx]
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             grad = np.zeros_like(self.data)
@@ -571,6 +741,8 @@ class Tensor:
             raise ValueError("pad2d expects an NCHW tensor")
         p = padding
         out_data = np.pad(self.data, ((0, 0), (0, 0), (p, p), (p, p)))
+        if not _tape1(self):
+            return Tensor(out_data)
 
         def backward(g):
             return (g[:, :, p:-p or None, p:-p or None],)
@@ -582,6 +754,8 @@ def concatenate(tensors, axis=0):
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not _tape_many(tensors):
+        return Tensor(out_data)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -600,6 +774,8 @@ def stack(tensors, axis=0):
     """Stack tensors along a new axis with gradient routing."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    if not _tape_many(tensors):
+        return Tensor(out_data)
 
     def backward(g):
         moved = np.moveaxis(g, axis, 0)
@@ -614,6 +790,8 @@ def where(condition, a, b):
     a = a if isinstance(a, Tensor) else Tensor(np.asarray(a))
     b = b if isinstance(b, Tensor) else Tensor(np.asarray(b))
     out_data = np.where(cond, a.data, b.data)
+    if not _tape2(a, b):
+        return Tensor(out_data)
 
     def backward(g):
         return (

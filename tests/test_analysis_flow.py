@@ -290,6 +290,71 @@ class TestFlowDtype:
         flagged = [f for f in findings if f.rule == "FLOW-DTYPE"]
         assert any(f.path.endswith("mix.py") for f in flagged)
 
+    def test_float64_signature_default_flagged(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "hot.py": """
+                import numpy as np
+
+                def encode(labels, n, dtype=np.float64):
+                    out = np.zeros((len(labels), n), dtype=dtype)
+                    return out
+
+                def widen(x, *, out_dtype="float64"):
+                    return x.astype(out_dtype)
+                """,
+            },
+        )
+        flagged = [
+            f
+            for f in findings
+            if f.rule == "FLOW-DTYPE" and "signature default" in f.message
+        ]
+        assert len(flagged) == 2
+        assert any("'dtype'" in f.message for f in flagged)
+        assert any("'out_dtype'" in f.message for f in flagged)
+
+    def test_none_signature_default_is_clean(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "hot.py": """
+                import numpy as np
+
+                def encode(labels, n, dtype=None):
+                    if dtype is None:
+                        dtype = np.float32
+                    out = np.zeros((len(labels), n), dtype=dtype)
+                    return out
+                """,
+            },
+        )
+        assert not any(
+            "signature default" in f.message
+            for f in findings
+            if f.rule == "FLOW-DTYPE"
+        )
+
+    def test_signature_default_ignored_outside_hot_modules(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/cold.py": """
+                import numpy as np
+
+                def weights(counts, dtype=np.float64):
+                    return np.asarray(counts, dtype=dtype)
+                """,
+            },
+        )
+        assert not any(
+            "signature default" in f.message
+            for f in findings
+            if f.rule == "FLOW-DTYPE"
+        )
+
 
 # ----------------------------------------------------------------------
 # FLOW-FORK
@@ -595,29 +660,38 @@ class TestCli:
 # Pins for the real FLOW-DTYPE violations fixed on this tree
 # ----------------------------------------------------------------------
 class TestTreeDtypeFixes:
-    """This PR's FLOW-DTYPE pass found implicit float64 allocations in
+    """The FLOW-DTYPE pass found implicit float64 allocations in
     repro.nn.init, repro.nn.layers and repro.losses and pinned them to
-    explicit dtypes; these tests freeze that contract so the float32
-    migration can retarget the kwargs without silent drift."""
+    explicit dtypes; the float32 migration then retargeted every one of
+    those kwargs at ``repro.tensor.default_dtype()``.  These tests
+    freeze that contract: allocations must track the switchable default
+    under both settings, with no hard-coded float width left behind."""
 
-    def test_init_helpers_declare_float64(self):
+    def test_init_helpers_track_default_dtype(self):
         import numpy as np
 
         from repro.nn import init
+        from repro.tensor import default_dtype, using_default_dtype
 
-        assert init.zeros((2, 3)).dtype == np.float64
-        assert init.ones((2, 3)).dtype == np.float64
+        assert init.zeros((2, 3)).dtype == default_dtype()
+        assert init.ones((2, 3)).dtype == default_dtype()
+        with using_default_dtype(np.float64):
+            assert init.zeros((2, 3)).dtype == np.float64
+            assert init.ones((2, 3)).dtype == np.float64
 
-    def test_layer_parameters_declare_float64(self):
+    def test_layer_parameters_track_default_dtype(self):
         import numpy as np
 
         from repro.nn.layers import BatchNorm1d, Linear
+        from repro.tensor import using_default_dtype
 
-        layer = Linear(4, 2, bias=True, rng=np.random.default_rng(0))
-        assert layer.bias.data.dtype == np.float64
-        bn = BatchNorm1d(3)
-        assert bn.weight.data.dtype == np.float64
-        assert bn.running_mean.dtype == np.float64
+        for dt in (np.float32, np.float64):
+            with using_default_dtype(dt):
+                layer = Linear(4, 2, bias=True, rng=np.random.default_rng(0))
+                assert layer.bias.data.dtype == dt
+                bn = BatchNorm1d(3)
+                assert bn.weight.data.dtype == dt
+                assert bn.running_mean.dtype == dt
 
     def test_fixed_modules_are_flow_dtype_clean(self):
         from pathlib import Path

@@ -175,7 +175,7 @@ class TestExtendedGradchecks:
 
     def test_run_extended_checks_reports_all(self):
         names = run_extended_checks()
-        assert len(names) == 3
+        assert len(names) == 5
 
 
 class TestModelIntegration:
@@ -186,21 +186,28 @@ class TestModelIntegration:
         model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
         x = Tensor(rng.standard_normal((5, 4)))
         # Poison one weight with Inf: the first op that touches the
-        # poisoned leaf (the weight transpose inside Linear) is blamed.
+        # poisoned leaf is blamed (the fused linear_relu kernel when
+        # Sequential fuses the Linear+ReLU pair).
         model[0].weight.data[0, 0] = np.inf
         with detect_anomaly():
             with pytest.raises(AnomalyError) as exc:
                 model(x)
-        assert exc.value.op in ("transpose", "__matmul__", "linear", "__add__")
+        assert exc.value.op in (
+            "transpose", "__matmul__", "linear", "__add__", "linear_relu"
+        )
         assert "layers.py" in exc.value.site
 
     def test_clean_training_step_under_sanitizer(self):
         from repro.losses import CrossEntropyLoss
         from repro.nn import Linear
 
+        from repro.tensor import default_dtype
+
         rng = np.random.default_rng(4)
         layer = Linear(6, 3, rng=rng)
-        x = Tensor(rng.standard_normal((8, 6)))
+        # Inputs must match the parameter dtype, or the sanitizer
+        # rightly flags float64 gradients widening into float32 params.
+        x = Tensor(rng.standard_normal((8, 6)), dtype=default_dtype())
         y = np.array([0, 1, 2, 0, 1, 2, 0, 1])
         loss_fn = CrossEntropyLoss()
         with detect_anomaly():

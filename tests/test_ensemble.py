@@ -86,7 +86,7 @@ class TestBalancedHeadEnsemble:
         manual = (
             ens.heads[0](Tensor(x)).data + ens.heads[1](Tensor(x)).data
         ) / 2
-        np.testing.assert_allclose(ens.predict_logits(x), manual)
+        np.testing.assert_allclose(ens.predict_logits(x), manual, rtol=1e-5, atol=1e-6)
 
     def test_invalid_args(self):
         with pytest.raises(ValueError):

@@ -89,7 +89,7 @@ class TestTrainer:
         trainer.fit(easy_dataset, epochs=1, rng=rng)
         f1 = extract_features(model, easy_dataset.images, batch_size=16)
         f2 = extract_features(model, easy_dataset.images, batch_size=64)
-        np.testing.assert_allclose(f1, f2, atol=1e-10)
+        np.testing.assert_allclose(f1, f2, rtol=1e-5, atol=1e-6)
         assert model.training  # mode restored
 
 

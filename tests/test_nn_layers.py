@@ -18,7 +18,7 @@ from repro.nn import (
     Sequential,
     init,
 )
-from repro.tensor import Tensor, check_gradients
+from repro.tensor import Tensor, check_gradients, using_default_dtype
 
 
 @pytest.fixture
@@ -107,12 +107,25 @@ class TestLinear:
         np.testing.assert_allclose(out.data, 0.0)
 
     def test_gradcheck(self, rng):
-        layer = Linear(3, 2, rng=rng)
-        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
-        check_gradients(
-            lambda x, w, b: ((x @ w.transpose() + b) ** 2).sum(),
-            [x, layer.weight, layer.bias],
-        )
+        # float64 default: finite differences drown in float32 rounding.
+        with using_default_dtype(np.float64):
+            layer = Linear(3, 2, rng=rng)
+            x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+            check_gradients(
+                lambda x, w, b: ((x @ w.transpose() + b) ** 2).sum(),
+                [x, layer.weight, layer.bias],
+            )
+
+    def test_gradcheck_fused_linear_relu(self, rng):
+        from repro.nn import LinearReLU
+
+        with using_default_dtype(np.float64):
+            layer = LinearReLU(3, 2, rng=rng)
+            x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+            check_gradients(
+                lambda x, w, b: (layer(x) ** 2).sum(),
+                [x, layer.weight, layer.bias],
+            )
 
 
 class TestConvLayer:
@@ -176,14 +189,15 @@ class TestBatchNorm:
         np.testing.assert_array_equal(bn(x).data, bn(x).data)
 
     def test_gradcheck_through_batch_stats(self, rng):
-        bn = BatchNorm1d(3)
-        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        with using_default_dtype(np.float64):
+            bn = BatchNorm1d(3)
+            x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
 
-        def fn(x, w, b):
-            bn.weight, bn.bias = w, b
-            return (bn(x) ** 2).sum()
+            def fn(x, w, b):
+                bn.weight, bn.bias = w, b
+                return (bn(x) ** 2).sum()
 
-        check_gradients(fn, [x, bn.weight, bn.bias])
+            check_gradients(fn, [x, bn.weight, bn.bias])
 
     def test_wrong_dims_raise(self, rng):
         with pytest.raises(ValueError):

@@ -1,0 +1,56 @@
+"""Tier-1 smoke gate for the substrate benchmark.
+
+Re-measures the traced tiny Table-II workload and fails when the
+``train.batch`` share of total wall time regresses more than 10%
+against the committed ``BENCH_substrate.json`` after-baseline.  The
+share (not the absolute seconds) is compared so the gate is robust to
+machine speed; a fastpath regression (tape bookkeeping creeping back
+into no_grad, scratch pool misses, un-fused kernels) shifts time into
+``train.batch`` and moves the share.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_substrate.json"
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_substrate.py"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_substrate", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def test_baseline_records_the_claimed_speedup(baseline):
+    """The committed snapshot must actually show the >= 1.5x win."""
+    assert baseline["before"]["default_dtype"] == "float64"
+    assert baseline["after"]["default_dtype"] == "float32"
+    before = baseline["before"]["table2_tiny_traced"]["train_batch_seconds"]
+    after = baseline["after"]["table2_tiny_traced"]["train_batch_seconds"]
+    assert before / after >= 1.5
+
+
+def test_train_batch_share_has_not_regressed(baseline):
+    bench = _load_bench_module()
+    measured = bench.traced_table2(seed=0, repeats=2)
+    committed = baseline["after"]["table2_tiny_traced"]["train_batch_share"]
+    limit = committed * 1.10 + 0.01
+    assert measured["train_batch_share"] <= limit, (
+        "train.batch share %.4f exceeds committed baseline %.4f by more "
+        "than 10%% — the substrate fast path has regressed (measured: %r)"
+        % (measured["train_batch_share"], committed, measured)
+    )

@@ -8,9 +8,14 @@ from repro.tensor import Tensor, concatenate, no_grad, stack, where
 
 class TestConstruction:
     def test_wraps_array(self):
+        from repro.tensor import default_dtype
+
         t = Tensor([[1.0, 2.0], [3.0, 4.0]])
         assert t.shape == (2, 2)
-        assert t.dtype == np.float64
+        # Python lists/scalars land on the substrate default (float32);
+        # numpy arrays keep their explicit dtype.
+        assert t.dtype == default_dtype()
+        assert Tensor(np.ones(2, dtype=np.float64)).dtype == np.float64
 
     def test_requires_grad_flag(self):
         t = Tensor([1.0], requires_grad=True)
