@@ -1,0 +1,141 @@
+"""Serve dispatch benchmark: fork-per-job vs the persistent pool.
+
+Measures what the persistent worker set exists to fix: the per-job
+dispatch cost of the serve daemon.  In fork-per-job mode every batch
+pays a full ``os.fork`` per job (plus interpreter COW warmup in the
+child); in persistent mode the workers are forked once and each job
+costs one pickled frame each way.
+
+Both modes run the identical ``echo`` job stream handler-level (no
+sockets — the wire protocol is the same in both modes and would only
+add noise), and their settlements are verified byte-identical before
+anything is recorded: the speedup must never come at the price of the
+determinism contract.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+The committed ``BENCH_serve.json`` records both modes and the speedup;
+``tests/test_serve_bench.py`` re-measures at small scale and fails when
+the persistent-mode advantage decays more than 10% below the committed
+figure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.serve import ReproService
+
+__all__ = ["measure_mode", "measure_all"]
+
+JOBS = 64
+WORKERS = 2
+
+
+def measure_mode(persistent, jobs=JOBS, workers=WORKERS):
+    """Time ``jobs`` echo dispatches through one service mode.
+
+    Returns ``(record, outcomes)`` where ``outcomes`` maps job id to
+    its settlement — the caller diffs them across modes.
+    """
+    root = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        service = ReproService(
+            os.path.join(root, "repro.sock"),
+            os.path.join(root, "journal.jsonl"),
+            max_depth=jobs + 1,
+            workers=workers,
+            persistent=persistent,
+        )
+        for i in range(jobs):
+            response = service._handle_submit({
+                "kind": "echo", "client": "bench",
+                "job_id": "bench-%04d" % i, "payload": {"n": i},
+            })
+            assert response["status"] == "ok", response
+        if persistent:
+            # Pre-fork outside the timed window: the pool is a one-time
+            # startup cost, the dispatch latency is what long-lived
+            # serving pays per job.
+            service._ensure_pool()
+        start = time.perf_counter()
+        spins = 0
+        while len(service.queue.outcomes) < jobs:
+            service._dispatch_some()
+            spins += 1
+            assert spins < 200000, "dispatch never drained"
+        elapsed = time.perf_counter() - start
+        outcomes = {
+            "bench-%04d" % i: service.queue.outcome("bench-%04d" % i)
+            for i in range(jobs)
+        }
+        if service._pool is not None:
+            service._pool.close()
+            service._pool = None
+        service.queue.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    record = {
+        "mode": "persistent" if persistent else "fork-per-job",
+        "jobs": jobs,
+        "workers": workers,
+        "seconds": round(elapsed, 4),
+        "per_job_ms": round(elapsed / jobs * 1000.0, 4),
+        "throughput_jobs_per_s": round(jobs / elapsed, 2),
+    }
+    return record, outcomes
+
+
+def measure_all(jobs=JOBS, workers=WORKERS):
+    """Both modes on the identical job stream; asserts identical output."""
+    fork_record, fork_outcomes = measure_mode(False, jobs, workers)
+    persistent_record, persistent_outcomes = measure_mode(True, jobs, workers)
+    if fork_outcomes != persistent_outcomes:
+        raise AssertionError(
+            "persistent settlements differ from fork-per-job — the "
+            "determinism contract is broken; refusing to record a speedup"
+        )
+    speedup = (fork_record["per_job_ms"] /
+               persistent_record["per_job_ms"])
+    return {
+        "benchmark": "serve_dispatch_latency",
+        "command": "python benchmarks/bench_serve.py",
+        "description": (
+            "Per-job dispatch latency of the serve daemon, handler-level, "
+            "%d echo jobs at workers=%d: fork-per-job (a full os.fork per "
+            "job) vs the pre-forked PersistentPool (one pickled frame each "
+            "way). Settlements verified byte-identical across modes before "
+            "recording." % (jobs, workers)
+        ),
+        "cpu_count": os.cpu_count(),
+        "fork_per_job": fork_record,
+        "persistent": persistent_record,
+        "speedup": round(speedup, 3),
+        "identical_output": True,
+    }
+
+
+def main():
+    record = measure_all()
+    print("fork-per-job: %.3f ms/job  persistent: %.3f ms/job  "
+          "speedup: %.2fx"
+          % (record["fork_per_job"]["per_job_ms"],
+             record["persistent"]["per_job_ms"], record["speedup"]))
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "BENCH_serve.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from .resilience import (
     SwallowedExceptionRule,
 )
 from .rng import BareNumpyRandomRule, UnseededGeneratorRule
-from .serving import RawSocketServerRule
+from .serving import JournalFileAccessRule, RawSocketServerRule
 
 __all__ = [
     "RULE_CLASSES",
@@ -40,6 +40,7 @@ __all__ = [
     "RawClockRule",
     "DirectMultiprocessingRule",
     "DirectSqliteRule",
+    "JournalFileAccessRule",
     "RawSocketServerRule",
     "BareNumpyRandomRule",
     "UnseededGeneratorRule",
@@ -64,6 +65,7 @@ RULE_CLASSES = (
     RawClockRule,           # OBS001
     DirectMultiprocessingRule,  # PAR001
     RawSocketServerRule,    # SRV001
+    JournalFileAccessRule,  # SRV002
     DirectSqliteRule,       # EVAL001
     UnusedNoqaRule,         # NOQA001
     RngTaintRule,           # FLOW-RNG (whole-program)

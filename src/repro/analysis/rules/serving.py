@@ -9,6 +9,13 @@ drain semantics: a crash silently loses every in-flight request, which
 is exactly the failure mode the serve subsystem exists to rule out.
 SRV001 pins every module outside the serve package to the journaled
 daemon.
+
+The journal itself has a second invariant: its segment files are only
+meaningful through :class:`repro.serve.Journal`, which owns checksum
+framing, torn-tail repair, segment ordering and crash-safe compaction.
+A raw ``open()`` on a journal path elsewhere can read a half-compacted
+segment set or write an unchecksummed line that replay will silently
+skip.  SRV002 pins journal file access to ``repro/serve/journal.py``.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ import ast
 
 from ..engine import Rule
 
-__all__ = ["RawSocketServerRule"]
+__all__ = ["JournalFileAccessRule", "RawSocketServerRule"]
 
 #: Module roots whose import means a hand-rolled server or client.
 _SERVER_MODULES = {"socket", "socketserver", "http"}
@@ -92,3 +99,75 @@ class RawSocketServerRule(Rule):
                         "import of http.server builds a serving stack "
                         "outside repro.serve; use ReproService instead",
                     )
+
+
+def _in_journal_module(path):
+    return path.replace("\\", "/").endswith("serve/journal.py")
+
+
+def _name_tokens(node):
+    """Every identifier/string fragment reachable from an expression.
+
+    Used to decide whether an ``open()`` argument *names* a journal:
+    the path may be a literal, a variable, an attribute, an f-string,
+    a ``%``/``+`` composition or a ``str(...)`` wrapper, and in each
+    case the tell is the word appearing somewhere in the expression.
+    """
+    tokens = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            tokens.append(sub.value)
+        elif isinstance(sub, ast.Name):
+            tokens.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            tokens.append(sub.attr)
+        elif isinstance(sub, ast.keyword) and sub.arg:
+            tokens.append(sub.arg)
+    return tokens
+
+
+def _is_open_call(func):
+    if isinstance(func, ast.Name):
+        return func.id == "open"
+    if isinstance(func, ast.Attribute) and func.attr == "open":
+        return (isinstance(func.value, ast.Name)
+                and func.value.id in ("os", "io"))
+    return False
+
+
+class JournalFileAccessRule(Rule):
+    """SRV002: journal segment files are opened only by the Journal class.
+
+    ``repro/serve/journal.py`` owns the segment format end to end —
+    checksummed lines, torn-tail repair, oldest-first segment ordering
+    and the compaction handle switch.  Any other module opening a
+    journal path by hand either reads state the Journal is mid-way
+    through rewriting or appends bytes replay will reject; route reads
+    through :func:`repro.serve.read_journal` and writes through
+    :meth:`repro.serve.Journal.append`.
+    """
+
+    id = "SRV002"
+    name = "journal-file-access"
+    description = ("journal file opened outside repro/serve/journal.py; "
+                   "use Journal / read_journal")
+
+    def check(self, ctx):
+        if _in_journal_module(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_open_call(node.func):
+                continue
+            if not node.args:
+                continue
+            if any("journal" in token.lower()
+                   for token in _name_tokens(node.args[0])):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct open() of a journal path outside "
+                    "repro/serve/journal.py bypasses checksum framing and "
+                    "torn-tail repair; use Journal.append / read_journal",
+                )

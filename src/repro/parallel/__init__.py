@@ -5,6 +5,12 @@ Public surface:
 * :func:`parallel_map` — fork-based process pool whose results are
   bit-identical to serial execution for any worker count (per-task
   seeds derived from position, results assembled in item order).
+* :class:`PersistentPool` — pre-forked supervised worker set for
+  long-lived streamed dispatch (the serve daemon's persistent mode):
+  tasks travel as pickled frames instead of paying a fork each,
+  explicit per-task seeds keep replay byte-identical, and dead/hung
+  workers are SIGKILLed, respawned, and their task re-dispatched under
+  the same seed.
 * :func:`run_cells` — batched sweep-cell runner preserving the
   resume/retry/degrade contract of :func:`repro.resilience.run_cell`.
 * :func:`derive_seed` — the position-based seed derivation.
@@ -33,6 +39,7 @@ use elsewhere.
 
 from .cells import run_cells
 from .pool import (
+    PersistentPool,
     PoolInterrupted,
     Skip,
     TaskFailure,
@@ -46,6 +53,7 @@ from .pool import (
 )
 
 __all__ = [
+    "PersistentPool",
     "PoolInterrupted",
     "Skip",
     "TaskFailure",

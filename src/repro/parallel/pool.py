@@ -56,10 +56,12 @@ import struct
 import sys
 import time
 import traceback
+from collections import deque
 
 from ..telemetry.clock import monotonic
 
 __all__ = [
+    "PersistentPool",
     "PoolInterrupted",
     "Skip",
     "TaskFailure",
@@ -747,3 +749,500 @@ def parallel_map(fn, items, max_workers=None, seed_root=0, on_error="raise",
         failures.sort(key=lambda f: f.index)
         raise WorkerError(failures[0])
     return results
+
+
+# ----------------------------------------------------------------------
+# Persistent supervised workers
+
+
+def _read_exact(fd, size):
+    """Blocking read of exactly ``size`` bytes; None on EOF."""
+    data = bytearray()
+    while len(data) < size:
+        chunk = os.read(fd, size - len(data))
+        if not chunk:
+            return None
+        data.extend(chunk)
+    return bytes(data)
+
+
+def _read_frame(fd):
+    """Blocking read of one length-prefixed pickle frame; None on EOF."""
+    header = _read_exact(fd, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    (size,) = _FRAME_HEADER.unpack(header)
+    payload = _read_exact(fd, size)
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+def _persistent_child_main(task_fd, write_fd, fn, telemetry_flags):
+    """Serve tasks from the pipe until a stop frame or EOF; never returns.
+
+    The contract difference from the fork-per-task path: the *task
+    items* travel over the pipe here (fork-per-task inherits them
+    copy-on-write), so both items and results must pickle.  The seed
+    arrives with each task — the parent derives it, so a task re-run on
+    a different worker (or after a respawn) sees the identical seed and
+    stays byte-identical.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    status = 0
+    try:
+        from ..guard.phase import set_phase_reporter
+        from ..resilience.faults import maybe_fire
+
+        set_phase_reporter(
+            lambda name: _send_frame(write_fd, ("phase", name))
+        )
+        while True:
+            frame = _read_frame(task_fd)
+            if frame is None or frame[0] == "stop":
+                break
+            task = frame[1]
+            drain = _collect_telemetry(*telemetry_flags)
+            try:
+                maybe_fire("worker.task", index=task["id"],
+                           task=task["label"], dispatch=task["dispatch"])
+                result = fn(task["item"], task["seed"])
+                records, snapshot = drain()
+                envelope = {
+                    "ok": True,
+                    "result": result,
+                    "records": records,
+                    "metrics": snapshot,
+                }
+            except Exception as exc:
+                records, snapshot = drain()
+                envelope = {
+                    "ok": False,
+                    "reason": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                    "records": records,
+                    "metrics": snapshot,
+                }
+            _send_frame(write_fd, ("result",
+                                   {"id": task["id"], "envelope": envelope}))
+        os.close(write_fd)
+    except BaseException:
+        # SimulatedKill or anything else non-recoverable: die without a
+        # result frame so the parent takes its genuine dead-worker path.
+        status = _KILL_EXIT
+    finally:
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(status)
+
+
+class _PWorker:
+    __slots__ = ("pid", "task_fd", "read_fd", "buffer", "phase", "jobs",
+                 "task", "started", "last_beat", "retiring")
+
+    def __init__(self, pid, task_fd, read_fd):
+        self.pid = pid
+        self.task_fd = task_fd
+        self.read_fd = read_fd
+        self.buffer = bytearray()
+        self.phase = None
+        self.jobs = 0
+        self.task = None
+        self.started = None
+        self.last_beat = monotonic()
+        self.retiring = False
+
+
+class PersistentPool:
+    """Pre-forked, supervised worker set for streamed task dispatch.
+
+    Where :func:`parallel_map` forks one child per task (zero pickling
+    of inputs, but a full ``fork`` on every dispatch), a
+    ``PersistentPool`` forks ``workers`` children **once** and streams
+    tasks to them over pipes — the dispatch cost drops from a process
+    fork to one pickled frame each way, which is what makes a
+    long-lived daemon's per-job latency acceptable.  The price is a
+    contract change: task items and results must pickle, and ``fn`` is
+    captured at pool construction (workers inherit it copy-on-write).
+
+    Determinism is caller-owned: :meth:`submit` takes an explicit
+    ``seed`` (the serve daemon passes ``job_seed(job_id)``), so a task
+    re-dispatched after a worker death runs under the identical seed
+    and produces byte-identical results on any worker.
+
+    Supervision (the same guarantees :func:`parallel_map` gets from the
+    PR-5 watchdog, kept continuously):
+
+    * a worker whose in-flight task exceeds ``task_deadline`` is
+      SIGKILLed and the task re-dispatched (same seed) up to
+      ``task_retries`` times, then settled as
+      ``TaskFailure(reason="WatchdogKilled")``;
+    * a worker that dies mid-task (OOM, segfault, ``os._exit``) is
+      detected by pipe EOF, reaped, and replaced; its task is
+      re-dispatched the same way and settles as ``WorkerDied`` when
+      retries run out;
+    * after ``recycle_after`` completed tasks a worker is retired and
+      replaced by a fresh fork (bounds slow memory growth in a daemon
+      that runs for weeks).
+
+    ``phase`` heartbeats (:func:`repro.guard.report_phase`) stream over
+    the result pipe exactly as in :func:`parallel_map`; the last beat
+    and phase per worker surface in :meth:`stats` for health reporting.
+    """
+
+    def __init__(self, fn, workers=1, task_deadline=None, task_retries=1,
+                 recycle_after=None):
+        from ..telemetry.metrics import get_metrics
+        from ..telemetry.tracer import get_tracer
+
+        self.fn = fn
+        self.workers = max(1, int(workers))
+        self.task_deadline = task_deadline
+        self.task_retries = int(task_retries)
+        self.recycle_after = (
+            None if recycle_after is None else max(1, int(recycle_after))
+        )
+        self.deaths = 0
+        self.respawns = 0
+        self.recycles = 0
+        self._tracer = get_tracer()
+        self._metrics = get_metrics()
+        self._telemetry_flags = (self._tracer.enabled, self._metrics.enabled)
+        self._backlog = deque()
+        self._ordinal = 0
+        self._sel = selectors.DefaultSelector()
+        self._workers = []
+        self._closed = False
+        for _ in range(self.workers):
+            self._spawn_worker()
+
+    # ------------------------------------------------------------------
+    def _spawn_worker(self):
+        task_read, task_write = os.pipe()
+        res_read, res_write = os.pipe()
+        inherited = [fd for worker in self._workers
+                     for fd in (worker.task_fd, worker.read_fd)]
+        pid = os.fork()
+        if pid == 0:
+            os.close(task_write)
+            os.close(res_read)
+            # Drop inherited ends of sibling pipes so a sibling's EOF is
+            # decided by the sibling alone, not by this child's copies.
+            for fd in inherited:
+                try:
+                    os.close(fd)
+                except OSError:  # repro: noqa[RES002] a sibling fd already closed between snapshot and fork
+                    pass
+            _persistent_child_main(task_read, res_write, self.fn,
+                                   self._telemetry_flags)
+            os._exit(_KILL_EXIT)  # unreachable; child main never returns
+        os.close(task_read)
+        os.close(res_write)
+        worker = _PWorker(pid, task_write, res_read)
+        self._sel.register(res_read, selectors.EVENT_READ, worker)
+        self._workers.append(worker)
+        return worker
+
+    def _idle_workers(self):
+        return [worker for worker in self._workers
+                if worker.task is None and not worker.retiring]
+
+    def capacity(self):
+        """Tasks the pool can start right now (idle live workers)."""
+        if self._closed:
+            return 0
+        return max(0, len(self._idle_workers()) - len(self._backlog))
+
+    def backlog(self):
+        return len(self._backlog)
+
+    def idle(self):
+        """True when no task is in flight or queued anywhere in the pool."""
+        return (not self._backlog
+                and all(worker.task is None for worker in self._workers))
+
+    # ------------------------------------------------------------------
+    def submit(self, task_id, item, seed, label=None):
+        """Queue one task for execution under an explicit seed.
+
+        ``task_id`` keys the completion (returned by :meth:`poll`);
+        ``seed`` is passed through to ``fn(item, seed)`` verbatim on
+        every dispatch, including re-dispatches after a death.
+        """
+        if self._closed:
+            raise RuntimeError("PersistentPool is closed")
+        self._ordinal += 1
+        task = {
+            "id": task_id,
+            "item": item,
+            "seed": seed,
+            "label": str(task_id) if label is None else label,
+            "dispatch": 0,
+            "ordinal": self._ordinal,
+        }
+        self._backlog.append(task)
+        self._feed()
+        return task_id
+
+    def _feed(self):
+        for worker in self._idle_workers():
+            if not self._backlog:
+                return
+            self._dispatch(worker, self._backlog.popleft())
+
+    def _dispatch(self, worker, task):
+        worker.task = task
+        worker.started = monotonic()
+        worker.last_beat = worker.started
+        worker.phase = None
+        try:
+            _send_frame(worker.task_fd, ("task", task))
+        except OSError:
+            # The worker died between polls; put the task back at the
+            # front and let the death path respawn + re-feed.
+            worker.task = None
+            self._backlog.appendleft(task)
+            self._on_death(worker)
+
+    # ------------------------------------------------------------------
+    def _drain_worker(self, worker):
+        """Decode buffered frames; returns completed result frames."""
+        completions = []
+        buffer = worker.buffer
+        header = _FRAME_HEADER.size
+        while len(buffer) >= header:
+            (size,) = _FRAME_HEADER.unpack(buffer[:header])
+            if len(buffer) < header + size:
+                break
+            payload = bytes(buffer[header:header + size])
+            del buffer[:header + size]
+            try:
+                kind, value = pickle.loads(payload)
+            except Exception:
+                # A frame corrupted mid-crash is equivalent to no frame;
+                # the EOF path records WorkerDied.
+                continue
+            if kind == "phase":
+                worker.phase = value
+                worker.last_beat = monotonic()
+            elif kind == "result":
+                completions.append(value)
+        return completions
+
+    def _retire_or_respawn(self, worker):
+        """Remove a dead worker's bookkeeping and fork its replacement."""
+        try:
+            self._sel.unregister(worker.read_fd)
+        except KeyError:  # repro: noqa[RES002] already unregistered by a racing death path
+            pass
+        for fd in (worker.read_fd, worker.task_fd):
+            try:
+                os.close(fd)
+            except OSError:  # repro: noqa[RES002] fd already closed; the kernel freed it with the process
+                pass
+        if worker in self._workers:
+            self._workers.remove(worker)
+        if not self._closed:
+            self.respawns += 1
+            self._spawn_worker()
+
+    def _on_death(self, worker, expected=False):
+        """Handle one worker's exit (EOF/SIGKILL); returns completions.
+
+        An *expected* death (clean recycle) just swaps in a fresh fork.
+        An unexpected one counts in ``deaths``, and its in-flight task is
+        re-dispatched under the same seed — or settled as a
+        :class:`TaskFailure` once ``task_retries`` is exhausted.
+        """
+        if worker not in self._workers:
+            return []  # already handled by an earlier path this poll
+        _sigkill(worker.pid)
+        exit_status = _reap(worker)
+        task = worker.task
+        worker.task = None
+        clean_recycle = (expected or worker.retiring) and task is None
+        self._retire_or_respawn(worker)
+        if clean_recycle:
+            self.recycles += 1
+            self._metrics.counter("parallel.pool_recycles").inc()
+            self._feed()
+            return []
+        self.deaths += 1
+        self._metrics.counter("parallel.pool_deaths").inc()
+        self._tracer.event(
+            "parallel.worker_died",
+            task=None if task is None else task["label"],
+            exit_status=exit_status, phase=worker.phase,
+        )
+        completions = []
+        if task is not None:
+            if task["dispatch"] < self.task_retries:
+                task = dict(task, dispatch=task["dispatch"] + 1)
+                self._backlog.appendleft(task)
+            else:
+                phase = "" if worker.phase is None else \
+                    ", last phase %r" % worker.phase
+                completions.append((task["id"], TaskFailure(
+                    task["ordinal"], "WorkerDied",
+                    "worker process for task %s exited with status %r "
+                    "before delivering a result%s"
+                    % (task["label"], exit_status, phase),
+                    exit_status=exit_status,
+                )))
+        self._feed()
+        return completions
+
+    def _watchdog_sweep(self, now):
+        """SIGKILL workers past their task deadline; returns completions."""
+        if self.task_deadline is None:
+            return []
+        completions = []
+        for worker in list(self._workers):
+            if worker.task is None or worker.started is None:
+                continue
+            elapsed = now - worker.started
+            if elapsed < self.task_deadline:
+                continue
+            task = worker.task
+            self._tracer.event(
+                "guard.watchdog_kill", task=task["label"],
+                elapsed=round(elapsed, 3), phase=worker.phase,
+                dispatch=task["dispatch"],
+            )
+            self._metrics.counter("guard.watchdog_kills").inc()
+            if task["dispatch"] >= self.task_retries:
+                # Exhausted: settle here (with the watchdog reason) and
+                # hand _on_death a task-less worker to replace.
+                worker.task = None
+                phase = "" if worker.phase is None else \
+                    ", last phase %r" % worker.phase
+                completions.append((task["id"], TaskFailure(
+                    task["ordinal"], "WatchdogKilled",
+                    "task %s exceeded its %.3gs deadline on %d dispatch(es) "
+                    "(%.2fs elapsed%s)"
+                    % (task["label"], self.task_deadline,
+                       task["dispatch"] + 1, elapsed, phase),
+                )))
+                self.deaths += 1
+                self._metrics.counter("parallel.pool_deaths").inc()
+                _sigkill(worker.pid)
+                _reap(worker)
+                self._retire_or_respawn(worker)
+                self._feed()
+            else:
+                _sigkill(worker.pid)
+                completions.extend(self._on_death(worker))
+        return completions
+
+    def poll(self, timeout=0.0):
+        """Advance the pool; returns ``[(task_id, result_or_failure)]``.
+
+        Drains finished results, detects and replaces dead workers,
+        enforces the task deadline, and feeds backlogged tasks to idle
+        workers.  ``timeout`` bounds the wait when nothing is ready;
+        in-flight deadlines shorten it so a hung worker is killed on
+        time rather than at the caller's cadence.
+        """
+        self._feed()
+        completions = []
+        if self.task_deadline is not None:
+            now = monotonic()
+            deadlines = [
+                max(0.0, worker.started + self.task_deadline - now)
+                for worker in self._workers
+                if worker.task is not None and worker.started is not None
+            ]
+            if deadlines:
+                timeout = min(timeout, min(deadlines))
+        for key, _ in self._sel.select(timeout):
+            worker = key.data
+            try:
+                chunk = os.read(worker.read_fd, 1 << 16)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                completions.extend(self._on_death(worker))
+                continue
+            worker.buffer.extend(chunk)
+            for value in self._drain_worker(worker):
+                completions.append(self._settle(worker, value))
+        completions.extend(self._watchdog_sweep(monotonic()))
+        self._feed()
+        return completions
+
+    def _settle(self, worker, value):
+        task = worker.task
+        worker.task = None
+        worker.jobs += 1
+        worker.last_beat = monotonic()
+        envelope = value["envelope"]
+        _merge_worker_telemetry(envelope)
+        if envelope["ok"]:
+            outcome = envelope["result"]
+        else:
+            ordinal = 0 if task is None else task["ordinal"]
+            outcome = TaskFailure(
+                ordinal, envelope["reason"], envelope["message"],
+                envelope.get("traceback", ""),
+            )
+        if (self.recycle_after is not None
+                and worker.jobs >= self.recycle_after
+                and not worker.retiring):
+            worker.retiring = True
+            try:
+                _send_frame(worker.task_fd, ("stop",))
+            except OSError:  # repro: noqa[RES002] worker died right after its result; the EOF path replaces it
+                pass
+        return (value["id"], outcome)
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """JSON-safe supervision snapshot for health reporting."""
+        now = monotonic()
+        return {
+            "workers": [
+                {
+                    "pid": worker.pid,
+                    "jobs": worker.jobs,
+                    "in_flight": (None if worker.task is None
+                                  else worker.task["label"]),
+                    "phase": worker.phase,
+                    "last_beat_age": round(now - worker.last_beat, 3),
+                    "retiring": worker.retiring,
+                }
+                for worker in self._workers
+            ],
+            "deaths": self.deaths,
+            "respawns": self.respawns,
+            "recycles": self.recycles,
+            "backlog": len(self._backlog),
+        }
+
+    def close(self):
+        """Stop every worker (stop frame, then SIGKILL-backed reap)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                _send_frame(worker.task_fd, ("stop",))
+            except OSError:  # repro: noqa[RES002] worker already dead; the reap below collects it
+                pass
+        for worker in self._workers:
+            for fd in (worker.task_fd, worker.read_fd):
+                try:
+                    os.close(fd)
+                except OSError:  # repro: noqa[RES002] fd already closed by a death path
+                    pass
+            _reap(worker, kill_after=0.5)
+        self._workers = []
+        self._sel.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -55,6 +55,15 @@ Built-in fault points
     ``record`` (the record type) and ``job_id``.  The ``"corrupt"``
     action writes a torn (half) record, which replay's checksum skip
     must tolerate.
+``serve.compact``
+    Fired at each phase boundary of a journal compaction
+    (:meth:`repro.serve.Journal.compact`) with ``phase`` — ``begin``
+    (nothing written yet), ``written`` (new checkpoint segment durable,
+    handle not yet switched), ``switched`` (appends now land in the new
+    segment, old segments still on disk), and ``unlink`` per doomed
+    old segment (with ``segment``, its basename).  A ``kill`` at *any*
+    of these must recover byte-identically to the uncompacted journal —
+    the contract the chaos suite pins.
 
 Actions
 -------

@@ -8,14 +8,18 @@ machinery of PRs 2–5:
   :mod:`~repro.serve.queue`) — accept is fsynced before it is ACKed;
   replay after a SIGKILL recovers every accepted-but-unsettled job
   exactly once and serves already-settled results without
-  re-execution;
+  re-execution; crash-safe compaction folds settled history into a
+  checkpoint segment so the journal stays bounded over a long life;
 * **admission control** (:mod:`~repro.serve.admission`) — bounded
   depth and per-client caps shed overload with a structured
   ``retry_after`` instead of accepting work the daemon would drop;
 * **supervised dispatch** — jobs run through
-  :func:`repro.parallel.parallel_map` (watchdog deadlines, per-task
-  failure attribution) with a :class:`repro.guard.CircuitBreaker`
-  keyed per job kind;
+  :func:`repro.parallel.parallel_map` (fork per job) or a pre-forked
+  :class:`repro.parallel.PersistentPool` (``persistent=True``;
+  watchdog deadlines, dead-worker respawn + same-seed re-dispatch,
+  recycling) with a :class:`repro.guard.CircuitBreaker` keyed per job
+  kind; the ``health`` verb reports ``ok|degraded|draining`` plus
+  per-worker liveness;
 * **graceful shutdown** — SIGTERM/SIGINT drain to a deadline, then a
   clean ``stop`` marker is journaled; anything unfinished stays
   journaled for the successor.
@@ -28,8 +32,8 @@ crash-free run.
 """
 
 from .admission import AdmissionController, ShedDecision
-from .client import LoadShedded, ServeClient, ServeError
-from .journal import Journal, JournalStats, read_journal
+from .client import LoadShedded, ServeClient, ServeError, retry_jitter
+from .journal import Journal, JournalStats, read_journal, segment_paths
 from .protocol import (
     MAX_FRAME,
     ProtocolError,
@@ -52,6 +56,8 @@ __all__ = [
     "Journal",
     "JournalStats",
     "read_journal",
+    "retry_jitter",
+    "segment_paths",
     "MAX_FRAME",
     "ProtocolError",
     "error_response",

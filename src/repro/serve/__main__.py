@@ -9,17 +9,26 @@ Examples::
     repro-serve submit --socket serve/repro.sock --kind echo \\
         --payload '{"hello": "world"}' --wait
 
-    # liveness / queue / breaker / replay snapshot
-    repro-serve status --socket serve/repro.sock
+    # liveness / queue / breaker / replay snapshot (add --json for raw)
+    repro-serve status --socket serve/repro.sock --json
+
+    # supervision snapshot: ok|degraded|draining + workers + journal
+    repro-serve health --socket serve/repro.sock
 
     # graceful drain + clean stop marker
     repro-serve stop --socket serve/repro.sock
 
+Long-lived deployments want ``start --persistent --workers N`` (one
+pre-forked supervised worker set instead of a fork per job) and
+``--compact-every M`` (fold the journal into a checkpoint segment every
+M settlements so it stays bounded).
+
 The hidden ``--chaos`` flag on ``start`` installs a
 :class:`repro.resilience.FaultPlan` from a JSON spec — the chaos test
 suite uses it to crash the daemon at exact fault points
-(``serve.accept`` / ``serve.dispatch`` / ``serve.journal``) and then
-assert that journal replay recovers every accepted job exactly once.
+(``serve.accept`` / ``serve.dispatch`` / ``serve.journal`` /
+``serve.compact`` / ``worker.task``) and then assert that journal
+replay recovers every accepted job exactly once.
 """
 
 from __future__ import annotations
@@ -75,6 +84,10 @@ def _cmd_start(args):
         breaker_threshold=args.breaker_threshold,
         drain_seconds=args.drain_seconds,
         cache=cache,
+        persistent=args.persistent,
+        recycle_after=args.recycle_after,
+        compact_every=args.compact_every,
+        degraded_threshold=args.degraded_threshold,
     )
     print(service.describe(), flush=True)
     try:
@@ -119,8 +132,48 @@ def _cmd_submit(args):
     return 0
 
 
+def _render_status(status):
+    """Human-readable status summary (the default; ``--json`` for raw)."""
+    journal = status.get("journal_stats", {})
+    counters = status.get("counters", {})
+    replay = status.get("replay", {})
+    lines = [
+        "repro-serve pid=%s health=%s uptime=%.1fs"
+        % (status.get("pid"), status.get("health", "?"),
+           status.get("uptime_seconds", 0.0)),
+        "  queue: depth=%d outcomes=%d workers=%d mode=%s"
+        % (status.get("queue_depth", 0), status.get("outcomes", 0),
+           status.get("workers", 1),
+           "persistent" if status.get("persistent") else "fork-per-job"),
+        "  counters: accepted=%d completed=%d failed=%d shed=%d "
+        "replayed=%d compactions=%d"
+        % (counters.get("accepted", 0), counters.get("completed", 0),
+           counters.get("failed", 0), counters.get("shed", 0),
+           counters.get("replayed", 0), counters.get("compactions", 0)),
+        "  journal: segments=%d bytes=%d corrupt_lines=%d"
+        % (journal.get("segments", 0), journal.get("bytes", 0),
+           journal.get("corrupt_lines", 0)),
+        "  replay: recovered=%d torn_tail=%s clean_stop=%s"
+        % (replay.get("recovered", 0), replay.get("torn_tail"),
+           replay.get("clean_stop")),
+    ]
+    breakers = status.get("breakers") or {}
+    if breakers:
+        lines.append("  breakers open: %s" % ", ".join(sorted(breakers)))
+    return "\n".join(lines)
+
+
 def _cmd_status(args):
-    print(json.dumps(_client(args).status(), indent=2, sort_keys=True))
+    status = _client(args).status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(_render_status(status))
+    return 0
+
+
+def _cmd_health(args):
+    print(json.dumps(_client(args).health(), indent=2, sort_keys=True))
     return 0
 
 
@@ -156,15 +209,29 @@ def main(argv=None):
                        help="warm ExtractorCache size (0: no cache)")
     start.add_argument("--trace-out", default=None,
                        help="flush a telemetry trace here on exit")
+    start.add_argument("--persistent", action="store_true",
+                       help="pre-fork a supervised worker set instead of "
+                       "forking per job")
+    start.add_argument("--recycle-after", type=int, default=None,
+                       help="retire each persistent worker after N jobs")
+    start.add_argument("--compact-every", type=int, default=None,
+                       help="fold the journal into a checkpoint segment "
+                       "every N settlements")
+    start.add_argument("--degraded-threshold", type=int, default=3,
+                       help="consecutive worker deaths before degraded mode")
     start.add_argument("--chaos", default=None, help=argparse.SUPPRESS)
     start.set_defaults(fn=_cmd_start)
 
     for name, fn in (("submit", _cmd_submit), ("status", _cmd_status),
-                     ("result", _cmd_result), ("stop", _cmd_stop)):
+                     ("health", _cmd_health), ("result", _cmd_result),
+                     ("stop", _cmd_stop)):
         cmd = sub.add_parser(name)
         cmd.add_argument("--socket", required=True)
         cmd.add_argument("--client", default="cli")
         cmd.set_defaults(fn=fn)
+        if name == "status":
+            cmd.add_argument("--json", action="store_true",
+                             help="print the raw JSON snapshot")
         if name == "submit":
             cmd.add_argument("--kind", required=True)
             cmd.add_argument("--payload", default="")

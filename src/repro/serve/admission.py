@@ -82,12 +82,23 @@ class AdmissionController:
         self._service_seconds += max(0.0, float(seconds))
         self._served += 1
 
-    def admit(self, client, depth, stopping=False):
+    def degraded_floor(self):
+        """Depth cap while the daemon is degraded (a quarter of normal).
+
+        A daemon whose workers keep dying still honors what it already
+        accepted, but taking a full queue on top of a failing worker
+        set just converts more promises into replay debt — so admission
+        sheds down to this floor until the workers hold again.
+        """
+        return max(1, self.max_depth // 4)
+
+    def admit(self, client, depth, stopping=False, degraded=False):
         """Decide one submit: None to accept, else a :class:`ShedDecision`.
 
         ``depth`` is the current accepted-but-unsettled queue depth; the
         controller does not track it itself because the queue (backed by
-        the journal) is the source of truth.
+        the journal) is the source of truth.  ``degraded`` lowers the
+        effective depth cap to :meth:`degraded_floor`.
         """
         metrics = get_metrics()
         if stopping:
@@ -95,6 +106,14 @@ class AdmissionController:
             return ShedDecision(
                 "stopping", self._mean_service() * (depth + 1),
                 "daemon is draining for shutdown",
+            )
+        if degraded and depth >= self.degraded_floor():
+            metrics.counter("serve.shed_degraded").inc()
+            overflow = depth - self.degraded_floor() + 1
+            return ShedDecision(
+                "degraded", self._mean_service() * overflow,
+                "daemon is degraded (workers dying); depth %d at degraded "
+                "floor %d" % (depth, self.degraded_floor()),
             )
         if depth >= self.max_depth:
             metrics.counter("serve.shed_depth").inc()

@@ -13,13 +13,30 @@ is the well-behaved loop that honors it.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import socket
 import time
 
 from ..telemetry.clock import monotonic
 from .protocol import read_message, write_message
 
-__all__ = ["LoadShedded", "ServeClient", "ServeError"]
+__all__ = ["LoadShedded", "ServeClient", "ServeError", "retry_jitter"]
+
+
+def retry_jitter(token):
+    """Deterministic uniform fraction in ``[0, 1)`` for backoff jitter.
+
+    Full-jitter backoff needs a per-attempt random fraction, but this
+    codebase bans ad-hoc RNG state (lint FLOW-RNG): an unseeded
+    generator here would make client behavior unreproducible in tests.
+    Hashing the attempt's identity instead gives a fraction that is
+    *uniform across clients* (which is all de-synchronizing a thundering
+    herd requires) yet exactly reproducible for any given
+    ``(client, kind, job, pid, attempt)`` tuple.
+    """
+    digest = hashlib.sha256(str(token).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
 
 
 class ServeError(RuntimeError):
@@ -38,7 +55,7 @@ class LoadShedded(RuntimeError):
     retry_after:
         Seconds the daemon suggests waiting before resubmitting.
     reason:
-        ``queue_full`` / ``client_limit`` / ``stopping``.
+        ``queue_full`` / ``client_limit`` / ``degraded`` / ``stopping``.
     """
 
     def __init__(self, response):
@@ -97,15 +114,34 @@ class ServeClient:
         return response["job_id"]
 
     def submit_with_retry(self, kind, payload=None, job_id=None,
-                          max_attempts=8, sleep=time.sleep):
-        """Submit, honoring ``retry_after`` backoff up to ``max_attempts``."""
+                          max_attempts=8, backoff_cap=5.0, sleep=time.sleep):
+        """Submit with full-jitter exponential backoff on ``retry_after``.
+
+        Each shed attempt sleeps a uniform fraction of
+        ``min(backoff_cap, retry_after * 2**attempt)`` — *full jitter*,
+        so a herd of clients shed at the same instant spreads its
+        retries over the whole window instead of stampeding back in
+        lockstep at exactly ``retry_after`` (what the pre-PR-10
+        deterministic sleep did).  The exponent doubles the ceiling per
+        consecutive shed; ``backoff_cap`` bounds any single sleep.
+        After ``max_attempts`` submits the last :class:`LoadShedded`
+        is re-raised (no sleep after the final attempt).
+        """
         last = None
-        for _ in range(max_attempts):
+        for attempt in range(max_attempts):
             try:
                 return self.submit(kind, payload=payload, job_id=job_id)
             except LoadShedded as shed:
                 last = shed
-                sleep(shed.retry_after)
+                if attempt == max_attempts - 1:
+                    break
+                ceiling = min(float(backoff_cap),
+                              shed.retry_after * (2.0 ** attempt))
+                fraction = retry_jitter(
+                    "%s:%s:%s:%d:%d" % (self.client_id, kind, job_id or "",
+                                        os.getpid(), attempt)
+                )
+                sleep(ceiling * fraction)
         raise last
 
     def result(self, job_id):
@@ -136,6 +172,14 @@ class ServeClient:
     def status(self):
         """The daemon's liveness/telemetry snapshot."""
         response = self.request({"verb": "status"})
+        if response.get("status") != "ok":
+            raise ServeError(response)
+        return response
+
+    def health(self):
+        """The daemon's supervision snapshot (``ok|degraded|draining``
+        plus queue/journal/worker/breaker detail)."""
+        response = self.request({"verb": "health"})
         if response.get("status") != "ok":
             raise ServeError(response)
         return response

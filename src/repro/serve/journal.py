@@ -1,4 +1,4 @@
-"""Write-ahead job journal: append-only, checksummed, replayable.
+"""Write-ahead job journal: append-only, checksummed, segmented, replayable.
 
 The daemon's exactly-once guarantee rests on this file.  Every state
 transition a job makes is appended as one JSONL record *before* the
@@ -37,6 +37,34 @@ Record body types (``body["type"]``):
 ``stop``
     Clean-shutdown marker: a restart after a drained SIGTERM knows the
     previous life exited on purpose.
+``checkpoint``
+    Compaction summary: every settled outcome (with its job spec) plus
+    the acceptance sequence counter, folded into one record.  Replay
+    treats a checkpoint as a reset — it supersedes everything before
+    it, so dropping the pre-checkpoint segments loses nothing.
+
+Segments and compaction
+-----------------------
+A journal is a *family* of files: the base path (segment 0, what PR 7
+wrote) plus numbered successors ``<base>.00000001``, ``.00000002`` ...
+Appends always go to the highest-numbered segment.  :meth:`Journal.compact`
+bounds the on-disk size without ever risking the write-ahead contract:
+
+1. compose a fresh segment — one ``checkpoint`` record followed by one
+   ``accepted`` record per still-live (pending or in-flight) job;
+2. write it with :func:`repro.utils.serialization.atomic_write`
+   (temp file + fsync + rename + parent-dir fsync), so the new head is
+   durable *before* anything else changes;
+3. switch the append handle to the new segment;
+4. only then unlink the old segments.
+
+A SIGKILL anywhere in that sequence recovers to the same state: replay
+walks segments oldest-first and resets at every verified ``checkpoint``,
+so leftover pre-compaction segments are read and then superseded, and a
+missing new head simply leaves the old segments authoritative.  The
+``serve.compact`` fault point fires at each phase boundary (``begin``,
+``written``, ``switched``, and ``unlink`` per doomed segment) so the
+chaos suite can kill the daemon in every window.
 
 The ``serve.journal`` fault point fires at the head of every append:
 ``kill`` models a crash before the record lands (the client never sees
@@ -51,7 +79,7 @@ import hashlib
 import json
 import os
 
-__all__ = ["Journal", "JournalStats", "read_journal"]
+__all__ = ["Journal", "JournalStats", "read_journal", "segment_paths"]
 
 
 def _canonical(body):
@@ -62,51 +90,112 @@ def _digest(text):
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def _wrap(body):
+    """One checksummed journal line (no trailing newline) for ``body``."""
+    return json.dumps(
+        {"sha256": _digest(_canonical(body)), "body": body},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def segment_paths(path):
+    """Every on-disk segment of ``path``'s journal, oldest first.
+
+    The base path itself is segment 0 (the only segment PR-7 journals
+    ever had); compaction adds numbered successors ``<base>.00000001``
+    and so on.  Missing files simply do not appear — a fresh journal
+    returns an empty list.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    base = os.path.basename(path)
+    found = []
+    if os.path.exists(path):
+        found.append((0, path))
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        names = []
+    prefix = base + "."
+    for name in names:
+        suffix = name[len(prefix):]
+        if name.startswith(prefix) and suffix.isdigit():
+            found.append((int(suffix), os.path.join(directory, name)))
+    found.sort()
+    return [segment for _, segment in found]
+
+
 class JournalStats:
     """What replay found: verified records plus skipped-line accounting."""
 
-    __slots__ = ("records", "corrupt", "torn_tail", "clean_stop")
+    __slots__ = ("records", "corrupt", "torn_tail", "clean_stop",
+                 "segments", "bytes")
 
     def __init__(self):
         self.records = []
         self.corrupt = 0
         self.torn_tail = False
         self.clean_stop = False
+        self.segments = 0
+        self.bytes = 0
 
 
 def read_journal(path):
-    """Replay a journal file into a :class:`JournalStats`.
+    """Replay a journal (all segments, oldest first) into a
+    :class:`JournalStats`.
 
     Missing files replay as empty (a fresh daemon).  Only records whose
-    checksum verifies are returned; an invalid *final* line counts as a
-    torn tail (normal after a crash), invalid earlier lines count in
-    ``corrupt``.
+    checksum verifies are returned; an invalid *final* line of the
+    *final* segment counts as a torn tail (normal after a crash), any
+    other invalid line counts in ``corrupt``.  A verified ``checkpoint``
+    record resets the replay — it supersedes every earlier record, which
+    is what makes compaction's delete-after-durable sequencing safe at
+    any crash point.
     """
     stats = JournalStats()
-    if not os.path.exists(path):
-        return stats
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        lines = handle.read().split("\n")
-    # A well-formed journal ends with a newline, so the final split
-    # element is empty; anything else is a partial append.
-    if lines and lines[-1] == "":
-        lines.pop()
-    else:
-        stats.torn_tail = True
-    bad_lines = []
-    for position, line in enumerate(lines):
-        body = _verify_line(line)
-        if body is None:
-            bad_lines.append(position)
-            continue
-        stats.records.append(body)
-        if body.get("type") == "stop":
-            stats.clean_stop = True
-    if bad_lines:
-        if bad_lines[-1] == len(lines) - 1:
-            stats.torn_tail = True
-            bad_lines.pop()
-        stats.corrupt += len(bad_lines)
+    segments = segment_paths(path)
+    stats.segments = len(segments)
+    for ordinal, segment in enumerate(segments):
+        final_segment = ordinal == len(segments) - 1
+        try:
+            stats.bytes += os.path.getsize(segment)
+        except OSError:  # repro: noqa[RES002] segment unlinked by a concurrent compaction; its records were already superseded
+            pass
+        with open(segment, "r", encoding="utf-8", errors="replace") as handle:
+            lines = handle.read().split("\n")
+        # A well-formed segment ends with a newline, so the final split
+        # element is empty; anything else is a partial append.
+        torn = False
+        if lines and lines[-1] == "":
+            lines.pop()
+        else:
+            torn = True
+        bad_lines = []
+        for position, line in enumerate(lines):
+            body = _verify_line(line)
+            if body is None:
+                bad_lines.append(position)
+                continue
+            if body.get("type") == "checkpoint":
+                stats.records = []
+                stats.clean_stop = False
+            stats.records.append(body)
+            if body.get("type") == "stop":
+                stats.clean_stop = True
+        if bad_lines:
+            if final_segment and bad_lines[-1] == len(lines) - 1:
+                torn = True
+                bad_lines.pop()
+            stats.corrupt += len(bad_lines)
+        if torn:
+            if final_segment:
+                stats.torn_tail = True
+            else:
+                # A non-final segment can only be torn through damage —
+                # compaction never leaves one mid-append — so it counts
+                # as corruption, not a routine crash artifact.
+                stats.corrupt += 1
     return stats
 
 
@@ -179,6 +268,9 @@ class Journal:
     ``failed``) default to flush-only: losing one to a crash merely
     re-executes a deterministic job on replay, it never loses or
     duplicates an acknowledged acceptance.
+
+    Appends go to the newest segment (see :func:`segment_paths`);
+    :meth:`compact` rolls the family over to a fresh checkpoint segment.
     """
 
     def __init__(self, path):
@@ -186,19 +278,39 @@ class Journal:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        _repair_torn_tail(self.path)
-        self._handle = open(self.path, "a", encoding="utf-8")  # repro: noqa[RES001] write-ahead journals are append-only by design; every record is checksummed and replay skips a torn tail
+        segments = segment_paths(self.path)
+        self.active_path = segments[-1] if segments else self.path
+        self._active_index = self._index_of(self.active_path)
+        _repair_torn_tail(self.active_path)
+        self._handle = open(self.active_path, "a", encoding="utf-8")  # repro: noqa[RES001] write-ahead journals are append-only by design; every record is checksummed and replay skips a torn tail
 
+    def _index_of(self, segment):
+        if segment == self.path:
+            return 0
+        return int(segment[len(self.path) + 1:])
+
+    # ------------------------------------------------------------------
+    def segments(self):
+        """Current on-disk segment paths, oldest first."""
+        return segment_paths(self.path)
+
+    def size_bytes(self):
+        """Total on-disk journal size across all segments."""
+        total = 0
+        for segment in segment_paths(self.path):
+            try:
+                total += os.path.getsize(segment)
+            except OSError:  # repro: noqa[RES002] segment vanished between listing and stat (mid-compaction); size 0 is honest for it
+                pass
+        return total
+
+    # ------------------------------------------------------------------
     def append(self, record_type, fsync=False, **fields):
         """Write one checksummed record; returns the body written."""
         from ..resilience.faults import maybe_fire
 
         body = {"type": record_type, **fields}
-        line = json.dumps(
-            {"sha256": _digest(_canonical(body)), "body": body},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        line = _wrap(body)
         fired = maybe_fire("serve.journal", record=record_type,
                            job_id=fields.get("job_id"))
         if fired == "corrupt":
@@ -211,6 +323,51 @@ class Journal:
         if fsync:
             os.fsync(self._handle.fileno())
         return body
+
+    def compact(self, bodies):
+        """Roll the journal over to a fresh segment holding ``bodies``.
+
+        ``bodies`` is the complete replacement state — normally one
+        ``checkpoint`` record followed by re-``accepted`` records for
+        every still-live job (:meth:`repro.serve.queue.JobQueue.compact`
+        composes it).  The sequencing is crash-safe at every step:
+
+        * the new segment is written with ``atomic_write`` (fsync +
+          rename + parent-dir fsync), so it is durable before the
+          append handle moves;
+        * old segments are unlinked only after the switchover, and
+          replay's checkpoint-reset makes leftover old segments
+          harmless if the unlink never happens.
+
+        Returns the new active segment path.
+        """
+        from ..resilience.faults import maybe_fire
+        from ..utils.serialization import _fsync_directory, atomic_write
+
+        maybe_fire("serve.compact", phase="begin")
+        data = "".join(_wrap(body) + "\n" for body in bodies).encode("utf-8")
+        old_segments = segment_paths(self.path)
+        new_index = self._active_index + 1
+        new_path = "%s.%08d" % (self.path, new_index)
+        atomic_write(new_path, lambda handle: handle.write(data))
+        maybe_fire("serve.compact", phase="written")
+        self._handle.close()
+        self._handle = open(new_path, "a", encoding="utf-8")  # repro: noqa[RES001] append-only journal segment; atomic_write already made the checkpoint head durable
+        self.active_path = new_path
+        self._active_index = new_index
+        maybe_fire("serve.compact", phase="switched")
+        for old in old_segments:
+            if old == new_path:
+                continue
+            maybe_fire("serve.compact", phase="unlink",
+                       segment=os.path.basename(old))
+            try:
+                os.unlink(old)
+            except FileNotFoundError:  # repro: noqa[RES002] a predecessor's crash already removed it; absent is the goal state
+                pass
+        directory = os.path.dirname(self.path)
+        _fsync_directory(directory if directory else ".")
+        return new_path
 
     def close(self):
         if self._handle is not None:

@@ -17,11 +17,21 @@ socket.  Its reliability contract, end to end:
   ``retry_after`` *before* the journal is touched; a shed job was never
   promised.
 * **Overload and poison jobs degrade, not crash.**  Dispatch runs
-  through :func:`repro.parallel.parallel_map` (per-job deadlines via
-  the PR-5 watchdog when ``workers > 1``), and a
-  :class:`repro.guard.CircuitBreaker` keyed per job kind settles
-  repeat offenders as ``circuit_open`` failures without dispatching
-  them.
+  through :mod:`repro.parallel` (fork-per-job via ``parallel_map``, or
+  a supervised :class:`~repro.parallel.PersistentPool` in persistent
+  mode), and a :class:`repro.guard.CircuitBreaker` keyed per job kind
+  settles repeat offenders as ``circuit_open`` failures without
+  dispatching them.
+* **The journal stays bounded.**  With ``compact_every`` set, the
+  daemon folds settled history into a checkpoint segment every N
+  settlements (:meth:`repro.serve.queue.JobQueue.compact`) — crash-safe
+  at every step, deferred while degraded.
+* **Health is observable.**  The ``health`` verb reports an overall
+  ``ok | degraded | draining`` state plus queue depth, journal
+  segments/bytes, per-worker liveness, and breaker states.  Repeated
+  worker deaths (``degraded_threshold`` in a row without a success)
+  enter *degraded mode*: admission sheds down to a floor and compaction
+  is deferred until workers hold again.
 * **SIGTERM/SIGINT drain.**  The daemon stops accepting (submits shed
   with ``reason="stopping"``), finishes what it can inside
   ``drain_seconds``, journals a clean ``stop`` marker, and leaves
@@ -35,8 +45,9 @@ efficiency argument needs from a serving layer.
 Fault points (see :class:`repro.resilience.FaultPlan`): ``serve.accept``
 fires between admission and the journal write, ``serve.dispatch``
 inside each job execution, ``serve.journal`` inside every journal
-append.  All three support ``kill``/``hang``/``raise``; ``serve.journal``
-additionally supports ``corrupt`` (a torn append).
+append, and ``serve.compact`` at each phase boundary of a compaction.
+All support ``kill``/``hang``/``raise``; ``serve.journal`` additionally
+supports ``corrupt`` (a torn append).
 """
 
 from __future__ import annotations
@@ -62,7 +73,7 @@ from .protocol import (
     write_message,
 )
 from .queue import recover
-from .router import default_router
+from .router import default_router, job_seed
 
 __all__ = ["ReproService", "ServiceAlreadyRunning"]
 
@@ -101,13 +112,16 @@ class ReproService:
     max_depth, per_client_limit:
         Admission bounds (see :class:`~repro.serve.admission.AdmissionController`).
     workers:
-        Concurrency for job execution (``repro.parallel`` pool).  1 runs
-        jobs inline; >1 forks per job with the watchdog active.
+        Concurrency for job execution.  1 runs jobs inline; >1 forks per
+        job (default) or pre-forks a supervised worker set when
+        ``persistent`` is set.
     batch:
-        Jobs dispatched per loop iteration (default: ``workers``).
+        Jobs dispatched per loop iteration in fork-per-job mode
+        (default: ``workers``).
     task_deadline, deadline_retries:
         Per-job wall-clock budget enforced by the pool watchdog
-        (parallel mode only — the pool documents the same caveat).
+        (parallel and persistent modes — a serial dispatch has no
+        supervisor process to preempt a hung call).
     breaker_threshold:
         Equivalent failures per job kind before its breaker opens.
     drain_seconds:
@@ -118,13 +132,28 @@ class ReproService:
     cache:
         Optional warm :class:`repro.experiments.ExtractorCache` exposed
         to handlers via ``service.cache`` (stats surface in ``status``).
+    persistent:
+        Dispatch through a :class:`repro.parallel.PersistentPool`
+        instead of forking per job: workers are pre-forked once, jobs
+        stream to them as pickled frames, and a supervisor respawns
+        dead/hung workers and re-dispatches their job under the same
+        ``job_seed`` — results stay byte-identical to serial.
+    recycle_after:
+        In persistent mode, retire and replace each worker after this
+        many completed jobs (bounds slow memory growth; None disables).
+    compact_every:
+        Compact the journal after this many settlements (None disables).
+    degraded_threshold:
+        Consecutive worker deaths (without an intervening completed
+        job) that flip the daemon into degraded mode.
     """
 
     def __init__(self, socket_path, journal_path, max_depth=64,
                  per_client_limit=None, workers=1, batch=None,
                  task_deadline=None, deadline_retries=1,
                  breaker_threshold=3, drain_seconds=5.0, router=None,
-                 cache=None):
+                 cache=None, persistent=False, recycle_after=None,
+                 compact_every=None, degraded_threshold=3):
         self.socket_path = os.fspath(socket_path)
         self.journal_path = os.fspath(journal_path)
         self.queue, self.replay_stats = recover(self.journal_path)
@@ -139,15 +168,27 @@ class ReproService:
         self.task_deadline = task_deadline
         self.deadline_retries = int(deadline_retries)
         self.drain_seconds = float(drain_seconds)
+        self.persistent = bool(persistent)
+        self.recycle_after = recycle_after
+        self.compact_every = (
+            None if not compact_every else max(1, int(compact_every))
+        )
+        self.degraded_threshold = max(1, int(degraded_threshold))
         self.counters = {
             "accepted": 0, "completed": 0, "failed": 0, "shed": 0,
-            "replayed": len(self.queue.pending),
+            "replayed": len(self.queue.pending), "compactions": 0,
         }
         self.heartbeats = {}
         self._stop_requested = None
         self._listener = None
         self._started_at = monotonic()
         self._client_of = {}
+        self._pool = None
+        self._dispatch_started = {}
+        self._settled_since_compact = 0
+        self._degraded = False
+        self._death_streak = 0
+        self._deaths_seen = 0
         if self.replay_stats.corrupt:
             get_tracer().event(
                 "serve.journal_corrupt", lines=self.replay_stats.corrupt
@@ -214,7 +255,9 @@ class ReproService:
                     % str(requested_id)
                 )
         shed = self.admission.admit(
-            client, self.queue.depth(), stopping=self._stop_requested is not None
+            client, self.queue.depth(),
+            stopping=self._stop_requested is not None,
+            degraded=self._degraded,
         )
         if shed is not None:
             self.counters["shed"] += 1
@@ -246,10 +289,35 @@ class ReproService:
         outcome = self.queue.outcome(job_id)
         if outcome is not None:
             return {"job_id": job_id, **outcome}
-        if job_id in self.queue.pending:
+        if job_id in self.queue.pending or job_id in self.queue.taken:
             return {"status": "pending", "job_id": job_id,
                     "depth": self.queue.depth()}
         return {"status": "not_found", "job_id": job_id}
+
+    def _health_state(self):
+        if self._stop_requested is not None:
+            return "draining"
+        if self._degraded:
+            return "degraded"
+        return "ok"
+
+    def _journal_stats(self):
+        journal = self.queue.journal
+        return {
+            "segments": len(journal.segments()),
+            "bytes": journal.size_bytes(),
+            "corrupt_lines": self.replay_stats.corrupt,
+            "compactions": self.counters["compactions"],
+        }
+
+    def _worker_stats(self):
+        if self.persistent:
+            if self._pool is None:
+                return {"mode": "persistent", "count": self.workers,
+                        "started": False}
+            return {"mode": "persistent", "count": self.workers,
+                    "started": True, **self._pool.stats()}
+        return {"mode": "fork-per-job", "count": self.workers}
 
     def status(self):
         """The liveness/readiness + telemetry snapshot (``status`` verb)."""
@@ -259,6 +327,7 @@ class ReproService:
             "journal": self.journal_path,
             "uptime_seconds": round(monotonic() - self._started_at, 3),
             "stopping": self._stop_requested is not None,
+            "health": self._health_state(),
             "queue_depth": self.queue.depth(),
             "outcomes": len(self.queue.outcomes),
             "counters": dict(self.counters),
@@ -267,6 +336,8 @@ class ReproService:
             "heartbeats": dict(sorted(self.heartbeats.items())),
             "kinds": self.router.kinds(),
             "workers": self.workers,
+            "persistent": self.persistent,
+            "journal_stats": self._journal_stats(),
             "replay": {
                 "recovered": self.counters["replayed"],
                 "corrupt_lines": self.replay_stats.corrupt,
@@ -278,6 +349,29 @@ class ReproService:
             payload["cache"] = self.cache.stats()
         return ok_response(**payload)
 
+    def health(self):
+        """The supervision snapshot (``health`` verb).
+
+        Smaller and more pointed than ``status``: the overall
+        ``ok | degraded | draining`` state plus exactly what an
+        orchestrator needs to decide whether to route work here —
+        queue depth and in-flight count, journal segments/bytes,
+        per-worker liveness (last heartbeat age, jobs served,
+        respawn/death/recycle counts), and open breakers.
+        """
+        return ok_response(
+            health=self._health_state(),
+            pid=os.getpid(),
+            queue_depth=self.queue.depth(),
+            in_flight=len(self.queue.taken),
+            death_streak=self._death_streak,
+            journal=self._journal_stats(),
+            workers=self._worker_stats(),
+            breakers=self.breaker.open_breakers(),
+            admission=self.admission.snapshot(),
+            counters=dict(self.counters),
+        )
+
     def _handle_request(self, request):
         verb = request.get("verb")
         if verb == "submit":
@@ -286,6 +380,8 @@ class ReproService:
             return self._handle_result(request)
         if verb == "status":
             return self.status()
+        if verb == "health":
+            return self.health()
         if verb == "stop":
             self._stop_requested = "stop-verb"
             return ok_response(stopping=True, depth=self.queue.depth())
@@ -325,7 +421,47 @@ class ReproService:
     # ------------------------------------------------------------------
     # Dispatch
 
+    def _run_job(self, job, _seed):
+        maybe_fire("serve.dispatch", job_id=job["job_id"], kind=job["kind"])
+        return self.router.dispatch(job)
+
+    def _settle_outcome(self, job, outcome):
+        """Journal one job's settlement and release its admission slot."""
+        job_id = job["job_id"]
+        self.heartbeats[job["kind"]] = round(wall_time(), 3)
+        self.heartbeats["worker"] = round(wall_time(), 3)
+        if isinstance(outcome, _CircuitOpen):
+            self.queue.settle_failed(
+                job_id, "circuit_open:%s" % outcome.signature,
+                "breaker for %r is open" % job["kind"],
+            )
+            self.counters["failed"] += 1
+        elif isinstance(outcome, TaskFailure):
+            self.queue.settle_failed(job_id, outcome.reason,
+                                     outcome.message)
+            self.counters["failed"] += 1
+            opened = self.breaker.record_failure(
+                _breaker_key(job["kind"]), outcome.reason, outcome.message,
+            )
+            if opened is not None:
+                get_tracer().event("serve.breaker_opened",
+                                   kind=job["kind"], signature=opened)
+        else:
+            self.queue.settle_done(job_id, outcome)
+            self.counters["completed"] += 1
+            self._death_streak = 0
+        self._settled_since_compact += 1
+        client = self._client_of.pop(job_id, job.get("client"))
+        if client is not None:
+            self.admission.release(client)
+
     def _dispatch_some(self):
+        """Advance job execution one step; returns jobs touched."""
+        if self.persistent:
+            return self._dispatch_persistent()
+        return self._dispatch_batch()
+
+    def _dispatch_batch(self):
         """Run up to one batch of pending jobs; settle each as it lands.
 
         Settlement happens in the ``on_result`` completion hook, so a
@@ -338,11 +474,6 @@ class ReproService:
         tracer = get_tracer()
         started = monotonic()
 
-        def run_job(job, _seed):
-            maybe_fire("serve.dispatch", job_id=job["job_id"],
-                       kind=job["kind"])
-            return self.router.dispatch(job)
-
         def pre_dispatch(job, _index):
             signature = self.breaker.open_signature(_breaker_key(job["kind"]))
             if signature is not None:
@@ -354,39 +485,13 @@ class ReproService:
 
         def on_result(index, outcome):
             nonlocal settled
-            job = batch[index]
-            job_id = job["job_id"]
             settled += 1
-            self.heartbeats[job["kind"]] = round(wall_time(), 3)
-            self.heartbeats["worker"] = round(wall_time(), 3)
-            if isinstance(outcome, _CircuitOpen):
-                self.queue.settle_failed(
-                    job_id, "circuit_open:%s" % outcome.signature,
-                    "breaker for %r is open" % job["kind"],
-                )
-                self.counters["failed"] += 1
-            elif isinstance(outcome, TaskFailure):
-                self.queue.settle_failed(job_id, outcome.reason,
-                                         outcome.message)
-                self.counters["failed"] += 1
-                opened = self.breaker.record_failure(
-                    _breaker_key(job["kind"]), outcome.reason,
-                    outcome.message,
-                )
-                if opened is not None:
-                    tracer.event("serve.breaker_opened",
-                                 kind=job["kind"], signature=opened)
-            else:
-                self.queue.settle_done(job_id, outcome)
-                self.counters["completed"] += 1
-            client = self._client_of.pop(job_id, job.get("client"))
-            if client is not None:
-                self.admission.release(client)
+            self._settle_outcome(batch[index], outcome)
 
         with tracer.span("serve.batch", jobs=len(batch)):
             try:
                 parallel_map(
-                    run_job,
+                    self._run_job,
                     batch,
                     max_workers=self.workers,
                     on_error="return",
@@ -416,6 +521,99 @@ class ReproService:
                 self.admission.observe_service(per_job)
         return len(batch)
 
+    def _ensure_pool(self):
+        """Lazily pre-fork the persistent worker set (first dispatch)."""
+        if self._pool is None:
+            from ..parallel import PersistentPool
+
+            self._pool = PersistentPool(
+                self._run_job,
+                workers=self.workers,
+                task_deadline=self.task_deadline,
+                task_retries=self.deadline_retries,
+                recycle_after=self.recycle_after,
+            )
+            get_tracer().event("serve.pool_started", workers=self.workers)
+        return self._pool
+
+    def _dispatch_persistent(self):
+        """Stream jobs to the persistent pool; settle what completed.
+
+        Unlike the batch path there is no barrier: jobs flow to idle
+        workers as they free up, and completions settle (journal +
+        admission release) the same loop iteration they land, so
+        submit/result latency is one pool round trip, not one batch.
+        """
+        pool = self._ensure_pool()
+        dispatched = 0
+        while pool.capacity() > 0:
+            batch = self.queue.take(1)
+            if not batch:
+                break
+            job = batch[0]
+            signature = self.breaker.open_signature(_breaker_key(job["kind"]))
+            if signature is not None:
+                get_metrics().counter("serve.circuit_short_circuit").inc()
+                self._settle_outcome(job, _CircuitOpen(signature))
+                continue
+            self._dispatch_started[job["job_id"]] = monotonic()
+            pool.submit(
+                job["job_id"], job, job_seed(job["job_id"]),
+                label="serve/%s/%s" % (job["kind"], job["job_id"]),
+            )
+            dispatched += 1
+        busy = bool(self.queue.pending or self.queue.taken)
+        completions = pool.poll(0.0 if (dispatched or not busy) else
+                                _POLL_SECONDS)
+        for job_id, outcome in completions:
+            job = self.queue.taken.get(job_id) or self.queue.accepted.get(
+                job_id, {"job_id": job_id, "kind": "?"}
+            )
+            started = self._dispatch_started.pop(job_id, None)
+            self._settle_outcome(job, outcome)
+            if started is not None:
+                self.admission.observe_service(monotonic() - started)
+        self._supervise(pool)
+        return dispatched + len(completions)
+
+    def _supervise(self, pool):
+        """Track worker deaths and flip degraded mode on a streak."""
+        if pool.deaths > self._deaths_seen:
+            self._death_streak += pool.deaths - self._deaths_seen
+            self._deaths_seen = pool.deaths
+        degraded = self._death_streak >= self.degraded_threshold
+        if degraded and not self._degraded:
+            self._degraded = True
+            get_metrics().counter("serve.degraded").inc()
+            get_tracer().event("serve.degraded_enter",
+                               deaths=self._death_streak)
+        elif not degraded and self._degraded:
+            self._degraded = False
+            get_tracer().event("serve.degraded_exit")
+
+    def _maybe_compact(self):
+        """Compact the journal once enough settlements accrued.
+
+        Deferred while degraded: a daemon whose workers are dying should
+        spend its cycles (and its I/O) on recovery, not on rewriting
+        history — the journal stays correct either way, only larger.
+        """
+        if self.compact_every is None:
+            return False
+        if self._settled_since_compact < self.compact_every:
+            return False
+        if self._degraded:
+            return False
+        path = self.queue.compact()
+        self._settled_since_compact = 0
+        self.counters["compactions"] += 1
+        get_tracer().event(
+            "serve.compacted", segment=os.path.basename(path),
+            bytes=self.queue.journal.size_bytes(),
+            live=self.queue.depth(), settled=len(self.queue.outcomes),
+        )
+        return True
+
     # ------------------------------------------------------------------
     # Main loop
 
@@ -426,11 +624,11 @@ class ReproService:
         """Bind, recover, serve until stopped; returns the final status.
 
         The loop alternates between draining the accept socket and
-        dispatching one batch of jobs, so submit/status latency is
-        bounded by the slowest single batch.  On a stop request
-        (SIGTERM, SIGINT, or the ``stop`` verb) it stops accepting,
-        drains journaled work inside ``drain_seconds``, writes the clean
-        ``stop`` marker, and removes the socket.
+        advancing dispatch, so submit/status latency is bounded by the
+        slowest single step.  On a stop request (SIGTERM, SIGINT, or
+        the ``stop`` verb) it stops accepting, drains journaled work
+        inside ``drain_seconds``, writes the clean ``stop`` marker, and
+        removes the socket.
         """
         self._claim_socket()
         previous = {}
@@ -447,6 +645,7 @@ class ReproService:
             while self._stop_requested is None:
                 self._poll_accept()
                 self._dispatch_some()
+                self._maybe_compact()
             self._drain()
             self.queue.mark_stop()
             get_tracer().event("serve.stopped",
@@ -460,18 +659,21 @@ class ReproService:
                 self._listener = None
             if os.path.exists(self.socket_path):
                 os.unlink(self.socket_path)
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
             self.queue.close()
         return self.status()
 
     def _poll_accept(self):
         """Accept and answer every connection currently waiting.
 
-        With work queued, the accept poll is non-blocking so dispatch
-        latency stays at one loop iteration; idle, it blocks for
-        ``_POLL_SECONDS`` so an empty daemon does not spin.
+        With work queued or in flight, the accept poll is non-blocking
+        so dispatch latency stays at one loop iteration; idle, it
+        blocks for ``_POLL_SECONDS`` so an empty daemon does not spin.
         """
         self._listener.settimeout(
-            0.0 if self.queue.pending else _POLL_SECONDS
+            0.0 if (self.queue.pending or self.queue.taken) else _POLL_SECONDS
         )
         while True:
             try:
@@ -492,9 +694,10 @@ class ReproService:
         marked failed, because nothing about them failed.
         """
         deadline = monotonic() + self.drain_seconds
-        while self.queue.pending and monotonic() < deadline:
+        while ((self.queue.pending or self.queue.taken)
+               and monotonic() < deadline):
             self._dispatch_some()
-        if self.queue.pending:
+        if self.queue.pending or self.queue.taken:
             get_tracer().event("serve.drain_deadline",
                                left=self.queue.depth())
 
@@ -502,7 +705,8 @@ class ReproService:
         """One-line startup summary for the CLI."""
         return (
             "repro-serve pid=%d socket=%s journal=%s depth=%d "
-            "recovered=%d workers=%d"
+            "recovered=%d workers=%d mode=%s"
             % (os.getpid(), self.socket_path, self.journal_path,
-               self.queue.depth(), self.counters["replayed"], self.workers)
+               self.queue.depth(), self.counters["replayed"], self.workers,
+               "persistent" if self.persistent else "fork-per-job")
         )

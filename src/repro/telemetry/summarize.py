@@ -166,7 +166,8 @@ def summarize_trace(trace):
             guard["short_circuits"] += 1
 
     serve = {"lifecycle": [], "shed": 0, "breakers_opened": [],
-             "journal_corrupt": 0}
+             "journal_corrupt": 0, "compactions": 0, "degraded_entries": 0,
+             "worker_deaths": 0}
     for event in events:
         attrs = event.get("attrs", {})
         if event["name"] in ("serve.started", "serve.stopped",
@@ -184,6 +185,12 @@ def summarize_trace(trace):
             })
         elif event["name"] == "serve.journal_corrupt":
             serve["journal_corrupt"] += int(attrs.get("lines", 0))
+        elif event["name"] == "serve.compacted":
+            serve["compactions"] += 1
+        elif event["name"] == "serve.degraded_enter":
+            serve["degraded_entries"] += 1
+        elif event["name"] == "parallel.worker_died":
+            serve["worker_deaths"] += 1
 
     return {
         "n_spans": len(spans),
@@ -327,7 +334,9 @@ def render_trace_report(summary):
 
     serve = summary.get("serve") or {}
     if (serve.get("lifecycle") or serve.get("shed")
-            or serve.get("breakers_opened") or serve.get("journal_corrupt")):
+            or serve.get("breakers_opened") or serve.get("journal_corrupt")
+            or serve.get("compactions") or serve.get("degraded_entries")
+            or serve.get("worker_deaths")):
         lines = ["Serve (daemon lifecycle / admission / breakers):"]
         for item in serve.get("lifecycle", ()):
             attrs = ", ".join(
@@ -344,6 +353,14 @@ def render_trace_report(summary):
         if serve.get("journal_corrupt"):
             lines.append("  %d corrupt journal line(s) skipped on replay"
                          % serve["journal_corrupt"])
+        if serve.get("compactions"):
+            lines.append("  %d journal compaction(s)" % serve["compactions"])
+        if serve.get("worker_deaths"):
+            lines.append("  %d worker death(s) (respawned + re-dispatched)"
+                         % serve["worker_deaths"])
+        if serve.get("degraded_entries"):
+            lines.append("  entered degraded mode %d time(s)"
+                         % serve["degraded_entries"])
         sections.append("\n".join(lines))
 
     anomalies = [

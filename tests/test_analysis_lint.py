@@ -659,6 +659,59 @@ class TestSRV001RawSocketServer:
         assert "SRV001" in rule_ids(report.findings)
 
 
+class TestSRV002JournalFileAccess:
+    def test_flags_open_of_journal_variable(self):
+        findings = lint(
+            "def tail(journal_path):\n"
+            "    return open(journal_path).read()\n"
+        )
+        assert "SRV002" in rule_ids(findings)
+
+    def test_flags_open_of_journal_literal(self):
+        findings = lint('handle = open("serve/journal.jsonl")\n')
+        assert "SRV002" in rule_ids(findings)
+
+    def test_flags_os_and_io_open(self):
+        findings = lint(
+            "import os\nfd = os.open(journal_file, os.O_RDONLY)\n"
+        )
+        assert "SRV002" in rule_ids(findings)
+        findings = lint("import io\nh = io.open(cfg.journal)\n")
+        assert "SRV002" in rule_ids(findings)
+
+    def test_flags_composed_journal_path(self):
+        findings = lint(
+            'def seg(base):\n    return open("%s.%08d" % (base.journal, 1))\n'
+        )
+        assert "SRV002" in rule_ids(findings)
+
+    def test_allows_unrelated_open(self):
+        findings = lint(
+            "def load(config_path):\n    return open(config_path).read()\n"
+        )
+        assert "SRV002" not in rule_ids(findings)
+
+    def test_journal_module_is_exempt(self, tmp_path):
+        pkg = tmp_path / "serve"
+        pkg.mkdir()
+        (pkg / "journal.py").write_text(
+            "def tail(journal_path):\n"
+            "    return open(journal_path).read()\n"
+        )
+        report = LintEngine().run([pkg])
+        assert "SRV002" not in rule_ids(report.findings)
+
+    def test_other_serve_modules_are_not_exempt(self, tmp_path):
+        pkg = tmp_path / "serve"
+        pkg.mkdir()
+        (pkg / "service.py").write_text(
+            "def tail(journal_path):\n"
+            "    return open(journal_path).read()\n"
+        )
+        report = LintEngine().run([pkg])
+        assert "SRV002" in rule_ids(report.findings)
+
+
 class TestEngineConfig:
     def test_select_restricts_rules(self):
         findings = lint(
@@ -680,9 +733,9 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             LintEngine(select=["NOPE999"])
 
-    def test_registry_has_twenty_rules(self):
-        assert len(all_rules()) == 20
-        assert len(rule_index()) == 20
+    def test_registry_has_twenty_one_rules(self):
+        assert len(all_rules()) == 21
+        assert len(rule_index()) == 21
         flow = [r for r in all_rules() if r.requires_project]
         assert {r.id for r in flow} == {"FLOW-RNG", "FLOW-DTYPE", "FLOW-FORK"}
 
@@ -711,6 +764,10 @@ VIOLATION_FIXTURES = {
     "OBS001": "import time\nt0 = time.perf_counter()\n",
     "PAR001": "import multiprocessing\npool = multiprocessing.Pool(4)\n",
     "SRV001": "import socketserver\n",
+    "SRV002": (
+        "def tail(journal_path):\n"
+        "    return open(journal_path).read()\n"
+    ),
     "EVAL001": 'import sqlite3\nconn = sqlite3.connect("x.db")\n',
     "NOQA001": "x = 1  # repro: noqa[RNG001]\n",
     "RES001": (

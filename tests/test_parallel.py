@@ -8,6 +8,7 @@ import time
 import pytest
 
 from repro.parallel import (
+    PersistentPool,
     PoolInterrupted,
     TaskFailure,
     WorkerError,
@@ -19,7 +20,13 @@ from repro.parallel import (
     run_cells,
     set_default_workers,
 )
-from repro.resilience import CellFailure, RunRegistry, SimulatedKill
+from repro.resilience import (
+    CellFailure,
+    FaultPlan,
+    RunRegistry,
+    SimulatedKill,
+    inject_faults,
+)
 from repro.telemetry import MetricsRegistry, Tracer, set_metrics, set_tracer
 
 
@@ -329,3 +336,127 @@ class TestTableSweepBitExactness:
                             **kwargs)
         assert serial["results"] == forked["results"]
         assert serial["report"] == forked["report"]
+
+
+# ----------------------------------------------------------------------
+# PersistentPool: pre-forked supervised worker set
+# ----------------------------------------------------------------------
+def _echo_task(item, seed):
+    return {"item": item, "seed": seed}
+
+
+def _fragile_task(item, seed):
+    if item == "die":
+        os._exit(42)
+    if item == "hang":
+        time.sleep(30.0)
+    return {"item": item, "seed": seed}
+
+
+def _run_pool(pool, expected, deadline=30.0):
+    """Poll until ``expected`` completions land (or fail loudly)."""
+    from repro.telemetry import monotonic
+
+    results = {}
+    cutoff = monotonic() + deadline
+    while len(results) < expected and monotonic() < cutoff:
+        for task_id, value in pool.poll(timeout=0.2):
+            results[task_id] = value
+    assert len(results) == expected, "only %d/%d tasks completed" % (
+        len(results), expected)
+    return results
+
+
+class TestPersistentPool:
+    def test_results_and_seeds_roundtrip(self):
+        with PersistentPool(_echo_task, workers=3) as pool:
+            for i in range(12):
+                pool.submit("t%d" % i, i, seed=100 + i)
+            results = _run_pool(pool, 12)
+        for i in range(12):
+            assert results["t%d" % i] == {"item": i, "seed": 100 + i}
+
+    def test_work_is_actually_distributed(self):
+        with PersistentPool(_echo_task, workers=3) as pool:
+            for i in range(12):
+                pool.submit("t%d" % i, i, seed=i)
+            _run_pool(pool, 12)
+            served = [w["jobs"] for w in pool.stats()["workers"]]
+        assert sum(served) == 12
+        assert len([jobs for jobs in served if jobs]) >= 2
+
+    def test_dead_worker_respawns_and_task_reruns_same_seed(self):
+        with PersistentPool(_fragile_task, workers=2, task_retries=1) as pool:
+            pool.submit("victim", "die", seed=7)
+            pool.submit("bystander", "ok", seed=8)
+            results = _run_pool(pool, 2)
+            # "die" exits the worker on dispatch 0; dispatch 1 runs on
+            # the replacement... which also dies: retries exhausted.
+            assert isinstance(results["victim"], TaskFailure)
+            assert results["victim"].reason == "WorkerDied"
+            assert results["bystander"] == {"item": "ok", "seed": 8}
+            assert pool.deaths == 2  # dispatch 0 + the one retry
+            assert pool.respawns == 2
+            assert len(pool.stats()["workers"]) == 2  # pool never shrinks
+
+    def test_injected_kill_on_first_dispatch_is_transparent(self):
+        # The chaos shape the daemon relies on: a worker SIGKILLed
+        # mid-job is respawned and the job re-dispatched under the SAME
+        # seed — the completion is indistinguishable from a clean run.
+        plan = FaultPlan()
+        plan.inject("worker.task", action="kill",
+                    when={"task": "victim", "dispatch": 0})
+        with inject_faults(plan):
+            with PersistentPool(_echo_task, workers=2,
+                                task_retries=1) as pool:
+                pool.submit("victim", "payload", seed=1234, label="victim")
+                results = _run_pool(pool, 1)
+                assert results["victim"] == {"item": "payload", "seed": 1234}
+                assert pool.deaths == 1
+                assert pool.respawns == 1
+
+    def test_recycle_after_replaces_workers_cleanly(self):
+        with PersistentPool(_echo_task, workers=1, recycle_after=2) as pool:
+            for i in range(6):
+                pool.submit("t%d" % i, i, seed=i)
+            results = _run_pool(pool, 6)
+            assert all(results["t%d" % i]["item"] == i for i in range(6))
+            assert pool.recycles >= 2
+            assert pool.deaths == 0  # recycling is not dying
+
+    def test_watchdog_kills_hung_worker_at_deadline(self):
+        with PersistentPool(_fragile_task, workers=2, task_deadline=0.5,
+                            task_retries=0) as pool:
+            pool.submit("stuck", "hang", seed=1)
+            pool.submit("fine", "ok", seed=2)
+            results = _run_pool(pool, 2, deadline=15.0)
+            assert results["fine"] == {"item": "ok", "seed": 2}
+            assert isinstance(results["stuck"], TaskFailure)
+            assert results["stuck"].reason == "WatchdogKilled"
+            assert "deadline" in results["stuck"].message
+
+    def test_stats_shape_for_health_reporting(self):
+        with PersistentPool(_echo_task, workers=2) as pool:
+            stats = pool.stats()
+            assert set(stats) == {"workers", "deaths", "respawns",
+                                  "recycles", "backlog"}
+            assert len(stats["workers"]) == 2
+            for worker in stats["workers"]:
+                assert set(worker) == {"pid", "jobs", "in_flight", "phase",
+                                       "last_beat_age", "retiring"}
+                assert worker["in_flight"] is None
+
+    def test_submit_after_close_raises(self):
+        pool = PersistentPool(_echo_task, workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit("t", 1, seed=1)
+        pool.close()  # idempotent
+
+    def test_backlog_beyond_worker_count_completes(self):
+        with PersistentPool(_echo_task, workers=2) as pool:
+            for i in range(20):
+                pool.submit("t%d" % i, i, seed=i)
+            assert pool.backlog() > 0 or not pool.idle()
+            results = _run_pool(pool, 20)
+        assert sorted(r["item"] for r in results.values()) == list(range(20))

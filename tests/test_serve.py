@@ -25,6 +25,8 @@ from repro.serve import (
     read_journal,
     read_message,
     recover,
+    retry_jitter,
+    segment_paths,
     write_message,
 )
 
@@ -188,6 +190,184 @@ class TestJournal:
         stats = read_journal(path)
         assert [r["type"] for r in stats.records] == ["accepted"]
         assert stats.torn_tail
+
+
+# ----------------------------------------------------------------------
+# Journal segments + compaction
+# ----------------------------------------------------------------------
+class TestJournalSegments:
+    def test_single_file_is_one_segment(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+        assert segment_paths(path) == [str(path)]
+        stats = read_journal(path)
+        assert stats.segments == 1
+        assert stats.bytes == os.path.getsize(path)
+
+    def test_compact_replaces_segments_with_one_checkpoint(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+        journal.append("done", job_id="j1", result=1)
+        before = os.path.getsize(path)
+        journal.compact([
+            {"type": "checkpoint", "seq": 1,
+             "outcomes": {"j1": {"status": "done", "result": 1}},
+             "accepted": {"j1": {"job_id": "j1", "kind": "echo"}}},
+        ])
+        segments = segment_paths(path)
+        assert segments == [str(path) + ".00000001"]
+        assert not os.path.exists(path)  # segment 0 unlinked
+        stats = read_journal(path)
+        assert [r["type"] for r in stats.records] == ["checkpoint"]
+        assert stats.segments == 1 and stats.bytes < before * 2
+        journal.close()
+
+    def test_appends_after_compaction_land_in_new_segment(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+        journal.compact([{"type": "checkpoint", "seq": 1, "outcomes": {},
+                          "accepted": {}},
+                         {"type": "accepted", "job_id": "j1", "kind": "echo"}])
+        journal.append("done", job_id="j1", result=1)
+        journal.close()
+        stats = read_journal(path)
+        assert [r["type"] for r in stats.records] == [
+            "checkpoint", "accepted", "done",
+        ]
+
+    def test_second_compaction_increments_the_segment_index(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+        body = {"type": "checkpoint", "seq": 1, "outcomes": {},
+                "accepted": {}}
+        journal.compact([body])
+        journal.compact([body])
+        journal.close()
+        assert segment_paths(path) == [str(path) + ".00000002"]
+        # A reopened Journal appends to the highest segment, not base.
+        with Journal(path) as reopened:
+            reopened.append("accepted", fsync=True, job_id="j2", kind="echo")
+        assert segment_paths(path) == [str(path) + ".00000002"]
+        assert [r["type"] for r in read_journal(path).records] == [
+            "checkpoint", "accepted",
+        ]
+
+    def test_stray_tmp_files_are_not_segments(self, tmp_path):
+        # atomic_write temp files (journal.jsonl.XXXX.tmp) from a crash
+        # mid-compaction must never be replayed as segments.
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="j1", kind="echo")
+        (tmp_path / "journal.jsonl.abc123.tmp").write_text("garbage")
+        (tmp_path / "journal.jsonl.orphan").write_text("garbage")
+        assert segment_paths(path) == [str(path)]
+
+    def test_checkpoint_supersedes_earlier_records_in_replay(self, tmp_path):
+        # Crash-before-unlink shape: old segment 0 (with a stop marker)
+        # still on disk next to the new checkpoint segment.  Replay must
+        # reset at the checkpoint — including the clean_stop flag.
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("accepted", fsync=True, job_id="old", kind="echo")
+            journal.append("stop", fsync=True)
+        checkpoint = Journal(str(path) + ".00000001")
+        checkpoint.append("checkpoint", seq=5, outcomes={}, accepted={})
+        checkpoint.append("accepted", job_id="new", kind="echo")
+        checkpoint.close()
+        stats = read_journal(path)
+        assert [r.get("job_id") for r in stats.records] == [None, "new"]
+        assert not stats.clean_stop
+        assert stats.segments == 2
+
+    def test_compact_kill_fault_fires_at_each_phase(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        for phase in ("begin", "written", "switched", "unlink"):
+            journal = Journal(path)
+            plan = FaultPlan()
+            plan.inject("serve.compact", action="kill",
+                        when={"phase": phase})
+            with inject_faults(plan):
+                with pytest.raises(SimulatedKill):
+                    journal.compact([{"type": "checkpoint", "seq": 1,
+                                      "outcomes": {}, "accepted": {}}])
+            try:
+                journal.close()
+            except OSError:  # repro: noqa[RES002] handle may already be mid-switch after the simulated kill
+                pass
+            # Whatever the crash left, replay still resolves a state.
+            read_journal(path)
+
+
+class TestQueueCompaction:
+    def test_compaction_preserves_recovered_state(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        for i in range(6):
+            queue.accept(_job("j%d" % i, payload={"n": i}))
+        taken = queue.take(4)
+        for job in taken[:3]:
+            queue.settle_done(job["job_id"], {"ok": job["job_id"]})
+        queue.settle_failed(taken[3]["job_id"], "boom", "err")
+        reference_outcomes = dict(queue.outcomes)
+        queue.compact()
+        queue.accept(_job("j9"))
+        queue.close()
+        recovered, stats = recover(path)
+        assert recovered.outcomes == reference_outcomes
+        # Live jobs — the untaken pending ones plus the new accept —
+        # replay in acceptance order; settled ones never re-pend.
+        assert list(recovered.pending) == ["j4", "j5", "j9"]
+        assert stats.segments == 1
+        recovered.close()
+
+    def test_taken_jobs_survive_compaction_as_pending(self, tmp_path):
+        # A job handed to the persistent pool but unsettled at compaction
+        # time is still the daemon's promise: it must replay.
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        queue.accept(_job("j1"))
+        queue.accept(_job("j2"))
+        queue.take(1)  # j1 now in flight
+        queue.compact()
+        queue.close()
+        recovered, _ = recover(path)
+        assert list(recovered.pending) == ["j1", "j2"]
+        recovered.close()
+
+    def test_seq_and_specs_survive_compaction(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        queue.accept(_job("job-00000001", payload={"x": 1}))
+        queue.settle_done("job-00000001", 1)
+        queue.compact()
+        queue.close()
+        recovered, _ = recover(path)
+        # Generated ids keep counting past the checkpoint, and the spec
+        # of a settled job still answers idempotent resubmits.
+        assert recovered._seq == 1
+        assert recovered.accepted["job-00000001"]["payload"] == {"x": 1}
+        recovered.close()
+
+    def test_repeated_compaction_keeps_journal_bounded(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(Journal(path))
+        sizes = []
+        for round_index in range(5):
+            for i in range(10):
+                job_id = "r%d-j%d" % (round_index, i)
+                queue.accept(_job(job_id))
+                queue.settle_done(job_id, {"ok": job_id})
+            queue.compact()
+            sizes.append(queue.journal.size_bytes())
+        queue.close()
+        # Growth is O(settled outcomes), not O(journal history): each
+        # round's checkpoint replaces — not stacks on — the previous one.
+        assert len(queue.journal.segments()) == 1
+        assert sizes[-1] < sizes[0] * 6
 
 
 # ----------------------------------------------------------------------
@@ -579,6 +759,248 @@ class TestServiceHandlers:
         # Crashed before the journal write: nothing was accepted.
         assert read_journal(service.journal_path).records == []
         service.queue.close()
+
+
+# ----------------------------------------------------------------------
+# Health, degraded mode, compaction and persistent dispatch (handler-level)
+# ----------------------------------------------------------------------
+def _drain_service(service, expected, rounds=2000):
+    """Drive _dispatch_some until ``expected`` jobs settled (or fail)."""
+    for _ in range(rounds):
+        if len(service.queue.outcomes) >= expected:
+            return
+        service._dispatch_some()
+    raise AssertionError(
+        "only %d/%d jobs settled" % (len(service.queue.outcomes), expected)
+    )
+
+
+def _close_service(service):
+    if service._pool is not None:
+        service._pool.close()
+        service._pool = None
+    service.queue.close()
+
+
+class TestServiceHealth:
+    def test_health_snapshot_shape(self, tmp_path):
+        service = _service(tmp_path)
+        payload = service.health()
+        assert payload["status"] == "ok"
+        assert payload["health"] == "ok"
+        assert payload["queue_depth"] == 0 and payload["in_flight"] == 0
+        assert payload["death_streak"] == 0
+        assert payload["workers"] == {"mode": "fork-per-job", "count": 1}
+        journal = payload["journal"]
+        assert set(journal) == {"segments", "bytes", "corrupt_lines",
+                                "compactions"}
+        assert journal["segments"] == 1
+        service.queue.close()
+
+    def test_health_verb_routed(self, tmp_path):
+        service = _service(tmp_path)
+        assert service._handle_request({"verb": "health"})["health"] == "ok"
+        service.queue.close()
+
+    def test_status_carries_journal_stats_and_health(self, tmp_path):
+        service = _service(tmp_path)
+        payload = service.status()
+        assert payload["health"] == "ok"
+        assert payload["persistent"] is False
+        stats = payload["journal_stats"]
+        assert stats["segments"] == 1 and stats["compactions"] == 0
+        assert stats["bytes"] == os.path.getsize(service.journal_path)
+        service.queue.close()
+
+    def test_draining_health_state(self, tmp_path):
+        service = _service(tmp_path)
+        service._handle_request({"verb": "stop"})
+        assert service.health()["health"] == "draining"
+        service.queue.close()
+
+    def test_degraded_mode_sheds_to_floor_and_defers_compaction(
+            self, tmp_path):
+        service = _service(tmp_path, max_depth=8, compact_every=1)
+        service._degraded = True
+        # Floor = max_depth // 4 = 2: the third submit sheds.
+        for i in range(2):
+            assert service._handle_submit(
+                {"kind": "echo", "client": "a"}
+            )["status"] == "ok"
+        shed = service._handle_submit({"kind": "echo", "client": "a"})
+        assert shed["status"] == "retry_after"
+        assert shed["reason"] == "degraded"
+        # Settle work: past compact_every, but compaction is deferred.
+        service.queue.take(2)
+        for job_id in list(service.queue.taken):
+            service.queue.settle_done(job_id, 1)
+            service._settled_since_compact += 1
+        assert service._maybe_compact() is False
+        service._degraded = False
+        assert service._maybe_compact() is True
+        assert service.counters["compactions"] == 1
+        service.queue.close()
+
+    def test_death_streak_flips_degraded_and_success_clears_it(
+            self, tmp_path):
+        service = _service(tmp_path, degraded_threshold=2)
+
+        class FakePool:
+            deaths = 2
+
+        service._supervise(FakePool())
+        assert service._degraded and service.health()["health"] == "degraded"
+        # A completed job resets the streak; the next sweep exits.
+        service._handle_submit({"kind": "echo", "client": "a"})
+        job = service.queue.take(1)[0]
+        service._settle_outcome(job, {"ok": 1})
+        service._supervise(FakePool())
+        assert not service._degraded
+        assert service.health()["health"] == "ok"
+        service.queue.close()
+
+    def test_auto_compaction_after_n_settlements(self, tmp_path):
+        service = _service(tmp_path, compact_every=2)
+        for _ in range(4):
+            service._handle_submit({"kind": "echo", "client": "a"})
+            service._dispatch_some()
+            service._maybe_compact()
+        assert service.counters["compactions"] == 2
+        assert service.status()["journal_stats"]["segments"] == 1
+        service.queue.close()
+
+
+class TestServicePersistent:
+    def test_persistent_dispatch_matches_fork_per_job(self, tmp_path):
+        jobs = [("p-%d" % i, {"n": i}) for i in range(6)]
+        outcomes = {}
+        for mode, root in (("fork", tmp_path / "a"),
+                           ("persistent", tmp_path / "b")):
+            root.mkdir()
+            service = _service(root, workers=2,
+                               persistent=(mode == "persistent"))
+            for job_id, payload in jobs:
+                service._handle_submit({"kind": "echo", "client": "a",
+                                        "job_id": job_id,
+                                        "payload": payload})
+            _drain_service(service, len(jobs))
+            outcomes[mode] = {
+                job_id: service.queue.outcome(job_id) for job_id, _ in jobs
+            }
+            _close_service(service)
+        # Byte-identical settlements: same seeds, same results.
+        assert outcomes["fork"] == outcomes["persistent"]
+        assert outcomes["fork"]["p-0"]["result"]["seed"] == job_seed("p-0")
+
+    def test_persistent_breaker_short_circuits_without_dispatch(
+            self, tmp_path):
+        service = _service(tmp_path, persistent=True, workers=1,
+                           breaker_threshold=1)
+        service._handle_submit(
+            {"kind": "fail", "client": "a", "payload": {"message": "x"}}
+        )
+        _drain_service(service, 1)
+        assert service.breaker.open_breakers()
+        second = service._handle_submit(
+            {"kind": "fail", "client": "a", "payload": {"message": "x"}}
+        )
+        _drain_service(service, 2)
+        outcome = service.queue.outcome(second["job_id"])
+        assert outcome["reason"].startswith("circuit_open:")
+        _close_service(service)
+
+    def test_persistent_worker_stats_in_health(self, tmp_path):
+        service = _service(tmp_path, persistent=True, workers=2)
+        assert service.health()["workers"]["started"] is False
+        service._handle_submit({"kind": "echo", "client": "a"})
+        _drain_service(service, 1)
+        workers = service.health()["workers"]
+        assert workers["mode"] == "persistent" and workers["started"]
+        assert len(workers["workers"]) == 2
+        assert all(w["pid"] > 0 for w in workers["workers"])
+        assert workers["deaths"] == 0
+        _close_service(service)
+
+
+# ----------------------------------------------------------------------
+# Client backoff: full jitter, bounded, deterministic
+# ----------------------------------------------------------------------
+class _SheddingClient(ServeClient):
+    """ServeClient whose submit always sheds with a fixed retry_after."""
+
+    def __init__(self, retry_after=0.2, relent_after=None):
+        super().__init__("/nonexistent.sock", client_id="jitter-test")
+        self.attempts = 0
+        self.retry_after = retry_after
+        self.relent_after = relent_after
+
+    def submit(self, kind, payload=None, job_id=None):
+        self.attempts += 1
+        if self.relent_after and self.attempts > self.relent_after:
+            return "accepted-%d" % self.attempts
+        raise LoadShedded({"status": "retry_after",
+                           "retry_after": self.retry_after,
+                           "reason": "queue_full"})
+
+
+class TestSubmitWithRetry:
+    def test_sleeps_are_full_jitter_bounded(self):
+        client = _SheddingClient(retry_after=0.2)
+        sleeps = []
+        with pytest.raises(LoadShedded):
+            client.submit_with_retry("echo", max_attempts=6, backoff_cap=1.0,
+                                     sleep=sleeps.append)
+        # One sleep per shed except the last (re-raise immediately).
+        assert client.attempts == 6
+        assert len(sleeps) == 5
+        for attempt, slept in enumerate(sleeps):
+            ceiling = min(1.0, 0.2 * (2.0 ** attempt))
+            assert 0.0 <= slept <= ceiling
+        # Exactly the documented schedule: ceiling × hash fraction.
+        expected = [
+            min(1.0, 0.2 * (2.0 ** k)) * retry_jitter(
+                "jitter-test:echo::%d:%d" % (os.getpid(), k)
+            )
+            for k in range(5)
+        ]
+        assert sleeps == pytest.approx(expected)
+
+    def test_jitter_is_deterministic_per_identity(self):
+        first, second = [], []
+        client = _SheddingClient()
+        with pytest.raises(LoadShedded):
+            client.submit_with_retry("echo", max_attempts=4,
+                                     sleep=first.append)
+        client = _SheddingClient()
+        with pytest.raises(LoadShedded):
+            client.submit_with_retry("echo", max_attempts=4,
+                                     sleep=second.append)
+        assert first == second  # same (client, kind, pid, attempt) tuple
+
+    def test_jitter_differs_across_clients(self):
+        # The de-synchronization property: two clients shed at the same
+        # instant must not sleep the same schedule.
+        fractions_a = [retry_jitter("a:echo::1:%d" % k) for k in range(4)]
+        fractions_b = [retry_jitter("b:echo::1:%d" % k) for k in range(4)]
+        assert fractions_a != fractions_b
+        for fraction in fractions_a + fractions_b:
+            assert 0.0 <= fraction < 1.0
+
+    def test_success_after_sheds_returns_job_id(self):
+        client = _SheddingClient(relent_after=2)
+        sleeps = []
+        job_id = client.submit_with_retry("echo", max_attempts=8,
+                                          sleep=sleeps.append)
+        assert job_id == "accepted-3"
+        assert len(sleeps) == 2
+
+    def test_retry_cap_re_raises_last_shed(self):
+        client = _SheddingClient()
+        with pytest.raises(LoadShedded) as excinfo:
+            client.submit_with_retry("echo", max_attempts=3,
+                                     sleep=lambda _s: None)
+        assert excinfo.value.reason == "queue_full"
+        assert client.attempts == 3
 
 
 # ----------------------------------------------------------------------
